@@ -1,0 +1,340 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each figure bench
+// runs the full pipeline (shared trained model + test corpus, cached
+// across benches) and reports the Precision@100 of Uni-Detect and the
+// strongest baseline as custom metrics, so `go test -bench=.` prints the
+// reproduced numbers alongside the timings.
+//
+// For the full-size reproduction run `go run ./cmd/benchfig -exp all`.
+package unidetect_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/experiments"
+	"github.com/unidetect/unidetect/internal/strdist"
+)
+
+// benchScale keeps bench runtime moderate; cmd/benchfig runs bigger.
+const benchScale = 0.15
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchLabOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.Options{Scale: benchScale})
+	})
+	return benchLab
+}
+
+// benchFigure runs one paper figure end-to-end and reports headline
+// precisions as metrics.
+func benchFigure(b *testing.B, id string, headline ...string) {
+	b.Helper()
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		fig, err := l.Figure(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, m := range headline {
+				if p := fig.At(m, 100); p >= 0 {
+					b.ReportMetric(p, m+"_P@100")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2CorpusStats regenerates the Table 2 corpus summary.
+func BenchmarkTable2CorpusStats(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		rows := l.Table2()
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgRows, r.Corpus+"_avgRows")
+			}
+		}
+	}
+}
+
+// Figures 8(a-c): WEB^T.
+func BenchmarkFig8aSpellingWeb(b *testing.B) {
+	benchFigure(b, "fig8a", "UNIDETECT", "UNIDETECT+Dict", "Fuzzy-Cluster")
+}
+func BenchmarkFig8bOutlierWeb(b *testing.B) {
+	benchFigure(b, "fig8b", "UNIDETECT", "Max-MAD", "Max-SD")
+}
+func BenchmarkFig8cUniqueWeb(b *testing.B) {
+	benchFigure(b, "fig8c", "UNIDETECT", "Unique-row-ratio")
+}
+
+// Figures 9(a-c): WIKI^T.
+func BenchmarkFig9aSpellingWiki(b *testing.B) { benchFigure(b, "fig9a", "UNIDETECT") }
+func BenchmarkFig9bOutlierWiki(b *testing.B)  { benchFigure(b, "fig9b", "UNIDETECT") }
+func BenchmarkFig9cUniqueWiki(b *testing.B)   { benchFigure(b, "fig9c", "UNIDETECT") }
+
+// Figures 10(a-c): Enterprise^T.
+func BenchmarkFig10aSpellingEnterprise(b *testing.B) { benchFigure(b, "fig10a", "UNIDETECT") }
+func BenchmarkFig10bOutlierEnterprise(b *testing.B)  { benchFigure(b, "fig10b", "UNIDETECT") }
+func BenchmarkFig10cUniqueEnterprise(b *testing.B)   { benchFigure(b, "fig10c", "UNIDETECT") }
+
+// Figure 12(a-d): FD and FD-synthesis.
+func BenchmarkFig12aFDWeb(b *testing.B) {
+	benchFigure(b, "fig12a", "UNIDETECT", "Unique-projection-ratio")
+}
+func BenchmarkFig12bFDWiki(b *testing.B)      { benchFigure(b, "fig12b", "UNIDETECT") }
+func BenchmarkFig12cFDSynthWeb(b *testing.B)  { benchFigure(b, "fig12c", "UNIDETECT") }
+func BenchmarkFig12dFDSynthWiki(b *testing.B) { benchFigure(b, "fig12d", "UNIDETECT") }
+
+// --- Ablations (DESIGN.md §5) ---
+
+var (
+	ablationOnce   sync.Once
+	ablationBG     *corpus.Corpus
+	ablationTest   *datagen.Result
+	ablationModels map[string]*core.Model
+)
+
+func ablationSetup(b *testing.B) {
+	b.Helper()
+	ablationOnce.Do(func() {
+		spec := datagen.WebSpec().Scale(0.08)
+		res := datagen.Generate(spec)
+		ablationBG = corpus.New(spec.Name, res.Tables)
+		test := datagen.TestSample(datagen.WebSpec())
+		test.NumTables = 500
+		ablationTest = datagen.Generate(test)
+		ablationModels = map[string]*core.Model{}
+
+		cfg := core.DefaultConfig()
+		m, err := core.Train(context.Background(), cfg, ablationBG, detectors.All(cfg, detectors.Options{}))
+		if err != nil {
+			panic(err)
+		}
+		ablationModels["base"] = m
+
+		sdCfg := core.DefaultConfig()
+		sd, err := core.Train(context.Background(), sdCfg, ablationBG, detectors.All(sdCfg, detectors.Options{OutlierSD: true}))
+		if err != nil {
+			panic(err)
+		}
+		ablationModels["sd"] = sd
+	})
+}
+
+// precisionTop100 scores the top 100 findings of the given classes
+// against all injected labels.
+func precisionTop100(m *core.Model, opts detectors.Options, classes ...core.Class) float64 {
+	pred := core.NewPredictor(m, detectors.All(m.Config, opts), &core.Env{Index: ablationBG.Index()})
+	fs := pred.DetectAll(context.Background(), ablationTest.Tables)
+	keep := map[core.Class]bool{}
+	for _, c := range classes {
+		keep[c] = true
+	}
+	labeled := map[string]map[int]bool{}
+	for _, l := range ablationTest.Labels {
+		k := l.Table + "\x00" + l.Column
+		if labeled[k] == nil {
+			labeled[k] = map[int]bool{}
+		}
+		labeled[k][l.Row] = true
+	}
+	n, hits := 0, 0
+	for _, f := range fs {
+		if len(classes) > 0 && !keep[f.Class] {
+			continue
+		}
+		n++
+		if n > 100 {
+			break
+		}
+		cols := []string{f.Column}
+		for i, r := range f.Column {
+			if r == '→' {
+				cols = []string{f.Column[:i], f.Column[i+len("→"):]}
+				break
+			}
+		}
+	match:
+		for _, col := range cols {
+			for _, r := range f.Rows {
+				if labeled[f.Table+"\x00"+col][r] {
+					hits++
+					break match
+				}
+			}
+		}
+	}
+	if n > 100 {
+		n = 100
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(hits) / float64(n)
+}
+
+// BenchmarkAblationFeaturization compares featurized subsetting against
+// whole-corpus statistics (§2.2.2).
+func BenchmarkAblationFeaturization(b *testing.B) {
+	ablationSetup(b)
+	for i := 0; i < b.N; i++ {
+		with := precisionTop100(ablationModels["base"], detectors.Options{})
+		noFeat := *ablationModels["base"]
+		noFeat.Config.NoFeaturize = true
+		without := precisionTop100(&noFeat, detectors.Options{})
+		if i == 0 {
+			b.ReportMetric(with, "featurized_P@100")
+			b.ReportMetric(without, "whole-corpus_P@100")
+		}
+	}
+}
+
+// BenchmarkAblationMADvsSD compares the robust MAD dispersion metric
+// against classical SD for the outlier class (§3.1).
+func BenchmarkAblationMADvsSD(b *testing.B) {
+	ablationSetup(b)
+	for i := 0; i < b.N; i++ {
+		mad := precisionTop100(ablationModels["base"], detectors.Options{}, core.ClassOutlier)
+		sd := precisionTop100(ablationModels["sd"], detectors.Options{OutlierSD: true}, core.ClassOutlier)
+		if i == 0 {
+			b.ReportMetric(mad, "MAD_P@100")
+			b.ReportMetric(sd, "SD_P@100")
+		}
+	}
+}
+
+// BenchmarkAblationDictionary compares spelling precision with and
+// without the dictionary refinement (§4.3).
+func BenchmarkAblationDictionary(b *testing.B) {
+	ablationSetup(b)
+	for i := 0; i < b.N; i++ {
+		plain := precisionTop100(ablationModels["base"], detectors.Options{}, core.ClassSpelling)
+		dict := precisionTop100(ablationModels["base"], detectors.Options{WithDict: true}, core.ClassSpelling)
+		if i == 0 {
+			b.ReportMetric(plain, "plain_P@100")
+			b.ReportMetric(dict, "dict_P@100")
+		}
+	}
+}
+
+// BenchmarkAblationSmoothing compares the smoothed range predicates of
+// Equation 12 against the exact point estimates of Equation 11 — the
+// §3.1 "Smoothing" argument.
+func BenchmarkAblationSmoothing(b *testing.B) {
+	ablationSetup(b)
+	for i := 0; i < b.N; i++ {
+		smoothed := precisionTop100(ablationModels["base"], detectors.Options{})
+		point := *ablationModels["base"]
+		point.Config.PointEstimates = true
+		pointP := precisionTop100(&point, detectors.Options{})
+		if i == 0 {
+			b.ReportMetric(smoothed, "smoothed_P@100")
+			b.ReportMetric(pointP, "point-estimate_P@100")
+		}
+	}
+}
+
+// BenchmarkAblationCorpusSize sweeps the background-corpus size to show
+// how much of T the LR statistics need before precision stabilizes (the
+// practical question behind the paper's "T is large enough that sparsity
+// is not an issue", §2.2.2).
+func BenchmarkAblationCorpusSize(b *testing.B) {
+	ablationSetup(b)
+	sizes := []int{400, 1200, 3600}
+	for i := 0; i < b.N; i++ {
+		for _, n := range sizes {
+			spec := datagen.WebSpec()
+			spec.NumTables = n
+			spec.Seed = 5150
+			res := datagen.Generate(spec)
+			bg := corpus.New(spec.Name, res.Tables)
+			cfg := core.DefaultConfig()
+			m, err := core.Train(context.Background(), cfg, bg, detectors.All(cfg, detectors.Options{}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				// Score against the shared ablation test corpus, but with
+				// this model's own index.
+				saveBG := ablationBG
+				ablationBG = bg
+				p := precisionTop100(m, detectors.Options{})
+				ablationBG = saveBG
+				b.ReportMetric(p, fmt.Sprintf("T=%d_P@100", n))
+			}
+		}
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+// BenchmarkTrainThroughput measures offline learning over 1000 tables.
+func BenchmarkTrainThroughput(b *testing.B) {
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, 1000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unidetect.Train(context.Background(), bg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(bg))*float64(b.N), "tables")
+}
+
+// BenchmarkDetectLatency measures the per-table online prediction cost —
+// the paper's "real-time predictions at interactive speeds" claim.
+func BenchmarkDetectLatency(b *testing.B) {
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, 2000, 5)
+	m, err := unidetect.Train(context.Background(), bg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := unidetect.SyntheticCorpus(unidetect.WebProfile, 64, 99)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Detect(ctx, targets[i%len(targets)])
+	}
+}
+
+// BenchmarkTokenIndexBuild measures corpus token-prevalence indexing.
+func BenchmarkTokenIndexBuild(b *testing.B) {
+	tables := unidetect.SyntheticCorpus(unidetect.WebProfile, 2000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corpus.BuildTokenIndex(tables)
+	}
+}
+
+// BenchmarkMPDColumn measures the spelling metric on a 100-value column.
+func BenchmarkMPDColumn(b *testing.B) {
+	tables := unidetect.SyntheticCorpus(unidetect.WebProfile, 50, 5)
+	var vals []string
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			vals = append(vals, c.Values...)
+		}
+		if len(vals) >= 100 {
+			break
+		}
+	}
+	vals = vals[:100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strdist.MinPairDistCapped(vals, 0)
+	}
+}

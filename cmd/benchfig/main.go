@@ -1,0 +1,63 @@
+// Command benchfig regenerates every table and figure of the paper's
+// evaluation (§4, Appendix D) over the synthetic corpora.
+//
+//	benchfig -exp all            # run everything at the default scale
+//	benchfig -exp fig8a,fig8b    # run selected experiments
+//	benchfig -exp table2 -scale 1
+//
+// Output is one text table per experiment, in the paper's Precision@K
+// format; pass -quiet to suppress progress logging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids or 'all' "+
+		fmt.Sprintf("(known: %s)", strings.Join(experiments.IDs(), ",")))
+	scale := flag.Float64("scale", 0.5, "corpus scale: 1.0 = DESIGN.md presets (1/1000 of the paper)")
+	workers := flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	chart := flag.Bool("chart", false, "render ASCII charts instead of tables")
+	flag.Parse()
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	opts := experiments.Options{Scale: *scale, Workers: *workers}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+	lab := experiments.NewLab(opts)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		if id == "table2" {
+			fmt.Println(experiments.RenderTable2(lab.Table2()))
+			continue
+		}
+		fig, err := lab.Figure(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfig:", err)
+			os.Exit(1)
+		}
+		if *chart {
+			fmt.Println(fig.RenderChart())
+		} else {
+			fmt.Println(fig.Render())
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "# %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command corpusgen generates the synthetic table corpora used by the
+// reproduction: deterministic, labeled, Table-2-shaped (see DESIGN.md).
+//
+//	corpusgen -profile web -tables 1000 -out dir/    # writes CSVs + labels.csv
+//	corpusgen -profile wiki -tables 5000 -stats      # prints summary statistics
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func main() {
+	profile := flag.String("profile", "web", "corpus profile: web|wiki|enterprise")
+	tables := flag.Int("tables", 1000, "number of tables")
+	seed := flag.Int64("seed", 1, "generation seed")
+	errorRate := flag.Float64("errors", 0, "expected injected errors per table")
+	out := flag.String("out", "", "output directory (one file per table + labels.csv)")
+	format := flag.String("format", "csv", "output file format: csv|xlsx")
+	stats := flag.Bool("stats", false, "print summary statistics only")
+	flag.Parse()
+
+	var spec datagen.Spec
+	switch *profile {
+	case "wiki":
+		spec = datagen.WikiSpec()
+	case "enterprise":
+		spec = datagen.EnterpriseSpec()
+	default:
+		spec = datagen.WebSpec()
+	}
+	spec.NumTables = *tables
+	spec.Seed = *seed
+	spec.ErrorRate = *errorRate
+
+	res := datagen.Generate(spec)
+	if *stats || *out == "" {
+		c := corpus.New(spec.Name, res.Tables)
+		fmt.Printf("corpus %s: %d tables, avg %.1f cols, avg %.1f rows, %d injected errors\n",
+			spec.Name, c.NumTables(), c.AvgCols(), c.AvgRows(), len(res.Labels))
+		if *out == "" {
+			return
+		}
+	}
+	if err := write(res, *out, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d tables and %d labels to %s\n", len(res.Tables), len(res.Labels), *out)
+}
+
+func write(res *datagen.Result, dir, format string) error {
+	if format != "csv" && format != "xlsx" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range res.Tables {
+		f, err := os.Create(filepath.Join(dir, t.Name+"."+format))
+		if err != nil {
+			return err
+		}
+		if format == "xlsx" {
+			err = table.WriteXLSX(t, f)
+		} else {
+			err = table.WriteCSV(t, f)
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	lf, err := os.Create(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	w := csv.NewWriter(lf)
+	if err := w.Write([]string{"table", "column", "row", "class", "original"}); err != nil {
+		return err
+	}
+	for _, l := range res.Labels {
+		rec := []string{l.Table, l.Column, strconv.Itoa(l.Row), l.Class.String(), l.Original}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return lf.Close()
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/datagen"
+)
+
+func TestWriteCorpus(t *testing.T) {
+	spec := datagen.WebSpec()
+	spec.NumTables = 5
+	spec.ErrorRate = 2
+	spec.Seed = 9
+	res := datagen.Generate(spec)
+	dir := t.TempDir()
+	if err := write(res, dir, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 { // 5 tables + labels.csv
+		t.Fatalf("files = %v", files)
+	}
+	labels, err := os.ReadFile(filepath.Join(dir, "labels.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(labels)), "\n")
+	if lines[0] != "table,column,row,class,original" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines)-1 != len(res.Labels) {
+		t.Errorf("label rows = %d, want %d", len(lines)-1, len(res.Labels))
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/unidetect/unidetect"
+)
+
+func TestProfileFlag(t *testing.T) {
+	if profileFlag("wiki") != unidetect.WikiProfile {
+		t.Error("wiki")
+	}
+	if profileFlag("enterprise") != unidetect.EnterpriseProfile {
+		t.Error("enterprise")
+	}
+	if profileFlag("anything") != unidetect.WebProfile {
+		t.Error("default should be web")
+	}
+}
+
+func TestLoadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.csv", "a.csv"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x,y\n1,2\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tables, err := loadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if tables[0].Name != "a" || tables[1].Name != "b" {
+		t.Errorf("order: %s, %s (want sorted)", tables[0].Name, tables[1].Name)
+	}
+}
+
+func TestLoadCorpusEmpty(t *testing.T) {
+	if _, err := loadCorpus(t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+}
+
+func TestTrainDetectRoundTripViaFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.bin")
+	if err := runTrain([]string{"-out", modelPath, "-tables", "1500", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "data.csv")
+	data := "Name\nKevin Doeling\nKevin Dowling\nAlan Myerson\nRob Morrow\nLesli Glatter\nPeter Bonerz\n"
+	if err := os.WriteFile(csvPath, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDetect([]string{"-model", modelPath, csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Detect with no inputs must error.
+	if err := runDetect([]string{"-model", modelPath}); err == nil {
+		t.Error("no inputs should error")
+	}
+}

@@ -1,0 +1,146 @@
+// Command unidetectd serves Uni-Detect over HTTP: the "software feature"
+// deployment of the paper's introduction — an error-detection service that
+// tools like spreadsheets can call in the background.
+//
+//	unidetectd -model model.bin -addr :8080
+//	unidetectd -tables 8000 -addr :8080        (train a synthetic model at startup)
+//
+// Endpoints:
+//
+//	POST /v1/detect?repair=1   body: CSV        -> JSON findings
+//	POST /v1/profile           body: CSV        -> JSON column profiles
+//	GET  /healthz                               -> 200 once the model is ready
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/unidetect/unidetect"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "trained model path (empty: train a synthetic model at startup)")
+	tables := flag.Int("tables", 8000, "synthetic corpus size when no -model is given")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	model, err := loadOrTrain(*modelPath, *tables)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(model),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("unidetectd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+func loadOrTrain(modelPath string, tables int) (*unidetect.Model, error) {
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		log.Printf("loading model from %s", modelPath)
+		return unidetect.Load(f, nil)
+	}
+	log.Printf("training synthetic model on %d tables...", tables)
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, tables, 1)
+	return unidetect.Train(context.Background(), bg, nil)
+}
+
+// maxBody caps request bodies at 32 MiB.
+const maxBody = 32 << 20
+
+// detectResponse is the /v1/detect reply.
+type detectResponse struct {
+	Table    string        `json:"table"`
+	Findings []findingJSON `json:"findings"`
+}
+
+type findingJSON struct {
+	Class   string             `json:"class"`
+	Column  string             `json:"column"`
+	Rows    []int              `json:"rows"`
+	Values  []string           `json:"values,omitempty"`
+	Score   float64            `json:"score"`
+	Detail  string             `json:"detail,omitempty"`
+	Repairs []unidetect.Repair `json:"repairs,omitempty"`
+}
+
+func newHandler(model *unidetect.Model) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		tbl, ok := readTable(w, r)
+		if !ok {
+			return
+		}
+		findings := model.Detect(r.Context(), tbl)
+		resp := detectResponse{Table: tbl.Name, Findings: []findingJSON{}}
+		withRepairs := r.URL.Query().Get("repair") != ""
+		for _, f := range findings {
+			jf := findingJSON{
+				Class: f.Class.String(), Column: f.Column, Rows: f.Rows,
+				Values: f.Values, Score: f.Score, Detail: f.Detail,
+			}
+			if withRepairs {
+				jf.Repairs = unidetect.SuggestRepairs(tbl, f)
+			}
+			resp.Findings = append(resp.Findings, jf)
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/profile", func(w http.ResponseWriter, r *http.Request) {
+		tbl, ok := readTable(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, unidetect.ProfileTable(tbl))
+	})
+	return mux
+}
+
+// readTable parses the request body as CSV; the table name comes from the
+// ?name= query parameter (default "upload").
+func readTable(w http.ResponseWriter, r *http.Request) (*unidetect.Table, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a CSV body", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "upload"
+	}
+	tbl, err := unidetect.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		http.Error(w, "bad csv: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if tbl.NumCols() == 0 {
+		http.Error(w, "empty table", http.StatusBadRequest)
+		return nil, false
+	}
+	return tbl, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/unidetect/unidetect"
+)
+
+var (
+	srvOnce  sync.Once
+	srvModel *unidetect.Model
+)
+
+func testModel(t *testing.T) *unidetect.Model {
+	t.Helper()
+	srvOnce.Do(func() {
+		bg := unidetect.SyntheticCorpus(unidetect.WebProfile, 2500, 19)
+		m, err := unidetect.Train(context.Background(), bg, nil)
+		if err != nil {
+			panic(err)
+		}
+		srvModel = m
+	})
+	return srvModel
+}
+
+const typoCSV = "Director\nKevin Doeling\nKevin Dowling\nAlan Myerson\nRob Morrow\nLesli Glatter\nPeter Bonerz\n"
+
+func TestDetectEndpoint(t *testing.T) {
+	h := newHandler(testModel(t))
+	req := httptest.NewRequest(http.MethodPost, "/v1/detect?name=cast&repair=1", strings.NewReader(typoCSV))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp detectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Table != "cast" {
+		t.Errorf("table = %q", resp.Table)
+	}
+	if len(resp.Findings) == 0 || resp.Findings[0].Class != "spelling" {
+		t.Fatalf("findings = %+v", resp.Findings)
+	}
+}
+
+func TestDetectEndpointRejectsGET(t *testing.T) {
+	h := newHandler(testModel(t))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/detect", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestDetectEndpointBadBody(t *testing.T) {
+	h := newHandler(testModel(t))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader("\"unterminated")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader("")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty body status = %d", rec.Code)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	h := newHandler(testModel(t))
+	req := httptest.NewRequest(http.MethodPost, "/v1/profile", strings.NewReader("A,B\nx,1\ny,2\n"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var profiles []unidetect.ColumnProfile
+	if err := json.Unmarshal(rec.Body.Bytes(), &profiles); err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 || profiles[0].Name != "A" {
+		t.Errorf("profiles = %+v", profiles)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := newHandler(testModel(t))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+// TestConcurrentDetect hammers the handler from many goroutines: the
+// model must be safe for concurrent readers (run with -race).
+func TestConcurrentDetect(t *testing.T) {
+	h := newHandler(testModel(t))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+				if rec.Code != http.StatusOK {
+					t.Errorf("status = %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

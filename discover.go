@@ -1,0 +1,45 @@
+package unidetect
+
+import (
+	"github.com/unidetect/unidetect/internal/fdiscover"
+)
+
+// DiscoveredFD is one functional dependency found in a table.
+type DiscoveredFD struct {
+	// Lhs and Rhs name the dependency's columns.
+	Lhs []string
+	Rhs string
+	// Error is the g3 approximation error: the minimum fraction of rows
+	// whose removal makes the FD hold exactly (0 = exact).
+	Error float64
+}
+
+// FDDiscoveryOptions bounds DiscoverFDs.
+type FDDiscoveryOptions struct {
+	// MaxLhs is the largest left-hand-side size explored (default 2).
+	MaxLhs int
+	// MaxError admits approximate FDs with g3 up to this value
+	// (default 0: exact FDs only).
+	MaxError float64
+}
+
+// DiscoverFDs runs a TANE-style level-wise search [51] for the minimal
+// exact and approximate functional dependencies of a table. It is the
+// profiling companion to error detection: Detect flags rows that *break*
+// an almost-certain dependency, DiscoverFDs reports which dependencies
+// hold at all.
+func DiscoverFDs(t *Table, opts FDDiscoveryOptions) []DiscoveredFD {
+	fds := fdiscover.Discover(t, fdiscover.Options{
+		MaxLhs:   opts.MaxLhs,
+		MaxError: opts.MaxError,
+	})
+	out := make([]DiscoveredFD, 0, len(fds))
+	for _, fd := range fds {
+		d := DiscoveredFD{Rhs: t.Columns[fd.Rhs].Name, Error: fd.Err}
+		for _, c := range fd.Lhs {
+			d.Lhs = append(d.Lhs, t.Columns[c].Name)
+		}
+		out = append(out, d)
+	}
+	return out
+}

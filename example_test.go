@@ -1,0 +1,67 @@
+package unidetect_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/unidetect/unidetect"
+)
+
+// ExampleTrain shows the end-to-end flow: train once on a background
+// corpus, then scan tables. (Not verified for output: training a real
+// model takes seconds; see examples/quickstart for a runnable program.)
+func ExampleTrain() {
+	background := unidetect.SyntheticCorpus(unidetect.WebProfile, 20000, 1)
+	model, err := unidetect.Train(context.Background(), background, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, _ := unidetect.ReadCSVFile("suppliers.csv")
+	for _, f := range model.Detect(context.Background(), tbl) {
+		fmt.Println(f)
+	}
+}
+
+func ExampleReadCSV() {
+	tbl, err := unidetect.ReadCSV("people", strings.NewReader("name,age\nada,36\nbob,41\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl.NumCols(), tbl.NumRows(), tbl.Columns[0].Name)
+	// Output: 2 2 name
+}
+
+func ExampleDiscoverFDs() {
+	tbl, _ := unidetect.NewTable("offices",
+		unidetect.NewColumn("City", []string{"Paris", "Lyon", "Paris", "Nice", "Lyon"}),
+		unidetect.NewColumn("Country", []string{"France", "France", "France", "France", "France"}),
+		unidetect.NewColumn("Head", []string{"a", "b", "a", "c", "b"}),
+	)
+	for _, fd := range unidetect.DiscoverFDs(tbl, unidetect.FDDiscoveryOptions{MaxLhs: 1}) {
+		fmt.Printf("%s -> %s (g3=%.2f)\n", strings.Join(fd.Lhs, ","), fd.Rhs, fd.Error)
+	}
+	// Output:
+	// City -> Country (g3=0.00)
+	// City -> Head (g3=0.00)
+	// Head -> City (g3=0.00)
+	// Head -> Country (g3=0.00)
+}
+
+func ExampleSuggestRepairs() {
+	tbl, _ := unidetect.NewTable("routes",
+		unidetect.NewColumn("Num", []string{"736", "737", "738"}),
+		unidetect.NewColumn("Name", []string{"Route 736", "Route 737", "Route 739"}),
+	)
+	finding := unidetect.Finding{
+		Class:  unidetect.FDSynthesis,
+		Table:  "routes",
+		Column: "Num→Name",
+		Rows:   []int{2},
+	}
+	for _, r := range unidetect.SuggestRepairs(tbl, finding) {
+		fmt.Printf("%s[%d]: %q -> %q\n", r.Column, r.Row, r.Old, r.New)
+	}
+	// Output: Name[2]: "Route 739" -> "Route 738"
+}

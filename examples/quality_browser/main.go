@@ -1,0 +1,75 @@
+// Quality browser: the "data quality browser" workflow of Dasu et al.
+// [37] that the paper builds its uniqueness baseline from, assembled from
+// this library's pieces — per-column profiles (Appendix B's Trifacta-style
+// summaries), discovered functional dependencies (TANE [51]), curated
+// Excel-style rules (Figure 1), and Uni-Detect findings with repair
+// suggestions, all over one table.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/unidetect/unidetect"
+)
+
+func main() {
+	// A parts register with several quality issues hiding in it.
+	tbl, err := unidetect.NewTable("parts_register",
+		unidetect.NewColumn("Part No.", []string{
+			"KV214-310B8K2", "MP2492DN", "B226711", "S042091", "S042093",
+			"MFI341S2500", "KV214-310B8K2", "P1087", "QX551-204C", "RT8876",
+		}),
+		unidetect.NewColumn("Supplier", []string{
+			"Jackson County", "Jefferson Supply", "Jackson County",
+			"Jefferson Supply", "Jackson County", "Jefferson Supply",
+			"Jackson County", "Jefferson Suppl", "Jackson County",
+			"Jefferson Supply",
+		}),
+		unidetect.NewColumn("Region", []string{
+			"South", "North", "South", "North", "South",
+			"North", "West", "North", "South", "North",
+		}),
+		unidetect.NewColumn("Units", []string{
+			"13601", "12953", "39981", "14220", "13790",
+			"129.53", "15007", "14981", "13444", "12990",
+		}),
+		unidetect.NewColumn("Year", []string{
+			"2019", "2020", "2021", "2019", "2020",
+			"21", "2019", "2020", "2021", "2019",
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== column profiles")
+	for _, p := range unidetect.ProfileTable(tbl) {
+		fmt.Print(p.Render())
+	}
+
+	fmt.Println("\n== discovered dependencies (TANE, g3 <= 0.15)")
+	for _, fd := range unidetect.DiscoverFDs(tbl, unidetect.FDDiscoveryOptions{MaxLhs: 1, MaxError: 0.15}) {
+		fmt.Printf("  %s -> %s (g3=%.2f)\n", strings.Join(fd.Lhs, ","), fd.Rhs, fd.Error)
+	}
+
+	fmt.Println("\n== curated rule findings (Excel-style, Appendix B)")
+	for _, rf := range unidetect.CheckRules(tbl) {
+		fmt.Printf("  [%s] %s[%d] %q — %s\n", rf.Rule, rf.Column, rf.Row, rf.Value, rf.Detail)
+	}
+
+	fmt.Println("\n== Uni-Detect findings (statistical, corpus-trained)")
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, 6000, 3)
+	model, err := unidetect.Train(context.Background(), bg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range model.Detect(context.Background(), tbl) {
+		fmt.Printf("  %s\n", f)
+		for _, r := range unidetect.SuggestRepairs(tbl, f) {
+			fmt.Printf("    fix: %s[%d] %q -> %q\n", r.Column, r.Row, r.Old, r.New)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Spreadsheet audit: the paper's motivating scenario — a small business
+// keeps sales and supplier data in spreadsheets; no data-quality expert
+// will ever configure constraints for them. Uni-Detect scans the whole
+// workbook automatically and flags likely errors for the owner to check.
+//
+// The example generates a batch of enterprise-style spreadsheets (large,
+// database-extracted, ID-heavy, as in the paper's Enterprise corpus),
+// plants realistic errors, and audits everything with a model trained on
+// web tables — unchanged, exactly as the paper applies its WEB-trained
+// model to Enterprise data.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/datagen"
+)
+
+func main() {
+	fmt.Println("training on 8000 synthetic web tables...")
+	background := unidetect.SyntheticCorpus(unidetect.WebProfile, 8000, 7)
+	model, err := unidetect.Train(context.Background(), background, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "workbook": enterprise-profile spreadsheets with injected
+	// errors and ground-truth labels so the audit can be scored.
+	spec := datagen.EnterpriseSpec()
+	spec.NumTables = 60
+	spec.AvgRows = 120
+	spec.ErrorRate = 0.8
+	spec.Seed = 20260706
+	workbook := datagen.Generate(spec)
+	fmt.Printf("auditing %d spreadsheets (%d planted errors)...\n\n",
+		len(workbook.Tables), len(workbook.Labels))
+
+	findings := model.DetectAll(context.Background(), workbook.Tables)
+
+	labeled := map[string]map[int]bool{}
+	for _, l := range workbook.Labels {
+		k := l.Table + "\x00" + l.Column
+		if labeled[k] == nil {
+			labeled[k] = map[int]bool{}
+		}
+		labeled[k][l.Row] = true
+	}
+	hit := func(f unidetect.Finding) bool {
+		cols := []string{f.Column}
+		for i, r := range f.Column {
+			if r == '→' {
+				cols = []string{f.Column[:i], f.Column[i+len("→"):]}
+				break
+			}
+		}
+		for _, col := range cols {
+			for _, r := range f.Rows {
+				if labeled[f.Table+"\x00"+col][r] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	show := len(findings)
+	if show > 25 {
+		show = 25
+	}
+	correct := 0
+	for i := 0; i < show; i++ {
+		mark := " "
+		if hit(findings[i]) {
+			mark = "✓"
+			correct++
+		}
+		fmt.Printf("%s %2d. %s\n", mark, i+1, findings[i])
+	}
+	fmt.Printf("\ntop-%d audit precision: %.0f%% (%d findings total)\n",
+		show, 100*float64(correct)/float64(show), len(findings))
+}

@@ -1,0 +1,3 @@
+module github.com/unidetect/unidetect
+
+go 1.22

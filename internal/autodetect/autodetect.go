@@ -1,0 +1,242 @@
+// Package autodetect implements the pattern-incompatibility detector of
+// Auto-Detect [50], which Appendix C shows is an instance of Uni-Detect's
+// LR test: values are generalized into patterns ("2001-Jan-01" →
+// "dddd-lll-dd"), the corpus supplies per-pattern and co-occurrence
+// counts, and a column mixing two patterns whose point-wise mutual
+// information is strongly negative is flagged as incompatible.
+package autodetect
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Generalize maps a value to its character-class pattern: digits to 'd',
+// letters to 'l', whitespace to a single space, other runes kept verbatim
+// (the finer of Auto-Detect's generalization levels).
+func Generalize(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	prevSpace := false
+	for _, r := range v {
+		switch {
+		case r >= '0' && r <= '9':
+			b.WriteByte('d')
+			prevSpace = false
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+			b.WriteByte('l')
+			prevSpace = false
+		case r == ' ' || r == '\t':
+			if !prevSpace {
+				b.WriteByte(' ')
+			}
+			prevSpace = true
+		default:
+			b.WriteRune(r)
+			prevSpace = false
+		}
+	}
+	return b.String()
+}
+
+// GeneralizeCoarse collapses runs: "dddd-lll-dd" → "d-l-d" (the coarser
+// generalization level, robust to value-length variation).
+func GeneralizeCoarse(v string) string {
+	fine := Generalize(v)
+	var b strings.Builder
+	b.Grow(len(fine))
+	var prev rune = -1
+	for _, r := range fine {
+		if (r == 'd' || r == 'l') && r == prev {
+			continue
+		}
+		b.WriteRune(r)
+		prev = r
+	}
+	return b.String()
+}
+
+// Model holds corpus pattern statistics.
+type Model struct {
+	// N is the number of columns scanned.
+	N int64
+	// Single counts columns containing each (coarse) pattern.
+	Single map[string]int64
+	// Pair counts columns containing both patterns of each unordered
+	// pair (keys are "a\x00b" with a < b).
+	Pair map[string]int64
+	// MaxPatternsPerColumn bounds the per-column distinct pattern set;
+	// columns with more are skipped as pattern-free text.
+	MaxPatternsPerColumn int
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// Train scans the corpus tables and accumulates pattern statistics.
+func Train(tables []*table.Table) *Model {
+	m := &Model{
+		Single:               make(map[string]int64),
+		Pair:                 make(map[string]int64),
+		MaxPatternsPerColumn: 8,
+	}
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			pats, ok := columnPatterns(c, m.MaxPatternsPerColumn)
+			if !ok {
+				continue
+			}
+			m.N++
+			for i, p := range pats {
+				m.Single[p]++
+				for _, q := range pats[i+1:] {
+					m.Pair[pairKey(p, q)]++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// columnPatterns returns the sorted distinct coarse patterns of a column,
+// or ok=false when the column is empty or too pattern-diverse to be
+// meaningful.
+func columnPatterns(c *table.Column, maxPatterns int) ([]string, bool) {
+	set := map[string]bool{}
+	for _, v := range c.Values {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		set[GeneralizeCoarse(v)] = true
+		if len(set) > maxPatterns {
+			return nil, false
+		}
+	}
+	if len(set) == 0 {
+		return nil, false
+	}
+	pats := make([]string, 0, len(set))
+	for p := range set {
+		pats = append(pats, p)
+	}
+	sort.Strings(pats)
+	return pats, true
+}
+
+// Finding is one detected pattern incompatibility.
+type Finding struct {
+	Column string
+	// PatternA is the majority pattern, PatternB the minority one.
+	PatternA, PatternB string
+	// Rows holds the rows bearing the minority pattern.
+	Rows []int
+	// Values holds the minority values.
+	Values []string
+	// PMI is log( P(a,b) / (P(a)P(b)) ); strongly negative means the
+	// patterns almost never legitimately share a column.
+	PMI float64
+	// LR is exp(PMI) with add-one smoothing — directly comparable to the
+	// other detectors' likelihood ratios (Appendix C).
+	LR float64
+}
+
+// Detect flags pattern-incompatible values in the table's columns: for
+// each column pattern pair with LR below alpha, the minority-pattern rows
+// are reported.
+func (m *Model) Detect(t *table.Table, alpha float64) []Finding {
+	var out []Finding
+	for _, c := range t.Columns {
+		pats, ok := columnPatterns(c, m.MaxPatternsPerColumn)
+		if !ok || len(pats) < 2 {
+			continue
+		}
+		// Row sets per pattern.
+		rowsByPat := map[string][]int{}
+		for i, v := range c.Values {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				continue
+			}
+			p := GeneralizeCoarse(v)
+			rowsByPat[p] = append(rowsByPat[p], i)
+		}
+		for i, a := range pats {
+			for _, b := range pats[i+1:] {
+				lr, pmi := m.score(a, b)
+				if lr >= alpha {
+					continue
+				}
+				maj, min := a, b
+				if len(rowsByPat[a]) < len(rowsByPat[b]) {
+					maj, min = b, a
+				}
+				f := Finding{
+					Column:   c.Name,
+					PatternA: maj,
+					PatternB: min,
+					Rows:     rowsByPat[min],
+					PMI:      pmi,
+					LR:       lr,
+				}
+				for _, r := range f.Rows {
+					f.Values = append(f.Values, c.Values[r])
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LR != out[j].LR {
+			return out[i].LR < out[j].LR
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+// score returns the significance of the pair's negative correlation and
+// its PMI. Under H0 (patterns co-occur by chance, Appendix C) the
+// co-occurrence count is approximately Poisson with mean λ = n_a·n_b/N;
+// the returned score is P(X <= n_ab | λ) — the probability of seeing so
+// few co-occurrences by chance. A tiny score means the patterns are
+// genuinely incompatible, and the score converges as the corpus grows
+// (unlike a raw smoothed ratio, which saturates when λ is small).
+func (m *Model) score(a, b string) (sig, pmi float64) {
+	if m.N == 0 {
+		return 1, 0
+	}
+	na := float64(m.Single[a])
+	nb := float64(m.Single[b])
+	nab := float64(m.Pair[pairKey(a, b)])
+	n := float64(m.N)
+	lambda := na * nb / n
+	sig = poissonCDF(nab, lambda)
+	pJoint := (nab + 0.5) / (n + 1)
+	pIndep := ((na + 0.5) / (n + 1)) * ((nb + 0.5) / (n + 1))
+	return sig, math.Log(pJoint / pIndep)
+}
+
+// poissonCDF returns P(X <= k) for X ~ Poisson(lambda).
+func poissonCDF(k, lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	term := math.Exp(-lambda)
+	sum := term
+	for i := 1.0; i <= k; i++ {
+		term *= lambda / i
+		sum += term
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}

@@ -1,0 +1,180 @@
+package autodetect
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func TestGeneralize(t *testing.T) {
+	cases := map[string]string{
+		"2001-Jan-01":  "dddd-lll-dd",
+		"2001-01-01":   "dddd-dd-dd",
+		"abc  def":     "lll lll",
+		"KV214-310B":   "llddd-dddl",
+		"":             "",
+		"3.14":         "d.dd",
+		"hello, world": "lllll, lllll",
+	}
+	for in, want := range cases {
+		if got := Generalize(in); got != want {
+			t.Errorf("Generalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGeneralizeCoarse(t *testing.T) {
+	cases := map[string]string{
+		"2001-Jan-01": "d-l-d",
+		"2001-01-01":  "d-d-d",
+		"abc def":     "l l",
+		"12345":       "d",
+		"a1b2":        "ldld",
+	}
+	for in, want := range cases {
+		if got := GeneralizeCoarse(in); got != want {
+			t.Errorf("GeneralizeCoarse(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// buildCorpus creates nDate columns of "d-l-d" dates, nISO columns of
+// "d-d-d" dates, and nMixedText columns containing both word and
+// word-word patterns (compatible).
+func buildCorpus(nDate, nISO, nText int) []*table.Table {
+	var tables []*table.Table
+	for i := 0; i < nDate; i++ {
+		tables = append(tables, table.MustNew(fmt.Sprintf("date%d", i),
+			table.NewColumn("c", []string{"2001-Jan-01", "2002-Feb-02", "2003-Mar-03"})))
+	}
+	for i := 0; i < nISO; i++ {
+		tables = append(tables, table.MustNew(fmt.Sprintf("iso%d", i),
+			table.NewColumn("c", []string{"2001-01-01", "2002-02-02", "2003-03-03"})))
+	}
+	for i := 0; i < nText; i++ {
+		tables = append(tables, table.MustNew(fmt.Sprintf("text%d", i),
+			table.NewColumn("c", []string{"alpha", "beta gamma", "delta"})))
+	}
+	return tables
+}
+
+func TestTrainCounts(t *testing.T) {
+	m := Train(buildCorpus(10, 5, 3))
+	if m.N != 18 {
+		t.Errorf("N = %d", m.N)
+	}
+	if m.Single["d-l-d"] != 10 {
+		t.Errorf("Single[d-l-d] = %d", m.Single["d-l-d"])
+	}
+	if m.Single["d-d-d"] != 5 {
+		t.Errorf("Single[d-d-d] = %d", m.Single["d-d-d"])
+	}
+	if m.Pair[pairKey("d-l-d", "d-d-d")] != 0 {
+		t.Error("date formats never co-occur in the corpus")
+	}
+	if m.Pair[pairKey("l", "l l")] != 3 {
+		t.Errorf("Pair[l, l l] = %d", m.Pair[pairKey("l", "l l")])
+	}
+}
+
+func TestDetectIncompatibleDateFormats(t *testing.T) {
+	m := Train(buildCorpus(200, 100, 100))
+	// The Auto-Detect running example: a column mixing 2001-Jan-01 with
+	// 2001-01-01.
+	mixed := table.MustNew("mixed", table.NewColumn("When",
+		[]string{"2001-Jan-01", "2002-Feb-02", "2003-Mar-03", "2004-04-04"}))
+	fs := m.Detect(mixed, 0.1)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	f := fs[0]
+	if f.PatternB != "d-d-d" || f.PatternA != "d-l-d" {
+		t.Errorf("patterns = %q vs %q", f.PatternA, f.PatternB)
+	}
+	if len(f.Rows) != 1 || f.Rows[0] != 3 {
+		t.Errorf("Rows = %v", f.Rows)
+	}
+	if f.Values[0] != "2004-04-04" {
+		t.Errorf("Values = %v", f.Values)
+	}
+	if f.PMI >= 0 {
+		t.Errorf("PMI = %v, want negative", f.PMI)
+	}
+	if f.LR >= 0.1 {
+		t.Errorf("LR = %v", f.LR)
+	}
+}
+
+func TestDetectCompatiblePatternsNotFlagged(t *testing.T) {
+	m := Train(buildCorpus(200, 100, 100))
+	text := table.MustNew("text", table.NewColumn("Words",
+		[]string{"alpha", "beta gamma", "delta", "eps zeta"}))
+	if fs := m.Detect(text, 0.1); len(fs) != 0 {
+		t.Errorf("compatible word patterns flagged: %v", fs)
+	}
+}
+
+func TestDetectSkipsDiverseColumns(t *testing.T) {
+	m := Train(buildCorpus(50, 50, 50))
+	vals := make([]string, 20)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%s-%d!%d?%d", "x", i, i*7, i*13)
+	}
+	diverse := table.MustNew("d", table.NewColumn("c", vals))
+	// Over MaxPatternsPerColumn distinct patterns: treated as free text.
+	if fs := m.Detect(diverse, 0.5); len(fs) != 0 {
+		t.Errorf("diverse column flagged: %v", fs)
+	}
+}
+
+func TestPoissonCDF(t *testing.T) {
+	cases := []struct {
+		k, lambda, want, tol float64
+	}{
+		{0, 1, 0.3679, 0.001},
+		{1, 1, 0.7358, 0.001},
+		{2, 1, 0.9197, 0.001},
+		{0, 5, 0.0067, 0.001},
+		{5, 5, 0.6160, 0.001},
+		{0, 0, 1, 0},
+		{10, 0.0001, 1, 0.001},
+	}
+	for _, c := range cases {
+		got := poissonCDF(c.k, c.lambda)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("poissonCDF(%v,%v) = %v, want %v", c.k, c.lambda, got, c.want)
+		}
+	}
+	// Monotone in k.
+	prev := 0.0
+	for k := 0.0; k <= 20; k++ {
+		p := poissonCDF(k, 7)
+		if p < prev {
+			t.Fatalf("poissonCDF not monotone at k=%v", k)
+		}
+		prev = p
+	}
+}
+
+func TestScoreEmptyModel(t *testing.T) {
+	m := &Model{Single: map[string]int64{}, Pair: map[string]int64{}, MaxPatternsPerColumn: 8}
+	lr, pmi := m.score("a", "b")
+	if lr != 1 || pmi != 0 {
+		t.Errorf("empty model score = %v, %v", lr, pmi)
+	}
+}
+
+func TestScoreCompatiblePatternsNotSignificant(t *testing.T) {
+	m := Train(buildCorpus(0, 0, 50))
+	// "l" and "l l" co-occur in every column: observed co-occurrence is
+	// at (above) the independence expectation, so the Poisson left-tail
+	// significance is ~0.5 or more — never significant.
+	sig, pmi := m.score("l", "l l")
+	if sig < 0.4 {
+		t.Errorf("always-co-occurring patterns: sig = %v, want ~>=0.5", sig)
+	}
+	if pmi < 0 {
+		t.Errorf("PMI = %v, want >= 0 for positively correlated patterns", pmi)
+	}
+}

@@ -1,0 +1,69 @@
+// Package baselines implements the 15 comparison methods of §4.2: the
+// simulated commercial Speller (full and address-restricted),
+// Fuzzy-Cluster, Word2Vec and GloVe OOV checks, distance-based outliers
+// (DBOD), local outlier factor (LOF), Max-MAD and Max-SD, and the five
+// constraint-ratio heuristics (unique-row, unique-value,
+// unique-projection, conforming-row, conforming-pair).
+//
+// Every method emits Predictions scored so that *higher* means more
+// confidently an error; the evaluation harness ranks them descending, as
+// the paper ranks each method by its own confidence score.
+package baselines
+
+import (
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Prediction is one ranked error prediction from a baseline method.
+type Prediction struct {
+	Table  string
+	Column string
+	Rows   []int
+	Values []string
+	// Score orders predictions; higher = more confident.
+	Score  float64
+	Detail string
+}
+
+// Method is a baseline error-detection method.
+type Method interface {
+	// Name returns the method's display name (as used in the figures).
+	Name() string
+	// Predict emits all predictions for one table.
+	Predict(t *table.Table) []Prediction
+}
+
+// corpusDeduper is implemented by methods whose corpus-wide prediction
+// list should be collapsed to one entry per distinct flagged value
+// (speller- and vocabulary-style methods flag every occurrence of the
+// same value).
+type corpusDeduper interface {
+	DedupeCorpusWide() bool
+}
+
+// PredictAll runs a method over many tables, applying corpus-wide value
+// deduplication when the method asks for it.
+func PredictAll(m Method, tables []*table.Table) []Prediction {
+	var out []Prediction
+	for _, t := range tables {
+		out = append(out, m.Predict(t)...)
+	}
+	if d, ok := m.(corpusDeduper); ok && d.DedupeCorpusWide() {
+		out = DedupeByValue(out)
+	}
+	return out
+}
+
+// numericColumn extracts the parsed numbers of a column when it is
+// numeric and long enough, mirroring the outlier detectors' eligibility.
+func numericColumn(c *table.Column, minRows int) ([]float64, []int, bool) {
+	typ := c.Type()
+	if typ != table.TypeInt && typ != table.TypeFloat {
+		return nil, nil, false
+	}
+	vals, rows := table.Numbers(c)
+	if len(vals) < minRows {
+		return nil, nil, false
+	}
+	return vals, rows, true
+}

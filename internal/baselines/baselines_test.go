@@ -1,0 +1,334 @@
+package baselines
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func col(name string, vals ...string) *table.Column { return table.NewColumn(name, vals) }
+
+func topPrediction(ps []Prediction) Prediction {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Score > ps[j].Score })
+	return ps[0]
+}
+
+func TestSpellerCorrectsTypoTowardVocab(t *testing.T) {
+	s := &Speller{}
+	tbl := table.MustNew("t", col("Title", "water supply", "watre supply", "food supply"))
+	ps := s.Predict(tbl)
+	if len(ps) == 0 {
+		t.Fatal("no predictions")
+	}
+	p := topPrediction(ps)
+	if p.Rows[0] != 1 {
+		t.Errorf("flagged row %d, want 1 (watre)", p.Rows[0])
+	}
+	if !strings.Contains(p.Detail, "water") {
+		t.Errorf("Detail = %q", p.Detail)
+	}
+}
+
+func TestSpellerFalsePositiveOnRareEntities(t *testing.T) {
+	s := &Speller{}
+	// "Tulia" is a rare toponym; the query-log vocabulary knows "trulia".
+	// (Figure 3(b)'s false positive.)
+	tbl := table.MustNew("t", col("County Seat", "Tulia", "Tyler", "Dallas"))
+	ps := s.Predict(tbl)
+	found := false
+	for _, p := range ps {
+		if p.Values[0] == "Tulia" && strings.Contains(p.Detail, "trulia") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("speller should mis-correct Tulia -> trulia; got %v", ps)
+	}
+}
+
+func TestSpellerAddressOnlyRestricts(t *testing.T) {
+	s := &Speller{AddressOnly: true}
+	tbl := table.MustNew("t",
+		col("Name", "Doeling, Kevin"),
+		col("City", "Tulia"),
+	)
+	for _, p := range s.Predict(tbl) {
+		if p.Column != "City" {
+			t.Errorf("address-only speller predicted on %q", p.Column)
+		}
+	}
+	if s.Name() != "Speller(address)" || (&Speller{}).Name() != "Speller" {
+		t.Error("names wrong")
+	}
+}
+
+func TestSpellerSkipsKnownAndNonWords(t *testing.T) {
+	s := &Speller{}
+	tbl := table.MustNew("t", col("C", "water", "KV214-310B8K2", "ab"))
+	if ps := s.Predict(tbl); len(ps) != 0 {
+		t.Errorf("predictions = %v", ps)
+	}
+}
+
+func TestEmbeddingOOV(t *testing.T) {
+	w2v := &Embedding{}
+	glove := &Embedding{Glove: true}
+	// "Springfield" is in the city gazetteer: GloVe (bigger vocab) knows
+	// it, Word2Vec does not.
+	tbl := table.MustNew("t", col("C", "Springfield", "water"))
+	pw := w2v.Predict(tbl)
+	pg := glove.Predict(tbl)
+	if len(pw) != 1 || pw[0].Rows[0] != 0 {
+		t.Errorf("Word2Vec predictions = %v", pw)
+	}
+	if len(pg) != 0 {
+		t.Errorf("GloVe predictions = %v", pg)
+	}
+	if w2v.Name() != "Word2Vec" || glove.Name() != "GloVe" {
+		t.Error("names wrong")
+	}
+}
+
+func TestFuzzyClusterPairsAndRanking(t *testing.T) {
+	f := &FuzzyCluster{}
+	tbl := table.MustNew("t",
+		col("A", "Mississippi", "Mississipi", "Ohio", "Texas"),
+		col("B", "Super Bowl XXI", "Super Bowl XXII", "Super Bowl XXV", "Super Bowl I"),
+	)
+	ps := f.Predict(tbl)
+	if len(ps) < 2 {
+		t.Fatalf("predictions = %v", ps)
+	}
+	top := topPrediction(ps)
+	// The long-token pair should outrank the roman-numeral pair at the
+	// same distance.
+	if top.Column != "A" {
+		t.Errorf("top prediction column = %q, want A (longer differing tokens)", top.Column)
+	}
+}
+
+func TestFuzzyClusterSkipsIdenticalValues(t *testing.T) {
+	f := &FuzzyCluster{}
+	tbl := table.MustNew("t", col("A", "same", "same", "same", "other"))
+	for _, p := range f.Predict(tbl) {
+		if p.Values[0] == p.Values[1] {
+			t.Errorf("identical values paired: %v", p)
+		}
+	}
+}
+
+func TestMaxMADPredict(t *testing.T) {
+	m := MaxMAD{}
+	tbl := table.MustNew("t", col("V", "10", "11", "12", "10", "11", "13", "12", "1000"))
+	ps := m.Predict(tbl)
+	if len(ps) != 1 {
+		t.Fatalf("predictions = %v", ps)
+	}
+	if ps[0].Rows[0] != 7 {
+		t.Errorf("flagged row %d", ps[0].Rows[0])
+	}
+	if m.Name() != "Max-MAD" {
+		t.Error("name")
+	}
+}
+
+func TestMaxSDLessRobustThanMAD(t *testing.T) {
+	tbl := table.MustNew("t", col("V", "10", "11", "12", "10", "11", "13", "12", "1000"))
+	mad := MaxMAD{}.Predict(tbl)
+	sd := MaxSD{}.Predict(tbl)
+	if len(mad) != 1 || len(sd) != 1 {
+		t.Fatal("expected one prediction each")
+	}
+	if mad[0].Score <= sd[0].Score {
+		t.Errorf("MAD score %v should exceed SD score %v", mad[0].Score, sd[0].Score)
+	}
+}
+
+func TestDispersionSkipsConstantColumns(t *testing.T) {
+	tbl := table.MustNew("t", col("V", "5", "5", "5", "5", "5", "5", "5", "6"))
+	// MAD is 0 here; infinite scores must be skipped, not ranked first.
+	if ps := (MaxMAD{}).Predict(tbl); len(ps) != 0 {
+		t.Errorf("constant column predicted: %v", ps)
+	}
+}
+
+func TestDBOD(t *testing.T) {
+	d := DBOD{}
+	tbl := table.MustNew("t", col("V", "1", "2", "3", "4", "5", "6", "7", "100"))
+	ps := d.Predict(tbl)
+	if len(ps) != 2 {
+		t.Fatalf("predictions = %v", ps)
+	}
+	top := topPrediction(ps)
+	if top.Values[0] != "100" {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestLOF(t *testing.T) {
+	l := LOF{K: 3}
+	tbl := table.MustNew("t", col("V", "1", "1.1", "0.9", "1.05", "0.95", "1.02", "0.98", "50"))
+	ps := l.Predict(tbl)
+	if len(ps) != 1 {
+		t.Fatalf("predictions = %v", ps)
+	}
+	if ps[0].Values[0] != "50" {
+		t.Errorf("LOF flagged %v", ps[0])
+	}
+	if ps[0].Score <= 1 {
+		t.Errorf("LOF score = %v, want > 1 for an outlier", ps[0].Score)
+	}
+}
+
+func TestUniqueRowRatio(t *testing.T) {
+	u := UniqueRowRatio{}
+	tbl := table.MustNew("t", col("ID", "a", "b", "c", "d", "e", "e"))
+	ps := u.Predict(tbl)
+	if len(ps) != 1 {
+		t.Fatalf("predictions = %v", ps)
+	}
+	if ps[0].Score != 5.0/6.0 {
+		t.Errorf("Score = %v", ps[0].Score)
+	}
+	if len(ps[0].Rows) != 2 || ps[0].Rows[0] != 4 || ps[0].Rows[1] != 5 {
+		t.Errorf("Rows = %v", ps[0].Rows)
+	}
+	// Fully unique columns produce nothing.
+	tbl2 := table.MustNew("t", col("ID", "a", "b", "c", "d", "e", "f"))
+	if ps := u.Predict(tbl2); len(ps) != 0 {
+		t.Errorf("unique column predicted: %v", ps)
+	}
+}
+
+func TestUniqueValueRatio(t *testing.T) {
+	u := UniqueValueRatio{}
+	// 5 distinct values, 4 singletons: ratio 0.8.
+	tbl := table.MustNew("t", col("ID", "a", "b", "c", "d", "e", "e"))
+	ps := u.Predict(tbl)
+	if len(ps) != 1 || ps[0].Score != 0.8 {
+		t.Fatalf("predictions = %v", ps)
+	}
+}
+
+func TestUniqueProjectionRatio(t *testing.T) {
+	u := UniqueProjectionRatio{}
+	tbl := table.MustNew("t",
+		col("City", "Paris", "Lyon", "Paris", "Nice", "Lyon", "Paris"),
+		col("Country", "France", "France", "France", "France", "France", "Italy"),
+	)
+	ps := u.Predict(tbl)
+	var found *Prediction
+	for i := range ps {
+		if ps[i].Column == "City→Country" {
+			found = &ps[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no City→Country prediction in %v", ps)
+	}
+	// |π_X| = 3, |π_XY| = 4.
+	if found.Score != 0.75 {
+		t.Errorf("Score = %v", found.Score)
+	}
+	if len(found.Rows) != 3 {
+		t.Errorf("Rows = %v (the Paris group)", found.Rows)
+	}
+}
+
+func TestConformingRowRatio(t *testing.T) {
+	c := ConformingRowRatio{}
+	tbl := table.MustNew("t",
+		col("City", "Paris", "Lyon", "Paris", "Nice", "Lyon", "Paris"),
+		col("Country", "France", "France", "France", "France", "France", "Italy"),
+	)
+	ps := c.Predict(tbl)
+	var found *Prediction
+	for i := range ps {
+		if ps[i].Column == "City→Country" {
+			found = &ps[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("no prediction")
+	}
+	// 3 Paris rows violate: 3/6 conforming.
+	if found.Score != 0.5 {
+		t.Errorf("Score = %v", found.Score)
+	}
+}
+
+func TestConformingPairRatio(t *testing.T) {
+	c := ConformingPairRatio{}
+	tbl := table.MustNew("t",
+		col("X", "a", "a", "b", "b", "c", "c"),
+		col("Y", "1", "2", "3", "3", "4", "4"),
+	)
+	ps := c.Predict(tbl)
+	if len(ps) == 0 {
+		t.Fatal("no predictions")
+	}
+	var found *Prediction
+	for i := range ps {
+		if ps[i].Column == "X→Y" {
+			found = &ps[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("no X→Y prediction")
+	}
+	// Violating ordered pairs: (0,1) and (1,0) → 2 of 36.
+	want := 1 - 2.0/36.0
+	if found.Score != want {
+		t.Errorf("Score = %v, want %v", found.Score, want)
+	}
+}
+
+func TestDedupeByValue(t *testing.T) {
+	ps := []Prediction{
+		{Table: "a", Values: []string{"Tulia"}, Score: 5},
+		{Table: "b", Values: []string{"Tulia"}, Score: 9},
+		{Table: "c", Values: []string{"tulia"}, Score: 3}, // case folds together
+		{Table: "d", Values: []string{"Other"}, Score: 1},
+	}
+	got := DedupeByValue(ps)
+	if len(got) != 2 {
+		t.Fatalf("deduped = %v", got)
+	}
+	if got[0].Table != "b" || got[0].Score != 9 {
+		t.Errorf("kept %v, want the highest-scored Tulia", got[0])
+	}
+	if got[1].Values[0] != "Other" {
+		t.Errorf("second = %v", got[1])
+	}
+}
+
+func TestPredictAllDedupesSpeller(t *testing.T) {
+	s := &Speller{}
+	tbls := []*table.Table{
+		table.MustNew("t1", col("City", "Tulia", "Paris", "Oslo")),
+		table.MustNew("t2", col("City", "Tulia", "Rome", "Bern")),
+	}
+	ps := PredictAll(s, tbls)
+	seen := 0
+	for _, p := range ps {
+		if p.Values[0] == "Tulia" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Errorf("Tulia predicted %d times after corpus-wide dedupe", seen)
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	tbls := []*table.Table{
+		table.MustNew("t1", col("V", "1", "2", "3", "4", "5", "6", "7", "1000")),
+		table.MustNew("t2", col("V", "1", "2", "3", "4", "5", "6", "7", "2000")),
+	}
+	ps := PredictAll(MaxMAD{}, tbls)
+	if len(ps) != 2 {
+		t.Errorf("predictions = %d", len(ps))
+	}
+}

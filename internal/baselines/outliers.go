@@ -1,0 +1,236 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/stats"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// minNumericRows is the smallest numeric column the outlier baselines
+// score, matching the Uni-Detect outlier detector's eligibility.
+const minNumericRows = 8
+
+// MaxMAD is Hellerstein's robust-statistics outlier detector [48]: every
+// numeric column's most outlying value, ranked by its MAD score.
+type MaxMAD struct{}
+
+// Name implements Method.
+func (MaxMAD) Name() string { return "Max-MAD" }
+
+// Predict implements Method.
+func (MaxMAD) Predict(t *table.Table) []Prediction {
+	return dispersionPredict(t, "MAD", stats.MaxMAD)
+}
+
+// MaxSD is the classical standard-deviation variant [20].
+type MaxSD struct{}
+
+// Name implements Method.
+func (MaxSD) Name() string { return "Max-SD" }
+
+// Predict implements Method.
+func (MaxSD) Predict(t *table.Table) []Prediction {
+	return dispersionPredict(t, "SD", stats.MaxSD)
+}
+
+func dispersionPredict(t *table.Table, kind string, score func([]float64) (float64, int)) []Prediction {
+	var out []Prediction
+	for _, c := range t.Columns {
+		vals, rows, ok := numericColumn(c, minNumericRows)
+		if !ok {
+			continue
+		}
+		s, arg := score(vals)
+		if arg < 0 || math.IsNaN(s) {
+			continue
+		}
+		if math.IsInf(s, 1) {
+			// Constant-plus-one columns have undefined dispersion; real
+			// MAD/SD tools skip them rather than emit infinite scores.
+			continue
+		}
+		out = append(out, Prediction{
+			Table:  t.Name,
+			Column: c.Name,
+			Rows:   []int{rows[arg]},
+			Values: []string{c.Values[rows[arg]]},
+			Score:  s,
+			Detail: kind + " score",
+		})
+	}
+	return out
+}
+
+// DBOD is distance-based outlier detection [57] as described in §4.2: the
+// extreme values of each sorted numeric column are scored by their
+// normalized gap to the closest neighbour.
+type DBOD struct{}
+
+// Name implements Method.
+func (DBOD) Name() string { return "DBOD" }
+
+// Predict implements Method.
+func (DBOD) Predict(t *table.Table) []Prediction {
+	var out []Prediction
+	for _, c := range t.Columns {
+		vals, rows, ok := numericColumn(c, minNumericRows)
+		if !ok {
+			continue
+		}
+		type vr struct {
+			v   float64
+			row int
+		}
+		s := make([]vr, len(vals))
+		for i := range vals {
+			s[i] = vr{vals[i], rows[i]}
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i].v < s[j].v })
+		span := s[len(s)-1].v - s[0].v
+		if span <= 0 {
+			continue
+		}
+		lowScore := (s[1].v - s[0].v) / span
+		highScore := (s[len(s)-1].v - s[len(s)-2].v) / span
+		out = append(out,
+			Prediction{Table: t.Name, Column: c.Name, Rows: []int{s[0].row},
+				Values: []string{c.Values[s[0].row]}, Score: lowScore, Detail: "DBOD low"},
+			Prediction{Table: t.Name, Column: c.Name, Rows: []int{s[len(s)-1].row},
+				Values: []string{c.Values[s[len(s)-1].row]}, Score: highScore, Detail: "DBOD high"},
+		)
+	}
+	return out
+}
+
+// LOF is the local-outlier-factor method [24] on one-dimensional numeric
+// columns: a value's outlier factor compares its local reachability
+// density against that of its k nearest neighbours.
+type LOF struct {
+	// K is the neighbourhood size (default 5).
+	K int
+}
+
+// Name implements Method.
+func (LOF) Name() string { return "LOF" }
+
+// Predict implements Method.
+func (l LOF) Predict(t *table.Table) []Prediction {
+	k := l.K
+	if k <= 0 {
+		k = 5
+	}
+	var out []Prediction
+	for _, c := range t.Columns {
+		vals, rows, ok := numericColumn(c, minNumericRows)
+		if !ok || len(vals) <= k+1 {
+			continue
+		}
+		scores := lof1D(vals, k)
+		best, arg := math.Inf(-1), -1
+		for i, s := range scores {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) && s > best {
+				best, arg = s, i
+			}
+		}
+		if arg < 0 {
+			continue
+		}
+		out = append(out, Prediction{
+			Table:  t.Name,
+			Column: c.Name,
+			Rows:   []int{rows[arg]},
+			Values: []string{c.Values[rows[arg]]},
+			Score:  best,
+			Detail: "LOF score",
+		})
+	}
+	return out
+}
+
+// lof1D computes standard LOF scores for 1-D data. Sorting makes the
+// k-nearest neighbours of any point a contiguous window, so the whole
+// computation is O(n·k) after the sort.
+func lof1D(vals []float64, k int) []float64 {
+	n := len(vals)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+	sorted := make([]float64, n)
+	for p, idx := range order {
+		sorted[p] = vals[idx]
+	}
+
+	// neighbours[p] lists the sorted positions of p's k nearest values.
+	neighbours := make([][]int, n)
+	kdist := make([]float64, n)
+	for p := 0; p < n; p++ {
+		lo, hi := p, p
+		var ns []int
+		for len(ns) < k {
+			left := math.Inf(1)
+			if lo > 0 {
+				left = sorted[p] - sorted[lo-1]
+			}
+			right := math.Inf(1)
+			if hi < n-1 {
+				right = sorted[hi+1] - sorted[p]
+			}
+			if left <= right {
+				lo--
+				ns = append(ns, lo)
+			} else {
+				hi++
+				ns = append(ns, hi)
+			}
+		}
+		neighbours[p] = ns
+		kdist[p] = math.Max(math.Abs(sorted[ns[len(ns)-1]]-sorted[p]), 0)
+		for _, q := range ns {
+			if d := math.Abs(sorted[q] - sorted[p]); d > kdist[p] {
+				kdist[p] = d
+			}
+		}
+	}
+	// Local reachability density.
+	lrd := make([]float64, n)
+	for p := 0; p < n; p++ {
+		var sum float64
+		for _, q := range neighbours[p] {
+			reach := math.Max(kdist[q], math.Abs(sorted[q]-sorted[p]))
+			sum += reach
+		}
+		if sum == 0 {
+			lrd[p] = math.Inf(1)
+		} else {
+			lrd[p] = float64(k) / sum
+		}
+	}
+	// LOF.
+	scores := make([]float64, n)
+	for p := 0; p < n; p++ {
+		var sum float64
+		count := 0
+		for _, q := range neighbours[p] {
+			if math.IsInf(lrd[p], 1) {
+				continue
+			}
+			sum += lrd[q] / lrd[p]
+			count++
+		}
+		pos := 1.0
+		if count > 0 {
+			pos = sum / float64(count)
+		}
+		scores[p] = pos
+	}
+	// Map back to original indices.
+	out := make([]float64, n)
+	for p, idx := range order {
+		out[idx] = scores[p]
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// minRatioRows is the smallest column the constraint-ratio baselines
+// score.
+const minRatioRows = 6
+
+// UniqueRowRatio detects approximate uniqueness constraints [37]: columns
+// whose distinct/total ratio is close to (but below) 1 are flagged, with
+// the duplicated rows as the predicted errors.
+type UniqueRowRatio struct{}
+
+// Name implements Method.
+func (UniqueRowRatio) Name() string { return "Unique-row-ratio" }
+
+// Predict implements Method.
+func (UniqueRowRatio) Predict(t *table.Table) []Prediction {
+	var out []Prediction
+	for _, c := range t.Columns {
+		n := c.Len()
+		if n < minRatioRows || c.Type() == table.TypeEmpty {
+			continue
+		}
+		dupRows, distinct := dupInfo(c.Values)
+		if len(dupRows) == 0 {
+			continue // already unique: nothing to flag
+		}
+		ratio := float64(distinct) / float64(n)
+		out = append(out, Prediction{
+			Table:  t.Name,
+			Column: c.Name,
+			Rows:   dupRows,
+			Values: valuesAt(c, dupRows),
+			Score:  ratio,
+			Detail: "unique-row-ratio",
+		})
+	}
+	return out
+}
+
+// UniqueValueRatio is the [48] refinement: the ratio of frequency-one
+// values to distinct values, robust to a few high-frequency values.
+type UniqueValueRatio struct{}
+
+// Name implements Method.
+func (UniqueValueRatio) Name() string { return "Unique-value-ratio" }
+
+// Predict implements Method.
+func (UniqueValueRatio) Predict(t *table.Table) []Prediction {
+	var out []Prediction
+	for _, c := range t.Columns {
+		n := c.Len()
+		if n < minRatioRows || c.Type() == table.TypeEmpty {
+			continue
+		}
+		freq := map[string]int{}
+		for _, v := range c.Values {
+			freq[v]++
+		}
+		distinct := len(freq)
+		singletons := 0
+		for _, f := range freq {
+			if f == 1 {
+				singletons++
+			}
+		}
+		if singletons == distinct || distinct == 0 {
+			continue // fully unique
+		}
+		dupRows, _ := dupInfo(c.Values)
+		out = append(out, Prediction{
+			Table:  t.Name,
+			Column: c.Name,
+			Rows:   dupRows,
+			Values: valuesAt(c, dupRows),
+			Score:  float64(singletons) / float64(distinct),
+			Detail: "unique-value-ratio",
+		})
+	}
+	return out
+}
+
+// UniqueProjectionRatio detects approximate FDs via |π_X(T)|/|π_XY(T)|
+// [53]; pairs close to (but below) 1 are flagged with their violating
+// group rows.
+type UniqueProjectionRatio struct {
+	// MaxPairs caps the column pairs per table.
+	MaxPairs int
+}
+
+// Name implements Method.
+func (UniqueProjectionRatio) Name() string { return "Unique-projection-ratio" }
+
+// Predict implements Method.
+func (u UniqueProjectionRatio) Predict(t *table.Table) []Prediction {
+	return fdRatioPredict(t, u.MaxPairs, "unique-projection-ratio",
+		func(lhs, rhs []string) (float64, bool) {
+			x := map[string]bool{}
+			xy := map[[2]string]bool{}
+			for i := range lhs {
+				x[lhs[i]] = true
+				xy[[2]string{lhs[i], rhs[i]}] = true
+			}
+			if len(xy) == 0 {
+				return 0, false
+			}
+			return float64(len(x)) / float64(len(xy)), true
+		})
+}
+
+// ConformingRowRatio detects approximate FDs by the fraction of rows
+// conforming to the dependency [56].
+type ConformingRowRatio struct {
+	MaxPairs int
+}
+
+// Name implements Method.
+func (ConformingRowRatio) Name() string { return "Conforming-row-ratio" }
+
+// Predict implements Method.
+func (c ConformingRowRatio) Predict(t *table.Table) []Prediction {
+	return fdRatioPredict(t, c.MaxPairs, "conforming-row-ratio",
+		func(lhs, rhs []string) (float64, bool) {
+			conf, total := conformingRows(lhs, rhs)
+			if total == 0 {
+				return 0, false
+			}
+			return float64(conf) / float64(total), true
+		})
+}
+
+// ConformingPairRatio detects approximate FDs by the fraction of row
+// pairs conforming to the dependency [56].
+type ConformingPairRatio struct {
+	MaxPairs int
+}
+
+// Name implements Method.
+func (ConformingPairRatio) Name() string { return "Conforming-pair-ratio" }
+
+// Predict implements Method.
+func (c ConformingPairRatio) Predict(t *table.Table) []Prediction {
+	return fdRatioPredict(t, c.MaxPairs, "conforming-pair-ratio",
+		func(lhs, rhs []string) (float64, bool) {
+			n := len(lhs)
+			if n == 0 {
+				return 0, false
+			}
+			// Violating pairs share lhs but differ in rhs; count via
+			// group sizes instead of the O(n²) double loop.
+			groups := map[string]map[string]int{}
+			for i := range lhs {
+				g := groups[lhs[i]]
+				if g == nil {
+					g = map[string]int{}
+					groups[lhs[i]] = g
+				}
+				g[rhs[i]]++
+			}
+			violating := 0
+			for _, g := range groups {
+				size := 0
+				sq := 0
+				for _, cnt := range g {
+					size += cnt
+					sq += cnt * cnt
+				}
+				violating += size*size - sq
+			}
+			total := n * n
+			return 1 - float64(violating)/float64(total), true
+		})
+}
+
+// fdRatioPredict shares the pair enumeration and violating-row extraction
+// of the three FD-ratio baselines.
+func fdRatioPredict(t *table.Table, maxPairs int, detail string,
+	ratio func(lhs, rhs []string) (float64, bool)) []Prediction {
+	if maxPairs <= 0 {
+		maxPairs = 30
+	}
+	n := t.NumRows()
+	if n < minRatioRows {
+		return nil
+	}
+	var out []Prediction
+	pairs := 0
+	for li, lc := range t.Columns {
+		for ri, rc := range t.Columns {
+			if li == ri {
+				continue
+			}
+			if pairs >= maxPairs {
+				return out
+			}
+			pairs++
+			r, ok := ratio(lc.Values, rc.Values)
+			if !ok || r >= 1 || r <= 0 {
+				continue // exact FD or no dependency signal
+			}
+			rows := violatingGroupRows(lc.Values, rc.Values)
+			if len(rows) == 0 {
+				continue
+			}
+			vals := make([]string, len(rows))
+			for k, row := range rows {
+				vals[k] = lc.Values[row] + "/" + rc.Values[row]
+			}
+			out = append(out, Prediction{
+				Table:  t.Name,
+				Column: lc.Name + "→" + rc.Name,
+				Rows:   rows,
+				Values: vals,
+				Score:  r,
+				Detail: detail,
+			})
+		}
+	}
+	return out
+}
+
+func conformingRows(lhs, rhs []string) (conforming, total int) {
+	groups := map[string]map[string]bool{}
+	for i := range lhs {
+		g := groups[lhs[i]]
+		if g == nil {
+			g = map[string]bool{}
+			groups[lhs[i]] = g
+		}
+		g[rhs[i]] = true
+	}
+	for i := range lhs {
+		total++
+		if len(groups[lhs[i]]) == 1 {
+			conforming++
+		}
+	}
+	return conforming, total
+}
+
+// violatingGroupRows returns all rows belonging to lhs groups with more
+// than one rhs value.
+func violatingGroupRows(lhs, rhs []string) []int {
+	groups := map[string]map[string]bool{}
+	for i := range lhs {
+		g := groups[lhs[i]]
+		if g == nil {
+			g = map[string]bool{}
+			groups[lhs[i]] = g
+		}
+		g[rhs[i]] = true
+	}
+	var rows []int
+	for i := range lhs {
+		if len(groups[lhs[i]]) > 1 {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+func dupInfo(vals []string) (dupRows []int, distinct int) {
+	first := map[string]int{}
+	flagged := map[string]bool{}
+	for i, v := range vals {
+		if j, seen := first[v]; seen {
+			if !flagged[v] {
+				flagged[v] = true
+				dupRows = append(dupRows, j)
+			}
+			dupRows = append(dupRows, i)
+		} else {
+			first[v] = i
+		}
+	}
+	distinct = len(first)
+	sort.Ints(dupRows)
+	return dupRows, distinct
+}
+
+func valuesAt(c *table.Column, rows []int) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = c.Values[r]
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package core implements the unified Uni-Detect framework of §2: the
+// perturbation-based likelihood-ratio test (Definitions 2–4), the offline
+// learner that crunches the background corpus T into materialized
+// per-bucket evidence grids (a MapReduce-like job, §2.2.3), and the online
+// predictor that turns grid lookups into ranked error findings.
+//
+// Each error class plugs in as a Detector supplying the class's metric
+// function m, natural perturbation P, and featurization F; the framework
+// supplies everything else.
+package core
+
+import (
+	"fmt"
+
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Class enumerates the error classes Uni-Detect is instantiated for.
+type Class uint8
+
+const (
+	// ClassSpelling detects misspelled cell values (§3.2).
+	ClassSpelling Class = iota
+	// ClassOutlier detects corrupted numeric cells (§3.1).
+	ClassOutlier
+	// ClassUniqueness detects duplicate values in key-like columns (§3.3).
+	ClassUniqueness
+	// ClassFD detects functional-dependency violations (§3.4).
+	ClassFD
+	// ClassFDSynth detects violations of synthesized programmatic column
+	// relationships (Appendix D).
+	ClassFDSynth
+	numClasses
+)
+
+// NumClasses is the number of error classes.
+const NumClasses = int(numClasses)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassSpelling:
+		return "spelling"
+	case ClassOutlier:
+		return "outlier"
+	case ClassUniqueness:
+		return "uniqueness"
+	case ClassFD:
+		return "fd"
+	case ClassFDSynth:
+		return "fd-synthesis"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Env carries the corpus-derived context detectors need at measure time
+// (currently the token-prevalence index used by the §3.3 featurization).
+type Env struct {
+	Index *corpus.TokenIndex
+}
+
+// Measurement is one (θ1, θ2) observation produced by a detector for a
+// column (or column pair) of a table, together with the feature bucket it
+// belongs to and the suspected subset O.
+//
+// Measurements with Valid=false contribute statistical evidence during
+// learning (they are the denominator mass) but are never predicted as
+// errors — e.g. a fully unique column (no duplicates to drop) or a column
+// whose duplicates exceed the ε perturbation budget.
+type Measurement struct {
+	Key    feature.Key
+	Theta1 float64
+	Theta2 float64
+	Valid  bool
+	Column string   // display name ("ID" or "City→Country")
+	Rows   []int    // the suspected subset O (row indices)
+	Values []string // the suspect cell values, parallel to Rows where sensible
+	Detail string
+}
+
+// Detector instantiates Uni-Detect for one error class: a metric function,
+// a natural perturbation, and a featurization (Definition 4).
+type Detector interface {
+	// Class returns the error class this detector handles.
+	Class() Class
+	// Quantizer returns the grid quantizer for this class's metric.
+	Quantizer() evidence.Quantizer
+	// Directions returns the orientation of this class's smoothed
+	// range predicates.
+	Directions() evidence.Directions
+	// Measure computes all measurements for one table.
+	Measure(t *table.Table, env *Env) []Measurement
+}
+
+// Config holds the framework's tunables. Zero value is unusable; start
+// from DefaultConfig.
+type Config struct {
+	// Alpha is the LR significance level: findings with LR > Alpha are
+	// suppressed (Definition 3).
+	Alpha float64
+	// EpsilonFrac bounds the perturbation: |O| <= max(1, EpsilonFrac*rows)
+	// (Definition 2 parameterizes ε as rows or a fraction of rows).
+	EpsilonFrac float64
+	// MinRows is the minimum column length detectors consider.
+	MinRows int
+	// MPDCap bounds the exact O(n²) MPD scan; larger columns use
+	// sorted-neighborhood blocking.
+	MPDCap int
+	// MinOutlierScore is the smallest dispersion score a numeric cell
+	// must have to be a *candidate* outlier; values within ~2 deviations
+	// are ordinary by any convention [48]. Evidence is collected
+	// regardless.
+	MinOutlierScore float64
+	// MaxSpellingMPD bounds the MPD of a *candidate* misspelling pair
+	// ("a small MPD indicates likely misspellings", §3.2): columns whose
+	// closest pair is farther apart still contribute evidence but are
+	// never flagged.
+	MaxSpellingMPD int
+	// MaxFDPairs caps the number of column pairs per table enumerated by
+	// the FD detectors.
+	MaxFDPairs int
+	// MinBucketSupport is the minimum per-bucket sample count before a
+	// bucket's grid is trusted; smaller buckets fall back to the class's
+	// whole-corpus grid.
+	MinBucketSupport int64
+	// Workers is the learning parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// NoFeaturize disables featurized subsetting and uses whole-corpus
+	// statistics only — the §2.2.2 ablation.
+	NoFeaturize bool
+	// PointEstimates replaces the smoothed range predicates of
+	// Equation 12 with exact point estimates (Equation 11) — the §3.1
+	// smoothing ablation. Strictly worse: point counts are sparse and
+	// non-monotone.
+	PointEstimates bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper
+// reproduction: ε = 1% of rows (at least one row), α = 0.05.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:            0.05,
+		EpsilonFrac:      0.01,
+		MinRows:          6,
+		MPDCap:           256,
+		MinOutlierScore:  2,
+		MaxSpellingMPD:   2,
+		MaxFDPairs:       30,
+		MinBucketSupport: 30,
+	}
+}
+
+// Epsilon returns the perturbation budget for a column of n rows.
+func (c Config) Epsilon(n int) int {
+	e := int(c.EpsilonFrac * float64(n))
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// Finding is one predicted error, ranked by LR (smaller = more confident).
+type Finding struct {
+	Class   Class
+	Table   string
+	Column  string
+	Rows    []int
+	Values  []string
+	LR      float64
+	Theta1  float64
+	Theta2  float64
+	Support int64 // denominator sample count behind the LR
+	Detail  string
+}
+
+// String renders the finding on one line.
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s!%s rows=%v values=%q LR=%.3g (θ1=%.3g θ2=%.3g, n=%d) %s",
+		f.Class, f.Table, f.Column, f.Rows, f.Values, f.LR, f.Theta1, f.Theta2, f.Support, f.Detail)
+}

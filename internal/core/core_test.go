@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// trainSmall trains a model over a small synthetic WEB-like corpus; shared
+// across tests via sync.Once-style caching in TestMain would hide timing,
+// so we keep one helper with its own cache.
+var (
+	cachedModel *core.Model
+	cachedBG    *corpus.Corpus
+)
+
+func trainSmall(t testing.TB) (*core.Model, *corpus.Corpus) {
+	t.Helper()
+	if cachedModel != nil {
+		return cachedModel, cachedBG
+	}
+	spec := datagen.Spec{Name: "train", Profile: datagen.ProfileWeb, NumTables: 4000,
+		AvgRows: 20, AvgCols: 4.6, ErrorRate: 0.005, Seed: 7}
+	res := datagen.Generate(spec)
+	bg := corpus.New(spec.Name, res.Tables)
+	cfg := core.DefaultConfig()
+	m, err := core.Train(context.Background(), cfg, bg, detectors.All(cfg, detectors.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedModel, cachedBG = m, bg
+	return m, bg
+}
+
+func TestTrainProducesEvidence(t *testing.T) {
+	m, bg := trainSmall(t)
+	if m.CorpusTables != bg.NumTables() {
+		t.Errorf("CorpusTables = %d", m.CorpusTables)
+	}
+	for c := core.Class(0); int(c) < core.NumClasses; c++ {
+		cm := m.Classes[c]
+		if cm == nil {
+			t.Fatalf("class %v missing", c)
+		}
+		if cm.Samples() == 0 {
+			t.Errorf("class %v has no samples", c)
+		}
+		if c != core.ClassFDSynth && len(cm.Buckets) < 3 {
+			t.Errorf("class %v has only %d buckets", c, len(cm.Buckets))
+		}
+	}
+}
+
+func TestDetectInjectedErrors(t *testing.T) {
+	m, _ := trainSmall(t)
+	testSpec := datagen.Spec{Name: "test", Profile: datagen.ProfileWeb, NumTables: 600,
+		AvgRows: 20, AvgCols: 4.6, ErrorRate: 0.3, Seed: 99}
+	res := datagen.Generate(testSpec)
+
+	pred := core.NewPredictor(m, detectors.All(m.Config, detectors.Options{}), &core.Env{Index: cachedBG.Index()})
+	findings := pred.DetectAll(context.Background(), res.Tables)
+	if len(findings) == 0 {
+		t.Fatal("no findings at all")
+	}
+
+	labelAt := map[[2]string]map[int]datagen.ErrorClass{}
+	for _, l := range res.Labels {
+		k := [2]string{l.Table, l.Column}
+		if labelAt[k] == nil {
+			labelAt[k] = map[int]datagen.ErrorClass{}
+		}
+		labelAt[k][l.Row] = l.Class
+	}
+	matches := func(f core.Finding) bool {
+		// FD findings name "Lhs→Rhs"; check both halves.
+		cols := []string{f.Column}
+		if i := indexRune(f.Column, '→'); i >= 0 {
+			cols = []string{f.Column[:i], f.Column[i+len("→"):]}
+		}
+		for _, col := range cols {
+			rows := labelAt[[2]string{f.Table, col}]
+			for _, r := range f.Rows {
+				if _, ok := rows[r]; ok {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Precision of the top 50 merged findings should be high.
+	top := findings
+	if len(top) > 50 {
+		top = top[:50]
+	}
+	hits := 0
+	for _, f := range top {
+		if matches(f) {
+			hits++
+		}
+	}
+	prec := float64(hits) / float64(len(top))
+	if prec < 0.8 {
+		for i, f := range top {
+			if i > 14 {
+				break
+			}
+			t.Logf("top[%d] %s match=%v", i, f, matches(f))
+		}
+		t.Errorf("precision@%d = %.2f, want >= 0.7 (%d labels total)", len(top), prec, len(res.Labels))
+	}
+}
+
+func indexRune(s string, r rune) int {
+	for i, c := range s {
+		if c == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m, _ := trainSmall(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CorpusTables != m.CorpusTables || len(got.Classes) != len(m.Classes) {
+		t.Errorf("round trip: tables %d vs %d, classes %d vs %d",
+			got.CorpusTables, m.CorpusTables, len(got.Classes), len(m.Classes))
+	}
+	// A loaded model must produce identical LR scores.
+	det := detectors.ByClass(m.Config, detectors.Options{}, core.ClassUniqueness)
+	tbl := table.MustNew("t", table.NewColumn("ID", dupIDColumn(100)))
+	env := &core.Env{Index: cachedBG.Index()}
+	measures := det.Measure(tbl, env)
+	if len(measures) == 0 {
+		t.Fatal("no measurement")
+	}
+	lr1, s1 := m.LR(core.ClassUniqueness, det, measures[0])
+	lr2, s2 := got.LR(core.ClassUniqueness, det, measures[0])
+	if lr1 != lr2 || s1 != s2 {
+		t.Errorf("LR differs after reload: (%v,%d) vs (%v,%d)", lr1, s1, lr2, s2)
+	}
+}
+
+func dupIDColumn(n int) []string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = "ZX" + string(rune('A'+i%26)) + string(rune('A'+(i/26)%26)) + string(rune('0'+i%10))
+	}
+	vals[n-1] = vals[0]
+	return vals
+}
+
+func TestLoadModelCorrupt(t *testing.T) {
+	if _, err := core.LoadModel(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage should not load")
+	}
+}
+
+func TestSortFindingsDeterministic(t *testing.T) {
+	fs := []core.Finding{
+		{LR: 0.5, Table: "b"},
+		{LR: 0.1, Table: "c"},
+		{LR: 0.5, Table: "a"},
+		{LR: 0.1, Table: "c", Support: 10},
+	}
+	core.SortFindings(fs)
+	if fs[0].Support != 10 {
+		t.Error("higher support should win ties")
+	}
+	if fs[1].Table != "c" || fs[2].Table != "a" || fs[3].Table != "b" {
+		t.Errorf("order: %v", fs)
+	}
+}
+
+func TestConfigEpsilon(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if cfg.Epsilon(50) != 1 {
+		t.Errorf("Epsilon(50) = %d", cfg.Epsilon(50))
+	}
+	if cfg.Epsilon(1000) != 10 {
+		t.Errorf("Epsilon(1000) = %d", cfg.Epsilon(1000))
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if core.ClassSpelling.String() != "spelling" || core.Class(99).String() == "" {
+		t.Error("Class.String broken")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := core.Finding{Class: core.ClassOutlier, Table: "t", Column: "c", Rows: []int{3},
+		Values: []string{"8.716"}, LR: 0.001, Theta1: 8.1, Theta2: 3.5, Support: 120}
+	s := f.String()
+	if s == "" || !bytes.Contains([]byte(s), []byte("outlier")) {
+		t.Errorf("String = %q", s)
+	}
+}

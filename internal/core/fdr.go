@@ -1,0 +1,33 @@
+package core
+
+import "sort"
+
+// FDRFilter applies the Benjamini–Hochberg procedure to a ranked finding
+// list, keeping the largest prefix whose scores satisfy
+// LR_(i) <= (i/m)·q. The paper flags controlling the False Discovery
+// Rate as the open challenge of running many hypothesis tests against
+// one corpus (§2.2.3, citing [85]); this implements the standard
+// correction, treating the LR scores as the test's p-value proxies
+// (they are monotone in the achieved significance, which is what BH
+// needs for its step-up scan — see EXPERIMENTS.md for the caveat).
+//
+// q is the target false-discovery rate (e.g. 0.05). Findings must be
+// sorted ascending by LR, as SortFindings leaves them.
+func FDRFilter(findings []Finding, q float64) []Finding {
+	m := len(findings)
+	if m == 0 || q <= 0 {
+		return nil
+	}
+	if !sort.SliceIsSorted(findings, func(i, j int) bool { return findings[i].LR < findings[j].LR }) {
+		sorted := append([]Finding(nil), findings...)
+		SortFindings(sorted)
+		findings = sorted
+	}
+	cut := 0
+	for i, f := range findings {
+		if f.LR <= float64(i+1)/float64(m)*q {
+			cut = i + 1
+		}
+	}
+	return findings[:cut]
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFDRFilterStepUp(t *testing.T) {
+	// m = 4, q = 0.2: thresholds 0.05, 0.10, 0.15, 0.20.
+	fs := []Finding{
+		{LR: 0.01},
+		{LR: 0.12}, // above its own threshold (0.10)...
+		{LR: 0.13}, // ...but below the i=3 threshold (0.15): kept by step-up
+		{LR: 0.90},
+	}
+	got := FDRFilter(fs, 0.2)
+	if len(got) != 3 {
+		t.Fatalf("kept %d, want 3", len(got))
+	}
+	if got[2].LR != 0.13 {
+		t.Errorf("last kept LR = %v", got[2].LR)
+	}
+}
+
+func TestFDRFilterAllRejected(t *testing.T) {
+	fs := []Finding{{LR: 0.9}, {LR: 0.95}}
+	if got := FDRFilter(fs, 0.05); len(got) != 0 {
+		t.Errorf("kept %v", got)
+	}
+}
+
+func TestFDRFilterAllKept(t *testing.T) {
+	fs := []Finding{{LR: 0.001}, {LR: 0.002}, {LR: 0.01}}
+	if got := FDRFilter(fs, 0.05); len(got) != 3 {
+		t.Errorf("kept %d, want all", len(got))
+	}
+}
+
+func TestFDRFilterEdgeCases(t *testing.T) {
+	if got := FDRFilter(nil, 0.05); got != nil {
+		t.Error("nil input")
+	}
+	if got := FDRFilter([]Finding{{LR: 0.0001}}, 0); got != nil {
+		t.Error("q=0 keeps nothing")
+	}
+}
+
+func TestFDRFilterSortsUnsortedInput(t *testing.T) {
+	fs := []Finding{{LR: 0.9}, {LR: 0.001}}
+	got := FDRFilter(fs, 0.05)
+	if len(got) != 1 || got[0].LR != 0.001 {
+		t.Errorf("got %v", got)
+	}
+	// Input must not be reordered in place.
+	if fs[0].LR != 0.9 {
+		t.Error("input mutated")
+	}
+}
+
+// Property: the kept prefix never grows when q shrinks.
+func TestFDRFilterMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		fs := make([]Finding, 20)
+		for i := range fs {
+			fs[i] = Finding{LR: rng.Float64()}
+		}
+		SortFindings(fs)
+		prev := len(fs) + 1
+		for _, q := range []float64{0.5, 0.2, 0.05, 0.01} {
+			n := len(FDRFilter(fs, q))
+			if n > prev {
+				t.Fatalf("kept %d at q=%v after %d at larger q", n, q, prev)
+			}
+			prev = n
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// GlobalKey is the pseudo feature bucket holding whole-corpus statistics.
+var GlobalKey = feature.Key{Type: table.ValueType(0xFF)}
+
+// WildRows and WildB mark wildcard buckets: statistics aggregated over
+// every value of the wildcarded dimension, with the rest of the key
+// intact. Sparse full buckets back off through a chain of these before
+// falling all the way to GlobalKey — so a 3000-row enterprise column
+// still benefits from type- and class-specific evidence even when the
+// training corpus has few tables that large, and the dimension that
+// matters most for a class is surrendered last.
+const (
+	WildRows uint8 = 0xFE
+	WildB    uint8 = 0xFD
+)
+
+// wildRowsKey returns key with its row bucket wildcarded.
+func wildRowsKey(k feature.Key) feature.Key {
+	k.Rows = WildRows
+	return k
+}
+
+// wildBKey returns key with its secondary class dimension wildcarded.
+func wildBKey(k feature.Key) feature.Key {
+	k.B = WildB
+	return k
+}
+
+// backoffKeys returns the bucket lookup chain for a key, most specific
+// first (excluding the full key itself and the global grid).
+func backoffKeys(k feature.Key) []feature.Key {
+	return []feature.Key{
+		wildBKey(k),              // drop leftness first: least informative
+		wildRowsKey(k),           // then row count
+		wildBKey(wildRowsKey(k)), // then both
+	}
+}
+
+// Train runs the offline learning pass: a MapReduce-like job over the
+// background corpus T that, per error class and per feature bucket,
+// materializes the joint (θ1, θ2) distribution (§2.2.3). The resulting
+// Model answers online predictions by lookup.
+func Train(ctx context.Context, cfg Config, bg *corpus.Corpus, detectors []Detector) (*Model, error) {
+	env := &Env{Index: bg.Index()}
+
+	type bucketID struct {
+		class Class
+		key   feature.Key
+	}
+	type binPair struct{ b1, b2 uint16 }
+
+	mapper := func(t *table.Table, emit func(bucketID, binPair)) error {
+		for _, det := range detectors {
+			q := det.Quantizer()
+			cls := det.Class()
+			for _, meas := range det.Measure(t, env) {
+				p := binPair{uint16(q.Bin(meas.Theta1)), uint16(q.Bin(meas.Theta2))}
+				emit(bucketID{cls, meas.Key}, p)
+				for _, k := range backoffKeys(meas.Key) {
+					emit(bucketID{cls, k}, p)
+				}
+				emit(bucketID{cls, GlobalKey}, p)
+			}
+		}
+		return nil
+	}
+	reducer := func(id bucketID, pairs []binPair) (*evidence.Grid, error) {
+		var bins int
+		for _, det := range detectors {
+			if det.Class() == id.class {
+				bins = det.Quantizer().Bins()
+				break
+			}
+		}
+		g := evidence.NewGrid(bins)
+		for _, p := range pairs {
+			g.Add(int(p.b1), int(p.b2))
+		}
+		return g, nil
+	}
+
+	grids, err := mapreduce.Run(ctx, mapreduce.Config{Workers: cfg.Workers}, bg.Tables, mapper, reducer)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		Classes:       make(map[Class]*ClassModel, len(detectors)),
+		Config:        cfg,
+		CorpusTables:  bg.NumTables(),
+		CorpusColumns: bg.NumColumns(),
+	}
+	for _, det := range detectors {
+		m.Classes[det.Class()] = &ClassModel{
+			Dirs:    det.Directions(),
+			Buckets: make(map[feature.Key]*evidence.Grid),
+			Global:  evidence.NewGrid(det.Quantizer().Bins()),
+		}
+	}
+	for id, g := range grids {
+		cm := m.Classes[id.class]
+		if cm == nil {
+			continue
+		}
+		if id.key == GlobalKey {
+			cm.Global.Merge(g)
+		} else {
+			cm.Buckets[id.key] = g
+		}
+	}
+	for _, cm := range m.Classes {
+		cm.finalize()
+	}
+	return m, nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+)
+
+// ClassModel holds the learned evidence for one error class: per-bucket
+// grids plus a whole-corpus grid used for the no-featurization ablation
+// and as a fallback for sparse buckets.
+type ClassModel struct {
+	Dirs    evidence.Directions
+	Buckets map[feature.Key]*evidence.Grid
+	Global  *evidence.Grid
+}
+
+// finalize builds all prefix sums so lookups are read-only (and hence
+// safe for concurrent prediction).
+func (cm *ClassModel) finalize() {
+	for _, g := range cm.Buckets {
+		g.Finalize()
+	}
+	if cm.Global != nil {
+		cm.Global.Finalize()
+	}
+}
+
+// Samples returns the total number of (θ1, θ2) observations learned.
+func (cm *ClassModel) Samples() int64 {
+	if cm.Global == nil {
+		return 0
+	}
+	return cm.Global.Total
+}
+
+// lookup returns the grid to score a measurement in bucket key against:
+// the full bucket when the *query's denominator* has enough support
+// there, else the first backoff bucket (leftness wildcard, then row
+// count, then both) whose denominator does, else the whole-corpus grid.
+// Grid totals are not enough — a bucket with thousands of samples can
+// still have near-empty conditional slices, and an LR estimated on a
+// handful of denominators is noise. NoFeaturize short-circuits to the
+// global grid — the §2.2.2 ablation.
+func (cm *ClassModel) lookup(key feature.Key, cfg Config, b2 int) *evidence.Grid {
+	if cfg.NoFeaturize {
+		return cm.Global
+	}
+	if g, ok := cm.Buckets[key]; ok && g.Denominator(cm.Dirs, b2) >= cfg.MinBucketSupport {
+		return g
+	}
+	for _, k := range backoffKeys(key) {
+		if g, ok := cm.Buckets[k]; ok && g.Denominator(cm.Dirs, b2) >= cfg.MinBucketSupport {
+			return g
+		}
+	}
+	return cm.Global
+}
+
+// Model is a trained Uni-Detect model: evidence for every class, plus the
+// corpus metadata needed to reproduce featurization at prediction time.
+type Model struct {
+	Classes map[Class]*ClassModel
+	Config  Config
+	// CorpusTables records the size of the training corpus T.
+	CorpusTables int
+	// CorpusColumns records the number of columns scanned.
+	CorpusColumns int
+}
+
+// LR scores one measurement of class c, returning the likelihood ratio and
+// the denominator support. Missing classes score 1 (no evidence, not
+// surprising).
+func (m *Model) LR(c Class, det Detector, meas Measurement) (lr float64, support int64) {
+	cm := m.Classes[c]
+	if cm == nil {
+		return 1, 0
+	}
+	q := det.Quantizer()
+	b1, b2 := q.Bin(meas.Theta1), q.Bin(meas.Theta2)
+	g := cm.lookup(meas.Key, m.Config, b2)
+	if g == nil {
+		return 1, 0
+	}
+	if m.Config.PointEstimates {
+		return g.PointLR(b1, b2), g.Denominator(cm.Dirs, b2)
+	}
+	return g.LR(cm.Dirs, b1, b2), g.Denominator(cm.Dirs, b2)
+}
+
+// SortFindings orders findings by ascending LR, breaking ties by larger
+// evidence support, then lexicographically for determinism.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.LR != b.LR {
+			return a.LR < b.LR
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if len(a.Rows) > 0 && len(b.Rows) > 0 && a.Rows[0] != b.Rows[0] {
+			return a.Rows[0] < b.Rows[0]
+		}
+		return a.Class < b.Class
+	})
+}
+
+// MergeModels combines the evidence of two models trained with the same
+// configuration and detector set — the reduce step for shard-trained or
+// incrementally grown corpora. Evidence counts are additive across
+// tables, so the merged model equals one trained on the concatenated
+// corpora up to featurization drift (each shard bucketed token prevalence
+// against its own index).
+func MergeModels(a, b *Model) (*Model, error) {
+	if len(a.Classes) != len(b.Classes) {
+		return nil, fmt.Errorf("core: merging models with different class sets (%d vs %d)", len(a.Classes), len(b.Classes))
+	}
+	out := &Model{
+		Classes:       make(map[Class]*ClassModel, len(a.Classes)),
+		Config:        a.Config,
+		CorpusTables:  a.CorpusTables + b.CorpusTables,
+		CorpusColumns: a.CorpusColumns + b.CorpusColumns,
+	}
+	for cls, ca := range a.Classes {
+		cb, ok := b.Classes[cls]
+		if !ok {
+			return nil, fmt.Errorf("core: class %v missing from second model", cls)
+		}
+		if ca.Dirs != cb.Dirs {
+			return nil, fmt.Errorf("core: class %v direction mismatch", cls)
+		}
+		merged := &ClassModel{
+			Dirs:    ca.Dirs,
+			Buckets: make(map[feature.Key]*evidence.Grid, len(ca.Buckets)+len(cb.Buckets)),
+			Global:  sumGrids(ca.Global, cb.Global),
+		}
+		for k, g := range ca.Buckets {
+			merged.Buckets[k] = sumGrids(g, cb.Buckets[k])
+		}
+		for k, g := range cb.Buckets {
+			if _, seen := ca.Buckets[k]; !seen {
+				merged.Buckets[k] = sumGrids(g, nil)
+			}
+		}
+		merged.finalize()
+		out.Classes[cls] = merged
+	}
+	return out, nil
+}
+
+// sumGrids returns a fresh, finalizable grid holding a's counts plus b's
+// (either may be nil).
+func sumGrids(a, b *evidence.Grid) *evidence.Grid {
+	var n int
+	switch {
+	case a != nil:
+		n = a.N
+	case b != nil:
+		n = b.N
+	default:
+		return nil
+	}
+	out := evidence.NewGrid(n)
+	for _, g := range []*evidence.Grid{a, b} {
+		if g == nil {
+			continue
+		}
+		for i, c := range g.Counts {
+			out.Counts[i] += c
+		}
+		out.Total += g.Total
+	}
+	return out
+}
+
+// modelWire is the gob wire format of a Model. evidence.Grid's exported
+// fields carry all persistent state; derived prefix sums are rebuilt on
+// load.
+type modelWire struct {
+	Classes       map[Class]*ClassModel
+	Config        Config
+	CorpusTables  int
+	CorpusColumns int
+}
+
+// Save writes the model to w (gob).
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(modelWire{
+		Classes:       m.Classes,
+		Config:        m.Config,
+		CorpusTables:  m.CorpusTables,
+		CorpusColumns: m.CorpusColumns,
+	})
+}
+
+// LoadModel reads a model written by Save and finalizes its grids.
+func LoadModel(r io.Reader) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	m := &Model{
+		Classes:       w.Classes,
+		Config:        w.Config,
+		CorpusTables:  w.CorpusTables,
+		CorpusColumns: w.CorpusColumns,
+	}
+	for _, cm := range m.Classes {
+		cm.finalize()
+	}
+	return m, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func gridWith(n int, samples int) *evidence.Grid {
+	g := evidence.NewGrid(n)
+	for i := 0; i < samples; i++ {
+		g.Add(i%n, (i+1)%n)
+	}
+	g.Finalize()
+	return g
+}
+
+func TestLookupBackoffChain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinBucketSupport = 10
+	full := feature.Key{Type: table.TypeString, Rows: 3, A: 1}
+	wild := wildRowsKey(full)
+
+	cm := &ClassModel{
+		Dirs:    evidence.SpellingDirections,
+		Buckets: map[feature.Key]*evidence.Grid{},
+		Global:  gridWith(8, 100),
+	}
+	// With SpellingDirections the denominator counts θ1 bins <= b2;
+	// b2 = 7 (last bin) makes it equal to the grid total.
+	const b2 = 7
+
+	// No buckets at all: global.
+	if g := cm.lookup(full, cfg, b2); g != cm.Global {
+		t.Error("expected global fallback")
+	}
+
+	// Sparse full bucket, supported wildcard: wildcard wins.
+	cm.Buckets[full] = gridWith(8, 3)
+	cm.Buckets[wild] = gridWith(8, 50)
+	if g := cm.lookup(full, cfg, b2); g != cm.Buckets[wild] {
+		t.Error("expected rows-wildcard fallback")
+	}
+
+	// Supported full bucket: full wins.
+	cm.Buckets[full] = gridWith(8, 25)
+	if g := cm.lookup(full, cfg, b2); g != cm.Buckets[full] {
+		t.Error("expected full bucket")
+	}
+
+	// A bucket with enough total samples but a starved denominator slice
+	// still backs off: b2 = 0 counts only θ1 bin 0 samples.
+	if g := cm.lookup(full, cfg, 0); g == cm.Buckets[full] {
+		t.Error("starved denominator must back off")
+	}
+
+	// Ablation flag short-circuits to global.
+	cfg.NoFeaturize = true
+	if g := cm.lookup(full, cfg, b2); g != cm.Global {
+		t.Error("NoFeaturize must use the global grid")
+	}
+}
+
+func TestWildRowsKey(t *testing.T) {
+	k := feature.Key{Type: table.TypeMixed, Rows: 2, A: 3, B: 1}
+	w := wildRowsKey(k)
+	if w.Rows != WildRows {
+		t.Errorf("Rows = %d", w.Rows)
+	}
+	if w.Type != k.Type || w.A != k.A || w.B != k.B {
+		t.Error("other dimensions must be preserved")
+	}
+	if k.Rows != 2 {
+		t.Error("input must not be mutated")
+	}
+}
+
+func TestModelLRMissingClass(t *testing.T) {
+	m := &Model{Classes: map[Class]*ClassModel{}, Config: DefaultConfig()}
+	lr, support := m.LR(ClassOutlier, nil, Measurement{})
+	if lr != 1 || support != 0 {
+		t.Errorf("missing class LR = %v, %d", lr, support)
+	}
+}
+
+func TestDedupKeyDistinguishes(t *testing.T) {
+	a := dedupKey(ClassFD, []int{1, 2})
+	b := dedupKey(ClassFD, []int{12})
+	c := dedupKey(ClassUniqueness, []int{1, 2})
+	d := dedupKey(ClassFD, []int{1, 2})
+	if a == b {
+		t.Error("rows [1,2] and [12] must differ")
+	}
+	if a == c {
+		t.Error("classes must differ")
+	}
+	if a != d {
+		t.Error("identical inputs must collide")
+	}
+	if dedupKey(ClassFD, []int{-3}) == dedupKey(ClassFD, []int{3}) {
+		t.Error("sign must be encoded")
+	}
+}

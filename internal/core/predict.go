@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Predictor pairs a trained model with the detector instantiations it was
+// trained with, and scores new tables at interactive speed (§2.2.3: online
+// prediction is metric computation plus a lookup).
+type Predictor struct {
+	Model     *Model
+	Detectors []Detector
+	Env       *Env
+}
+
+// NewPredictor builds a predictor. env may carry a token index built over
+// the training corpus; featurization at predict time must use the same
+// index the learner used.
+func NewPredictor(m *Model, detectors []Detector, env *Env) *Predictor {
+	return &Predictor{Model: m, Detectors: detectors, Env: env}
+}
+
+// Detect scores one table and returns its findings (unsorted; callers
+// ranking across tables sort once at the end). Only measurements with a
+// valid perturbation and LR <= Alpha become findings.
+//
+// One underlying error can surface through several candidates — a
+// duplicated key value violates the candidate FD from the key to every
+// other column — so findings of the same class flagging the same row set
+// are deduplicated, keeping the most confident (smallest LR).
+func (p *Predictor) Detect(t *table.Table) []Finding {
+	best := map[string]Finding{}
+	var order []string
+	for _, det := range p.Detectors {
+		cls := det.Class()
+		for _, meas := range det.Measure(t, p.Env) {
+			if !meas.Valid {
+				continue
+			}
+			lr, support := p.Model.LR(cls, det, meas)
+			if lr > p.Model.Config.Alpha {
+				continue
+			}
+			f := Finding{
+				Class:   cls,
+				Table:   t.Name,
+				Column:  meas.Column,
+				Rows:    meas.Rows,
+				Values:  meas.Values,
+				LR:      lr,
+				Theta1:  meas.Theta1,
+				Theta2:  meas.Theta2,
+				Support: support,
+				Detail:  meas.Detail,
+			}
+			key := dedupKey(cls, meas.Rows)
+			prev, seen := best[key]
+			if !seen {
+				order = append(order, key)
+			}
+			if !seen || f.LR < prev.LR || (f.LR == prev.LR && f.Column < prev.Column) {
+				best[key] = f
+			}
+		}
+	}
+	out := make([]Finding, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return out
+}
+
+func dedupKey(cls Class, rows []int) string {
+	var b []byte
+	b = append(b, byte(cls), ':')
+	for _, r := range rows {
+		b = appendInt(b, r)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+// DetectAll scores many tables concurrently and returns all findings
+// ranked by ascending LR.
+func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Finding {
+	workers := p.Model.Config.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > len(tables) && len(tables) > 0 {
+		workers = len(tables)
+	}
+	results := make([][]Finding, len(tables))
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range tables {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = p.Detect(tables[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Finding
+	for _, fs := range results {
+		out = append(out, fs...)
+	}
+	SortFindings(out)
+	return out
+}

@@ -1,0 +1,5 @@
+package core
+
+import "runtime"
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

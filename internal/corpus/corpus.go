@@ -1,0 +1,241 @@
+// Package corpus holds the background table corpus T and the
+// token-prevalence index that the paper's featurization needs: Prev(C)
+// (§3.3) averages, over the tokens of a column, the number of corpus
+// tables each token occurs in — low-prevalence tokens mark "ID"-like
+// columns that are intended to be unique.
+package corpus
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Corpus is a set of background tables with a token-prevalence index.
+type Corpus struct {
+	Name   string
+	Tables []*table.Table
+
+	idxOnce sync.Once
+	idx     *TokenIndex
+}
+
+// New wraps tables into a Corpus.
+func New(name string, tables []*table.Table) *Corpus {
+	return &Corpus{Name: name, Tables: tables}
+}
+
+// NumTables returns the table count.
+func (c *Corpus) NumTables() int { return len(c.Tables) }
+
+// NumColumns returns the total column count across tables.
+func (c *Corpus) NumColumns() int {
+	n := 0
+	for _, t := range c.Tables {
+		n += t.NumCols()
+	}
+	return n
+}
+
+// AvgCols returns the mean columns per table.
+func (c *Corpus) AvgCols() float64 {
+	if len(c.Tables) == 0 {
+		return 0
+	}
+	return float64(c.NumColumns()) / float64(len(c.Tables))
+}
+
+// AvgRows returns the mean rows per table.
+func (c *Corpus) AvgRows() float64 {
+	if len(c.Tables) == 0 {
+		return 0
+	}
+	rows := 0
+	for _, t := range c.Tables {
+		rows += t.NumRows()
+	}
+	return float64(rows) / float64(len(c.Tables))
+}
+
+// Index returns the corpus's token-prevalence index, building it on first
+// use (concurrently, via the mapreduce engine).
+func (c *Corpus) Index() *TokenIndex {
+	c.idxOnce.Do(func() {
+		c.idx = BuildTokenIndex(c.Tables)
+	})
+	return c.idx
+}
+
+// TokenIndex maps tokens to the number of distinct corpus tables they
+// appear in. Tokens are stored as 64-bit FNV hashes: the index only ever
+// answers count queries, a rare collision merely perturbs one prevalence
+// estimate, and hashing keeps the memory of near-unique ID tokens bounded.
+type TokenIndex struct {
+	counts    map[uint64]int32
+	numTables int
+}
+
+// BuildTokenIndex scans every cell of every table, deduplicating tokens
+// within a table so the count is "number of tables containing the token".
+// Workers count into per-worker maps that are merged at the end, keeping
+// the hot path lock-free (the same shard-then-merge shape the mapreduce
+// engine uses, but with in-mapper combining so near-unique ID tokens cost
+// one map entry instead of one emission each).
+func BuildTokenIndex(tables []*table.Table) *TokenIndex {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(tables) && len(tables) > 0 {
+		nw = len(tables)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	shards := make([]map[uint64]int32, nw)
+	var wg sync.WaitGroup
+	chunk := (len(tables) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(tables) {
+			hi = len(tables)
+		}
+		if lo >= hi {
+			shards[w] = map[uint64]int32{}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make(map[uint64]int32, 1024)
+			seen := make(map[uint64]bool, 128)
+			for _, t := range tables[lo:hi] {
+				clear(seen)
+				for _, col := range t.Columns {
+					for _, v := range col.Values {
+						for _, tok := range table.Tokenize(v) {
+							h := hashToken(tok)
+							if !seen[h] {
+								seen[h] = true
+								local[h]++
+							}
+						}
+					}
+				}
+			}
+			shards[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	counts := shards[0]
+	for _, s := range shards[1:] {
+		for h, n := range s {
+			counts[h] += n
+		}
+	}
+	if counts == nil {
+		counts = map[uint64]int32{}
+	}
+	return &TokenIndex{counts: counts, numTables: len(tables)}
+}
+
+// NumTables returns the number of tables the index was built over.
+func (ix *TokenIndex) NumTables() int { return ix.numTables }
+
+// Count returns the number of tables containing the token.
+func (ix *TokenIndex) Count(tok string) int {
+	return int(ix.counts[hashToken(tok)])
+}
+
+// Prevalence returns Prev(C) for a column: the average, over cells and
+// their tokens, of the token's table count (§3.3). Columns with no tokens
+// get prevalence 0.
+func (ix *TokenIndex) Prevalence(c *table.Column) float64 {
+	var total float64
+	var n int
+	for _, v := range c.Values {
+		toks := table.Tokenize(v)
+		if len(toks) == 0 {
+			continue
+		}
+		var s float64
+		for _, tok := range toks {
+			s += float64(ix.counts[hashToken(tok)])
+		}
+		total += s / float64(len(toks))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Merge returns a new index combining both indexes' counts, as if built
+// over the union of their corpora (assuming disjoint table sets).
+func (ix *TokenIndex) Merge(other *TokenIndex) *TokenIndex {
+	counts := make(map[uint64]int32, len(ix.counts)+len(other.counts))
+	for h, n := range ix.counts {
+		counts[h] = n
+	}
+	for h, n := range other.counts {
+		counts[h] += n
+	}
+	return &TokenIndex{counts: counts, numTables: ix.numTables + other.numTables}
+}
+
+// RelPrevalence returns Prev(C) normalized by the corpus size: the
+// average fraction of tables an average token of the column occurs in.
+func (ix *TokenIndex) RelPrevalence(c *table.Column) float64 {
+	if ix.numTables == 0 {
+		return 0
+	}
+	return ix.Prevalence(c) / float64(ix.numTables)
+}
+
+// tokenIndexWire is the gob wire format of a TokenIndex.
+type tokenIndexWire struct {
+	Counts    map[uint64]int32
+	NumTables int
+}
+
+// Encode writes the index to w (gob), so a trained model can carry its
+// featurization context.
+func (ix *TokenIndex) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(tokenIndexWire{Counts: ix.counts, NumTables: ix.numTables})
+}
+
+// DecodeTokenIndex reads an index written by Encode.
+func DecodeTokenIndex(r io.Reader) (*TokenIndex, error) {
+	var w tokenIndexWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("corpus: decode token index: %w", err)
+	}
+	if w.Counts == nil {
+		w.Counts = map[uint64]int32{}
+	}
+	return &TokenIndex{counts: w.Counts, numTables: w.NumTables}, nil
+}
+
+func hashToken(tok string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	return h.Sum64()
+}
+
+// TopTokens returns the k most prevalent token hashes with counts, for
+// diagnostics.
+func (ix *TokenIndex) TopTokens(k int) []int32 {
+	counts := make([]int32, 0, len(ix.counts))
+	for _, v := range ix.counts {
+		counts = append(counts, v)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	if k < len(counts) {
+		counts = counts[:k]
+	}
+	return counts
+}

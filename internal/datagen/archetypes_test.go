@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/wordlist"
+)
+
+func TestSkewedIndexHeadBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 100
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		idx := skewedIndex(rng, n)
+		if idx < 0 || idx >= n {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	head, tail := 0, 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	for i := n - 10; i < n; i++ {
+		tail += counts[i]
+	}
+	if head < tail*5 {
+		t.Errorf("head %d should dwarf tail %d", head, tail)
+	}
+	if tail == 0 {
+		t.Error("tail must still occur")
+	}
+}
+
+func TestPluralizeLast(t *testing.T) {
+	cases := map[string]string{
+		"Annual report":  "Annual reports",
+		"Cross":          "",
+		"":               "",
+		"one two three":  "one two threes",
+		"already plural": "", // ends in s? "plural" does not... see below
+	}
+	delete(cases, "already plural")
+	for in, want := range cases {
+		if got := pluralizeLast(in); got != want {
+			t.Errorf("pluralizeLast(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := pluralizeLast("ends with s"); got != "" {
+		t.Errorf("s-suffix should return empty, got %q", got)
+	}
+}
+
+func TestGenPhrasesPluralVariants(t *testing.T) {
+	// Over many columns, roughly 1/7 should contain a plural twin of one
+	// of their own rows.
+	rng := rand.New(rand.NewSource(77))
+	withTwin := 0
+	const cols = 400
+	for c := 0; c < cols; c++ {
+		vals := genPhrases(rng, 12)
+		set := map[string]bool{}
+		for _, v := range vals {
+			set[v] = true
+		}
+		for _, v := range vals {
+			if !strings.HasSuffix(v, "s") && set[v+"s"] {
+				withTwin++
+				break
+			}
+		}
+	}
+	if withTwin < cols/20 || withTwin > cols/3 {
+		t.Errorf("plural-twin columns = %d of %d, want ~1/7", withTwin, cols)
+	}
+}
+
+func TestConfusableSurnamesPresent(t *testing.T) {
+	set := map[string]bool{}
+	for _, n := range wordlist.LastNames() {
+		set[n] = true
+	}
+	pairs := [][2]string{{"Johnson", "Johnston"}, {"Hansen", "Hanson"}, {"Fisher", "Fischer"}}
+	for _, p := range pairs {
+		if !set[p[0]] || !set[p[1]] {
+			t.Errorf("confusable pair %v missing from surnames", p)
+		}
+	}
+}
+
+func TestGenNamesInitialsOnlyInBigColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		small := genNames(rng, 20)
+		for _, v := range small {
+			if strings.HasSuffix(v, ".") {
+				t.Fatalf("small column got initials: %q", v)
+			}
+		}
+	}
+	sawInitials := false
+	for trial := 0; trial < 30 && !sawInitials; trial++ {
+		big := genNames(rng, 100)
+		for _, v := range big {
+			if strings.HasSuffix(v, ".") {
+				sawInitials = true
+				break
+			}
+		}
+	}
+	if !sawInitials {
+		t.Error("no big column ever used initials")
+	}
+}
+
+func TestGenElectionPercentsSumToHundred(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := genElectionPercents(rng, 10)
+	var sum float64
+	var first, second float64
+	for i, v := range vals {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("bad percent %q", v)
+		}
+		sum += f
+		if i == 0 {
+			first = f
+		}
+		if i == 1 {
+			second = f
+		}
+	}
+	if sum < 99 || sum > 101 {
+		t.Errorf("sum = %v", sum)
+	}
+	if first <= second {
+		t.Errorf("election percents must be decreasing: %v then %v", first, second)
+	}
+}

@@ -1,0 +1,314 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func smallSpec() Spec {
+	return Spec{Name: "T", Profile: ProfileWeb, NumTables: 300,
+		AvgRows: 20, AvgCols: 4.6, ErrorRate: 0.3, Seed: 42}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallSpec())
+	b := Generate(smallSpec())
+	if len(a.Tables) != len(b.Tables) || len(a.Labels) != len(b.Labels) {
+		t.Fatalf("shape mismatch: %d/%d tables, %d/%d labels",
+			len(a.Tables), len(b.Tables), len(a.Labels), len(b.Labels))
+	}
+	for i := range a.Tables {
+		ta, tb := a.Tables[i], b.Tables[i]
+		if ta.Name != tb.Name || ta.NumCols() != tb.NumCols() || ta.NumRows() != tb.NumRows() {
+			t.Fatalf("table %d differs structurally", i)
+		}
+		for j := range ta.Columns {
+			for r := range ta.Columns[j].Values {
+				if ta.Columns[j].Values[r] != tb.Columns[j].Values[r] {
+					t.Fatalf("table %d cell (%d,%d) differs", i, j, r)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := smallSpec()
+	res := Generate(spec)
+	if len(res.Tables) != spec.NumTables {
+		t.Fatalf("tables = %d", len(res.Tables))
+	}
+	var rows, cols int
+	for _, tb := range res.Tables {
+		rows += tb.NumRows()
+		cols += tb.NumCols()
+		if tb.NumRows() < 6 {
+			t.Errorf("table %s too small: %d rows", tb.Name, tb.NumRows())
+		}
+	}
+	avgRows := float64(rows) / float64(len(res.Tables))
+	avgCols := float64(cols) / float64(len(res.Tables))
+	if avgRows < spec.AvgRows*0.6 || avgRows > spec.AvgRows*1.6 {
+		t.Errorf("avgRows = %.1f, want near %.1f", avgRows, spec.AvgRows)
+	}
+	if avgCols < spec.AvgCols-1 || avgCols > spec.AvgCols+1 {
+		t.Errorf("avgCols = %.1f, want near %.1f", avgCols, spec.AvgCols)
+	}
+}
+
+func TestLabelsPointAtCorruptedCells(t *testing.T) {
+	res := Generate(smallSpec())
+	if len(res.Labels) < 20 {
+		t.Fatalf("too few labels: %d", len(res.Labels))
+	}
+	byName := map[string]*table.Table{}
+	for _, tb := range res.Tables {
+		byName[tb.Name] = tb
+	}
+	for _, l := range res.Labels {
+		tb := byName[l.Table]
+		if tb == nil {
+			t.Fatalf("label references unknown table %q", l.Table)
+		}
+		c := tb.Column(l.Column)
+		if c == nil {
+			t.Fatalf("label references unknown column %q in %q", l.Column, l.Table)
+		}
+		if l.Row < 0 || l.Row >= c.Len() {
+			t.Fatalf("label row %d out of range", l.Row)
+		}
+		if c.Values[l.Row] == l.Original {
+			t.Errorf("label %v: cell equals original %q (no corruption applied)", l, l.Original)
+		}
+	}
+}
+
+func TestAllErrorClassesInjected(t *testing.T) {
+	spec := smallSpec()
+	spec.NumTables = 2000
+	spec.ErrorRate = 0.5
+	res := Generate(spec)
+	got := map[ErrorClass]int{}
+	for _, l := range res.Labels {
+		got[l.Class]++
+	}
+	for _, cls := range []ErrorClass{ClassSpelling, ClassOutlier, ClassUniqueness, ClassFD, ClassFDSynth} {
+		if got[cls] < 5 {
+			t.Errorf("class %v has only %d labels", cls, got[cls])
+		}
+	}
+}
+
+func TestInjectedTypoCreatesClosePair(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tbl := table.MustNew("t", table.NewColumn("Name", []string{
+		"Jonathan Alexander", "Christopher Sullivan", "Margaret Hamilton",
+		"Benjamin Harrison", "Elizabeth Crawford", "Katherine Peterson",
+	}))
+	lbl, ok := injectTypo(rng, tbl, 0)
+	if !ok {
+		t.Fatal("injectTypo failed")
+	}
+	c := tbl.Columns[0]
+	// The corrupted cell must be within distance 2 of some other value.
+	corrupted := c.Values[lbl.Row]
+	close := false
+	for i, v := range c.Values {
+		if i == lbl.Row {
+			continue
+		}
+		if editDist(corrupted, v) <= 2 {
+			close = true
+		}
+	}
+	if !close {
+		t.Errorf("typo %q has no close neighbor in %v", corrupted, c.Values)
+	}
+}
+
+// editDist is a tiny local Levenshtein for test validation only.
+func editDist(a, b string) int {
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < m {
+				m = prev[j-1] + cost
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+func TestInjectDuplicateCreatesDuplicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tbl := table.MustNew("t", table.NewColumn("ID", []string{"A1", "B2", "C3", "D4", "E5"}))
+	lbl, ok := injectDuplicate(rng, tbl, 0)
+	if !ok {
+		t.Fatal("injectDuplicate failed")
+	}
+	seen := map[string]int{}
+	for _, v := range tbl.Columns[0].Values {
+		seen[v]++
+	}
+	dups := 0
+	for _, n := range seen {
+		if n > 1 {
+			dups++
+		}
+	}
+	if dups != 1 {
+		t.Errorf("want exactly one duplicated value, got %d (%v)", dups, tbl.Columns[0].Values)
+	}
+	if tbl.Columns[0].Values[lbl.Row] == lbl.Original {
+		t.Error("label row not corrupted")
+	}
+}
+
+func TestInjectOutlierScalesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := []string{"8011", "9954", "11895", "11329", "11352", "11709", "10044", "9898"}
+	tbl := table.MustNew("t", table.NewColumn("Pop", vals))
+	lbl, ok := injectOutlier(rng, tbl, 0)
+	if !ok {
+		t.Fatal("injectOutlier failed")
+	}
+	f, _, ok2 := table.ParseNumber(tbl.Columns[0].Values[lbl.Row])
+	if !ok2 {
+		t.Fatalf("corrupted cell %q not numeric", tbl.Columns[0].Values[lbl.Row])
+	}
+	orig, _, _ := table.ParseNumber(lbl.Original)
+	ratio := f / orig
+	ok3 := false
+	for _, want := range []float64{100, 0.01, 10, 0.1} {
+		if ratio > want*0.999 && ratio < want*1.001 {
+			ok3 = true
+		}
+	}
+	if !ok3 {
+		t.Errorf("scale ratio = %v, want power-of-ten shift", ratio)
+	}
+}
+
+func TestGeoFDIsFunctionalBeforeInjection(t *testing.T) {
+	// Clean generation (error rate 0): every *relation-linked* geo pair
+	// must satisfy the FD. (Independently sampled City/Country filler
+	// columns carry no FD — they are deliberate bait.)
+	spec := smallSpec()
+	spec.ErrorRate = 0
+	spec.NumTables = 400
+	checked := 0
+	for _, gt := range generateTables(spec) {
+		for _, rel := range gt.schema.relations {
+			if rel.kind != relGeoFD {
+				continue
+			}
+			city := gt.Table.Columns[rel.lhs]
+			country := gt.Table.Columns[rel.rhs]
+			m := map[string]string{}
+			for i, cv := range city.Values {
+				if prev, ok := m[cv]; ok && prev != country.Values[i] {
+					t.Fatalf("table %s violates city->country FD without injection", gt.Table.Name)
+				}
+				m[cv] = country.Values[i]
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Errorf("too few geo tables generated: %d", checked)
+	}
+}
+
+func TestSynthCatRelationHolds(t *testing.T) {
+	spec := smallSpec()
+	spec.ErrorRate = 0
+	spec.NumTables = 600
+	res := Generate(spec)
+	found := false
+	for _, tb := range res.Tables {
+		num := tb.Column("Num")
+		title := tb.Column("Title")
+		if num == nil || title == nil {
+			continue
+		}
+		ok := true
+		for i := range num.Values {
+			if !strings.HasSuffix(title.Values[i], " "+num.Values[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok && len(num.Values) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no synth concat pair found in 600 tables")
+	}
+}
+
+func TestSpecPresets(t *testing.T) {
+	for _, s := range []Spec{WebSpec(), WikiSpec(), EnterpriseSpec()} {
+		if s.NumTables <= 0 || s.AvgRows <= 0 || s.AvgCols <= 0 {
+			t.Errorf("bad preset %+v", s)
+		}
+	}
+	ts := TestSample(WebSpec())
+	if ts.NumTables != WebSpec().NumTables/100 {
+		t.Errorf("web test sample = %d tables", ts.NumTables)
+	}
+	if ts.Seed == WebSpec().Seed {
+		t.Error("test sample must use a disjoint seed stream")
+	}
+	if TestSample(WikiSpec()).NumTables != WikiSpec().NumTables/10 {
+		t.Error("wiki test sample should be 10%")
+	}
+	if TestSample(EnterpriseSpec()).NumTables != EnterpriseSpec().NumTables {
+		t.Error("enterprise test sample should be the full corpus")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := WebSpec().Scale(0.001)
+	if s.NumTables != 135 {
+		t.Errorf("scaled = %d", s.NumTables)
+	}
+	if WebSpec().Scale(0).NumTables != 1 {
+		t.Error("scale floor should be 1")
+	}
+}
+
+func TestErrorClassString(t *testing.T) {
+	want := map[ErrorClass]string{
+		ClassSpelling: "spelling", ClassOutlier: "outlier",
+		ClassUniqueness: "uniqueness", ClassFD: "fd", ClassFDSynth: "fd-synthesis",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if ErrorClass(200).String() != "unknown" {
+		t.Error("unknown class string")
+	}
+}

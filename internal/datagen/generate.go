@@ -1,0 +1,241 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/unidetect/unidetect/internal/table"
+	"github.com/unidetect/unidetect/internal/wordlist"
+)
+
+// GenTable couples a generated table with its (hidden) schema; the schema
+// is consumed only by the error injector and by tests — detectors never
+// see it.
+type GenTable struct {
+	Table  *table.Table
+	schema schema
+}
+
+// Result is the output of one corpus generation run.
+type Result struct {
+	Spec   Spec
+	Tables []*table.Table
+	Labels []Label
+}
+
+// Generate synthesizes a corpus per spec, deterministically: table i is
+// produced from an rng seeded by (spec.Seed, i), so results are identical
+// regardless of parallelism.
+func Generate(spec Spec) *Result {
+	gts := generateTables(spec)
+	res := &Result{Spec: spec, Tables: make([]*table.Table, len(gts))}
+	for i, gt := range gts {
+		res.Tables[i] = gt.Table
+	}
+	// Error injection: one pass, deterministic. ErrorRate is the expected
+	// number of errors per table; each injection targets a column not yet
+	// corrupted in that table.
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed1abe1))
+	for i := range gts {
+		n := int(spec.ErrorRate)
+		if rng.Float64() < spec.ErrorRate-float64(n) {
+			n++
+		}
+		usedCols := map[string]bool{}
+		for e := 0; e < n; e++ {
+			if lbls, ok := inject(rng, &gts[i], usedCols); ok {
+				res.Labels = append(res.Labels, lbls...)
+			}
+		}
+	}
+	return res
+}
+
+func generateTables(spec Spec) []GenTable {
+	out := make([]GenTable, spec.NumTables)
+	nw := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (spec.NumTables + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > spec.NumTables {
+			hi = spec.NumTables
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				rng := rand.New(rand.NewSource(mix(spec.Seed, int64(i))))
+				out[i] = genTable(rng, spec, i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// mix produces a well-spread seed for table i.
+func mix(seed, i int64) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return int64(x)
+}
+
+func genTable(rng *rand.Rand, spec Spec, idx int) GenTable {
+	rows := sampleRows(rng, spec.AvgRows)
+	sch := buildSchema(rng, spec, rows)
+	used := make(map[string]bool)
+	cols := make([]*table.Column, len(sch.kinds))
+
+	// Geo FD pairs are generated from city indices so the mapping is
+	// functional; synth pairs are generated from their lhs.
+	cityIdxByCol := map[int][]int{}
+	for _, rel := range sch.relations {
+		if rel.kind == relGeoFD {
+			cityIdxByCol[rel.lhs] = randCityIndices(rng, rows)
+		}
+	}
+
+	for j, k := range sch.kinds {
+		name := colName(k, j, used)
+		if idx, ok := cityIdxByCol[j]; ok {
+			vals := make([]string, rows)
+			cities := wordlist.Cities()
+			for r, ci := range idx {
+				vals[r] = cities[ci]
+			}
+			cols[j] = table.NewColumn(name, vals)
+			continue
+		}
+		cols[j] = table.NewColumn(name, genColumn(rng, k, rows))
+	}
+	// Fill relation rhs columns from their lhs.
+	for _, rel := range sch.relations {
+		switch rel.kind {
+		case relGeoFD:
+			vals := make([]string, rows)
+			for r, ci := range cityIdxByCol[rel.lhs] {
+				vals[r] = cityCountry(ci)
+			}
+			cols[rel.rhs].Values = vals
+			cols[rel.rhs].Invalidate()
+		case relSynthCat:
+			prefix := []string{"Federal Route", "State Highway", "District", "Precinct"}[rng.Intn(4)]
+			vals := make([]string, rows)
+			for r, v := range cols[rel.lhs].Values {
+				vals[r] = prefix + " " + v
+			}
+			cols[rel.rhs].Values = vals
+			cols[rel.rhs].Invalidate()
+		case relSynthName:
+			// lhs must be "Last, First"; rhs is the last-name column.
+			lhsVals := genCommaNames(rng, rows)
+			cols[rel.lhs].Values = lhsVals
+			cols[rel.lhs].Invalidate()
+			vals := make([]string, rows)
+			for r, v := range lhsVals {
+				vals[r] = splitLast(v)
+			}
+			cols[rel.rhs].Values = vals
+			cols[rel.rhs].Invalidate()
+		}
+	}
+	t := table.MustNew(fmt.Sprintf("%s-%06d", spec.Name, idx), cols...)
+	return GenTable{Table: t, schema: sch}
+}
+
+func splitLast(fullName string) string {
+	for i := 0; i < len(fullName); i++ {
+		if fullName[i] == ',' {
+			return fullName[:i]
+		}
+	}
+	return fullName
+}
+
+func randCityIndices(rng *rand.Rand, n int) []int {
+	cities := wordlist.Cities()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = skewedIndex(rng, len(cities))
+	}
+	return out
+}
+
+func sampleRows(rng *rand.Rand, avg float64) int {
+	// Log-normal spread around avg; E[exp(N(mu,s))] = exp(mu + s^2/2),
+	// so mu = ln(avg) - s^2/2. The wide sigma gives the corpus a heavy
+	// tail of large tables, as real web crawls have — large-column
+	// feature buckets need native training support.
+	const sigma = 0.8
+	mu := math.Log(avg) - sigma*sigma/2
+	n := int(math.Exp(rng.NormFloat64()*sigma + mu))
+	if n < 6 {
+		n = 6
+	}
+	if max := int(avg * 30); n > max && max > 6 {
+		n = max
+	}
+	return n
+}
+
+func sampleCols(rng *rand.Rand, avg float64) int {
+	n := int(math.Round(rng.NormFloat64()*1.2 + avg))
+	if n < 2 {
+		n = 2
+	}
+	if n > 12 {
+		n = 12
+	}
+	return n
+}
+
+func buildSchema(rng *rand.Rand, spec Spec, rows int) schema {
+	ncols := sampleCols(rng, spec.AvgCols)
+	var sch schema
+	weights := kindWeights(spec.Profile)
+
+	// Probability of a leading key column; enterprise sheets, being
+	// database extracts, almost always carry one.
+	pKey := 0.3
+	if spec.Profile == ProfileEnterprise {
+		pKey = 0.55
+	}
+	if rng.Float64() < pKey {
+		keyKinds := []colKind{colCode, colCode, colICAO, colSeq}
+		sch.kinds = append(sch.kinds, keyKinds[rng.Intn(len(keyKinds))])
+	}
+
+	// Geo FD pair (city -> country).
+	if len(sch.kinds)+2 <= ncols && rng.Float64() < 0.22 {
+		lhs := len(sch.kinds)
+		sch.kinds = append(sch.kinds, colCity, colCountry)
+		sch.relations = append(sch.relations, relation{kind: relGeoFD, lhs: lhs, rhs: lhs + 1})
+	}
+
+	// Synthesizable pair: numeric id -> concatenated title, or
+	// "Last, First" -> last name.
+	if len(sch.kinds)+2 <= ncols && rng.Float64() < 0.12 {
+		lhs := len(sch.kinds)
+		if rng.Intn(2) == 0 {
+			sch.kinds = append(sch.kinds, colSeq, colWordPhrase)
+			sch.relations = append(sch.relations, relation{kind: relSynthCat, lhs: lhs, rhs: lhs + 1})
+		} else {
+			sch.kinds = append(sch.kinds, colFullName, colWordPhrase)
+			sch.relations = append(sch.relations, relation{kind: relSynthName, lhs: lhs, rhs: lhs + 1})
+		}
+	}
+
+	for len(sch.kinds) < ncols {
+		sch.kinds = append(sch.kinds, pickKind(rng, weights))
+	}
+	return sch
+}

@@ -1,0 +1,375 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// inject plants one labeled error into gt (occasionally more than one
+// cell for paired-outlier injections), choosing uniformly among the error
+// classes the table's schema supports. Columns named in usedCols are
+// skipped and corrupted columns are recorded there, so repeated
+// injections into one table never collide. It returns the labels and
+// whether an injection happened.
+func inject(rng *rand.Rand, gt *GenTable, usedCols map[string]bool) ([]Label, bool) {
+	type candidate struct {
+		class ErrorClass
+		apply func() ([]Label, bool)
+	}
+	var cands []candidate
+	t := gt.Table
+	if t.NumRows() < 6 {
+		return nil, false
+	}
+	for j, k := range gt.schema.kinds {
+		j, k := j, k
+		if usedCols[t.Columns[j].Name] {
+			continue
+		}
+		switch k {
+		case colFullName, colCity, colCountry, colWordPhrase, colAlias, colEmail:
+			if isRelationColumn(gt.schema, j) {
+				continue // keep relation columns for FD injections
+			}
+			cands = append(cands, candidate{ClassSpelling, func() ([]Label, bool) {
+				return one(injectTypo(rng, t, j))
+			}})
+		case colIntUniform, colIntHeavy, colFloat:
+			if t.NumRows() >= 8 {
+				cands = append(cands, candidate{ClassOutlier, func() ([]Label, bool) {
+					return injectOutliers(rng, t, j)
+				}})
+			}
+		case colCode, colICAO, colSeq:
+			if isRelationColumn(gt.schema, j) {
+				continue
+			}
+			cands = append(cands, candidate{ClassUniqueness, func() ([]Label, bool) {
+				return one(injectDuplicate(rng, t, j))
+			}})
+		}
+	}
+	for _, rel := range gt.schema.relations {
+		rel := rel
+		if usedCols[t.Columns[rel.lhs].Name] || usedCols[t.Columns[rel.rhs].Name] {
+			continue
+		}
+		switch rel.kind {
+		case relGeoFD:
+			cands = append(cands, candidate{ClassFD, func() ([]Label, bool) {
+				return one(injectFDViolation(rng, t, rel.lhs, rel.rhs))
+			}})
+		case relSynthCat, relSynthName:
+			cands = append(cands, candidate{ClassFDSynth, func() ([]Label, bool) {
+				return one(injectSynthViolation(rng, t, rel))
+			}})
+		}
+	}
+	// Try candidates in random order until one succeeds.
+	for _, i := range rng.Perm(len(cands)) {
+		if lbls, ok := cands[i].apply(); ok {
+			for _, l := range lbls {
+				usedCols[l.Column] = true
+			}
+			return lbls, true
+		}
+	}
+	return nil, false
+}
+
+// one adapts a single-label injector to the multi-label interface.
+func one(l Label, ok bool) ([]Label, bool) {
+	if !ok {
+		return nil, false
+	}
+	return []Label{l}, true
+}
+
+// injectOutliers corrupts one numeric cell — and, 30% of the time, a
+// second cell in the same column with the same scale factor. Paired
+// extremes are the masked-outlier scenario robust statistics exist for:
+// they inflate the SD enough to hide themselves, while the MAD barely
+// moves [48].
+func injectOutliers(rng *rand.Rand, t *table.Table, col int) ([]Label, bool) {
+	first, ok := injectOutlier(rng, t, col)
+	if !ok {
+		return nil, false
+	}
+	out := []Label{first}
+	if rng.Float64() < 0.3 {
+		if second, ok := injectOutlier(rng, t, col); ok && second.Row != first.Row {
+			out = append(out, second)
+		}
+	}
+	return out, true
+}
+
+func isRelationColumn(sch schema, j int) bool {
+	for _, rel := range sch.relations {
+		if rel.lhs == j || rel.rhs == j {
+			return true
+		}
+	}
+	return false
+}
+
+// injectTypo overwrites one cell with a single-edit corruption of another
+// row's value, creating the close pair a misspelling produces in real data
+// (Figure 4g: "Kevin Doeling" next to "Kevin Dowling").
+func injectTypo(rng *rand.Rand, t *table.Table, col int) (Label, bool) {
+	c := t.Columns[col]
+	n := c.Len()
+	for attempt := 0; attempt < 20; attempt++ {
+		src := rng.Intn(n)
+		v := c.Values[src]
+		if longestTokenLen(v) < 5 {
+			continue
+		}
+		typo := mutate(rng, v)
+		if typo == v || contains(c.Values, typo) {
+			continue
+		}
+		dst := rng.Intn(n)
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		orig := c.Values[dst]
+		c.Values[dst] = typo
+		c.Invalidate()
+		return Label{Table: t.Name, Column: c.Name, Row: dst, Class: ClassSpelling, Original: orig}, true
+	}
+	return Label{}, false
+}
+
+// mutate applies one random character edit inside a random token of v
+// with at least 5 letters (typos land anywhere, not only in the longest
+// word).
+func mutate(rng *rand.Rand, v string) string {
+	toks := strings.Split(v, " ")
+	var eligible []int
+	for i, tok := range toks {
+		if letterCount(tok) >= 5 {
+			eligible = append(eligible, i)
+		}
+	}
+	var pick int
+	if len(eligible) > 0 {
+		pick = eligible[rng.Intn(len(eligible))]
+	} else {
+		pick = 0
+		for i, tok := range toks {
+			if len(tok) > len(toks[pick]) {
+				pick = i
+			}
+		}
+	}
+	tok := toks[pick]
+	if len(tok) < 2 {
+		return v
+	}
+	b := []byte(tok)
+	pos := 1 + rng.Intn(len(b)-1) // keep the first letter
+	switch rng.Intn(3) {
+	case 0: // substitute
+		b[pos] = otherLetter(rng, b[pos])
+	case 1: // delete
+		b = append(b[:pos], b[pos+1:]...)
+	default: // insert
+		ins := byte('a' + rng.Intn(26))
+		b = append(b[:pos], append([]byte{ins}, b[pos:]...)...)
+	}
+	toks[pick] = string(b)
+	return strings.Join(toks, " ")
+}
+
+func letterCount(tok string) int {
+	n := 0
+	for _, r := range tok {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+			n++
+		}
+	}
+	return n
+}
+
+func otherLetter(rng *rand.Rand, c byte) byte {
+	lower := c >= 'a' && c <= 'z'
+	upper := c >= 'A' && c <= 'Z'
+	for {
+		var r byte
+		switch {
+		case lower:
+			r = byte('a' + rng.Intn(26))
+		case upper:
+			r = byte('A' + rng.Intn(26))
+		default:
+			r = byte('a' + rng.Intn(26))
+		}
+		if r != c {
+			return r
+		}
+	}
+}
+
+// injectOutlier corrupts one numeric cell with a scale error (missing or
+// shifted decimal point: ×100, ÷100, ×1000 or ÷1000 — the Figure 4(e)
+// "8.716 instead of 8,716" family).
+func injectOutlier(rng *rand.Rand, t *table.Table, col int) (Label, bool) {
+	c := t.Columns[col]
+	for attempt := 0; attempt < 20; attempt++ {
+		row := rng.Intn(c.Len())
+		f, isInt, ok := table.ParseNumber(c.Values[row])
+		if !ok || f == 0 {
+			continue
+		}
+		// Subtle power-of-ten shifts: a dropped decimal place or a comma
+		// read as a decimal point, not cartoonish ×1000 blowups — naive
+		// dispersion baselines must compete with natural heavy tails.
+		factor := []float64{100, 0.01, 10, 0.1}[rng.Intn(4)]
+		corrupted := f * factor
+		var nv string
+		if isInt && factor >= 1 {
+			nv = fmt.Sprintf("%d", int64(corrupted))
+		} else {
+			nv = fmt.Sprintf("%.3f", corrupted)
+		}
+		if nv == c.Values[row] {
+			continue
+		}
+		orig := c.Values[row]
+		c.Values[row] = nv
+		c.Invalidate()
+		return Label{Table: t.Name, Column: c.Name, Row: row, Class: ClassOutlier, Original: orig}, true
+	}
+	return Label{}, false
+}
+
+// injectDuplicate copies one key value over another row, producing a true
+// uniqueness violation in an ID-like column (Figure 6).
+func injectDuplicate(rng *rand.Rand, t *table.Table, col int) (Label, bool) {
+	c := t.Columns[col]
+	n := c.Len()
+	if n < 3 {
+		return Label{}, false
+	}
+	src := rng.Intn(n)
+	dst := rng.Intn(n)
+	if dst == src {
+		dst = (dst + 1) % n
+	}
+	if c.Values[src] == c.Values[dst] {
+		return Label{}, false
+	}
+	orig := c.Values[dst]
+	c.Values[dst] = c.Values[src]
+	c.Invalidate()
+	return Label{Table: t.Name, Column: c.Name, Row: dst, Class: ClassUniqueness, Original: orig}, true
+}
+
+// injectFDViolation breaks the city->country FD by changing the country of
+// one occurrence of a repeated city (Figure 4c/d style).
+func injectFDViolation(rng *rand.Rand, t *table.Table, lhs, rhs int) (Label, bool) {
+	lc, rc := t.Columns[lhs], t.Columns[rhs]
+	n := lc.Len()
+	// Find (or create) a repeated lhs value; scan in row order so the
+	// choice is deterministic.
+	byVal := map[string][]int{}
+	var group []int
+	for i, v := range lc.Values {
+		byVal[v] = append(byVal[v], i)
+		if group == nil && len(byVal[v]) == 2 {
+			group = byVal[v]
+		}
+	}
+	if group != nil {
+		group = byVal[lc.Values[group[0]]]
+	}
+	if group == nil {
+		// Duplicate one city (keeping the FD intact) to create a group.
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		lc.Values[dst] = lc.Values[src]
+		rc.Values[dst] = rc.Values[src]
+		lc.Invalidate()
+		group = []int{src, dst}
+	}
+	row := group[rng.Intn(len(group))]
+	orig := rc.Values[row]
+	// Swap in a different country from elsewhere in the column (or a
+	// mutated one if the column is constant).
+	for attempt := 0; attempt < 20; attempt++ {
+		alt := rc.Values[rng.Intn(n)]
+		if alt != orig {
+			rc.Values[row] = alt
+			rc.Invalidate()
+			return Label{Table: t.Name, Column: rc.Name, Row: row, Class: ClassFD, Original: orig}, true
+		}
+	}
+	return Label{}, false
+}
+
+// injectSynthViolation breaks a programmatic relationship: for concat
+// pairs, the id cell is changed so it no longer matches its composed title
+// (Figure 13: shield "738" next to "Malaysia Federal Route 748"); for name
+// pairs, the split-out last name is corrupted (Figure 14 style).
+func injectSynthViolation(rng *rand.Rand, t *table.Table, rel relation) (Label, bool) {
+	lc, rc := t.Columns[rel.lhs], t.Columns[rel.rhs]
+	n := lc.Len()
+	row := rng.Intn(n)
+	switch rel.kind {
+	case relSynthCat:
+		// Corrupt the lhs id so rhs no longer embeds it.
+		other := lc.Values[rng.Intn(n)]
+		if other == lc.Values[row] {
+			other = lc.Values[(row+1)%n]
+		}
+		if other == lc.Values[row] {
+			return Label{}, false
+		}
+		orig := lc.Values[row]
+		lc.Values[row] = other
+		lc.Invalidate()
+		return Label{Table: t.Name, Column: lc.Name, Row: row, Class: ClassFDSynth, Original: orig}, true
+	case relSynthName:
+		// Corrupt the split-out last name.
+		orig := rc.Values[row]
+		typo := mutate(rng, orig)
+		if typo == orig {
+			return Label{}, false
+		}
+		rc.Values[row] = typo
+		rc.Invalidate()
+		return Label{Table: t.Name, Column: rc.Name, Row: row, Class: ClassFDSynth, Original: orig}, true
+	}
+	return Label{}, false
+}
+
+func longestTokenLen(v string) int {
+	best := 0
+	for _, tok := range strings.Split(v, " ") {
+		letters := 0
+		for _, r := range tok {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+				letters++
+			}
+		}
+		if letters > best {
+			best = letters
+		}
+	}
+	return best
+}
+
+func contains(vals []string, v string) bool {
+	for _, x := range vals {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

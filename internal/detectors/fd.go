@@ -1,0 +1,158 @@
+package detectors
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// FD is the §3.4 instantiation: metric FR (FD-compliance ratio over
+// distinct (lhs, rhs) tuples), perturbation "drop the rows in violating
+// groups", featurization as in §3.3 applied to the lhs column.
+type FD struct {
+	Cfg core.Config
+}
+
+// Class implements core.Detector.
+func (d *FD) Class() core.Class { return core.ClassFD }
+
+// Quantizer implements core.Detector.
+func (d *FD) Quantizer() evidence.Quantizer { return evidence.RatioQuantizer{N: 96} }
+
+// Directions implements core.Detector.
+func (d *FD) Directions() evidence.Directions { return evidence.RatioDirections }
+
+// Measure implements core.Detector.
+func (d *FD) Measure(t *table.Table, env *core.Env) []core.Measurement {
+	var out []core.Measurement
+	n := t.NumRows()
+	if n < d.Cfg.MinRows {
+		return nil
+	}
+	pairs := 0
+	for li, lc := range t.Columns {
+		for ri, rc := range t.Columns {
+			if li == ri {
+				continue
+			}
+			if pairs >= d.Cfg.MaxFDPairs {
+				return out
+			}
+			pairs++
+			if m, ok := d.measurePair(t, li, ri, lc, rc, env); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// frStats summarizes one candidate FD (Cl -> Cr).
+type frStats struct {
+	fr         float64 // FR over distinct tuples (§3.4)
+	violations []int   // minority rows of violating groups
+	groupRows  []int   // all rows of violating groups (for reporting)
+	groups     int     // number of violating lhs groups
+}
+
+// computeFR evaluates FR_D(Cl, Cr) and the natural perturbation O: within
+// each lhs group carrying more than one rhs value, every row not holding
+// the group's majority rhs is suspect.
+func computeFR(lhs, rhs []string) frStats {
+	type group struct {
+		rhsCount map[string]int
+		rows     map[string][]int
+	}
+	groups := make(map[string]*group)
+	for i := range lhs {
+		g := groups[lhs[i]]
+		if g == nil {
+			g = &group{rhsCount: map[string]int{}, rows: map[string][]int{}}
+			groups[lhs[i]] = g
+		}
+		g.rhsCount[rhs[i]]++
+		g.rows[rhs[i]] = append(g.rows[rhs[i]], i)
+	}
+	var distinctTuples, conformingTuples int
+	var st frStats
+	for _, g := range groups {
+		distinctTuples += len(g.rhsCount)
+		if len(g.rhsCount) == 1 {
+			conformingTuples++
+			continue
+		}
+		st.groups++
+		// Keep the majority rhs (ties broken by first occurrence) and
+		// mark the rest.
+		var majority string
+		best := -1
+		for v, rowList := range g.rows {
+			c := g.rhsCount[v]
+			if c > best || (c == best && rowList[0] < g.rows[majority][0]) {
+				best, majority = c, v
+			}
+		}
+		for v, rowList := range g.rows {
+			st.groupRows = append(st.groupRows, rowList...)
+			if v != majority {
+				st.violations = append(st.violations, rowList...)
+			}
+		}
+	}
+	sort.Ints(st.violations)
+	sort.Ints(st.groupRows)
+	if distinctTuples > 0 {
+		st.fr = float64(conformingTuples) / float64(distinctTuples)
+	}
+	return st
+}
+
+func (d *FD) measurePair(t *table.Table, li, ri int, lc, rc *table.Column, env *core.Env) (core.Measurement, bool) {
+	n := lc.Len()
+	// A candidate FD over an all-distinct lhs is vacuous both ways; it
+	// still contributes denominator mass with FR = 1.
+	st := computeFR(lc.Values, rc.Values)
+	eps := d.Cfg.Epsilon(n)
+	valid := len(st.violations) > 0 && len(st.violations) <= eps
+
+	theta2 := 1.0
+	if len(st.violations) > eps {
+		// Only part of the violations fit the ε budget; approximate the
+		// best achievable FR by conforming tuple count after fixing the
+		// cheapest groups. For evidence purposes the exact greedy order
+		// matters little; we keep θ2 at the unperturbed FR to stay
+		// conservative.
+		theta2 = st.fr
+	}
+	key := feature.Key{
+		Type: lc.Type(),
+		Rows: feature.RowBucket(n),
+		A:    feature.RelPrevalenceBucket(prevalenceOf(env, lc)),
+		B:    feature.LeftnessBucket(li),
+	}
+	m := core.Measurement{
+		Key:    key,
+		Theta1: st.fr,
+		Theta2: theta2,
+		Valid:  valid,
+		Column: lc.Name + "→" + rc.Name,
+		Detail: fmt.Sprintf("FR=%.4f with %d violating group(s)", st.fr, st.groups),
+	}
+	if valid {
+		// Report every row of the violating groups: the detection is
+		// "these rows conflict" (the paper's O of §3.4 contains both
+		// sides of each conflicting pair); which side is wrong is for
+		// the user to judge.
+		m.Rows = st.groupRows
+		for _, r := range st.groupRows {
+			m.Values = append(m.Values, lc.Values[r]+"/"+rc.Values[r])
+		}
+	}
+	return m, true
+}
+
+var _ core.Detector = (*FD)(nil)

@@ -1,0 +1,189 @@
+// Package eval implements the paper's evaluation protocol (§4.3): every
+// method emits a ranked list of predicted errors, the top-K predictions
+// are judged against ground truth, and quality is reported as
+// Precision@K. The paper judges by hand; we judge mechanically against
+// the error injector's labels.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/unidetect/unidetect/internal/baselines"
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/datagen"
+)
+
+// Item is one ranked prediction, method-agnostic.
+type Item struct {
+	Table  string
+	Column string
+	Rows   []int
+}
+
+// Labels indexes ground-truth error cells, optionally restricted to
+// specific classes.
+type Labels struct {
+	cells map[string]map[int]bool // "table\x00column" -> rows
+	n     int
+}
+
+// NewLabels indexes labels; when classes is non-empty only those classes
+// are retained.
+func NewLabels(ls []datagen.Label, classes ...datagen.ErrorClass) *Labels {
+	keep := map[datagen.ErrorClass]bool{}
+	for _, c := range classes {
+		keep[c] = true
+	}
+	out := &Labels{cells: map[string]map[int]bool{}}
+	for _, l := range ls {
+		if len(classes) > 0 && !keep[l.Class] {
+			continue
+		}
+		k := l.Table + "\x00" + l.Column
+		if out.cells[k] == nil {
+			out.cells[k] = map[int]bool{}
+		}
+		out.cells[k][l.Row] = true
+		out.n++
+	}
+	return out
+}
+
+// Len returns the number of indexed label cells.
+func (l *Labels) Len() int { return l.n }
+
+// Matches reports whether any flagged row of the item coincides with a
+// labeled cell. Column names of the form "Lhs→Rhs" match labels on either
+// side, because an FD prediction flags a row of the pair.
+func (l *Labels) Matches(it Item) bool {
+	cols := []string{it.Column}
+	if i := strings.Index(it.Column, "→"); i >= 0 {
+		cols = []string{it.Column[:i], it.Column[i+len("→"):]}
+	}
+	for _, col := range cols {
+		rows := l.cells[it.Table+"\x00"+col]
+		if rows == nil {
+			continue
+		}
+		for _, r := range it.Rows {
+			if rows[r] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PrecisionAtK computes precision at each K over a ranked item list. When
+// fewer than K predictions exist, precision is computed over what exists
+// (the paper's judges can only label what a method produces).
+func PrecisionAtK(items []Item, labels *Labels, ks []int) []float64 {
+	out := make([]float64, len(ks))
+	hitsPrefix := make([]int, len(items)+1)
+	for i, it := range items {
+		hitsPrefix[i+1] = hitsPrefix[i]
+		if labels.Matches(it) {
+			hitsPrefix[i+1]++
+		}
+	}
+	for i, k := range ks {
+		n := k
+		if n > len(items) {
+			n = len(items)
+		}
+		if n == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(hitsPrefix[n]) / float64(n)
+	}
+	return out
+}
+
+// RecallAtK returns the fraction of distinct labeled cells matched by the
+// top-K predictions. The paper's APR discussion (§1) argues automated
+// detection should maximize precision and take whatever recall comes
+// "for free"; this measures that free recall.
+func RecallAtK(items []Item, labels *Labels, k int) float64 {
+	if labels.n == 0 {
+		return 0
+	}
+	if k > len(items) {
+		k = len(items)
+	}
+	hit := map[string]bool{}
+	for _, it := range items[:k] {
+		cols := []string{it.Column}
+		if i := strings.Index(it.Column, "→"); i >= 0 {
+			cols = []string{it.Column[:i], it.Column[i+len("→"):]}
+		}
+		for _, col := range cols {
+			key := it.Table + "\x00" + col
+			rows := labels.cells[key]
+			if rows == nil {
+				continue
+			}
+			for _, r := range it.Rows {
+				if rows[r] {
+					hit[fmt.Sprintf("%s\x00%d", key, r)] = true
+				}
+			}
+		}
+	}
+	return float64(len(hit)) / float64(labels.n)
+}
+
+// FromFindings converts Uni-Detect findings (already LR-ranked ascending)
+// of the given classes to ranked items.
+func FromFindings(fs []core.Finding, classes ...core.Class) []Item {
+	keep := map[core.Class]bool{}
+	for _, c := range classes {
+		keep[c] = true
+	}
+	var out []Item
+	for _, f := range fs {
+		if len(classes) > 0 && !keep[f.Class] {
+			continue
+		}
+		out = append(out, Item{Table: f.Table, Column: f.Column, Rows: f.Rows})
+	}
+	return out
+}
+
+// FromBaseline ranks baseline predictions by descending score (ties broken
+// deterministically) and converts them to items.
+func FromBaseline(ps []baselines.Prediction) []Item {
+	sorted := append([]baselines.Prediction(nil), ps...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if len(a.Rows) > 0 && len(b.Rows) > 0 {
+			return a.Rows[0] < b.Rows[0]
+		}
+		return len(a.Rows) < len(b.Rows)
+	})
+	out := make([]Item, len(sorted))
+	for i, p := range sorted {
+		out[i] = Item{Table: p.Table, Column: p.Column, Rows: p.Rows}
+	}
+	return out
+}
+
+// Ks returns the paper's x-axis: K = 10, 20, ..., 100.
+func Ks() []int {
+	ks := make([]int, 10)
+	for i := range ks {
+		ks[i] = (i + 1) * 10
+	}
+	return ks
+}

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/baselines"
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/datagen"
+)
+
+func TestLabelsMatch(t *testing.T) {
+	ls := NewLabels([]datagen.Label{
+		{Table: "t1", Column: "c1", Row: 3, Class: datagen.ClassSpelling},
+		{Table: "t1", Column: "c2", Row: 0, Class: datagen.ClassOutlier},
+	})
+	if ls.Len() != 2 {
+		t.Errorf("Len = %d", ls.Len())
+	}
+	cases := []struct {
+		it   Item
+		want bool
+	}{
+		{Item{"t1", "c1", []int{3}}, true},
+		{Item{"t1", "c1", []int{1, 3}}, true},
+		{Item{"t1", "c1", []int{4}}, false},
+		{Item{"t2", "c1", []int{3}}, false},
+		{Item{"t1", "c2", []int{0}}, true},
+		{Item{"t1", "c1→c2", []int{0}}, true},  // rhs side matches
+		{Item{"t1", "c3→c1", []int{3}}, true},  // lhs-referenced rhs... both sides checked
+		{Item{"t1", "c3→c4", []int{3}}, false}, // neither side labeled
+	}
+	for _, c := range cases {
+		if got := ls.Matches(c.it); got != c.want {
+			t.Errorf("Matches(%+v) = %v, want %v", c.it, got, c.want)
+		}
+	}
+}
+
+func TestLabelsClassFilter(t *testing.T) {
+	all := []datagen.Label{
+		{Table: "t", Column: "c", Row: 1, Class: datagen.ClassSpelling},
+		{Table: "t", Column: "c", Row: 2, Class: datagen.ClassOutlier},
+	}
+	sp := NewLabels(all, datagen.ClassSpelling)
+	if sp.Len() != 1 {
+		t.Errorf("Len = %d", sp.Len())
+	}
+	if sp.Matches(Item{"t", "c", []int{2}}) {
+		t.Error("outlier label should be filtered out")
+	}
+	if !sp.Matches(Item{"t", "c", []int{1}}) {
+		t.Error("spelling label should match")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	ls := NewLabels([]datagen.Label{
+		{Table: "t", Column: "c", Row: 0},
+		{Table: "t", Column: "c", Row: 2},
+	})
+	items := []Item{
+		{"t", "c", []int{0}}, // hit
+		{"t", "c", []int{9}}, // miss
+		{"t", "c", []int{2}}, // hit
+		{"t", "c", []int{7}}, // miss
+	}
+	got := PrecisionAtK(items, ls, []int{1, 2, 4, 100})
+	want := []float64{1, 0.5, 0.5, 0.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PrecisionAtK = %v, want %v", got, want)
+	}
+	if got := PrecisionAtK(nil, ls, []int{10}); got[0] != 0 {
+		t.Errorf("empty items precision = %v", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	ls := NewLabels([]datagen.Label{
+		{Table: "t", Column: "c", Row: 0},
+		{Table: "t", Column: "c", Row: 2},
+		{Table: "t", Column: "c", Row: 9},
+	})
+	items := []Item{
+		{"t", "c", []int{0}},
+		{"t", "c", []int{5}},
+		{"t", "c", []int{2}},
+	}
+	if got := RecallAtK(items, ls, 1); got != 1.0/3 {
+		t.Errorf("Recall@1 = %v", got)
+	}
+	if got := RecallAtK(items, ls, 3); got != 2.0/3 {
+		t.Errorf("Recall@3 = %v", got)
+	}
+	if got := RecallAtK(items, ls, 100); got != 2.0/3 {
+		t.Errorf("Recall@100 = %v", got)
+	}
+	// Duplicate hits of the same label count once.
+	dup := []Item{{"t", "c", []int{0}}, {"t", "c", []int{0}}}
+	if got := RecallAtK(dup, ls, 2); got != 1.0/3 {
+		t.Errorf("dup Recall = %v", got)
+	}
+	if RecallAtK(items, NewLabels(nil), 3) != 0 {
+		t.Error("empty labels recall must be 0")
+	}
+}
+
+func TestFromFindingsFiltersAndPreservesOrder(t *testing.T) {
+	fs := []core.Finding{
+		{Class: core.ClassSpelling, Table: "a", Column: "x", Rows: []int{1}},
+		{Class: core.ClassOutlier, Table: "b", Column: "y", Rows: []int{2}},
+		{Class: core.ClassSpelling, Table: "c", Column: "z", Rows: []int{3}},
+	}
+	items := FromFindings(fs, core.ClassSpelling)
+	if len(items) != 2 || items[0].Table != "a" || items[1].Table != "c" {
+		t.Errorf("items = %v", items)
+	}
+	if got := FromFindings(fs); len(got) != 3 {
+		t.Errorf("unfiltered = %v", got)
+	}
+}
+
+func TestFromBaselineRanksByScore(t *testing.T) {
+	ps := []baselines.Prediction{
+		{Table: "low", Score: 1},
+		{Table: "high", Score: 10},
+		{Table: "mid", Score: 5},
+	}
+	items := FromBaseline(ps)
+	if items[0].Table != "high" || items[1].Table != "mid" || items[2].Table != "low" {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestFromBaselineDeterministicTies(t *testing.T) {
+	ps := []baselines.Prediction{
+		{Table: "b", Column: "x", Rows: []int{2}, Score: 1},
+		{Table: "a", Column: "x", Rows: []int{1}, Score: 1},
+		{Table: "a", Column: "x", Rows: []int{0}, Score: 1},
+	}
+	items := FromBaseline(ps)
+	if items[0].Table != "a" || items[0].Rows[0] != 0 || items[2].Table != "b" {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestKs(t *testing.T) {
+	ks := Ks()
+	if len(ks) != 10 || ks[0] != 10 || ks[9] != 100 {
+		t.Errorf("Ks = %v", ks)
+	}
+}

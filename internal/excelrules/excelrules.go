@@ -1,0 +1,229 @@
+// Package excelrules implements the commercial-software approach to
+// error checking that the paper contrasts itself with (Figure 1,
+// Appendix B): a small set of manually curated, high-precision,
+// low-recall rules, adapted from Excel 2016's built-in "error checking
+// rules" to plain value tables. Each rule fires only on near-certain
+// problems; the package exists to demonstrate the coverage gap between
+// rule lists and Uni-Detect's corpus-driven detection.
+package excelrules
+
+import (
+	"strings"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Rule   string
+	Table  string
+	Column string
+	Row    int
+	Value  string
+	Detail string
+}
+
+// Rule checks one column and reports violations.
+type Rule interface {
+	// Name identifies the rule ("number-stored-as-text").
+	Name() string
+	// Check returns the violating rows with details.
+	Check(c *table.Column) []violation
+}
+
+type violation struct {
+	row    int
+	detail string
+}
+
+// All returns the built-in rule set.
+func All() []Rule {
+	return []Rule{
+		numberAsText{},
+		twoDigitYear{},
+		strayWhitespace{},
+		inconsistentCase{},
+		emptyInDense{},
+	}
+}
+
+// Check runs every rule over every column of a table.
+func Check(t *table.Table) []Finding {
+	var out []Finding
+	for _, rule := range All() {
+		for _, c := range t.Columns {
+			for _, v := range rule.Check(c) {
+				out = append(out, Finding{
+					Rule:   rule.Name(),
+					Table:  t.Name,
+					Column: c.Name,
+					Row:    v.row,
+					Value:  c.Values[v.row],
+					Detail: v.detail,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// numberAsText is Excel's "Number stored as text": a cell whose content
+// is a number wrapped in text markers (leading apostrophe, or surrounded
+// by whitespace) inside a numeric column.
+type numberAsText struct{}
+
+func (numberAsText) Name() string { return "number-stored-as-text" }
+
+func (numberAsText) Check(c *table.Column) []violation {
+	typ := c.Type()
+	if typ != table.TypeInt && typ != table.TypeFloat {
+		return nil
+	}
+	var out []violation
+	for i, v := range c.Values {
+		if v == "" {
+			continue
+		}
+		trimmed := strings.TrimSpace(strings.TrimPrefix(v, "'"))
+		if trimmed == v {
+			continue
+		}
+		if _, _, ok := table.ParseNumber(trimmed); ok {
+			out = append(out, violation{i, "number wrapped in text markers"})
+		}
+	}
+	return out
+}
+
+// twoDigitYear is Excel's "Cells containing years represented as 2
+// digits": a 2-digit value inside a column that otherwise holds 4-digit
+// years.
+type twoDigitYear struct{}
+
+func (twoDigitYear) Name() string { return "two-digit-year" }
+
+func (twoDigitYear) Check(c *table.Column) []violation {
+	years, twos := 0, []int{}
+	nonEmpty := 0
+	for i, v := range c.Values {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		nonEmpty++
+		switch {
+		case len(v) == 4 && allDigits(v) && (v[0] == '1' || v[0] == '2'):
+			years++
+		case len(v) == 2 && allDigits(v):
+			twos = append(twos, i)
+		}
+	}
+	// Fire only when the column is clearly a year column with a small
+	// minority of 2-digit entries.
+	if nonEmpty == 0 || years*10 < nonEmpty*8 || len(twos) == 0 || len(twos)*10 > nonEmpty*2 {
+		return nil
+	}
+	out := make([]violation, 0, len(twos))
+	for _, r := range twos {
+		out = append(out, violation{r, "year represented as 2 digits"})
+	}
+	return out
+}
+
+// strayWhitespace flags values with leading or trailing whitespace — a
+// classic spreadsheet paste artifact that breaks joins and group-bys.
+type strayWhitespace struct{}
+
+func (strayWhitespace) Name() string { return "stray-whitespace" }
+
+func (strayWhitespace) Check(c *table.Column) []violation {
+	var out []violation
+	for i, v := range c.Values {
+		if v != "" && strings.TrimSpace(v) != v {
+			out = append(out, violation{i, "leading or trailing whitespace"})
+		}
+	}
+	return out
+}
+
+// inconsistentCase flags a value whose casing differs from an otherwise
+// case-identical column (e.g. one "madrid" among "Madrid" rows with the
+// same letters).
+type inconsistentCase struct{}
+
+func (inconsistentCase) Name() string { return "inconsistent-case" }
+
+func (inconsistentCase) Check(c *table.Column) []violation {
+	if c.Type() != table.TypeString {
+		return nil
+	}
+	byFold := map[string]map[string][]int{}
+	for i, v := range c.Values {
+		if v == "" {
+			continue
+		}
+		f := strings.ToLower(v)
+		if byFold[f] == nil {
+			byFold[f] = map[string][]int{}
+		}
+		byFold[f][v] = append(byFold[f][v], i)
+	}
+	var out []violation
+	for _, variants := range byFold {
+		if len(variants) < 2 {
+			continue
+		}
+		// Flag the minority casing(s).
+		best, total := 0, 0
+		for _, rows := range variants {
+			total += len(rows)
+			if len(rows) > best {
+				best = len(rows)
+			}
+		}
+		for _, rows := range variants {
+			if len(rows) < best && len(rows)*4 <= total {
+				for _, r := range rows {
+					out = append(out, violation{r, "casing differs from the column's usual form"})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// emptyInDense flags empty cells in a column that is otherwise at least
+// 95% populated — likely omissions rather than structural blanks.
+type emptyInDense struct{}
+
+func (emptyInDense) Name() string { return "empty-in-dense-column" }
+
+func (emptyInDense) Check(c *table.Column) []violation {
+	n := c.Len()
+	if n < 20 {
+		return nil
+	}
+	var empty []int
+	for i, v := range c.Values {
+		if strings.TrimSpace(v) == "" {
+			empty = append(empty, i)
+		}
+	}
+	if len(empty) == 0 || len(empty)*20 > n {
+		return nil
+	}
+	out := make([]violation, 0, len(empty))
+	for _, r := range empty {
+		out = append(out, violation{r, "empty cell in a dense column"})
+	}
+	return out
+}
+
+func allDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

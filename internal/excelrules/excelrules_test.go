@@ -1,0 +1,127 @@
+package excelrules
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func col(name string, vals ...string) *table.Column { return table.NewColumn(name, vals) }
+
+func findingsByRule(fs []Finding) map[string][]Finding {
+	m := map[string][]Finding{}
+	for _, f := range fs {
+		m[f.Rule] = append(m[f.Rule], f)
+	}
+	return m
+}
+
+func TestNumberAsText(t *testing.T) {
+	tbl := table.MustNew("t",
+		col("Qty", "10", "20", " 30", "'40", "50", "60", "70", "80", "90", "100"),
+	)
+	fs := findingsByRule(Check(tbl))["number-stored-as-text"]
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].Row != 2 || fs[1].Row != 3 {
+		t.Errorf("rows = %d, %d", fs[0].Row, fs[1].Row)
+	}
+}
+
+func TestNumberAsTextSkipsStringColumns(t *testing.T) {
+	tbl := table.MustNew("t", col("Name", " alice", "bob", "carol"))
+	if fs := findingsByRule(Check(tbl))["number-stored-as-text"]; len(fs) != 0 {
+		t.Errorf("string column flagged: %v", fs)
+	}
+}
+
+func TestTwoDigitYear(t *testing.T) {
+	tbl := table.MustNew("t",
+		col("Year", "1995", "1996", "98", "1998", "1999", "2000", "2001", "2002", "2003", "2004"),
+	)
+	fs := findingsByRule(Check(tbl))["two-digit-year"]
+	if len(fs) != 1 || fs[0].Row != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+	// A column of mostly 2-digit values is not a year column.
+	tbl2 := table.MustNew("t", col("Grade", "98", "95", "87", "73", "99", "64"))
+	if fs := findingsByRule(Check(tbl2))["two-digit-year"]; len(fs) != 0 {
+		t.Errorf("grade column flagged: %v", fs)
+	}
+}
+
+func TestStrayWhitespace(t *testing.T) {
+	tbl := table.MustNew("t", col("City", "Paris", " Lyon", "Nice ", "Oslo"))
+	fs := findingsByRule(Check(tbl))["stray-whitespace"]
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestInconsistentCase(t *testing.T) {
+	tbl := table.MustNew("t", col("City",
+		"Madrid", "Madrid", "Madrid", "madrid", "Lyon", "Oslo"))
+	fs := findingsByRule(Check(tbl))["inconsistent-case"]
+	if len(fs) != 1 || fs[0].Row != 3 {
+		t.Fatalf("findings = %v", fs)
+	}
+	// A 50/50 split is a style choice, not an error.
+	tbl2 := table.MustNew("t", col("X", "ab", "AB", "ab", "AB"))
+	if fs := findingsByRule(Check(tbl2))["inconsistent-case"]; len(fs) != 0 {
+		t.Errorf("50/50 casing flagged: %v", fs)
+	}
+}
+
+func TestEmptyInDense(t *testing.T) {
+	vals := make([]string, 40)
+	for i := range vals {
+		vals[i] = "v"
+	}
+	vals[7] = ""
+	tbl := table.MustNew("t", col("C", vals...))
+	fs := findingsByRule(Check(tbl))["empty-in-dense-column"]
+	if len(fs) != 1 || fs[0].Row != 7 {
+		t.Fatalf("findings = %v", fs)
+	}
+	// Sparse columns are structural, not erroneous.
+	for i := 0; i < 10; i++ {
+		vals[i] = ""
+	}
+	tbl2 := table.MustNew("t", col("C", vals...))
+	if fs := findingsByRule(Check(tbl2))["empty-in-dense-column"]; len(fs) != 0 {
+		t.Errorf("sparse column flagged: %v", fs)
+	}
+	// Short columns are skipped entirely.
+	tbl3 := table.MustNew("t", col("C", "a", "", "c"))
+	if fs := findingsByRule(Check(tbl3))["empty-in-dense-column"]; len(fs) != 0 {
+		t.Errorf("short column flagged: %v", fs)
+	}
+}
+
+func TestHighPrecisionOnCleanData(t *testing.T) {
+	// The rules' defining property (Figure 1 discussion): they stay
+	// silent on ordinary clean columns.
+	tbl := table.MustNew("t",
+		col("ID", "A1", "B2", "C3", "D4"),
+		col("Year", "1995", "1996", "1997", "1998"),
+		col("Name", "Alice", "Bob", "Carol", "Dave"),
+		col("Qty", "10", "20", "30", "40"),
+	)
+	if fs := Check(tbl); len(fs) != 0 {
+		t.Errorf("clean table flagged: %v", fs)
+	}
+}
+
+func TestAllRuleNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.Name()] {
+			t.Errorf("duplicate rule name %q", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("rules = %d", len(seen))
+	}
+}

@@ -1,0 +1,448 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (§4, Appendix D): Table 2 corpus
+// statistics, Figures 8–10 (spelling / outlier / uniqueness Precision@K
+// on WEB^T, WIKI^T and Enterprise^T) and Figure 12 (FD and FD-synthesis).
+//
+// A Lab owns the shared state — the model trained once on the WEB corpus
+// and the three test corpora — so an experiment run is: train (cached),
+// generate test corpus (cached), run Uni-Detect plus the figure's
+// baselines, evaluate Precision@K against injected ground truth.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/unidetect/unidetect/internal/baselines"
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/eval"
+)
+
+// Options scales and parallelizes a Lab. Scale 1.0 corresponds to the
+// DESIGN.md corpus presets (1/1000 of the paper's table counts).
+type Options struct {
+	Scale   float64
+	Workers int
+	// Quiet suppresses progress logging.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Lab owns the trained model and cached corpora shared by experiments.
+type Lab struct {
+	opts Options
+	cfg  core.Config
+
+	mu       sync.Mutex
+	model    *core.Model
+	trainBG  *corpus.Corpus
+	testRes  map[datagen.Profile]*datagen.Result
+	findings map[findingsKey][]core.Finding
+}
+
+type findingsKey struct {
+	profile  datagen.Profile
+	withDict bool
+}
+
+// NewLab creates a lab at the given scale.
+func NewLab(opts Options) *Lab {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = opts.Workers
+	return &Lab{
+		opts:     opts,
+		cfg:      cfg,
+		testRes:  map[datagen.Profile]*datagen.Result{},
+		findings: map[findingsKey][]core.Finding{},
+	}
+}
+
+// Config exposes the lab's framework configuration.
+func (l *Lab) Config() core.Config { return l.cfg }
+
+// trainSpec is the WEB training corpus at lab scale.
+func (l *Lab) trainSpec() datagen.Spec {
+	return datagen.WebSpec().Scale(l.opts.Scale * 0.2)
+}
+
+// testSpec sizes the test corpora for top-100 evaluation support:
+// Precision@100 per error class needs well over 100 injected errors of
+// each class, so test corpora are larger than a literal 1%/10% sample of
+// the scaled-down presets (documented in EXPERIMENTS.md).
+func (l *Lab) testSpec(p datagen.Profile) datagen.Spec {
+	var s datagen.Spec
+	switch p {
+	case datagen.ProfileWeb:
+		s = datagen.TestSample(datagen.WebSpec())
+		s.NumTables = scaled(4000, l.opts.Scale)
+	case datagen.ProfileWiki:
+		s = datagen.TestSample(datagen.WikiSpec())
+		s.NumTables = scaled(4000, l.opts.Scale)
+	default:
+		s = datagen.TestSample(datagen.EnterpriseSpec())
+		s.NumTables = scaled(1500, l.opts.Scale)
+	}
+	return s
+}
+
+func scaled(n int, f float64) int {
+	v := int(float64(n) * f)
+	if v < 50 {
+		v = 50
+	}
+	return v
+}
+
+// Model trains (once) the Uni-Detect model on the WEB training corpus.
+func (l *Lab) Model() (*core.Model, *corpus.Corpus, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.model != nil {
+		return l.model, l.trainBG, nil
+	}
+	spec := l.trainSpec()
+	l.opts.logf("generating training corpus %s (%d tables)...", spec.Name, spec.NumTables)
+	res := datagen.Generate(spec)
+	bg := corpus.New(spec.Name, res.Tables)
+	l.opts.logf("building token index over %d tables...", bg.NumTables())
+	bg.Index()
+	l.opts.logf("training Uni-Detect model...")
+	m, err := core.Train(context.Background(), l.cfg, bg, detectors.All(l.cfg, detectors.Options{}))
+	if err != nil {
+		return nil, nil, err
+	}
+	l.model, l.trainBG = m, bg
+	return m, bg, nil
+}
+
+// TestCorpus generates (once) the labeled test corpus for a profile.
+func (l *Lab) TestCorpus(p datagen.Profile) *datagen.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.testRes[p]; ok {
+		return r
+	}
+	spec := l.testSpec(p)
+	l.opts.logf("generating test corpus %s (%d tables)...", spec.Name, spec.NumTables)
+	r := datagen.Generate(spec)
+	l.testRes[p] = r
+	return r
+}
+
+// Findings runs (once) the Uni-Detect predictor over a test corpus.
+func (l *Lab) Findings(p datagen.Profile, withDict bool) ([]core.Finding, error) {
+	m, bg, err := l.Model()
+	if err != nil {
+		return nil, err
+	}
+	res := l.TestCorpus(p)
+	l.mu.Lock()
+	if fs, ok := l.findings[findingsKey{p, withDict}]; ok {
+		l.mu.Unlock()
+		return fs, nil
+	}
+	l.mu.Unlock()
+
+	dets := detectors.All(m.Config, detectors.Options{WithDict: withDict})
+	pred := core.NewPredictor(m, dets, &core.Env{Index: bg.Index()})
+	l.opts.logf("running Uni-Detect over %s (%d tables, dict=%v)...", res.Spec.Name, len(res.Tables), withDict)
+	fs := pred.DetectAll(context.Background(), res.Tables)
+
+	l.mu.Lock()
+	l.findings[findingsKey{p, withDict}] = fs
+	l.mu.Unlock()
+	return fs, nil
+}
+
+// Series is one method's Precision@K curve.
+type Series struct {
+	Method    string
+	Precision []float64
+	// Recall100 is the fraction of this figure's ground-truth errors
+	// recovered within the top 100 predictions (the "free recall" of the
+	// paper's APR discussion).
+	Recall100 float64
+	NumPreds  int
+}
+
+// Figure is one reproduced figure: Precision@K curves for each method.
+type Figure struct {
+	ID      string
+	Caption string
+	Corpus  string
+	Ks      []int
+	Series  []Series
+	// NumLabels is the ground-truth support for this figure's classes.
+	NumLabels int
+}
+
+// Render prints the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s (corpus %s, %d ground-truth errors)\n", f.ID, f.Caption, f.Corpus, f.NumLabels)
+	fmt.Fprintf(&b, "%-26s", "method \\ K")
+	for _, k := range f.Ks {
+		fmt.Fprintf(&b, "%7d", k)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-26s", s.Method)
+		for _, p := range s.Precision {
+			fmt.Fprintf(&b, "%7.2f", p)
+		}
+		fmt.Fprintf(&b, "   (n=%d, recall@100=%.2f)\n", s.NumPreds, s.Recall100)
+	}
+	return b.String()
+}
+
+// RenderChart prints the figure as an ASCII chart (precision on the y
+// axis, K on the x axis), one row per 0.1 band, mirroring the paper's
+// line plots for terminal viewing.
+func (f *Figure) RenderChart() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s (corpus %s)\n", f.ID, f.Caption, f.Corpus)
+	marks := "0123456789ABCDEFGHIJ"
+	for band := 10; band >= 0; band-- {
+		lo := float64(band) / 10
+		fmt.Fprintf(&b, "%4.1f |", lo)
+		for ki := range f.Ks {
+			cell := ' '
+			for si, s := range f.Series {
+				p := s.Precision[ki]
+				if int(p*10+0.5) == band {
+					cell = rune(marks[si%len(marks)])
+				}
+			}
+			fmt.Fprintf(&b, "  %c  ", cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "     +")
+	for range f.Ks {
+		fmt.Fprintf(&b, "-----")
+	}
+	fmt.Fprintf(&b, "\n      ")
+	for _, k := range f.Ks {
+		fmt.Fprintf(&b, "%4d ", k)
+	}
+	b.WriteByte('\n')
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s (n=%d)\n", marks[si%len(marks)], s.Method, s.NumPreds)
+	}
+	return b.String()
+}
+
+// At returns the precision of a method at K, or -1 when absent.
+func (f *Figure) At(method string, k int) float64 {
+	ki := -1
+	for i, kk := range f.Ks {
+		if kk == k {
+			ki = i
+		}
+	}
+	if ki < 0 {
+		return -1
+	}
+	for _, s := range f.Series {
+		if s.Method == method {
+			return s.Precision[ki]
+		}
+	}
+	return -1
+}
+
+// IDs lists every experiment in presentation order.
+func IDs() []string {
+	return []string{
+		"table2",
+		"fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c",
+		"fig10a", "fig10b", "fig10c",
+		"fig12a", "fig12b", "fig12c", "fig12d",
+	}
+}
+
+// figureSpec wires an experiment id to its corpus, error classes and
+// baseline set.
+type figureSpec struct {
+	caption  string
+	profile  datagen.Profile
+	classes  []datagen.ErrorClass
+	udClass  []core.Class
+	methods  func(l *Lab) []baselines.Method
+	withDict bool // additionally run the UNIDETECT+Dict series
+}
+
+func spellingMethods(*Lab) []baselines.Method {
+	return []baselines.Method{
+		&baselines.Speller{},
+		&baselines.Speller{AddressOnly: true},
+		&baselines.FuzzyCluster{},
+		&baselines.Embedding{},
+		&baselines.Embedding{Glove: true},
+	}
+}
+
+func outlierMethods(*Lab) []baselines.Method {
+	return []baselines.Method{
+		baselines.MaxMAD{},
+		baselines.MaxSD{},
+		baselines.DBOD{},
+		baselines.LOF{},
+	}
+}
+
+func uniquenessMethods(*Lab) []baselines.Method {
+	return []baselines.Method{
+		baselines.UniqueRowRatio{},
+		baselines.UniqueValueRatio{},
+	}
+}
+
+func fdMethods(*Lab) []baselines.Method {
+	return []baselines.Method{
+		baselines.UniqueProjectionRatio{},
+		baselines.ConformingRowRatio{},
+		baselines.ConformingPairRatio{},
+	}
+}
+
+func figureSpecs() map[string]figureSpec {
+	return map[string]figureSpec{
+		"fig8a":  {"spelling errors", datagen.ProfileWeb, []datagen.ErrorClass{datagen.ClassSpelling}, []core.Class{core.ClassSpelling}, spellingMethods, true},
+		"fig9a":  {"spelling errors", datagen.ProfileWiki, []datagen.ErrorClass{datagen.ClassSpelling}, []core.Class{core.ClassSpelling}, spellingMethods, true},
+		"fig10a": {"spelling errors", datagen.ProfileEnterprise, []datagen.ErrorClass{datagen.ClassSpelling}, []core.Class{core.ClassSpelling}, spellingMethods, true},
+		"fig8b":  {"numeric outliers", datagen.ProfileWeb, []datagen.ErrorClass{datagen.ClassOutlier}, []core.Class{core.ClassOutlier}, outlierMethods, false},
+		"fig9b":  {"numeric outliers", datagen.ProfileWiki, []datagen.ErrorClass{datagen.ClassOutlier}, []core.Class{core.ClassOutlier}, outlierMethods, false},
+		"fig10b": {"numeric outliers", datagen.ProfileEnterprise, []datagen.ErrorClass{datagen.ClassOutlier}, []core.Class{core.ClassOutlier}, outlierMethods, false},
+		"fig8c":  {"uniqueness violations", datagen.ProfileWeb, []datagen.ErrorClass{datagen.ClassUniqueness}, []core.Class{core.ClassUniqueness}, uniquenessMethods, false},
+		"fig9c":  {"uniqueness violations", datagen.ProfileWiki, []datagen.ErrorClass{datagen.ClassUniqueness}, []core.Class{core.ClassUniqueness}, uniquenessMethods, false},
+		"fig10c": {"uniqueness violations", datagen.ProfileEnterprise, []datagen.ErrorClass{datagen.ClassUniqueness}, []core.Class{core.ClassUniqueness}, uniquenessMethods, false},
+		"fig12a": {"FD violations", datagen.ProfileWeb, []datagen.ErrorClass{datagen.ClassFD}, []core.Class{core.ClassFD}, fdMethods, false},
+		"fig12b": {"FD violations", datagen.ProfileWiki, []datagen.ErrorClass{datagen.ClassFD}, []core.Class{core.ClassFD}, fdMethods, false},
+		"fig12c": {"FD-synthesis violations", datagen.ProfileWeb, []datagen.ErrorClass{datagen.ClassFDSynth}, []core.Class{core.ClassFDSynth}, fdMethods, false},
+		"fig12d": {"FD-synthesis violations", datagen.ProfileWiki, []datagen.ErrorClass{datagen.ClassFDSynth}, []core.Class{core.ClassFDSynth}, fdMethods, false},
+	}
+}
+
+// Figure runs one Precision@K experiment by id (fig8a ... fig12d).
+func (l *Lab) Figure(id string) (*Figure, error) {
+	spec, ok := figureSpecs()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (known: %v)", id, IDs())
+	}
+	res := l.TestCorpus(spec.profile)
+	// Judging matches the paper's protocol: a prediction is correct when
+	// the flagged cell is a real (injected) error of any class — human
+	// judges don't consult our label taxonomy. The figure's support count
+	// still reports its own classes.
+	labels := eval.NewLabels(res.Labels)
+	classLabels := eval.NewLabels(res.Labels, spec.classes...)
+	ks := eval.Ks()
+	fig := &Figure{
+		ID:        id,
+		Caption:   "Precision@K, " + spec.caption,
+		Corpus:    res.Spec.Name,
+		Ks:        ks,
+		NumLabels: classLabels.Len(),
+	}
+
+	// Uni-Detect series (and optionally the +Dict variant).
+	fs, err := l.Findings(spec.profile, false)
+	if err != nil {
+		return nil, err
+	}
+	items := eval.FromFindings(fs, spec.udClass...)
+	fig.Series = append(fig.Series, Series{
+		Method:    "UNIDETECT",
+		Precision: eval.PrecisionAtK(items, labels, ks),
+		Recall100: eval.RecallAtK(items, classLabels, 100),
+		NumPreds:  len(items),
+	})
+	if spec.withDict {
+		fsd, err := l.Findings(spec.profile, true)
+		if err != nil {
+			return nil, err
+		}
+		itemsD := eval.FromFindings(fsd, spec.udClass...)
+		fig.Series = append(fig.Series, Series{
+			Method:    "UNIDETECT+Dict",
+			Precision: eval.PrecisionAtK(itemsD, labels, ks),
+			Recall100: eval.RecallAtK(itemsD, classLabels, 100),
+			NumPreds:  len(itemsD),
+		})
+	}
+
+	for _, m := range spec.methods(l) {
+		l.opts.logf("running baseline %s on %s...", m.Name(), res.Spec.Name)
+		ps := baselines.PredictAll(m, res.Tables)
+		bitems := eval.FromBaseline(ps)
+		fig.Series = append(fig.Series, Series{
+			Method:    m.Name(),
+			Precision: eval.PrecisionAtK(bitems, labels, ks),
+			Recall100: eval.RecallAtK(bitems, classLabels, 100),
+			NumPreds:  len(bitems),
+		})
+	}
+	sort.SliceStable(fig.Series, func(i, j int) bool {
+		// Uni-Detect variants first, then baselines by name.
+		ui := strings.HasPrefix(fig.Series[i].Method, "UNIDETECT")
+		uj := strings.HasPrefix(fig.Series[j].Method, "UNIDETECT")
+		if ui != uj {
+			return ui
+		}
+		return false
+	})
+	return fig, nil
+}
+
+// Table2Row is one corpus summary row.
+type Table2Row struct {
+	Corpus    string
+	NumTables int
+	AvgCols   float64
+	AvgRows   float64
+}
+
+// Table2 reproduces the corpus summary statistics of Table 2 over the
+// scaled synthetic corpora.
+func (l *Lab) Table2() []Table2Row {
+	specs := []datagen.Spec{
+		datagen.WebSpec().Scale(l.opts.Scale * 0.05),
+		datagen.WikiSpec().Scale(l.opts.Scale),
+		datagen.EnterpriseSpec().Scale(l.opts.Scale * 0.2),
+	}
+	rows := make([]Table2Row, len(specs))
+	for i, s := range specs {
+		l.opts.logf("generating %s for Table 2 (%d tables)...", s.Name, s.NumTables)
+		res := datagen.Generate(s)
+		c := corpus.New(s.Name, res.Tables)
+		rows[i] = Table2Row{Corpus: s.Name, NumTables: c.NumTables(), AvgCols: c.AvgCols(), AvgRows: c.AvgRows()}
+	}
+	return rows
+}
+
+// RenderTable2 prints the Table 2 reproduction.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table2: corpus summary statistics (scaled presets)\n")
+	fmt.Fprintf(&b, "%-12s %12s %16s %16s\n", "corpus", "total#tables", "avg-#cols/table", "avg-#rows/table")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12d %16.1f %16.1f\n", r.Corpus, r.NumTables, r.AvgCols, r.AvgRows)
+	}
+	return b.String()
+}

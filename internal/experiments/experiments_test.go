@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// labScale is small enough for unit tests yet large enough for the
+// qualitative shape assertions to hold.
+const labScale = 0.15
+
+var sharedLab = NewLab(Options{Scale: labScale})
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	rows := sharedLab.Table2()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Corpus] = r
+	}
+	web, wiki, ent := byName["WEB"], byName["WIKI"], byName["Enterprise"]
+	// Per-table shape must match Table 2 (within generator noise).
+	near := func(got, want, tol float64) bool { return got > want-tol && got < want+tol }
+	if !near(web.AvgCols, 4.6, 0.6) || !near(wiki.AvgCols, 5.7, 0.7) || !near(ent.AvgCols, 4.7, 0.6) {
+		t.Errorf("avg cols: web %.1f wiki %.1f ent %.1f", web.AvgCols, wiki.AvgCols, ent.AvgCols)
+	}
+	if !near(web.AvgRows, 20.7, 8) || !near(wiki.AvgRows, 18, 7) {
+		t.Errorf("avg rows: web %.1f wiki %.1f", web.AvgRows, wiki.AvgRows)
+	}
+	if ent.AvgRows < 150 {
+		t.Errorf("enterprise rows = %.1f, want large (paper: 2932, scaled /10)", ent.AvgRows)
+	}
+	// Ordering of corpus sizes is preserved: WEB > Enterprise-ish, etc.
+	if web.NumTables == 0 || wiki.NumTables == 0 || ent.NumTables == 0 {
+		t.Error("empty corpora")
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "WEB") || !strings.Contains(out, "avg-#rows") {
+		t.Errorf("RenderTable2 = %q", out)
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	fig := &Figure{
+		ID: "figX", Caption: "test", Corpus: "C",
+		Ks: []int{10, 20},
+		Series: []Series{
+			{Method: "UNIDETECT", Precision: []float64{1.0, 0.8}, NumPreds: 42},
+			{Method: "Baseline", Precision: []float64{0.3, 0.2}, NumPreds: 7},
+		},
+	}
+	out := fig.RenderChart()
+	for _, want := range []string{"figX", "1.0 |", "0 = UNIDETECT (n=42)", "1 = Baseline (n=7)", "  10 ", "  20 "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The UNIDETECT mark must appear on the 1.0 band for K=10.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "0") {
+		t.Errorf("top band missing mark: %q", lines[1])
+	}
+}
+
+func TestFigureAtUnknown(t *testing.T) {
+	fig := &Figure{Ks: []int{10}, Series: []Series{{Method: "M", Precision: []float64{0.5}}}}
+	if fig.At("M", 99) != -1 {
+		t.Error("unknown K should give -1")
+	}
+	if fig.At("missing", 10) != -1 {
+		t.Error("unknown method should give -1")
+	}
+	if fig.At("M", 10) != 0.5 {
+		t.Error("At lookup failed")
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := sharedLab.Figure("fig99z"); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestIDsCoverEveryFigureSpec(t *testing.T) {
+	ids := IDs()
+	if ids[0] != "table2" {
+		t.Error("table2 must be listed")
+	}
+	specs := figureSpecs()
+	listed := map[string]bool{}
+	for _, id := range ids[1:] {
+		listed[id] = true
+		if _, ok := specs[id]; !ok {
+			t.Errorf("listed id %q has no spec", id)
+		}
+	}
+	for id := range specs {
+		if !listed[id] {
+			t.Errorf("spec %q not listed in IDs()", id)
+		}
+	}
+}
+
+func meanPrecision(f *Figure, method string) float64 {
+	for _, s := range f.Series {
+		if s.Method == method {
+			var sum float64
+			for _, p := range s.Precision {
+				sum += p
+			}
+			return sum / float64(len(s.Precision))
+		}
+	}
+	return -1
+}
+
+// TestFigure8Shape checks the headline qualitative results of Figure 8 on
+// the WEB test corpus: Uni-Detect beats every baseline at K=100 for all
+// three error classes, +Dict is at least as precise as plain spelling,
+// and Max-MAD beats Max-SD.
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	figA, err := sharedLab.Figure("fig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + figA.Render())
+	const k = 100
+	ud := figA.At("UNIDETECT", k)
+	if ud < 0.7 {
+		t.Errorf("UNIDETECT spelling P@100 = %.2f, want >= 0.7 (paper: >0.8)", ud)
+	}
+	if d := figA.At("UNIDETECT+Dict", k); d < ud-0.05 {
+		t.Errorf("+Dict P@100 = %.2f below plain %.2f", d, ud)
+	}
+	for _, m := range []string{"Speller", "Fuzzy-Cluster", "Word2Vec", "GloVe"} {
+		if p := figA.At(m, k); p >= ud {
+			t.Errorf("%s P@100 = %.2f should be below UNIDETECT %.2f", m, p, ud)
+		}
+	}
+
+	figB, err := sharedLab.Figure("fig8b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + figB.Render())
+	udB := figB.At("UNIDETECT", k)
+	// The mechanical ground truth cannot credit natural single-extreme
+	// values a human judge would call errors, so the absolute bar is
+	// below the paper's 0.92; the dominance ordering is the shape check.
+	// At this unit-test scale (0.15) the absolute precision is training-
+	// limited; at -scale 0.4+ (cmd/benchfig) it reaches ~0.9, matching
+	// the paper's 0.92.
+	if udB < 0.45 {
+		t.Errorf("UNIDETECT outlier P@100 = %.2f, want >= 0.45 (paper: 0.92)", udB)
+	}
+	// Dominance is asserted on the mean over all K with a small noise
+	// tolerance: at this unit-test scale single-K comparisons flip on
+	// 2–3 predictions. The record run (cmd/benchfig -scale 0.3,
+	// EXPERIMENTS.md) shows strict dominance at K=100.
+	udMean := meanPrecision(figB, "UNIDETECT")
+	for _, m := range []string{"Max-MAD", "Max-SD", "DBOD", "LOF"} {
+		if p := meanPrecision(figB, m); p > udMean+0.05 {
+			t.Errorf("%s mean precision %.2f should not exceed UNIDETECT %.2f", m, p, udMean)
+		}
+	}
+	// The robust-statistics effect is strongest at the head of the
+	// ranking (the paper's Figure 8(b) gap).
+	if figB.At("Max-MAD", 30) <= figB.At("Max-SD", 30) {
+		t.Errorf("Max-MAD (%.2f) should beat Max-SD (%.2f) at K=30 — robust statistics effect",
+			figB.At("Max-MAD", 30), figB.At("Max-SD", 30))
+	}
+
+	figC, err := sharedLab.Figure("fig8c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + figC.Render())
+	udC := figC.At("UNIDETECT", k)
+	if udC < 0.7 {
+		t.Errorf("UNIDETECT uniqueness P@100 = %.2f, want >= 0.7", udC)
+	}
+	for _, m := range []string{"Unique-row-ratio", "Unique-value-ratio"} {
+		if p := figC.At(m, k); p >= udC {
+			t.Errorf("%s P@100 = %.2f should be below UNIDETECT %.2f", m, p, udC)
+		}
+	}
+}
+
+// TestFigure12Shape checks that FD-synthesis precision exceeds classical
+// FD precision (Figure 12 c vs a) and that Uni-Detect beats the FD-ratio
+// baselines.
+func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	figFD, err := sharedLab.Figure("fig12a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + figFD.Render())
+	figSynth, err := sharedLab.Figure("fig12c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + figSynth.Render())
+	const k = 50
+	fd := figFD.At("UNIDETECT", k)
+	synth := figSynth.At("UNIDETECT", k)
+	// The paper's ordering: FD-synthesis is at least as precise as
+	// classical FD (both can saturate at 1.0 at this scale).
+	if synth < fd {
+		t.Errorf("FD-synthesis P@%d = %.2f should not trail classical FD %.2f", k, synth, fd)
+	}
+	for _, m := range []string{"Unique-projection-ratio", "Conforming-row-ratio", "Conforming-pair-ratio"} {
+		if p := figFD.At(m, k); p > fd {
+			t.Errorf("%s P@%d = %.2f should not exceed UNIDETECT %.2f", m, k, p, fd)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package fdiscover
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func col(name string, vals ...string) *table.Column { return table.NewColumn(name, vals) }
+
+func TestNewPartitionStripsSingletons(t *testing.T) {
+	p := NewPartition([]string{"a", "b", "a", "c", "b", "d"})
+	if p.NumClasses() != 2 {
+		t.Fatalf("classes = %d", p.NumClasses())
+	}
+	if p.Size() != 4 {
+		t.Errorf("size = %d", p.Size())
+	}
+	if got := p.classes[0]; !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("class 0 = %v", got)
+	}
+	if got := p.classes[1]; !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Errorf("class 1 = %v", got)
+	}
+}
+
+func TestKeyError(t *testing.T) {
+	unique := NewPartition([]string{"a", "b", "c", "d"})
+	if unique.KeyError() != 0 {
+		t.Errorf("unique KeyError = %v", unique.KeyError())
+	}
+	oneDup := NewPartition([]string{"a", "b", "a", "c"})
+	if oneDup.KeyError() != 0.25 {
+		t.Errorf("one-dup KeyError = %v", oneDup.KeyError())
+	}
+	constant := NewPartition([]string{"x", "x", "x", "x"})
+	if constant.KeyError() != 0.75 {
+		t.Errorf("constant KeyError = %v", constant.KeyError())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	// X = (a a a b b), Y = (1 1 2 1 1): X∪Y classes {0,1} and {3,4}.
+	px := NewPartition([]string{"a", "a", "a", "b", "b"})
+	py := NewPartition([]string{"1", "1", "2", "1", "1"})
+	got := px.Intersect(py)
+	if got.NumClasses() != 2 {
+		t.Fatalf("classes = %v", got.classes)
+	}
+	if !reflect.DeepEqual(got.classes[0], []int{0, 1}) || !reflect.DeepEqual(got.classes[1], []int{3, 4}) {
+		t.Errorf("classes = %v", got.classes)
+	}
+}
+
+// brute-force g3: try removing every subset is exponential; instead
+// compute via definition (per X-class keep the largest rhs subgroup).
+func bruteG3(lhs, rhs []string) float64 {
+	groups := map[string]map[string]int{}
+	for i := range lhs {
+		g := groups[lhs[i]]
+		if g == nil {
+			g = map[string]int{}
+			groups[lhs[i]] = g
+		}
+		g[rhs[i]]++
+	}
+	kept := 0
+	for _, g := range groups {
+		best := 0
+		for _, n := range g {
+			if n > best {
+				best = n
+			}
+		}
+		kept += best
+	}
+	return float64(len(lhs)-kept) / float64(len(lhs))
+}
+
+func TestFDErrorMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(30)
+		lhs := make([]string, n)
+		rhs := make([]string, n)
+		for i := range lhs {
+			lhs[i] = strconv.Itoa(rng.Intn(5))
+			rhs[i] = strconv.Itoa(rng.Intn(4))
+		}
+		p := NewPartition(lhs)
+		rhsIDs := classIDs(NewPartition(rhs), n)
+		got := p.FDError(rhsIDs)
+		want := bruteG3(lhs, rhs)
+		if got != want {
+			t.Fatalf("FDError = %v, want %v (lhs=%v rhs=%v)", got, want, lhs, rhs)
+		}
+	}
+}
+
+func TestDiscoverExactFDs(t *testing.T) {
+	tbl := table.MustNew("t",
+		col("City", "Paris", "Lyon", "Paris", "Nice", "Lyon"),
+		col("Country", "France", "France", "France", "France", "France"),
+		col("Mayor", "a", "b", "a", "c", "b"),
+	)
+	fds := Discover(tbl, Options{MaxLhs: 1})
+	// City→Country, City→Mayor, Mayor→City, Mayor→Country hold;
+	// Country→ anything does not (constant lhs, varied rhs).
+	want := map[string]bool{
+		"City → Country (g3=0.0000)":  true,
+		"City → Mayor (g3=0.0000)":    true,
+		"Mayor → City (g3=0.0000)":    true,
+		"Mayor → Country (g3=0.0000)": true,
+	}
+	if len(fds) != len(want) {
+		t.Fatalf("fds = %v", describeAll(fds, tbl))
+	}
+	for _, fd := range fds {
+		if !want[fd.Describe(tbl)] {
+			t.Errorf("unexpected FD %s", fd.Describe(tbl))
+		}
+	}
+}
+
+func TestDiscoverApproximate(t *testing.T) {
+	tbl := table.MustNew("t",
+		col("City", "Paris", "Paris", "Paris", "Lyon", "Lyon", "Nice", "Oslo", "Rome", "Bern", "Kiev"),
+		col("Country", "France", "France", "Italy", "France", "France", "France", "Norway", "Italy", "CH", "UA"),
+	)
+	if fds := Discover(tbl, Options{MaxLhs: 1}); len(fds) != 0 {
+		t.Errorf("exact search should find nothing: %v", describeAll(fds, tbl))
+	}
+	fds := Discover(tbl, Options{MaxLhs: 1, MaxError: 0.1})
+	if len(fds) != 1 {
+		t.Fatalf("fds = %v", describeAll(fds, tbl))
+	}
+	if fds[0].Err != 0.1 || fds[0].Rhs != 1 {
+		t.Errorf("fd = %+v", fds[0])
+	}
+}
+
+func TestDiscoverMultiAttributeMinimal(t *testing.T) {
+	// D is determined by (A,B) jointly but by neither alone; C is
+	// determined by A alone, so A,B→C must be pruned as non-minimal.
+	tbl := table.MustNew("t",
+		col("A", "x", "x", "y", "y"),
+		col("B", "1", "2", "1", "2"),
+		col("C", "p", "p", "q", "q"),
+		col("D", "m", "n", "o", "p"),
+	)
+	fds := Discover(tbl, Options{MaxLhs: 2})
+	var sawJoint, sawNonMinimal bool
+	for _, fd := range fds {
+		if len(fd.Lhs) == 2 && fd.Rhs == 3 && fd.Lhs[0] == 0 && fd.Lhs[1] == 1 {
+			sawJoint = true
+		}
+		if len(fd.Lhs) == 2 && fd.Rhs == 2 && containsInt(fd.Lhs, 0) {
+			sawNonMinimal = true
+		}
+	}
+	if !sawJoint {
+		t.Errorf("A,B→D not found: %v", describeAll(fds, tbl))
+	}
+	if sawNonMinimal {
+		t.Errorf("non-minimal superset of A→C reported: %v", describeAll(fds, tbl))
+	}
+	// B alone is a key over these 4 rows? B=(1,2,1,2) no. D unique → D→ everything.
+	for _, fd := range fds {
+		if len(fd.Lhs) == 1 && fd.Lhs[0] == 3 && fd.Err != 0 {
+			t.Errorf("unique lhs must give exact FDs: %v", fd.Describe(tbl))
+		}
+	}
+}
+
+func TestDiscoverBounds(t *testing.T) {
+	small := table.MustNew("t", col("A", "x"))
+	if fds := Discover(small, Options{}); fds != nil {
+		t.Errorf("single-column table: %v", fds)
+	}
+	wide := make([]*table.Column, 20)
+	for i := range wide {
+		wide[i] = col("c"+strconv.Itoa(i), "a", "b")
+	}
+	if fds := Discover(table.MustNew("w", wide...), Options{MaxColumns: 10}); fds != nil {
+		t.Error("over-wide table should be skipped")
+	}
+}
+
+func describeAll(fds []FD, t *table.Table) []string {
+	out := make([]string, len(fds))
+	for i, fd := range fds {
+		out[i] = fd.Describe(t)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package feature implements Uni-Detect's featurization-by-subsetting
+// (§2.2.2, Figure 5): background-corpus columns are partitioned into
+// disjoint buckets along dimensions such as value type, row count,
+// column leftness, token prevalence, differing-token length, and
+// log-transform fit; statistics are then learned per bucket, so a test
+// column is compared only against corpus columns "like" it.
+package feature
+
+import (
+	"fmt"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Key identifies one bucket of the featurization cube. Type and Rows are
+// shared by every error class; A and B carry the class-specific dimensions
+// (prevalence and leftness for uniqueness/FD, differing-token length for
+// spelling, log-fit for outliers). Unused dimensions stay zero.
+type Key struct {
+	Type table.ValueType
+	Rows uint8
+	A    uint8
+	B    uint8
+}
+
+// String renders the key compactly for diagnostics.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/r%d/a%d/b%d", k.Type, k.Rows, k.A, k.B)
+}
+
+// NumRowBuckets is the number of row-count buckets.
+const NumRowBuckets = 6
+
+// RowBucket bucketizes a row count per §3.1/§3.2/§3.3:
+// {(0-20], (20-50], (50-100], (100-500], (500-1000], (1000-∞)}.
+func RowBucket(n int) uint8 {
+	switch {
+	case n <= 20:
+		return 0
+	case n <= 50:
+		return 1
+	case n <= 100:
+		return 2
+	case n <= 500:
+		return 3
+	case n <= 1000:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// NumPrevalenceBuckets is the number of token-prevalence buckets.
+const NumPrevalenceBuckets = 6
+
+// PrevalenceBucket bucketizes Prev(C) per §3.3 using the paper's absolute
+// table counts: {(0-50], (50-100], (100-1000], (1000-10000],
+// (10000-100000], (100000-∞)}. Sensible only at the paper's 100M-table
+// corpus scale; detectors use RelPrevalenceBucket instead.
+func PrevalenceBucket(p float64) uint8 {
+	switch {
+	case p <= 50:
+		return 0
+	case p <= 100:
+		return 1
+	case p <= 1000:
+		return 2
+	case p <= 10000:
+		return 3
+	case p <= 100000:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// RelPrevalenceBucket bucketizes the *fraction* of corpus tables an
+// average token of the column occurs in. Relative edges make the
+// featurization invariant to corpus size (the paper's absolute 50 / 100 /
+// 1000 ... edges presume its 100M-table corpus), and the bands are kept
+// deliberately coarse so that a user column whose token mix differs a
+// little from the corpus still lands with its peers: ID-like tokens
+// (≤0.1%), rare tokens (≤2%), common tokens (≤20%), ubiquitous ones.
+func RelPrevalenceBucket(frac float64) uint8 {
+	switch {
+	case frac <= 0.001:
+		return 0
+	case frac <= 0.02:
+		return 1
+	case frac <= 0.2:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// NumTokenLenBuckets is the number of differing-token-length buckets.
+const NumTokenLenBuckets = 5
+
+// TokenLenBucket bucketizes the average length of the tokens that differ
+// between the MPD pair per §3.2: {(0-5], (5-10], (10-15], (15-20], (20-∞)}.
+func TokenLenBucket(l float64) uint8 {
+	switch {
+	case l <= 5:
+		return 0
+	case l <= 10:
+		return 1
+	case l <= 15:
+		return 2
+	case l <= 20:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// NumLeftnessBuckets is the number of column-position buckets.
+const NumLeftnessBuckets = 4
+
+// LeftnessBucket bucketizes the 0-based column position counting from the
+// left (§3.3, citing [26, 28]): positions 0, 1, 2 and "3 or later".
+func LeftnessBucket(pos int) uint8 {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > 3 {
+		pos = 3
+	}
+	return uint8(pos)
+}
+
+// Bool encodes a boolean dimension (e.g. log-transform fit, §3.1).
+func Bool(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

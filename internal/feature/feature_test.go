@@ -1,0 +1,82 @@
+package feature
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func TestRowBucketBoundaries(t *testing.T) {
+	cases := map[int]uint8{
+		1: 0, 20: 0, 21: 1, 50: 1, 51: 2, 100: 2, 101: 3,
+		500: 3, 501: 4, 1000: 4, 1001: 5, 1000000: 5,
+	}
+	for n, want := range cases {
+		if got := RowBucket(n); got != want {
+			t.Errorf("RowBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPrevalenceBucketBoundaries(t *testing.T) {
+	cases := map[float64]uint8{
+		0: 0, 50: 0, 51: 1, 100: 1, 101: 2, 1000: 2,
+		1001: 3, 10000: 3, 10001: 4, 100000: 4, 100001: 5,
+	}
+	for p, want := range cases {
+		if got := PrevalenceBucket(p); got != want {
+			t.Errorf("PrevalenceBucket(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTokenLenBucketBoundaries(t *testing.T) {
+	cases := map[float64]uint8{
+		1: 0, 5: 0, 5.5: 1, 10: 1, 11: 2, 15: 2, 16: 3, 20: 3, 21: 4,
+	}
+	for l, want := range cases {
+		if got := TokenLenBucket(l); got != want {
+			t.Errorf("TokenLenBucket(%v) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestLeftnessBucket(t *testing.T) {
+	cases := map[int]uint8{-1: 0, 0: 0, 1: 1, 2: 2, 3: 3, 9: 3}
+	for p, want := range cases {
+		if got := LeftnessBucket(p); got != want {
+			t.Errorf("LeftnessBucket(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	if Bool(true) != 1 || Bool(false) != 0 {
+		t.Error("Bool encoding wrong")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Type: table.TypeMixed, Rows: 2, A: 1, B: 3}
+	if k.String() != "mixed/r2/a1/b3" {
+		t.Errorf("String = %q", k.String())
+	}
+}
+
+// Property: bucketizers are monotone non-decreasing.
+func TestBucketMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		if RowBucket(x) > RowBucket(y) {
+			return false
+		}
+		return PrevalenceBucket(float64(x)*7) <= PrevalenceBucket(float64(y)*7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

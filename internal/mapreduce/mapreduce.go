@@ -1,0 +1,200 @@
+// Package mapreduce is a small in-process MapReduce-like execution engine.
+//
+// The paper implements Uni-Detect's offline learning component "as
+// MapReduce-like jobs in order to crunch T" (§2.2.3, System Architecture).
+// This package provides the same programming model — a Map phase that emits
+// keyed values from each input shard, a shuffle that groups values by key,
+// and a Reduce phase that folds each group — executed concurrently on a
+// worker pool within one process.
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Mapper transforms one input into zero or more keyed values via emit.
+// Mappers run concurrently and must not share mutable state.
+type Mapper[I any, K comparable, V any] func(in I, emit func(K, V)) error
+
+// Reducer folds all values for one key into a result.
+type Reducer[K comparable, V any, R any] func(key K, values []V) (R, error)
+
+// Config controls job execution.
+type Config struct {
+	// Workers is the map-phase parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes a full map-shuffle-reduce job over the inputs and returns
+// the per-key results. Map errors cancel the job; the first error wins.
+func Run[I any, K comparable, V any, R any](
+	ctx context.Context,
+	cfg Config,
+	inputs []I,
+	m Mapper[I, K, V],
+	r Reducer[K, V, R],
+) (map[K]R, error) {
+	groups, err := MapShuffle(ctx, cfg, inputs, m)
+	if err != nil {
+		return nil, err
+	}
+	return Reduce(ctx, cfg, groups, r)
+}
+
+// MapShuffle runs the map phase concurrently and groups emitted values by
+// key.
+func MapShuffle[I any, K comparable, V any](
+	ctx context.Context,
+	cfg Config,
+	inputs []I,
+	m Mapper[I, K, V],
+) (map[K][]V, error) {
+	nw := cfg.workers()
+	if nw > len(inputs) && len(inputs) > 0 {
+		nw = len(inputs)
+	}
+	if len(inputs) == 0 {
+		return map[K][]V{}, nil
+	}
+
+	type kv struct {
+		k K
+		v V
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Each worker accumulates locally, then the shards are merged: this
+	// keeps the hot emit path lock-free.
+	shards := make([][]kv, nw)
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range inputs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			emit := func(k K, v V) { shards[w] = append(shards[w], kv{k, v}) }
+			for i := range next {
+				if err := m(inputs[i], emit); err != nil {
+					errs[w] = fmt.Errorf("map input %d: %w", i, err)
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil && err != context.Canceled {
+		return nil, err
+	}
+	groups := make(map[K][]V)
+	for _, shard := range shards {
+		for _, e := range shard {
+			groups[e.k] = append(groups[e.k], e.v)
+		}
+	}
+	return groups, nil
+}
+
+// Reduce folds each key group concurrently.
+func Reduce[K comparable, V any, R any](
+	ctx context.Context,
+	cfg Config,
+	groups map[K][]V,
+	r Reducer[K, V, R],
+) (map[K]R, error) {
+	keys := make([]K, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	nw := cfg.workers()
+	if nw > len(keys) && len(keys) > 0 {
+		nw = len(keys)
+	}
+	out := make(map[K]R, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	errs := make([]error, nw)
+	next := make(chan K)
+	go func() {
+		defer close(next)
+		for _, k := range keys {
+			select {
+			case next <- k:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := range next {
+				res, err := r(k, groups[k])
+				if err != nil {
+					errs[w] = fmt.Errorf("reduce key %v: %w", k, err)
+					cancel()
+					return
+				}
+				mu.Lock()
+				out[k] = res
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SortedKeys returns the keys of m in sorted order; a convenience for
+// deterministic iteration over job results in tests and reports.
+func SortedKeys[K interface {
+	comparable
+	~string
+}, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

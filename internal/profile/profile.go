@@ -1,0 +1,202 @@
+// Package profile computes per-column data profiles: the Trifacta-style
+// summaries the paper surveys in Appendix B ("a rich set of
+// visual-histograms (e.g., distribution of string lengths) for values in
+// a column, which help users identify potential quality issues"). A
+// profile is purely descriptive — it detects nothing — but renders the
+// column-level context a user wants next to a Uni-Detect finding.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode/utf8"
+
+	"github.com/unidetect/unidetect/internal/autodetect"
+	"github.com/unidetect/unidetect/internal/stats"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// ValueCount pairs a value (or pattern) with its occurrence count.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// NumericSummary holds the numeric statistics of a column's parseable
+// values.
+type NumericSummary struct {
+	Count            int
+	Min, Max         float64
+	Mean, Median     float64
+	SD, MAD          float64
+	MaxMADScore      float64
+	LogTransformFits bool
+}
+
+// Column is one column's profile.
+type Column struct {
+	Name     string
+	Type     table.ValueType
+	Rows     int
+	Empty    int
+	Distinct int
+	// UniquenessRatio is distinct / non-empty rows.
+	UniquenessRatio float64
+	// TopValues lists the most frequent values (up to 5).
+	TopValues []ValueCount
+	// Patterns lists the coarse character-class patterns present
+	// (Auto-Detect generalization), most frequent first.
+	Patterns []ValueCount
+	// LengthHistogram counts values per string-length bucket
+	// {1-5, 6-10, 11-20, 21-40, 41+}; index 0 is empty values.
+	LengthHistogram [6]int
+	// Numeric summarizes parseable numbers (nil for non-numeric columns).
+	Numeric *NumericSummary
+}
+
+// Table profiles every column of a table.
+func Table(t *table.Table) []Column {
+	out := make([]Column, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = Profile(c)
+	}
+	return out
+}
+
+// Profile computes one column's profile.
+func Profile(c *table.Column) Column {
+	p := Column{Name: c.Name, Type: c.Type(), Rows: c.Len()}
+	freq := map[string]int{}
+	patterns := map[string]int{}
+	for _, v := range c.Values {
+		trimmed := strings.TrimSpace(v)
+		if trimmed == "" {
+			p.Empty++
+			p.LengthHistogram[0]++
+			continue
+		}
+		freq[v]++
+		patterns[autodetect.GeneralizeCoarse(trimmed)]++
+		p.LengthHistogram[lengthBucket(utf8.RuneCountInString(v))]++
+	}
+	p.Distinct = len(freq)
+	if n := p.Rows - p.Empty; n > 0 {
+		p.UniquenessRatio = float64(p.Distinct) / float64(n)
+	}
+	p.TopValues = topCounts(freq, 5)
+	p.Patterns = topCounts(patterns, 5)
+
+	if p.Type == table.TypeInt || p.Type == table.TypeFloat {
+		if vals, _ := table.Numbers(c); len(vals) > 0 {
+			ns := &NumericSummary{
+				Count:  len(vals),
+				Min:    vals[0],
+				Max:    vals[0],
+				Mean:   stats.Mean(vals),
+				Median: stats.Median(vals),
+				SD:     stats.SD(vals),
+				MAD:    stats.MAD(vals),
+			}
+			for _, v := range vals {
+				if v < ns.Min {
+					ns.Min = v
+				}
+				if v > ns.Max {
+					ns.Max = v
+				}
+			}
+			ns.MaxMADScore, _ = stats.MaxMAD(vals)
+			ns.LogTransformFits = stats.LogTransformFits(vals)
+			p.Numeric = ns
+		}
+	}
+	return p
+}
+
+func lengthBucket(n int) int {
+	switch {
+	case n == 0:
+		return 0
+	case n <= 5:
+		return 1
+	case n <= 10:
+		return 2
+	case n <= 20:
+		return 3
+	case n <= 40:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func topCounts(m map[string]int, k int) []ValueCount {
+	out := make([]ValueCount, 0, len(m))
+	for v, n := range m {
+		out = append(out, ValueCount{v, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// lengthLabels names the histogram buckets.
+var lengthLabels = [6]string{"empty", "1-5", "6-10", "11-20", "21-40", "41+"}
+
+// Render prints the profile as an aligned text block with bar-style
+// histograms.
+func (p Column) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "column %q: %s, %d rows (%d empty), %d distinct (%.1f%% unique)\n",
+		p.Name, p.Type, p.Rows, p.Empty, p.Distinct, 100*p.UniquenessRatio)
+	if len(p.TopValues) > 0 && p.TopValues[0].Count > 1 {
+		b.WriteString("  top values: ")
+		parts := make([]string, 0, len(p.TopValues))
+		for _, vc := range p.TopValues {
+			if vc.Count < 2 {
+				break
+			}
+			parts = append(parts, fmt.Sprintf("%q×%d", vc.Value, vc.Count))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		b.WriteByte('\n')
+	}
+	if len(p.Patterns) > 0 {
+		b.WriteString("  patterns:   ")
+		parts := make([]string, 0, len(p.Patterns))
+		for _, vc := range p.Patterns {
+			parts = append(parts, fmt.Sprintf("%s×%d", vc.Value, vc.Count))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		b.WriteByte('\n')
+	}
+	maxCount := 0
+	for _, n := range p.LengthHistogram {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	if maxCount > 0 {
+		b.WriteString("  length histogram:\n")
+		for i, n := range p.LengthHistogram {
+			if n == 0 {
+				continue
+			}
+			bar := strings.Repeat("█", 1+n*24/maxCount)
+			fmt.Fprintf(&b, "    %-6s %5d %s\n", lengthLabels[i], n, bar)
+		}
+	}
+	if ns := p.Numeric; ns != nil {
+		fmt.Fprintf(&b, "  numeric: n=%d min=%g max=%g mean=%.4g median=%g sd=%.4g mad=%g max-MAD-score=%.2f logfit=%v\n",
+			ns.Count, ns.Min, ns.Max, ns.Mean, ns.Median, ns.SD, ns.MAD, ns.MaxMADScore, ns.LogTransformFits)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func TestProfileStringColumn(t *testing.T) {
+	c := table.NewColumn("City", []string{"Paris", "Paris", "Lyon", "", "Nice"})
+	p := Profile(c)
+	if p.Rows != 5 || p.Empty != 1 || p.Distinct != 3 {
+		t.Errorf("profile = %+v", p)
+	}
+	if p.UniquenessRatio != 0.75 {
+		t.Errorf("UR = %v", p.UniquenessRatio)
+	}
+	if p.TopValues[0].Value != "Paris" || p.TopValues[0].Count != 2 {
+		t.Errorf("top = %+v", p.TopValues)
+	}
+	if p.Patterns[0].Value != "l" {
+		t.Errorf("patterns = %+v", p.Patterns)
+	}
+	if p.LengthHistogram[0] != 1 || p.LengthHistogram[1] != 4 {
+		t.Errorf("length histogram = %v", p.LengthHistogram)
+	}
+	if p.Numeric != nil {
+		t.Error("string column should have no numeric summary")
+	}
+}
+
+func TestProfileNumericColumn(t *testing.T) {
+	c := table.NewColumn("Pop", []string{"8011", "9954", "11895", "11329", "11352", "11709", "10233", "9871"})
+	p := Profile(c)
+	if p.Numeric == nil {
+		t.Fatal("no numeric summary")
+	}
+	ns := p.Numeric
+	if ns.Count != 8 || ns.Min != 8011 || ns.Max != 11895 {
+		t.Errorf("numeric = %+v", ns)
+	}
+	if ns.Median == 0 || ns.MAD == 0 || ns.MaxMADScore <= 0 {
+		t.Errorf("stats = %+v", ns)
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	tbl := table.MustNew("t",
+		table.NewColumn("A", []string{"x", "y"}),
+		table.NewColumn("B", []string{"1", "2"}),
+	)
+	ps := Table(tbl)
+	if len(ps) != 2 || ps[0].Name != "A" || ps[1].Name != "B" {
+		t.Errorf("profiles = %+v", ps)
+	}
+}
+
+func TestRender(t *testing.T) {
+	c := table.NewColumn("Mixed", []string{"KV214-310B8K2", "MP2492DN", "MP2492DN", strings.Repeat("long ", 12), ""})
+	out := Profile(c).Render()
+	for _, want := range []string{`column "Mixed"`, "top values", "patterns", "length histogram", "41+", "empty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Numeric columns include the numeric line.
+	n := table.NewColumn("N", []string{"1", "2", "3", "4", "5", "6", "7", "80"})
+	if !strings.Contains(Profile(n).Render(), "max-MAD-score") {
+		t.Error("numeric render missing stats line")
+	}
+}
+
+func TestLengthBuckets(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 5: 1, 6: 2, 10: 2, 11: 3, 20: 3, 21: 4, 40: 4, 41: 5, 100: 5}
+	for n, want := range cases {
+		if got := lengthBucket(n); got != want {
+			t.Errorf("lengthBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTopCountsDeterministicTies(t *testing.T) {
+	m := map[string]int{"b": 2, "a": 2, "c": 1}
+	got := topCounts(m, 2)
+	if got[0].Value != "a" || got[1].Value != "b" {
+		t.Errorf("topCounts = %+v", got)
+	}
+}

@@ -1,0 +1,132 @@
+package repair
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func col(name string, vals ...string) *table.Column { return table.NewColumn(name, vals) }
+
+func TestSuggestSpellingPrefersFrequentForm(t *testing.T) {
+	tbl := table.MustNew("t", col("State",
+		"Mississippi", "Alabama", "Mississipi", "Mississippi", "Georgia", "Mississippi"))
+	f := core.Finding{Class: core.ClassSpelling, Table: "t", Column: "State", Rows: []int{0, 2}}
+	ss := Suggest(tbl, f)
+	if len(ss) != 1 {
+		t.Fatalf("suggestions = %v", ss)
+	}
+	s := ss[0]
+	if s.Row != 2 || s.Old != "Mississipi" || s.New != "Mississippi" {
+		t.Errorf("suggestion = %+v", s)
+	}
+	if s.Confidence <= 0 || s.Confidence > 1 {
+		t.Errorf("confidence = %v", s.Confidence)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSuggestSpellingTieYieldsNothing(t *testing.T) {
+	tbl := table.MustNew("t", col("N", "Doeling", "Dowling", "Myerson", "Morrow"))
+	f := core.Finding{Class: core.ClassSpelling, Table: "t", Column: "N", Rows: []int{0, 1}}
+	if ss := Suggest(tbl, f); len(ss) != 0 {
+		t.Errorf("tie should yield no suggestion: %v", ss)
+	}
+}
+
+func TestSuggestOutlierScaleShift(t *testing.T) {
+	tbl := table.MustNew("t", col("Pop",
+		"8011", "8.716", "9954", "11895", "11329", "11352", "11709", "10233"))
+	f := core.Finding{Class: core.ClassOutlier, Table: "t", Column: "Pop", Rows: []int{1}}
+	ss := Suggest(tbl, f)
+	if len(ss) != 1 {
+		t.Fatalf("suggestions = %v", ss)
+	}
+	if ss[0].New != "8716" {
+		t.Errorf("New = %q, want 8716 (the Figure 4e repair)", ss[0].New)
+	}
+}
+
+func TestSuggestOutlierGenuineExtremeNotRepaired(t *testing.T) {
+	// A value that no power-of-ten shift re-centers gets no suggestion.
+	tbl := table.MustNew("t", col("V", "10", "11", "12", "13", "14", "47"))
+	f := core.Finding{Class: core.ClassOutlier, Table: "t", Column: "V", Rows: []int{5}}
+	if ss := Suggest(tbl, f); len(ss) != 0 {
+		t.Errorf("no shift should fit: %v", ss)
+	}
+}
+
+func TestSuggestFDMajority(t *testing.T) {
+	tbl := table.MustNew("t",
+		col("City", "Paris", "Paris", "Paris", "Lyon", "Nice", "Paris"),
+		col("Country", "France", "France", "France", "France", "France", "Italy"),
+	)
+	f := core.Finding{Class: core.ClassFD, Table: "t", Column: "City→Country", Rows: []int{0, 1, 2, 5}}
+	ss := Suggest(tbl, f)
+	if len(ss) != 1 {
+		t.Fatalf("suggestions = %v", ss)
+	}
+	s := ss[0]
+	if s.Row != 5 || s.New != "France" || s.Column != "Country" {
+		t.Errorf("suggestion = %+v", s)
+	}
+	if s.Confidence != 0.75 {
+		t.Errorf("confidence = %v, want 3/4", s.Confidence)
+	}
+}
+
+func TestSuggestFDNoMajority(t *testing.T) {
+	tbl := table.MustNew("t",
+		col("X", "a", "a"),
+		col("Y", "1", "2"),
+	)
+	f := core.Finding{Class: core.ClassFD, Table: "t", Column: "X→Y", Rows: []int{0, 1}}
+	if ss := Suggest(tbl, f); len(ss) != 0 {
+		t.Errorf("50/50 group should yield nothing: %v", ss)
+	}
+}
+
+func TestSuggestSynthExactRepair(t *testing.T) {
+	// Figure 14: "Carag" should be "Caraig" per the split program.
+	tbl := table.MustNew("t",
+		col("Name", "Sinan, Michael", "Santos, Armando", "Caraig, Benjie", "Lewis, Nolan", "Bernal, Jaime", "Kyaw, Sai"),
+		col("Last", "Sinan", "Santos", "Carag", "Lewis", "Bernal", "Kyaw"),
+	)
+	f := core.Finding{Class: core.ClassFDSynth, Table: "t", Column: "Name→Last", Rows: []int{2}}
+	ss := Suggest(tbl, f)
+	if len(ss) != 1 {
+		t.Fatalf("suggestions = %v", ss)
+	}
+	if ss[0].New != "Caraig" || ss[0].Old != "Carag" {
+		t.Errorf("suggestion = %+v", ss[0])
+	}
+	if !strings.Contains(ss[0].Rationale, "split") {
+		t.Errorf("rationale = %q", ss[0].Rationale)
+	}
+}
+
+func TestSuggestUniquenessHasNoAutoRepair(t *testing.T) {
+	tbl := table.MustNew("t", col("ID", "a", "b", "a"))
+	f := core.Finding{Class: core.ClassUniqueness, Table: "t", Column: "ID", Rows: []int{0, 2}}
+	if ss := Suggest(tbl, f); ss != nil {
+		t.Errorf("uniqueness should not auto-repair: %v", ss)
+	}
+}
+
+func TestSuggestUnknownColumn(t *testing.T) {
+	tbl := table.MustNew("t", col("A", "x", "y"))
+	for _, f := range []core.Finding{
+		{Class: core.ClassSpelling, Column: "missing", Rows: []int{0, 1}},
+		{Class: core.ClassOutlier, Column: "missing", Rows: []int{0}},
+		{Class: core.ClassFD, Column: "missing→also", Rows: []int{0}},
+		{Class: core.ClassFD, Column: "noarrow", Rows: []int{0}},
+	} {
+		if ss := Suggest(tbl, f); len(ss) != 0 {
+			t.Errorf("%v yielded %v", f.Class, ss)
+		}
+	}
+}

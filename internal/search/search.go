@@ -1,0 +1,183 @@
+// Package search implements the configuration-search problem of
+// Definition 5: given a space of metric functions M, featurizations F and
+// perturbations P, find the configuration (m, F, P) that maximizes
+// surprising discoveries on target tables D — or, in the labeled variant,
+// the configuration maximizing recall subject to a precision floor.
+//
+// The paper leaves this as its stated future work ("exploring the
+// possibility of learning configurations for more accurate detection",
+// §5); this package provides the first-step implementation: exhaustive
+// evaluation of an explicit candidate list, with each candidate trained
+// and scored end-to-end.
+package search
+
+import (
+	"context"
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Candidate is one configuration (m, F, P), packaged as the detector set
+// it induces.
+type Candidate struct {
+	Name      string
+	Detectors func(cfg core.Config) []core.Detector
+}
+
+// Result scores one candidate.
+type Result struct {
+	Name string
+	// Discoveries is |{D ∈ targets : min_O LR < α}| — Equation 5's
+	// objective: the number of target tables with at least one
+	// statistically surprising perturbation.
+	Discoveries int
+	// Findings is the total finding count across targets.
+	Findings int
+	// Precision and Recall are filled by the labeled variant (zero
+	// otherwise).
+	Precision float64
+	Recall    float64
+}
+
+// Label mirrors the injector's ground truth without importing datagen.
+type Label struct {
+	Table  string
+	Column string
+	Row    int
+}
+
+// Search trains each candidate on bg and counts surprising discoveries on
+// the targets (the unlabeled objective of Definition 5). Results are
+// sorted by descending discoveries.
+func Search(ctx context.Context, cfg core.Config, bg *corpus.Corpus, targets []*table.Table, cands []Candidate) ([]Result, error) {
+	results := make([]Result, 0, len(cands))
+	for _, cand := range cands {
+		findings, err := run(ctx, cfg, bg, targets, cand)
+		if err != nil {
+			return nil, err
+		}
+		tablesHit := map[string]bool{}
+		for _, f := range findings {
+			tablesHit[f.Table] = true
+		}
+		results = append(results, Result{
+			Name:        cand.Name,
+			Discoveries: len(tablesHit),
+			Findings:    len(findings),
+		})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Discoveries > results[j].Discoveries })
+	return results, nil
+}
+
+// SearchLabeled is the labeled variant: candidates are ranked by recall
+// among those meeting the precision floor; candidates below the floor
+// rank after all compliant ones (by precision). This is the paper's
+// "maximizing recall, with a precision greater than [a bar]" objective.
+func SearchLabeled(ctx context.Context, cfg core.Config, bg *corpus.Corpus, targets []*table.Table, labels []Label, precisionFloor float64, cands []Candidate) ([]Result, error) {
+	idx := map[string]map[int]bool{}
+	for _, l := range labels {
+		k := l.Table + "\x00" + l.Column
+		if idx[k] == nil {
+			idx[k] = map[int]bool{}
+		}
+		idx[k][l.Row] = true
+	}
+	results := make([]Result, 0, len(cands))
+	for _, cand := range cands {
+		findings, err := run(ctx, cfg, bg, targets, cand)
+		if err != nil {
+			return nil, err
+		}
+		hits := 0
+		matched := map[string]bool{}
+		for _, f := range findings {
+			if matches(idx, f) {
+				hits++
+				for _, r := range f.Rows {
+					matched[f.Table+"\x00"+f.Column+"\x00"+itoa(r)] = true
+				}
+			}
+		}
+		res := Result{Name: cand.Name, Findings: len(findings)}
+		if len(findings) > 0 {
+			res.Precision = float64(hits) / float64(len(findings))
+		}
+		if len(labels) > 0 {
+			recallHits := 0
+			for _, l := range labels {
+				if matched[l.Table+"\x00"+l.Column+"\x00"+itoa(l.Row)] {
+					recallHits++
+				}
+			}
+			res.Recall = float64(recallHits) / float64(len(labels))
+		}
+		results = append(results, res)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		aOK, bOK := a.Precision >= precisionFloor, b.Precision >= precisionFloor
+		if aOK != bOK {
+			return aOK
+		}
+		if aOK {
+			return a.Recall > b.Recall
+		}
+		return a.Precision > b.Precision
+	})
+	return results, nil
+}
+
+func run(ctx context.Context, cfg core.Config, bg *corpus.Corpus, targets []*table.Table, cand Candidate) ([]core.Finding, error) {
+	dets := cand.Detectors(cfg)
+	m, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		return nil, err
+	}
+	pred := core.NewPredictor(m, dets, &core.Env{Index: bg.Index()})
+	return pred.DetectAll(ctx, targets), nil
+}
+
+func matches(idx map[string]map[int]bool, f core.Finding) bool {
+	cols := []string{f.Column}
+	for i, r := range f.Column {
+		if r == '→' {
+			cols = []string{f.Column[:i], f.Column[i+len("→"):]}
+			break
+		}
+	}
+	for _, col := range cols {
+		rows := idx[f.Table+"\x00"+col]
+		for _, r := range f.Rows {
+			if rows[r] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

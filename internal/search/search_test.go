@@ -1,0 +1,122 @@
+package search
+
+import (
+	"context"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+)
+
+// mismatchedDetector pairs the uniqueness perturbation with the MPD-style
+// orientation the paper's Definition 5 example warns about: a perturbation
+// that cannot move the metric produces no surprising LRs.
+func outlierCandidates(cfg core.Config) []Candidate {
+	mk := func(name string, metric detectors.Dispersion) Candidate {
+		return Candidate{
+			Name: name,
+			Detectors: func(cfg core.Config) []core.Detector {
+				return []core.Detector{&detectors.Outlier{Cfg: cfg, Metric: metric}}
+			},
+		}
+	}
+	return []Candidate{
+		mk("outlier-MAD", detectors.DispersionMAD),
+		mk("outlier-SD", detectors.DispersionSD),
+		mk("outlier-IQR", detectors.DispersionIQR),
+	}
+}
+
+func fixtures(t *testing.T) (*corpus.Corpus, *datagen.Result) {
+	t.Helper()
+	train := datagen.Spec{Name: "bg", Profile: datagen.ProfileWeb, NumTables: 1500,
+		AvgRows: 20, AvgCols: 4.6, ErrorRate: 0.005, Seed: 21}
+	test := datagen.Spec{Name: "tgt", Profile: datagen.ProfileWeb, NumTables: 400,
+		AvgRows: 20, AvgCols: 4.6, ErrorRate: 1, Seed: 77}
+	bg := corpus.New(train.Name, datagen.Generate(train).Tables)
+	return bg, datagen.Generate(test)
+}
+
+func TestSearchCountsDiscoveries(t *testing.T) {
+	bg, tgt := fixtures(t)
+	cfg := core.DefaultConfig()
+	results, err := Search(context.Background(), cfg, bg, tgt.Tables, outlierCandidates(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		t.Logf("%-14s discoveries=%d findings=%d", r.Name, r.Discoveries, r.Findings)
+		if r.Findings < r.Discoveries {
+			t.Errorf("%s: findings %d < discoveries %d", r.Name, r.Findings, r.Discoveries)
+		}
+	}
+	if results[0].Discoveries == 0 {
+		t.Error("best candidate found nothing")
+	}
+	// Sorted descending.
+	for i := 1; i < len(results); i++ {
+		if results[i].Discoveries > results[i-1].Discoveries {
+			t.Error("results not sorted by discoveries")
+		}
+	}
+}
+
+func TestSearchLabeledPrefersPreciseConfig(t *testing.T) {
+	bg, tgt := fixtures(t)
+	cfg := core.DefaultConfig()
+	labels := make([]Label, 0, len(tgt.Labels))
+	for _, l := range tgt.Labels {
+		labels = append(labels, Label{Table: l.Table, Column: l.Column, Row: l.Row})
+	}
+	results, err := SearchLabeled(context.Background(), cfg, bg, tgt.Tables, labels, 0.5, outlierCandidates(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("%-14s precision=%.2f recall=%.3f findings=%d", r.Name, r.Precision, r.Recall, r.Findings)
+	}
+	var mad, sd Result
+	for _, r := range results {
+		switch r.Name {
+		case "outlier-MAD":
+			mad = r
+		case "outlier-SD":
+			sd = r
+		}
+	}
+	// The robust metric must not lose to SD on both axes.
+	if mad.Precision < sd.Precision && mad.Recall < sd.Recall {
+		t.Errorf("MAD (p=%.2f r=%.3f) dominated by SD (p=%.2f r=%.3f)",
+			mad.Precision, mad.Recall, sd.Precision, sd.Recall)
+	}
+	// Ranking puts precision-floor-compliant candidates first.
+	if len(results) > 1 && results[0].Precision < 0.5 && results[1].Precision >= 0.5 {
+		t.Error("compliant candidate ranked below non-compliant one")
+	}
+}
+
+func TestSearchLabeledEmptyLabels(t *testing.T) {
+	bg, tgt := fixtures(t)
+	cfg := core.DefaultConfig()
+	results, err := SearchLabeled(context.Background(), cfg, bg, tgt.Tables, nil, 0.9, outlierCandidates(cfg)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Recall != 0 {
+		t.Error("recall with no labels should be 0")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1000: "1000"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q", v, got)
+		}
+	}
+}

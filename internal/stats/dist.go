@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample. The zero value is unusable; build with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from a sample (copied and sorted).
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// P returns the empirical P(X <= x).
+func (e *ECDF) P(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// CountAtLeast returns #{X >= x} in the sample.
+func (e *ECDF) CountAtLeast(x float64) int {
+	return len(e.sorted) - sort.SearchFloat64s(e.sorted, x)
+}
+
+// CountAtMost returns #{X <= x} in the sample.
+func (e *ECDF) CountAtMost(x float64) int {
+	return sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+}
+
+// Histogram is a fixed-width bin count over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	N        int
+}
+
+// NewHistogram builds a histogram with the given number of bins over the
+// sample's range. Values exactly at Max land in the last bin.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	h := &Histogram{Counts: make([]int, bins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	for _, x := range xs {
+		h.Counts[h.bin(x)]++
+		h.N++
+	}
+	return h
+}
+
+func (h *Histogram) bin(x float64) int {
+	if h.Max == h.Min {
+		return 0
+	}
+	i := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// KDE is a Gaussian kernel density estimator. The paper evaluates KDE as an
+// alternative smoothing strategy and rejects it in favor of range-based
+// predicates (§3.1); we keep it for the smoothing ablation bench.
+type KDE struct {
+	sample    []float64
+	Bandwidth float64
+}
+
+// NewKDE builds a KDE with Silverman's rule-of-thumb bandwidth.
+func NewKDE(xs []float64) *KDE {
+	s := append([]float64(nil), xs...)
+	k := &KDE{sample: s}
+	n := float64(len(s))
+	if n < 2 {
+		k.Bandwidth = 1
+		return k
+	}
+	sd := SD(s)
+	iqr := IQR(s)
+	a := sd
+	if iqr > 0 && iqr/1.34 < a {
+		a = iqr / 1.34
+	}
+	if a <= 0 || math.IsNaN(a) {
+		a = 1
+	}
+	k.Bandwidth = 0.9 * a * math.Pow(n, -0.2)
+	return k
+}
+
+// Density returns the estimated density at x.
+func (k *KDE) Density(x float64) float64 {
+	if len(k.sample) == 0 || k.Bandwidth <= 0 {
+		return 0
+	}
+	const invSqrt2Pi = 0.3989422804014327
+	var s float64
+	for _, xi := range k.sample {
+		u := (x - xi) / k.Bandwidth
+		s += invSqrt2Pi * math.Exp(-0.5*u*u)
+	}
+	return s / (float64(len(k.sample)) * k.Bandwidth)
+}
+
+// TailProb returns the estimated P(X >= x) by numeric integration of the
+// Gaussian mixture's survival function (exact for a Gaussian KDE).
+func (k *KDE) TailProb(x float64) float64 {
+	if len(k.sample) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, xi := range k.sample {
+		u := (x - xi) / (k.Bandwidth * math.Sqrt2)
+		s += 0.5 * math.Erfc(u)
+	}
+	return s / float64(len(k.sample))
+}

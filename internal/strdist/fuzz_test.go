@@ -1,0 +1,48 @@
+package strdist
+
+import "testing"
+
+// FuzzLevenshteinBounded cross-checks the banded implementation against
+// the full DP on arbitrary inputs.
+func FuzzLevenshteinBounded(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "abc", 1)
+	f.Add("日本語", "日本誤", 2)
+	f.Fuzz(func(t *testing.T, a, b string, bound int) {
+		if len(a) > 50 || len(b) > 50 {
+			return
+		}
+		if bound < -2 || bound > 60 {
+			bound = bound % 60
+		}
+		full := Levenshtein(a, b)
+		got, ok := LevenshteinBounded(a, b, bound)
+		if bound >= 0 && full <= bound {
+			if !ok || got != full {
+				t.Fatalf("bounded(%q,%q,%d) = (%d,%v), want (%d,true)", a, b, bound, got, ok, full)
+			}
+		} else if ok {
+			t.Fatalf("bounded(%q,%q,%d) = (%d,true), want not-ok (full=%d)", a, b, bound, got, full)
+		}
+	})
+}
+
+// FuzzDifferingTokens asserts symmetry-ish invariants: identical inputs
+// produce no differing tokens, and the function never panics.
+func FuzzDifferingTokens(f *testing.F) {
+	f.Add("Kevin Doeling", "Kevin Dowling")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		onlyA, onlyB := DifferingTokens(a, b)
+		if a == b && (len(onlyA) != 0 || len(onlyB) != 0) {
+			t.Fatalf("identical inputs differ: %v %v", onlyA, onlyB)
+		}
+		revB, revA := DifferingTokens(b, a)
+		if len(revA) != len(onlyA) || len(revB) != len(onlyB) {
+			t.Fatalf("asymmetric: %v/%v vs %v/%v", onlyA, onlyB, revA, revB)
+		}
+		if l := AvgDifferingTokenLen(a, b); l < 0 {
+			t.Fatalf("negative avg length %v", l)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package strdist
+
+import "sort"
+
+// ExactMPDCap is the default column size up to which MPD is computed by
+// the exact O(n²) scan; larger columns use sorted-neighborhood blocking.
+const ExactMPDCap = 256
+
+// blockWindow is the neighborhood width of the sorted-order scan.
+const blockWindow = 12
+
+// MinPairDistCapped returns the minimum pairwise edit distance over vals
+// like MinPairDist, but switches to an approximate sorted-neighborhood
+// scan for columns larger than cap (cap <= 0 uses ExactMPDCap).
+//
+// The approximation sorts the distinct values and compares each value only
+// to its following window under two orderings — the raw strings and the
+// reversed strings — so that close pairs differing near the front or the
+// back of the string are both caught. Misspelled pairs are within edit
+// distance 1–2 of each other, so they share a long prefix or suffix and
+// land adjacently in one of the two orders with overwhelming probability;
+// this is the standard sorted-neighborhood blocking used by dedup systems.
+func MinPairDistCapped(vals []string, cap int) (Pair, bool) {
+	if cap <= 0 {
+		cap = ExactMPDCap
+	}
+	if len(vals) <= cap {
+		return MinPairDist(vals)
+	}
+	return minPairDistBlocked(vals)
+}
+
+// SecondMinPairDistCapped is the perturbed-MPD counterpart of
+// MinPairDistCapped.
+func SecondMinPairDistCapped(vals []string, drop, cap int) (Pair, bool) {
+	if cap <= 0 {
+		cap = ExactMPDCap
+	}
+	if len(vals) <= cap+1 {
+		return SecondMinPairDist(vals, drop)
+	}
+	kept := make([]string, 0, len(vals)-1)
+	idx := make([]int, 0, len(vals)-1)
+	for i, v := range vals {
+		if i == drop {
+			continue
+		}
+		kept = append(kept, v)
+		idx = append(idx, i)
+	}
+	p, ok := minPairDistBlocked(kept)
+	if !ok {
+		return Pair{}, false
+	}
+	return Pair{I: idx[p.I], J: idx[p.J], Dist: p.Dist}, true
+}
+
+func minPairDistBlocked(vals []string) (Pair, bool) {
+	type entry struct {
+		v   string
+		row int
+	}
+	entries := make([]entry, len(vals))
+	for i, v := range vals {
+		entries[i] = entry{v, i}
+	}
+
+	best := -1
+	var bestPair Pair
+	scan := func(key func(string) string) {
+		sort.Slice(entries, func(i, j int) bool {
+			return key(entries[i].v) < key(entries[j].v)
+		})
+		for i := range entries {
+			hi := i + blockWindow
+			if hi > len(entries)-1 {
+				hi = len(entries) - 1
+			}
+			for j := i + 1; j <= hi; j++ {
+				a, b := entries[i], entries[j]
+				if a.v == b.v {
+					continue
+				}
+				bound := best - 1
+				if best < 0 {
+					bound = maxLen(a.v, b.v)
+				}
+				d, within := LevenshteinBounded(a.v, b.v, bound)
+				if !within {
+					continue
+				}
+				if best < 0 || d < best {
+					best = d
+					bestPair = Pair{I: a.row, J: b.row, Dist: d}
+				}
+			}
+		}
+	}
+	ident := func(s string) string { return s }
+	scan(ident)
+	if best != 1 {
+		scan(reverseString)
+	}
+	if bestPair.I > bestPair.J {
+		bestPair.I, bestPair.J = bestPair.J, bestPair.I
+	}
+	return bestPair, best >= 0
+}
+
+func reverseString(s string) string {
+	r := []rune(s)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return string(r)
+}

@@ -1,0 +1,97 @@
+package strdist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestMinPairDistCappedSmallMatchesExact(t *testing.T) {
+	vals := []string{"alpha", "alphb", "gamma", "delta"}
+	exact, ok1 := MinPairDist(vals)
+	capped, ok2 := MinPairDistCapped(vals, 100)
+	if ok1 != ok2 || exact.Dist != capped.Dist {
+		t.Errorf("exact %+v vs capped %+v", exact, capped)
+	}
+}
+
+func TestMinPairDistCappedFindsPlantedPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 2000 very distinct values + one planted distance-1 pair.
+	vals := make([]string, 0, 2002)
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, fmt.Sprintf("%s-%08d", randomWord(rng, 10), i))
+	}
+	vals = append(vals, "Kevin Doeling", "Kevin Dowling")
+	p, ok := MinPairDistCapped(vals, 0)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if p.Dist != 1 {
+		t.Errorf("Dist = %d, want 1", p.Dist)
+	}
+	if p.I != 2000 || p.J != 2001 {
+		t.Errorf("pair rows = (%d,%d), want (2000,2001)", p.I, p.J)
+	}
+}
+
+func TestMinPairDistCappedFindsSuffixPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// A distance-1 pair differing at the FIRST character: prefix sorting
+	// separates them, the reversed-order scan must catch it.
+	vals := make([]string, 0, 1002)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, fmt.Sprintf("%s%06d", randomWord(rng, 8), i))
+	}
+	vals = append(vals, "Xonstantinople", "Constantinople")
+	p, ok := MinPairDistCapped(vals, 0)
+	if !ok || p.Dist != 1 {
+		t.Fatalf("p = %+v, ok = %v; want suffix pair at distance 1", p, ok)
+	}
+}
+
+func TestSecondMinPairDistCappedLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]string, 0, 600)
+	for i := 0; i < 598; i++ {
+		vals = append(vals, fmt.Sprintf("%s-%05d", randomWord(rng, 9), i))
+	}
+	vals = append(vals, "Kevin Doeling", "Kevin Dowling")
+	p, ok := MinPairDistCapped(vals, 0)
+	if !ok || p.Dist != 1 {
+		t.Fatalf("planted pair not found: %+v", p)
+	}
+	q, ok := SecondMinPairDistCapped(vals, p.I, 0)
+	if !ok {
+		t.Fatal("second not ok")
+	}
+	if q.Dist <= 1 {
+		t.Errorf("perturbed MPD = %d, want > 1", q.Dist)
+	}
+	if q.I == p.I || q.J == p.I {
+		t.Error("dropped row must not appear in perturbed pair")
+	}
+}
+
+func TestMinPairDistCappedAllIdentical(t *testing.T) {
+	vals := make([]string, 500)
+	for i := range vals {
+		vals[i] = "same"
+	}
+	if _, ok := MinPairDistCapped(vals, 10); ok {
+		t.Error("all-identical large column should not be ok")
+	}
+}
+
+func BenchmarkMinPairDistCapped2000(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]string, 2000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%s-%06d", randomWord(rng, 8), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinPairDistCapped(vals, 0)
+	}
+}

@@ -1,0 +1,234 @@
+package strdist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Doeling", "Dowling", 1},
+		{"Super Bowl XXI", "Super Bowl XXII", 1},
+		{"Bromine", "Bromide", 1},
+		{"Sulfur dioxide", "Sulfur trioxide", 2},
+		{"H2O", "H2O2", 1},
+		{"abc", "abc", 0},
+		{"日本語", "日本誤", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinBounded(t *testing.T) {
+	if d, ok := LevenshteinBounded("kitten", "sitting", 3); !ok || d != 3 {
+		t.Errorf("bounded(3) = (%d,%v)", d, ok)
+	}
+	if d, ok := LevenshteinBounded("kitten", "sitting", 2); ok {
+		t.Errorf("bounded(2) = (%d,%v), want not-ok", d, ok)
+	}
+	if _, ok := LevenshteinBounded("short", "a much longer string", 3); ok {
+		t.Error("length-difference prune failed")
+	}
+	if d, ok := LevenshteinBounded("same", "same", 0); !ok || d != 0 {
+		t.Errorf("bounded(0) identical = (%d,%v)", d, ok)
+	}
+	if _, ok := LevenshteinBounded("a", "b", -1); ok {
+		t.Error("negative bound should fail")
+	}
+	if d, ok := LevenshteinBounded("", "ab", 2); !ok || d != 2 {
+		t.Errorf("bounded empty = (%d,%v)", d, ok)
+	}
+}
+
+// Property: bounded agrees with full Levenshtein whenever within bound.
+func TestLevenshteinBoundedAgreesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := "abcde"
+	randStr := func() string {
+		n := rng.Intn(12)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randStr(), randStr()
+		want := Levenshtein(a, b)
+		for _, bound := range []int{0, 1, 2, 3, 5, 20} {
+			got, ok := LevenshteinBounded(a, b, bound)
+			if want <= bound {
+				if !ok || got != want {
+					t.Fatalf("bounded(%q,%q,%d) = (%d,%v), want (%d,true)", a, b, bound, got, ok, want)
+				}
+			} else if ok {
+				t.Fatalf("bounded(%q,%q,%d) = (%d,true), want not-ok (full=%d)", a, b, bound, got, want)
+			}
+		}
+	}
+}
+
+// Property: Levenshtein is a metric (symmetry + triangle inequality) and
+// zero iff equal.
+func TestLevenshteinMetricProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(a, b, c string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		if len(c) > 20 {
+			c = c[:20]
+		}
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) && isValidUTF8(a) && isValidUTF8(b) {
+			return false
+		}
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func isValidUTF8(s string) bool {
+	return strings.ToValidUTF8(s, "") == s
+}
+
+func TestMinPairDist(t *testing.T) {
+	// The Figure 4(g) scenario: one close pair, everything else far.
+	vals := []string{"Kevin Doeling", "Kevin Dowling", "Alan Myerson", "Rob Morrow"}
+	p, ok := MinPairDist(vals)
+	if !ok || p.Dist != 1 {
+		t.Fatalf("MinPairDist = %+v, %v", p, ok)
+	}
+	if !(p.I == 0 && p.J == 1) {
+		t.Errorf("pair = (%d,%d)", p.I, p.J)
+	}
+	// After dropping one of them MPD jumps.
+	q, ok := SecondMinPairDist(vals, 0)
+	if !ok {
+		t.Fatal("SecondMinPairDist not ok")
+	}
+	if q.Dist < 5 {
+		t.Errorf("perturbed MPD = %d, want large", q.Dist)
+	}
+}
+
+func TestMinPairDistSkipsDuplicates(t *testing.T) {
+	vals := []string{"same", "same", "other"}
+	p, ok := MinPairDist(vals)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if p.Dist == 0 {
+		t.Errorf("MPD must ignore identical values, got dist 0 (%+v)", p)
+	}
+}
+
+func TestMinPairDistDegenerate(t *testing.T) {
+	if _, ok := MinPairDist(nil); ok {
+		t.Error("empty input should not be ok")
+	}
+	if _, ok := MinPairDist([]string{"only"}); ok {
+		t.Error("single value should not be ok")
+	}
+	if _, ok := MinPairDist([]string{"dup", "dup"}); ok {
+		t.Error("all-identical values should not be ok")
+	}
+}
+
+func TestSecondMinPairDistIndicesMapBack(t *testing.T) {
+	vals := []string{"zzzz", "abcd", "abce", "abcf"}
+	// Drop row 1; remaining close pair is rows 2,3 in original indexing.
+	p, ok := SecondMinPairDist(vals, 1)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if p.I != 2 || p.J != 3 || p.Dist != 1 {
+		t.Errorf("pair = %+v", p)
+	}
+}
+
+func TestDifferingTokens(t *testing.T) {
+	a, b := DifferingTokens("Kevin Doeling", "Kevin Dowling")
+	if len(a) != 1 || len(b) != 1 || a[0] != "Doeling" || b[0] != "Dowling" {
+		t.Errorf("DifferingTokens = %v, %v", a, b)
+	}
+	a, b = DifferingTokens("Super Bowl XXI", "Super Bowl XXII")
+	if len(a) != 1 || a[0] != "XXI" || len(b) != 1 || b[0] != "XXII" {
+		t.Errorf("DifferingTokens = %v, %v", a, b)
+	}
+	a, b = DifferingTokens("same same", "same same")
+	if a != nil || b != nil {
+		t.Errorf("identical values should have no differing tokens: %v %v", a, b)
+	}
+	// Repeated tokens are matched with multiplicity.
+	a, b = DifferingTokens("x x y", "x y y")
+	if len(a) != 1 || a[0] != "x" || len(b) != 1 || b[0] != "y" {
+		t.Errorf("multiplicity: %v %v", a, b)
+	}
+}
+
+func TestAvgDifferingTokenLen(t *testing.T) {
+	if got := AvgDifferingTokenLen("Kevin Doeling", "Kevin Dowling"); got != 7 {
+		t.Errorf("avg = %v, want 7", got)
+	}
+	if got := AvgDifferingTokenLen("Super Bowl XXI", "Super Bowl XXII"); got != 3.5 {
+		t.Errorf("avg = %v, want 3.5", got)
+	}
+	if got := AvgDifferingTokenLen("a b", "a b"); got != 0 {
+		t.Errorf("avg identical = %v, want 0", got)
+	}
+}
+
+func BenchmarkLevenshteinBounded(b *testing.B) {
+	x := "a reasonably long table cell value"
+	y := "a reasonable long table cell walue"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LevenshteinBounded(x, y, 2)
+	}
+}
+
+func BenchmarkMinPairDist100(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]string, 100)
+	for i := range vals {
+		vals[i] = randomWord(rng, 8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinPairDist(vals)
+	}
+}
+
+func randomWord(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte('a' + rng.Intn(26)))
+	}
+	return b.String()
+}

@@ -1,0 +1,188 @@
+// Package synth implements the program-synthesis substrate behind the
+// FD-synthesis detector (Appendix D): given two columns X and Y it learns
+// an explicit programmatic relationship — concatenation with literal
+// affixes, split-and-select, or case transforms — that holds for a
+// majority of rows. An explicit program "makes sure that a relationship
+// really exists between the columns" (App. D), which is what lifts
+// FD-synthesis precision over classical FD in Figure 12.
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program transforms an input cell value to an output cell value.
+type Program interface {
+	// Apply runs the program; ok=false means the input is outside the
+	// program's domain (e.g. the separator is missing).
+	Apply(in string) (out string, ok bool)
+	// String renders the program for humans ("concat(\"Route \", x)").
+	String() string
+}
+
+// Identity copies the input.
+type Identity struct{}
+
+// Apply implements Program.
+func (Identity) Apply(in string) (string, bool) { return in, true }
+
+// String implements Program.
+func (Identity) String() string { return "x" }
+
+// Concat produces Prefix + x + Suffix.
+type Concat struct {
+	Prefix, Suffix string
+}
+
+// Apply implements Program.
+func (c Concat) Apply(in string) (string, bool) { return c.Prefix + in + c.Suffix, true }
+
+// String implements Program.
+func (c Concat) String() string { return fmt.Sprintf("concat(%q, x, %q)", c.Prefix, c.Suffix) }
+
+// SplitSelect splits x on Sep and returns field Index.
+type SplitSelect struct {
+	Sep   string
+	Index int
+}
+
+// Apply implements Program.
+func (s SplitSelect) Apply(in string) (string, bool) {
+	parts := strings.Split(in, s.Sep)
+	if s.Index < 0 || s.Index >= len(parts) || len(parts) < 2 {
+		return "", false
+	}
+	return parts[s.Index], true
+}
+
+// String implements Program.
+func (s SplitSelect) String() string { return fmt.Sprintf("split(x, %q)[%d]", s.Sep, s.Index) }
+
+// CaseTransform upper- or lower-cases x.
+type CaseTransform struct{ Upper bool }
+
+// Apply implements Program.
+func (c CaseTransform) Apply(in string) (string, bool) {
+	if c.Upper {
+		return strings.ToUpper(in), true
+	}
+	return strings.ToLower(in), true
+}
+
+// String implements Program.
+func (c CaseTransform) String() string {
+	if c.Upper {
+		return "upper(x)"
+	}
+	return "lower(x)"
+}
+
+// Fit is the result of learning a program over example pairs.
+type Fit struct {
+	Program Program
+	// Conforming is the fraction of rows the program reproduces exactly.
+	Conforming float64
+	// Violations lists the row indices the program does not reproduce.
+	Violations []int
+}
+
+// separators tried by split-program enumeration, most specific first.
+var separators = []string{", ", " - ", "/", "-", ": ", ", ", " "}
+
+// maxSplitIndex bounds the field index tried for split programs.
+const maxSplitIndex = 4
+
+// Learn searches the program space for the best program mapping xs to ys
+// row-wise, requiring at least minConforming fraction of exact matches.
+// It returns ok=false when no program clears the bar. Empty rows are
+// skipped from scoring (they neither support nor violate).
+//
+// The search is programming-by-example in miniature: candidate programs
+// are instantiated from the first non-empty example rows and then
+// verified against all rows, as in FlashFill-style synthesis [45, 62, 81].
+func Learn(xs, ys []string, minConforming float64) (Fit, bool) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return Fit{}, false
+	}
+	cands := candidates(xs, ys)
+	// A program must reach minConforming; once it has accumulated more
+	// violations than that allows, scoring can stop early.
+	maxViolations := int(float64(len(xs))*(1-minConforming)) + 1
+	best := Fit{Conforming: -1}
+	for _, p := range cands {
+		fit, ok := score(p, xs, ys, maxViolations)
+		if ok && fit.Conforming > best.Conforming {
+			best = fit
+		}
+	}
+	if best.Conforming < minConforming || best.Program == nil {
+		return Fit{}, false
+	}
+	return best, true
+}
+
+// candidates instantiates candidate programs from example rows.
+func candidates(xs, ys []string) []Program {
+	var out []Program
+	out = append(out, Identity{}, CaseTransform{Upper: true}, CaseTransform{Upper: false})
+
+	// Concat: derive prefix/suffix from up to 3 example rows where x is a
+	// non-empty substring of y.
+	seen := map[string]bool{}
+	derived := 0
+	for i := 0; i < len(xs) && derived < 3; i++ {
+		x, y := xs[i], ys[i]
+		if x == "" || y == "" {
+			continue
+		}
+		idx := strings.Index(y, x)
+		if idx < 0 {
+			continue
+		}
+		c := Concat{Prefix: y[:idx], Suffix: y[idx+len(x):]}
+		key := "c\x00" + c.Prefix + "\x00" + c.Suffix
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+			derived++
+		}
+	}
+
+	// SplitSelect: enumerate separators and indices bounded by examples.
+	for _, sep := range separators {
+		for idx := 0; idx < maxSplitIndex; idx++ {
+			key := fmt.Sprintf("s\x00%s\x00%d", sep, idx)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, SplitSelect{Sep: sep, Index: idx})
+		}
+	}
+	return out
+}
+
+func score(p Program, xs, ys []string, maxViolations int) (Fit, bool) {
+	fit := Fit{Program: p}
+	scored := 0
+	for i := range xs {
+		if xs[i] == "" && ys[i] == "" {
+			continue
+		}
+		scored++
+		got, ok := p.Apply(xs[i])
+		if !ok || got != ys[i] {
+			fit.Violations = append(fit.Violations, i)
+			if len(fit.Violations) > maxViolations {
+				return Fit{}, false
+			}
+		}
+	}
+	if scored == 0 {
+		fit.Conforming = 0
+		return fit, true
+	}
+	fit.Conforming = float64(scored-len(fit.Violations)) / float64(scored)
+	return fit, true
+}

@@ -1,0 +1,85 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSV parses a table from CSV data. The first record is treated as the
+// header row; missing trailing cells are padded with empty strings so that
+// slightly ragged real-world files still load.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv %q: %w", name, err)
+	}
+	return fromRecords(name, records)
+}
+
+// ReadCSVFile loads a table from a CSV file; the table name is the file's
+// base name without extension.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, f)
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		if err := cw.Write(t.Row(i)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fromRecords(name string, records [][]string) (*Table, error) {
+	if len(records) == 0 {
+		return &Table{Name: name}, nil
+	}
+	header := records[0]
+	width := len(header)
+	for _, rec := range records[1:] {
+		if len(rec) > width {
+			width = len(rec)
+		}
+	}
+	cols := make([]*Column, width)
+	for j := 0; j < width; j++ {
+		colName := fmt.Sprintf("col%d", j+1)
+		if j < len(header) && strings.TrimSpace(header[j]) != "" {
+			colName = strings.TrimSpace(header[j])
+		}
+		vals := make([]string, 0, len(records)-1)
+		for _, rec := range records[1:] {
+			if j < len(rec) {
+				vals = append(vals, rec[j])
+			} else {
+				vals = append(vals, "")
+			}
+		}
+		cols[j] = NewColumn(colName, vals)
+	}
+	return New(name, cols...)
+}

@@ -1,0 +1,54 @@
+package table
+
+import "testing"
+
+// FuzzParseNumber asserts ParseNumber never panics and that accepted
+// values are consistent: an accepted integral value re-parses from its
+// digits.
+func FuzzParseNumber(f *testing.F) {
+	for _, seed := range []string{"8,011", "-1.5", "1e9", "", "abc", "1,23", "  42 ", "+0", "8.716", "1,234,567.89"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, isInt, ok := ParseNumber(s)
+		if !ok {
+			return
+		}
+		if isInt && v != float64(int64(v)) && v < 1e15 && v > -1e15 {
+			t.Fatalf("ParseNumber(%q) claims integral but v=%v", s, v)
+		}
+	})
+}
+
+// FuzzTokenize asserts Tokenize never panics and returns only lowercase
+// alphanumeric tokens.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{"Kevin Doeling", "KV214-310B8K2", "日本語 abc", "", "--"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for i := 0; i < len(tok); i++ {
+				c := tok[i]
+				if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9') {
+					t.Fatalf("Tokenize(%q) produced non-alnum token %q", s, tok)
+				}
+			}
+		}
+	})
+}
+
+// FuzzInferType asserts type inference never panics on arbitrary cells.
+func FuzzInferType(f *testing.F) {
+	f.Add("a", "1", "2.5")
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		typ := InferType([]string{a, b, c})
+		if int(typ) >= NumValueTypes {
+			t.Fatalf("invalid type %d", typ)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package table
+
+import (
+	"strconv"
+	"strings"
+)
+
+// cellKind classifies a single cell value.
+type cellKind uint8
+
+const (
+	kindEmpty cellKind = iota
+	kindInt
+	kindFloat
+	kindString
+	kindMixed
+)
+
+// classifyCell determines the kind of one cell.
+func classifyCell(v string) cellKind {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return kindEmpty
+	}
+	if _, isInt, ok := ParseNumber(v); ok {
+		if isInt {
+			return kindInt
+		}
+		return kindFloat
+	}
+	hasLetter, hasDigit := false, false
+	for _, r := range v {
+		switch {
+		case r >= '0' && r <= '9':
+			hasDigit = true
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+			hasLetter = true
+		}
+	}
+	if hasLetter && hasDigit {
+		return kindMixed
+	}
+	return kindString
+}
+
+// InferType infers the dominant ValueType of a slice of cell values.
+//
+// The rules mirror what error-detection needs: a column is numeric only if
+// the overwhelming majority (>= 90%) of its non-empty cells parse as
+// numbers — so that a single corrupted numeric cell (e.g. "8.716" among
+// "8,011"-style values, Figure 4(e)) does not flip the column to string.
+// A column with both letter-bearing and digit-bearing values, or with
+// mixed-alphanumeric cells, is TypeMixed (ID/code-like).
+func InferType(values []string) ValueType {
+	var nEmpty, nInt, nFloat, nString, nMixed int
+	for _, v := range values {
+		switch classifyCell(v) {
+		case kindEmpty:
+			nEmpty++
+		case kindInt:
+			nInt++
+		case kindFloat:
+			nFloat++
+		case kindString:
+			nString++
+		case kindMixed:
+			nMixed++
+		}
+	}
+	n := len(values) - nEmpty
+	if n <= 0 {
+		return TypeEmpty
+	}
+	numeric := nInt + nFloat
+	switch {
+	case numeric*10 >= n*9: // >= 90% numeric
+		if nFloat > 0 {
+			return TypeFloat
+		}
+		return TypeInt
+	case nMixed*4 >= n: // >= 25% mixed-alphanumeric cells
+		return TypeMixed
+	case nString > 0 && numeric > 0:
+		// Letters-only and digits-only values interleaved: code-like.
+		return TypeMixed
+	case nString >= nMixed:
+		return TypeString
+	default:
+		return TypeMixed
+	}
+}
+
+// ParseNumber parses a cell as a number, accepting optional leading sign,
+// thousands separators in the US style ("8,011", "1,234,567.89"), a leading
+// currency/percent-free numeral, and plain scientific notation. It returns
+// the parsed value, whether the value is integral, and whether parsing
+// succeeded.
+//
+// Thousands-separator handling matters for the paper's running example
+// (Figure 4(e)): "8,011" must parse as 8011 while the corrupted "8.716"
+// parses as the float 8.716.
+func ParseNumber(v string) (f float64, isInt bool, ok bool) {
+	s := strings.TrimSpace(v)
+	if s == "" {
+		return 0, false, false
+	}
+	neg := false
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		neg = true
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, false, false
+	}
+	// Reject anything with characters a number cannot contain, fast path.
+	for _, r := range s {
+		if !(r >= '0' && r <= '9' || r == '.' || r == ',' || r == 'e' || r == 'E' || r == '+' || r == '-') {
+			return 0, false, false
+		}
+	}
+	if strings.Contains(s, ",") {
+		if !validThousands(s) {
+			return 0, false, false
+		}
+		s = strings.ReplaceAll(s, ",", "")
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false, false
+	}
+	if neg {
+		f = -f
+	}
+	// Integral if there is no decimal point or exponent and it fits the
+	// float64 integer range exactly.
+	isInt = !strings.ContainsAny(s, ".eE")
+	return f, isInt, true
+}
+
+// validThousands reports whether the comma usage in s is a valid US-style
+// thousands grouping: groups of exactly three digits after the first comma,
+// with the first group 1–3 digits, and any decimal part comma-free.
+func validThousands(s string) bool {
+	intPart := s
+	if i := strings.IndexAny(s, ".eE"); i >= 0 {
+		intPart = s[:i]
+		if strings.Contains(s[i:], ",") {
+			return false
+		}
+	}
+	groups := strings.Split(intPart, ",")
+	if len(groups) < 2 {
+		return false
+	}
+	if len(groups[0]) == 0 || len(groups[0]) > 3 {
+		return false
+	}
+	for _, g := range groups[1:] {
+		if len(g) != 3 {
+			return false
+		}
+		for _, r := range g {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+	}
+	for _, r := range groups[0] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Numbers extracts the parseable numeric values from a column, returning
+// them together with the row index of each.
+func Numbers(c *Column) (vals []float64, rows []int) {
+	for i, s := range c.Values {
+		if f, _, ok := ParseNumber(s); ok {
+			vals = append(vals, f)
+			rows = append(rows, i)
+		}
+	}
+	return vals, rows
+}

@@ -1,0 +1,110 @@
+package table
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadTSV parses a tab-separated table; the first line is the header.
+// Unlike CSV there is no quoting: tabs delimit, everything else is
+// verbatim.
+func ReadTSV(name string, r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records [][]string
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		records = append(records, strings.Split(line, "\t"))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read tsv %q: %w", name, err)
+	}
+	return fromRecords(name, records)
+}
+
+// ReadMarkdown parses a GitHub-flavored markdown table (the format
+// Wikipedia-style tables commonly travel in):
+//
+//	| Name   | Age |
+//	|--------|-----|
+//	| Ada    | 36  |
+//
+// Lines before the table are skipped; parsing stops at the first
+// non-table line after it. The alignment row is detected and dropped.
+func ReadMarkdown(name string, r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records [][]string
+	inTable := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "|") {
+			if inTable {
+				break
+			}
+			continue
+		}
+		inTable = true
+		cells := splitMarkdownRow(line)
+		if isAlignmentRow(cells) {
+			continue
+		}
+		records = append(records, cells)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read markdown %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("read markdown %q: no table found", name)
+	}
+	return fromRecords(name, records)
+}
+
+// splitMarkdownRow splits "| a | b |" into its trimmed cells, honoring
+// escaped pipes ("\|").
+func splitMarkdownRow(line string) []string {
+	line = strings.TrimPrefix(line, "|")
+	line = strings.TrimSuffix(line, "|")
+	var cells []string
+	var cur strings.Builder
+	escaped := false
+	for _, r := range line {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '|':
+			cells = append(cells, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	cells = append(cells, strings.TrimSpace(cur.String()))
+	return cells
+}
+
+// isAlignmentRow reports whether every cell is a ---- / :---: marker.
+func isAlignmentRow(cells []string) bool {
+	if len(cells) == 0 {
+		return false
+	}
+	for _, c := range cells {
+		if c == "" {
+			return false
+		}
+		for _, r := range c {
+			if r != '-' && r != ':' {
+				return false
+			}
+		}
+		if !strings.Contains(c, "-") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package table
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadTSV(t *testing.T) {
+	in := "name\tage\nada\t36\nbob, jr\t41\r\n"
+	tbl, err := ReadTSV("people", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 2 || tbl.NumRows() != 2 {
+		t.Fatalf("shape = %dx%d", tbl.NumCols(), tbl.NumRows())
+	}
+	// No quoting: commas are verbatim, CR is stripped.
+	if tbl.Columns[0].Values[1] != "bob, jr" || tbl.Columns[1].Values[1] != "41" {
+		t.Errorf("row 2 = %v", tbl.Row(1))
+	}
+}
+
+func TestReadTSVEmpty(t *testing.T) {
+	tbl, err := ReadTSV("e", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 0 {
+		t.Errorf("cols = %d", tbl.NumCols())
+	}
+}
+
+func TestReadMarkdown(t *testing.T) {
+	in := `Some prose before the table.
+
+| Super Bowl       | Season |
+|------------------|:------:|
+| Super Bowl XX    | 1985   |
+| Super Bowl XXI   | 1986   |
+| with \| pipe     | 1987   |
+
+Prose after.
+`
+	tbl, err := ReadMarkdown("sb", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 2 || tbl.NumRows() != 3 {
+		t.Fatalf("shape = %dx%d", tbl.NumCols(), tbl.NumRows())
+	}
+	if tbl.Columns[0].Name != "Super Bowl" || tbl.Columns[1].Name != "Season" {
+		t.Errorf("headers = %q, %q", tbl.Columns[0].Name, tbl.Columns[1].Name)
+	}
+	want := []string{"Super Bowl XX", "Super Bowl XXI", "with | pipe"}
+	if !reflect.DeepEqual(tbl.Columns[0].Values, want) {
+		t.Errorf("col 1 = %v", tbl.Columns[0].Values)
+	}
+}
+
+func TestReadMarkdownNoTable(t *testing.T) {
+	if _, err := ReadMarkdown("n", strings.NewReader("just prose\n")); err == nil {
+		t.Error("prose-only input should error")
+	}
+}
+
+func TestReadMarkdownStopsAtTableEnd(t *testing.T) {
+	in := "| A |\n|---|\n| 1 |\nnot a row\n| B |\n|---|\n| 2 |\n"
+	tbl, err := ReadMarkdown("m", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first table is read.
+	if tbl.Columns[0].Name != "A" || tbl.NumRows() != 1 {
+		t.Errorf("table = %v rows=%d", tbl.Columns[0].Name, tbl.NumRows())
+	}
+}
+
+func TestIsAlignmentRow(t *testing.T) {
+	yes := [][]string{{"---"}, {":--", "--:"}, {":-:", "---"}}
+	no := [][]string{{""}, {"abc"}, {"---", "x"}, {"::"}, nil}
+	for _, c := range yes {
+		if !isAlignmentRow(c) {
+			t.Errorf("isAlignmentRow(%v) = false", c)
+		}
+	}
+	for _, c := range no {
+		if isAlignmentRow(c) {
+			t.Errorf("isAlignmentRow(%v) = true", c)
+		}
+	}
+}
+
+func TestSplitMarkdownRow(t *testing.T) {
+	cases := map[string][]string{
+		"| a | b |":      {"a", "b"},
+		"|a|b|c|":        {"a", "b", "c"},
+		`| x \| y | z |`: {"x | y", "z"},
+		"| lone |":       {"lone"},
+	}
+	for in, want := range cases {
+		if got := splitMarkdownRow(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("splitMarkdownRow(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package table provides the relational table model used throughout
+// Uni-Detect: typed columns, value type inference, numeric parsing
+// (including thousands separators), tokenization and CSV/TSV IO.
+//
+// Tables are stored column-major because every Uni-Detect metric function
+// operates on columns; rows are materialized on demand.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValueType classifies the dominant value type of a column, following the
+// featurization dimensions of the paper (Figure 5 and §3.1–3.4):
+// string vs. integer vs. floating-point vs. mixed-alphanumeric.
+type ValueType uint8
+
+const (
+	// TypeEmpty marks a column with no non-empty values.
+	TypeEmpty ValueType = iota
+	// TypeString marks columns of plain (letters/punctuation) strings.
+	TypeString
+	// TypeInt marks integer-valued numeric columns.
+	TypeInt
+	// TypeFloat marks floating-point numeric columns.
+	TypeFloat
+	// TypeMixed marks mixed-alphanumeric columns (IDs, codes, part
+	// numbers), which the paper singles out as likely key columns.
+	TypeMixed
+	numValueTypes
+)
+
+// NumValueTypes is the number of distinct ValueType values, for use as an
+// array dimension by featurization code.
+const NumValueTypes = int(numValueTypes)
+
+// String returns a short human-readable name for the type.
+func (t ValueType) String() string {
+	switch t {
+	case TypeEmpty:
+		return "empty"
+	case TypeString:
+		return "string"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("ValueType(%d)", uint8(t))
+	}
+}
+
+// Column is a named, typed column of string cell values.
+type Column struct {
+	Name   string
+	Values []string
+
+	// typ caches the inferred ValueType; 0 (TypeEmpty) doubles as
+	// "not yet computed" for non-empty columns, so we track it with ok.
+	typ   ValueType
+	typOK bool
+}
+
+// NewColumn builds a column from a name and values.
+func NewColumn(name string, values []string) *Column {
+	return &Column{Name: name, Values: values}
+}
+
+// Len returns the number of cells in the column.
+func (c *Column) Len() int { return len(c.Values) }
+
+// Type returns the inferred ValueType of the column, computing and caching
+// it on first use.
+func (c *Column) Type() ValueType {
+	if !c.typOK {
+		c.typ = InferType(c.Values)
+		c.typOK = true
+	}
+	return c.typ
+}
+
+// Invalidate drops cached derived state after the Values slice is mutated.
+func (c *Column) Invalidate() { c.typOK = false }
+
+// Drop returns a copy of the column with the cells at the given row indices
+// removed. Indices outside the column are ignored. The receiver is not
+// modified; this implements the ε-perturbation D \ O of Definition 2.
+func (c *Column) Drop(rows ...int) *Column {
+	if len(rows) == 0 {
+		out := NewColumn(c.Name, append([]string(nil), c.Values...))
+		return out
+	}
+	drop := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		drop[r] = true
+	}
+	vals := make([]string, 0, len(c.Values))
+	for i, v := range c.Values {
+		if !drop[i] {
+			vals = append(vals, v)
+		}
+	}
+	return NewColumn(c.Name, vals)
+}
+
+// Table is a named collection of equally long columns.
+type Table struct {
+	Name    string
+	Columns []*Column
+}
+
+// New builds a table and validates that all columns have equal length.
+func New(name string, cols ...*Column) (*Table, error) {
+	if len(cols) > 0 {
+		n := cols[0].Len()
+		for _, c := range cols[1:] {
+			if c.Len() != n {
+				return nil, fmt.Errorf("table %q: column %q has %d rows, want %d", name, c.Name, c.Len(), n)
+			}
+		}
+	}
+	return &Table{Name: name, Columns: cols}, nil
+}
+
+// MustNew is New but panics on ragged columns; for tests and literals.
+func MustNew(name string, cols ...*Column) *Table {
+	t, err := New(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumRows returns the row count (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].Len()
+}
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// Row materializes row i as a slice of cell values, one per column.
+func (t *Table) Row(i int) []string {
+	row := make([]string, len(t.Columns))
+	for j, c := range t.Columns {
+		row[j] = c.Values[i]
+	}
+	return row
+}
+
+// Column returns the column with the given name, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// DropRows returns a copy of the table with the given row indices removed
+// from every column (the table-level ε-perturbation).
+func (t *Table) DropRows(rows ...int) *Table {
+	cols := make([]*Column, len(t.Columns))
+	for j, c := range t.Columns {
+		cols[j] = c.Drop(rows...)
+	}
+	return &Table{Name: t.Name, Columns: cols}
+}
+
+// CellRef identifies a single cell in a named table.
+type CellRef struct {
+	Table  string
+	Column string
+	Row    int
+}
+
+// String renders the reference as table!column[row].
+func (r CellRef) String() string {
+	return fmt.Sprintf("%s!%s[%d]", r.Table, r.Column, r.Row)
+}
+
+// Tokenize splits a cell value into lowercase tokens on any non-alphanumeric
+// rune. Tokens are the unit of the paper's token-prevalence featurization
+// (Prev(C), §3.3) and of the differing-token analysis for spelling (§3.2).
+func Tokenize(v string) []string {
+	var toks []string
+	start := -1
+	lower := strings.ToLower(v)
+	for i, r := range lower {
+		alnum := r >= 'a' && r <= 'z' || r >= '0' && r <= '9'
+		if alnum {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			toks = append(toks, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		toks = append(toks, lower[start:])
+	}
+	return toks
+}

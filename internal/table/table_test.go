@@ -1,0 +1,263 @@
+package table
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsRaggedColumns(t *testing.T) {
+	_, err := New("t",
+		NewColumn("a", []string{"1", "2"}),
+		NewColumn("b", []string{"1"}),
+	)
+	if err == nil {
+		t.Fatal("New accepted ragged columns")
+	}
+}
+
+func TestDropRows(t *testing.T) {
+	tbl := MustNew("t",
+		NewColumn("a", []string{"x", "y", "z"}),
+		NewColumn("b", []string{"1", "2", "3"}),
+	)
+	got := tbl.DropRows(1)
+	if got.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", got.NumRows())
+	}
+	if !reflect.DeepEqual(got.Columns[0].Values, []string{"x", "z"}) {
+		t.Errorf("col a = %v", got.Columns[0].Values)
+	}
+	if !reflect.DeepEqual(got.Columns[1].Values, []string{"1", "3"}) {
+		t.Errorf("col b = %v", got.Columns[1].Values)
+	}
+	// Original untouched.
+	if tbl.NumRows() != 3 {
+		t.Errorf("original mutated: NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestColumnDropIgnoresOutOfRange(t *testing.T) {
+	c := NewColumn("a", []string{"x", "y"})
+	got := c.Drop(5, -1)
+	if !reflect.DeepEqual(got.Values, []string{"x", "y"}) {
+		t.Errorf("Drop(5,-1) = %v", got.Values)
+	}
+}
+
+func TestColumnDropEmpty(t *testing.T) {
+	c := NewColumn("a", []string{"x", "y"})
+	got := c.Drop()
+	if !reflect.DeepEqual(got.Values, c.Values) {
+		t.Errorf("Drop() = %v", got.Values)
+	}
+	got.Values[0] = "mutated"
+	if c.Values[0] != "x" {
+		t.Error("Drop() shares backing array with original")
+	}
+}
+
+func TestRowAndColumnLookup(t *testing.T) {
+	tbl := MustNew("t",
+		NewColumn("name", []string{"ada", "bob"}),
+		NewColumn("age", []string{"36", "41"}),
+	)
+	if got := tbl.Row(1); !reflect.DeepEqual(got, []string{"bob", "41"}) {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if tbl.Column("age") == nil || tbl.Column("age").Values[0] != "36" {
+		t.Error("Column lookup failed")
+	}
+	if tbl.Column("missing") != nil {
+		t.Error("Column returned non-nil for missing name")
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	cases := []struct {
+		in    string
+		f     float64
+		isInt bool
+		ok    bool
+	}{
+		{"42", 42, true, true},
+		{"-7", -7, true, true},
+		{"+7", 7, true, true},
+		{"3.14", 3.14, false, true},
+		{"8,011", 8011, true, true},
+		{"1,234,567.89", 1234567.89, false, true},
+		{"8.716", 8.716, false, true},
+		{"1e3", 1000, false, true},
+		{"", 0, false, false},
+		{"abc", 0, false, false},
+		{"12a", 0, false, false},
+		{"1,23", 0, false, false},   // bad grouping
+		{"12,34", 0, false, false},  // bad grouping
+		{"1,2345", 0, false, false}, // bad grouping
+		{",123", 0, false, false},
+		{"1.2.3", 0, false, false},
+		{"-", 0, false, false},
+		{"Super Bowl XX", 0, false, false},
+	}
+	for _, c := range cases {
+		f, isInt, ok := ParseNumber(c.in)
+		if ok != c.ok || (ok && (f != c.f || isInt != c.isInt)) {
+			t.Errorf("ParseNumber(%q) = (%v,%v,%v), want (%v,%v,%v)", c.in, f, isInt, ok, c.f, c.isInt, c.ok)
+		}
+	}
+}
+
+func TestInferType(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []string
+		want ValueType
+	}{
+		{"ints", []string{"1", "2", "3"}, TypeInt},
+		{"floats", []string{"1.5", "2", "3"}, TypeFloat},
+		{"thousands", []string{"8,011", "9,954", "11,895"}, TypeInt},
+		{"strings", []string{"alice", "bob", "carol"}, TypeString},
+		{"mixed", []string{"KV214-310B8K2", "MP2492DN", "B226711"}, TypeMixed},
+		// One bad cell among >=90% numbers keeps the column numeric.
+		{"mostly numeric with one bad cell", []string{"10", "20", "30", "40", "50", "60", "70", "80", "90", "x100y"}, TypeInt},
+		{"too many bad cells flips to mixed", []string{"10", "20", "x30y", "x40y", "x50y"}, TypeMixed},
+		{"numeric with empty cells", []string{"10", "", "30", ""}, TypeInt},
+		{"empty", []string{"", "", ""}, TypeEmpty},
+		{"nil", nil, TypeEmpty},
+		{"roman", []string{"Super Bowl XX", "Super Bowl XXI"}, TypeString},
+		{"interleaved words and numbers", []string{"alpha", "12", "beta", "34"}, TypeMixed},
+	}
+	for _, c := range cases {
+		if got := InferType(c.vals); got != c.want {
+			t.Errorf("%s: InferType = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestInferTypeNumericTolerance(t *testing.T) {
+	// A single corrupted numeric cell among >=90% numbers keeps the
+	// column numeric — required for Figure 4(e)-style outliers.
+	vals := []string{"8,011", "8.716", "9,954", "11,895", "11,329", "11,352", "11,709"}
+	if got := InferType(vals); got != TypeFloat {
+		t.Errorf("InferType = %v, want float", got)
+	}
+}
+
+func TestColumnTypeCaching(t *testing.T) {
+	c := NewColumn("a", []string{"1", "2"})
+	if c.Type() != TypeInt {
+		t.Fatalf("Type = %v", c.Type())
+	}
+	c.Values = []string{"x", "y"}
+	if c.Type() != TypeInt {
+		t.Error("expected stale cached type before Invalidate")
+	}
+	c.Invalidate()
+	if c.Type() != TypeString {
+		t.Errorf("after Invalidate Type = %v, want string", c.Type())
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Kevin Doeling", []string{"kevin", "doeling"}},
+		{"KV214-310B8K2", []string{"kv214", "310b8k2"}},
+		{"  spaced  out ", []string{"spaced", "out"}},
+		{"", nil},
+		{"---", nil},
+		{"a,b;c", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := "name,age\nada,36\nbob,41\n"
+	tbl, err := ReadCSV("people", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 2 || tbl.NumRows() != 2 {
+		t.Fatalf("shape = %dx%d", tbl.NumCols(), tbl.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tbl, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != in {
+		t.Errorf("round trip = %q, want %q", buf.String(), in)
+	}
+}
+
+func TestReadCSVRagged(t *testing.T) {
+	in := "a,b,c\n1,2\n4,5,6,7\n"
+	tbl, err := ReadCSV("ragged", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 4 {
+		t.Fatalf("NumCols = %d, want 4 (widest row)", tbl.NumCols())
+	}
+	if got := tbl.Columns[2].Values; !reflect.DeepEqual(got, []string{"", "6"}) {
+		t.Errorf("col c = %v", got)
+	}
+	if tbl.Columns[3].Name != "col4" {
+		t.Errorf("synthesized name = %q", tbl.Columns[3].Name)
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	tbl, err := ReadCSV("empty", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 0 || tbl.NumRows() != 0 {
+		t.Errorf("shape = %dx%d, want 0x0", tbl.NumCols(), tbl.NumRows())
+	}
+}
+
+func TestCellRefString(t *testing.T) {
+	r := CellRef{Table: "t", Column: "c", Row: 7}
+	if r.String() != "t!c[7]" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// Property: DropRows never changes column count, and reduces row count by
+// exactly the number of valid distinct dropped indices.
+func TestDropRowsProperty(t *testing.T) {
+	f := func(vals []string, idx uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tbl := MustNew("t", NewColumn("a", vals))
+		i := int(idx) % len(vals)
+		got := tbl.DropRows(i)
+		return got.NumCols() == 1 && got.NumRows() == len(vals)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ParseNumber on canonical integer formatting always succeeds and
+// round-trips.
+func TestParseNumberIntProperty(t *testing.T) {
+	f := func(n int32) bool {
+		s := strconv.FormatInt(int64(n), 10)
+		v, isInt, ok := ParseNumber(s)
+		return ok && isInt && v == float64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

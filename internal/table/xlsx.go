@@ -1,0 +1,241 @@
+package table
+
+import (
+	"archive/zip"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The paper's Enterprise corpus is "a collection of 489K spreadsheet
+// tables, extracted from Excel (.xlsx) files" (§4.1). This file implements
+// a minimal self-contained xlsx reader — an xlsx workbook is a zip of XML
+// parts — covering inline and shared strings, numbers, and booleans; the
+// first worksheet row is taken as the header.
+
+// ReadXLSXFile loads every worksheet of an .xlsx workbook as a table.
+func ReadXLSXFile(path string) ([]*Table, error) {
+	zr, err := zip.OpenReader(path)
+	if err != nil {
+		return nil, fmt.Errorf("open xlsx %q: %w", path, err)
+	}
+	defer zr.Close()
+	return readXLSX(&zr.Reader, trimExt(path))
+}
+
+// ReadXLSX loads every worksheet from xlsx bytes served by r.
+func ReadXLSX(name string, r io.ReaderAt, size int64) ([]*Table, error) {
+	zr, err := zip.NewReader(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("open xlsx %q: %w", name, err)
+	}
+	return readXLSX(zr, name)
+}
+
+func trimExt(p string) string {
+	base := path.Base(strings.ReplaceAll(p, "\\", "/"))
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		return base[:i]
+	}
+	return base
+}
+
+// xlsx XML shapes (only the parts we consume).
+type xlsxSST struct {
+	SI []struct {
+		T string `xml:"t"`
+		R []struct {
+			T string `xml:"t"`
+		} `xml:"r"`
+	} `xml:"si"`
+}
+
+type xlsxSheet struct {
+	Rows []struct {
+		R     int `xml:"r,attr"`
+		Cells []struct {
+			R string `xml:"r,attr"`
+			T string `xml:"t,attr"`
+			V string `xml:"v"`
+			atom
+		} `xml:"c"`
+	} `xml:"sheetData>row"`
+}
+
+// atom captures inline strings (<is><t>).
+type atom struct {
+	IS struct {
+		T string `xml:"t"`
+	} `xml:"is"`
+}
+
+func readXLSX(zr *zip.Reader, name string) ([]*Table, error) {
+	files := map[string]*zip.File{}
+	var sheetPaths []string
+	for _, f := range zr.File {
+		files[f.Name] = f
+		if strings.HasPrefix(f.Name, "xl/worksheets/") && strings.HasSuffix(f.Name, ".xml") {
+			sheetPaths = append(sheetPaths, f.Name)
+		}
+	}
+	sort.Strings(sheetPaths)
+	if len(sheetPaths) == 0 {
+		return nil, fmt.Errorf("xlsx %q: no worksheets", name)
+	}
+
+	var shared []string
+	if sst, ok := files["xl/sharedStrings.xml"]; ok {
+		var err error
+		shared, err = parseSharedStrings(sst)
+		if err != nil {
+			return nil, fmt.Errorf("xlsx %q: %w", name, err)
+		}
+	}
+
+	var tables []*Table
+	for i, sp := range sheetPaths {
+		t, err := parseSheet(files[sp], shared)
+		if err != nil {
+			return nil, fmt.Errorf("xlsx %q sheet %s: %w", name, sp, err)
+		}
+		if t == nil {
+			continue
+		}
+		if len(sheetPaths) == 1 {
+			t.Name = name
+		} else {
+			t.Name = fmt.Sprintf("%s#%d", name, i+1)
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("xlsx %q: all worksheets empty", name)
+	}
+	return tables, nil
+}
+
+func parseSharedStrings(f *zip.File) ([]string, error) {
+	rc, err := f.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	var sst xlsxSST
+	if err := xml.NewDecoder(rc).Decode(&sst); err != nil {
+		return nil, fmt.Errorf("shared strings: %w", err)
+	}
+	out := make([]string, len(sst.SI))
+	for i, si := range sst.SI {
+		if len(si.R) > 0 { // rich text runs concatenate
+			var b strings.Builder
+			for _, r := range si.R {
+				b.WriteString(r.T)
+			}
+			out[i] = b.String()
+			continue
+		}
+		out[i] = si.T
+	}
+	return out, nil
+}
+
+func parseSheet(f *zip.File, shared []string) (*Table, error) {
+	rc, err := f.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	var sheet xlsxSheet
+	if err := xml.NewDecoder(rc).Decode(&sheet); err != nil {
+		return nil, fmt.Errorf("worksheet: %w", err)
+	}
+	if len(sheet.Rows) == 0 {
+		return nil, nil
+	}
+
+	// Materialize a dense grid: column index from the cell reference
+	// ("C7" -> 2), row order as given.
+	grid := make([][]string, 0, len(sheet.Rows))
+	width := 0
+	for _, row := range sheet.Rows {
+		cells := map[int]string{}
+		maxCol := -1
+		for _, c := range row.Cells {
+			col, err := columnIndex(c.R)
+			if err != nil {
+				return nil, err
+			}
+			v, err := cellValue(c.T, c.V, c.IS.T, shared)
+			if err != nil {
+				return nil, err
+			}
+			cells[col] = v
+			if col > maxCol {
+				maxCol = col
+			}
+		}
+		dense := make([]string, maxCol+1)
+		for col, v := range cells {
+			dense[col] = v
+		}
+		grid = append(grid, dense)
+		if maxCol+1 > width {
+			width = maxCol + 1
+		}
+	}
+	records := make([][]string, len(grid))
+	for i, row := range grid {
+		rec := make([]string, width)
+		copy(rec, row)
+		records[i] = rec
+	}
+	return fromRecords("", records)
+}
+
+// cellValue resolves a cell by its type attribute: "s" shared string,
+// "inlineStr", "str" formula string, "b" boolean, default numeric/general.
+func cellValue(typ, v, inline string, shared []string) (string, error) {
+	switch typ {
+	case "s":
+		i, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || i < 0 || i >= len(shared) {
+			return "", fmt.Errorf("bad shared string index %q", v)
+		}
+		return shared[i], nil
+	case "inlineStr":
+		return inline, nil
+	case "b":
+		if strings.TrimSpace(v) == "1" {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	default: // "str", "n", or untyped
+		return v, nil
+	}
+}
+
+// columnIndex converts the letter prefix of an A1-style reference to a
+// 0-based column index.
+func columnIndex(ref string) (int, error) {
+	n := 0
+	seen := false
+	for _, r := range ref {
+		if r >= 'A' && r <= 'Z' {
+			n = n*26 + int(r-'A') + 1
+			seen = true
+			continue
+		}
+		if r >= '0' && r <= '9' {
+			break
+		}
+		return 0, fmt.Errorf("bad cell reference %q", ref)
+	}
+	if !seen {
+		return 0, fmt.Errorf("bad cell reference %q", ref)
+	}
+	return n - 1, nil
+}

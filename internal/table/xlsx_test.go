@@ -1,0 +1,274 @@
+package table
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildXLSX assembles a minimal in-memory workbook.
+func buildXLSX(t *testing.T, sheets map[string]string, sharedStrings string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	write := func(name, content string) {
+		w, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("[Content_Types].xml", `<?xml version="1.0"?><Types/>`)
+	write("xl/workbook.xml", `<?xml version="1.0"?><workbook/>`)
+	if sharedStrings != "" {
+		write("xl/sharedStrings.xml", sharedStrings)
+	}
+	for name, content := range sheets {
+		write("xl/worksheets/"+name, content)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const sheetXML = `<?xml version="1.0"?>
+<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheetData>
+<row r="1">
+  <c r="A1" t="s"><v>0</v></c>
+  <c r="B1" t="s"><v>1</v></c>
+  <c r="C1" t="inlineStr"><is><t>Active</t></is></c>
+</row>
+<row r="2">
+  <c r="A2" t="s"><v>2</v></c>
+  <c r="B2"><v>8011</v></c>
+  <c r="C2" t="b"><v>1</v></c>
+</row>
+<row r="3">
+  <c r="A3" t="s"><v>3</v></c>
+  <c r="B3"><v>9954</v></c>
+  <c r="C3" t="b"><v>0</v></c>
+</row>
+<row r="4">
+  <c r="A4" t="str"><v>computed</v></c>
+  <c r="C4"><v>3.14</v></c>
+</row>
+</sheetData>
+</worksheet>`
+
+const sstXML = `<?xml version="1.0"?>
+<sst xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main" count="4" uniqueCount="4">
+<si><t>Name</t></si>
+<si><t>Population</t></si>
+<si><r><t>Jeff</t></r><r><t>erson</t></r></si>
+<si><t>Jackson</t></si>
+</sst>`
+
+func TestReadXLSX(t *testing.T) {
+	data := buildXLSX(t, map[string]string{"sheet1.xml": sheetXML}, sstXML)
+	tables, err := ReadXLSX("book", bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tb := tables[0]
+	if tb.Name != "book" {
+		t.Errorf("name = %q", tb.Name)
+	}
+	if tb.NumCols() != 3 || tb.NumRows() != 3 {
+		t.Fatalf("shape = %dx%d, want 3x3", tb.NumCols(), tb.NumRows())
+	}
+	if tb.Columns[0].Name != "Name" || tb.Columns[1].Name != "Population" || tb.Columns[2].Name != "Active" {
+		t.Errorf("headers = %v, %v, %v", tb.Columns[0].Name, tb.Columns[1].Name, tb.Columns[2].Name)
+	}
+	// Rich-text shared string concatenates its runs.
+	if tb.Columns[0].Values[0] != "Jefferson" {
+		t.Errorf("A2 = %q", tb.Columns[0].Values[0])
+	}
+	if tb.Columns[1].Values[0] != "8011" {
+		t.Errorf("B2 = %q", tb.Columns[1].Values[0])
+	}
+	if tb.Columns[2].Values[0] != "TRUE" || tb.Columns[2].Values[1] != "FALSE" {
+		t.Errorf("booleans = %q, %q", tb.Columns[2].Values[0], tb.Columns[2].Values[1])
+	}
+	// Sparse row: B4 missing becomes empty; formula string kept.
+	if tb.Columns[0].Values[2] != "computed" || tb.Columns[1].Values[2] != "" {
+		t.Errorf("row 4 = %q, %q", tb.Columns[0].Values[2], tb.Columns[1].Values[2])
+	}
+	if tb.Columns[2].Values[2] != "3.14" {
+		t.Errorf("C4 = %q", tb.Columns[2].Values[2])
+	}
+}
+
+func TestReadXLSXMultipleSheets(t *testing.T) {
+	small := `<?xml version="1.0"?><worksheet><sheetData>
+<row r="1"><c r="A1" t="inlineStr"><is><t>H</t></is></c></row>
+<row r="2"><c r="A2"><v>1</v></c></row>
+</sheetData></worksheet>`
+	data := buildXLSX(t, map[string]string{"sheet1.xml": small, "sheet2.xml": small}, "")
+	tables, err := ReadXLSX("wb", bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if tables[0].Name != "wb#1" || tables[1].Name != "wb#2" {
+		t.Errorf("names = %q, %q", tables[0].Name, tables[1].Name)
+	}
+}
+
+func TestReadXLSXFile(t *testing.T) {
+	data := buildXLSX(t, map[string]string{"sheet1.xml": sheetXML}, sstXML)
+	path := filepath.Join(t.TempDir(), "book.xlsx")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := ReadXLSXFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].Name != "book" {
+		t.Errorf("name = %q", tables[0].Name)
+	}
+}
+
+func TestReadXLSXErrors(t *testing.T) {
+	if _, err := ReadXLSX("junk", bytes.NewReader([]byte("not a zip")), 9); err == nil {
+		t.Error("junk should fail")
+	}
+	// Zip without worksheets.
+	data := buildXLSX(t, map[string]string{}, "")
+	if _, err := ReadXLSX("empty", bytes.NewReader(data), int64(len(data))); err == nil {
+		t.Error("no worksheets should fail")
+	}
+	// Bad shared string index.
+	bad := `<?xml version="1.0"?><worksheet><sheetData>
+<row r="1"><c r="A1" t="s"><v>99</v></c></row>
+<row r="2"><c r="A2"><v>1</v></c></row></sheetData></worksheet>`
+	data = buildXLSX(t, map[string]string{"sheet1.xml": bad}, sstXML)
+	if _, err := ReadXLSX("bad", bytes.NewReader(data), int64(len(data))); err == nil {
+		t.Error("bad shared index should fail")
+	}
+}
+
+func TestWriteXLSXRoundTrip(t *testing.T) {
+	orig := MustNew("book",
+		NewColumn("Name", []string{"Keane, Andrew", "O'Brien <junior>", "Kumar & Sons"}),
+		NewColumn("Qty", []string{"8011", "-42", "3.14"}),
+		NewColumn("Code", []string{"007", "A1", ""}),
+	)
+	var buf bytes.Buffer
+	if err := WriteXLSX(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := ReadXLSX("book", bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tables[0]
+	if got.NumCols() != orig.NumCols() || got.NumRows() != orig.NumRows() {
+		t.Fatalf("shape = %dx%d", got.NumCols(), got.NumRows())
+	}
+	for j := range orig.Columns {
+		if got.Columns[j].Name != orig.Columns[j].Name {
+			t.Errorf("header %d = %q", j, got.Columns[j].Name)
+		}
+		for i := range orig.Columns[j].Values {
+			if got.Columns[j].Values[i] != orig.Columns[j].Values[i] {
+				t.Errorf("cell (%d,%d) = %q, want %q", j, i, got.Columns[j].Values[i], orig.Columns[j].Values[i])
+			}
+		}
+	}
+}
+
+func TestColumnName(t *testing.T) {
+	cases := map[int]string{0: "A", 1: "B", 25: "Z", 26: "AA", 27: "AB", 52: "BA", 701: "ZZ", 702: "AAA"}
+	for i, want := range cases {
+		if got := columnName(i); got != want {
+			t.Errorf("columnName(%d) = %q, want %q", i, got, want)
+		}
+	}
+	// Round trip with columnIndex.
+	for i := 0; i < 1000; i++ {
+		idx, err := columnIndex(columnName(i) + "1")
+		if err != nil || idx != i {
+			t.Fatalf("round trip %d -> %q -> %d (%v)", i, columnName(i), idx, err)
+		}
+	}
+}
+
+func TestIsPlainNumber(t *testing.T) {
+	yes := []string{"42", "3.14", "-7", "0.5", "0"}
+	no := []string{"", "007", "8,011", "1e3", "-", "abc", " 42"}
+	for _, v := range yes {
+		if !isPlainNumber(v) {
+			t.Errorf("isPlainNumber(%q) = false", v)
+		}
+	}
+	for _, v := range no {
+		if isPlainNumber(v) {
+			t.Errorf("isPlainNumber(%q) = true", v)
+		}
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	cases := map[string]int{"A1": 0, "B2": 1, "Z9": 25, "AA10": 26, "AB1": 27, "BA3": 52}
+	for ref, want := range cases {
+		got, err := columnIndex(ref)
+		if err != nil || got != want {
+			t.Errorf("columnIndex(%q) = %d, %v; want %d", ref, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "1", "a1"} {
+		if _, err := columnIndex(bad); err == nil {
+			t.Errorf("columnIndex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTrimExt(t *testing.T) {
+	cases := map[string]string{
+		"dir/book.xlsx":   "book",
+		"book.xlsx":       "book",
+		"noext":           "noext",
+		`c:\x\y\fin.xlsx`: "fin",
+	}
+	for in, want := range cases {
+		if got := trimExt(in); got != want {
+			t.Errorf("trimExt(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestXLSXRoundTripThroughDetectPipelineShape(t *testing.T) {
+	// A worksheet with 12 rows to confirm type inference works on the
+	// parsed values end-to-end.
+	var rows string
+	for i := 2; i <= 13; i++ {
+		rows += fmt.Sprintf(`<row r="%d"><c r="A%d" t="inlineStr"><is><t>id%d</t></is></c><c r="B%d"><v>%d</v></c></row>`, i, i, i, i, i*100)
+	}
+	sheet := `<?xml version="1.0"?><worksheet><sheetData>
+<row r="1"><c r="A1" t="inlineStr"><is><t>ID</t></is></c><c r="B1" t="inlineStr"><is><t>Qty</t></is></c></row>` + rows + `</sheetData></worksheet>`
+	data := buildXLSX(t, map[string]string{"sheet1.xml": sheet}, "")
+	tables, err := ReadXLSX("wb", bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	if tb.Columns[1].Type() != TypeInt {
+		t.Errorf("Qty type = %v", tb.Columns[1].Type())
+	}
+	if tb.Columns[0].Type() != TypeMixed {
+		t.Errorf("ID type = %v", tb.Columns[0].Type())
+	}
+}

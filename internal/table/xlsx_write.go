@@ -1,0 +1,114 @@
+package table
+
+import (
+	"archive/zip"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteXLSX writes the table as a minimal single-sheet .xlsx workbook
+// (inline strings only): enough for the Enterprise-corpus round trip and
+// for handing generated spreadsheets to actual spreadsheet software.
+func WriteXLSX(t *Table, w io.Writer) error {
+	zw := zip.NewWriter(w)
+	files := map[string]string{
+		"[Content_Types].xml": `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<Types xmlns="http://schemas.openxmlformats.org/package/2006/content-types">
+<Default Extension="rels" ContentType="application/vnd.openxmlformats-package.relationships+xml"/>
+<Default Extension="xml" ContentType="application/xml"/>
+<Override PartName="/xl/workbook.xml" ContentType="application/vnd.openxmlformats-officedocument.spreadsheetml.sheet.main+xml"/>
+<Override PartName="/xl/worksheets/sheet1.xml" ContentType="application/vnd.openxmlformats-officedocument.spreadsheetml.worksheet+xml"/>
+</Types>`,
+		"_rels/.rels": `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships">
+<Relationship Id="rId1" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/officeDocument" Target="xl/workbook.xml"/>
+</Relationships>`,
+		"xl/workbook.xml": `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<workbook xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main" xmlns:r="http://schemas.openxmlformats.org/officeDocument/2006/relationships">
+<sheets><sheet name="Sheet1" sheetId="1" r:id="rId1"/></sheets>
+</workbook>`,
+		"xl/_rels/workbook.xml.rels": `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships">
+<Relationship Id="rId1" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/worksheet" Target="worksheets/sheet1.xml"/>
+</Relationships>`,
+		"xl/worksheets/sheet1.xml": sheetXMLFor(t),
+	}
+	for _, name := range []string{"[Content_Types].xml", "_rels/.rels", "xl/workbook.xml", "xl/_rels/workbook.xml.rels", "xl/worksheets/sheet1.xml"} {
+		fw, err := zw.Create(name)
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(fw, files[name]); err != nil {
+			return err
+		}
+	}
+	return zw.Close()
+}
+
+// sheetXMLFor renders the worksheet XML: the header as row 1, every cell
+// as an inline string or (when purely numeric without separators) a
+// number cell.
+func sheetXMLFor(t *Table) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8" standalone="yes"?>` + "\n")
+	b.WriteString(`<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main"><sheetData>`)
+	writeRow := func(rowNum int, cells []string) {
+		fmt.Fprintf(&b, `<row r="%d">`, rowNum)
+		for j, v := range cells {
+			ref := columnName(j) + fmt.Sprint(rowNum)
+			if isPlainNumber(v) {
+				fmt.Fprintf(&b, `<c r="%s"><v>%s</v></c>`, ref, v)
+				continue
+			}
+			fmt.Fprintf(&b, `<c r="%s" t="inlineStr"><is><t>%s</t></is></c>`, ref, xmlEscape(v))
+		}
+		b.WriteString(`</row>`)
+	}
+	header := make([]string, len(t.Columns))
+	for j, c := range t.Columns {
+		header[j] = c.Name
+	}
+	writeRow(1, header)
+	for i := 0; i < t.NumRows(); i++ {
+		writeRow(i+2, t.Row(i))
+	}
+	b.WriteString(`</sheetData></worksheet>`)
+	return b.String()
+}
+
+// isPlainNumber reports whether v can be stored as an xlsx numeric cell
+// without changing its textual representation on the read side.
+func isPlainNumber(v string) bool {
+	if v == "" || strings.ContainsAny(v, ",eE+ ") {
+		return false
+	}
+	_, _, ok := ParseNumber(v)
+	if !ok {
+		return false
+	}
+	// Leading zeros and signs must stay textual to round-trip exactly.
+	if v[0] == '0' && len(v) > 1 && v[1] != '.' {
+		return false
+	}
+	return v[0] != '-' || len(v) > 1
+}
+
+// columnName converts a 0-based column index to A1-style letters.
+func columnName(i int) string {
+	var b []byte
+	for i >= 0 {
+		b = append([]byte{byte('A' + i%26)}, b...)
+		i = i/26 - 1
+	}
+	return string(b)
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+// Package wordlist embeds the lexicons and gazetteers used across the
+// reproduction: an English dictionary (the UNIDETECT+Dict post-filter and
+// the Word2Vec/GloVe vocabulary simulations), person-name and place
+// gazetteers (the synthetic table generator), chemical formulas and roman
+// numerals (the small-edit-distance column families of Figure 2(g,h)), and
+// a popular-entity gazetteer (the simulated search-engine speller's
+// query-log vocabulary, reproducing the GAIL→GMAIL failure mode of
+// Figure 3).
+package wordlist
+
+import (
+	"strings"
+	"sync"
+)
+
+// Set is an immutable membership set over lowercased words.
+type Set struct {
+	m map[string]bool
+}
+
+// NewSet builds a Set from words (lowercased).
+func NewSet(words ...string) *Set {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[strings.ToLower(w)] = true
+	}
+	return &Set{m: m}
+}
+
+// Contains reports whether w (case-insensitive) is in the set.
+func (s *Set) Contains(w string) bool { return s.m[strings.ToLower(w)] }
+
+// Len returns the number of words in the set.
+func (s *Set) Len() int { return len(s.m) }
+
+var (
+	dictOnce sync.Once
+	dict     *Set
+)
+
+// Dictionary returns the shared English dictionary set (English words plus
+// inflected variants), used by the UNIDETECT+Dict spelling filter.
+func Dictionary() *Set {
+	dictOnce.Do(func() {
+		words := append([]string(nil), englishWords...)
+		// Cheap inflections so "groups"/"grouped" etc. count as words.
+		for _, w := range englishWords {
+			words = append(words, w+"s", w+"ed", w+"ing")
+		}
+		dict = NewSet(words...)
+	})
+	return dict
+}
+
+// English returns the base English word list.
+func English() []string { return englishWords }
+
+// FirstNames returns the first-name gazetteer.
+func FirstNames() []string { return firstNames }
+
+// LastNames returns the last-name gazetteer.
+func LastNames() []string { return lastNames }
+
+// Cities returns the city gazetteer.
+func Cities() []string { return cities }
+
+// Countries returns the country gazetteer.
+func Countries() []string { return countries }
+
+// ChemicalFormulas returns chemical formula strings, a column family whose
+// values are inherently within small edit distances of each other.
+func ChemicalFormulas() []string { return chemFormulas }
+
+// PopularEntities returns popular web entities/brands: the simulated
+// query-log head of the commercial speller.
+func PopularEntities() []string { return popularEntities }
+
+// RomanNumerals returns the roman numerals for 1..n.
+func RomanNumerals(n int) []string {
+	out := make([]string, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, roman(i))
+	}
+	return out
+}
+
+func roman(n int) string {
+	vals := []struct {
+		v int
+		s string
+	}{
+		{1000, "M"}, {900, "CM"}, {500, "D"}, {400, "CD"},
+		{100, "C"}, {90, "XC"}, {50, "L"}, {40, "XL"},
+		{10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"},
+	}
+	var b strings.Builder
+	for _, e := range vals {
+		for n >= e.v {
+			b.WriteString(e.s)
+			n -= e.v
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package wordlist
+
+import "testing"
+
+func TestDictionary(t *testing.T) {
+	d := Dictionary()
+	for _, w := range []string{"water", "Water", "macroeconomics", "groups", "WORKED"} {
+		if !d.Contains(w) {
+			t.Errorf("Dictionary missing %q", w)
+		}
+	}
+	for _, w := range []string{"Doeling", "KV214", "xqzzy", ""} {
+		if d.Contains(w) {
+			t.Errorf("Dictionary should not contain %q", w)
+		}
+	}
+	if d.Len() < 1000 {
+		t.Errorf("Dictionary too small: %d", d.Len())
+	}
+}
+
+func TestListsNonTrivial(t *testing.T) {
+	cases := []struct {
+		name string
+		list []string
+		min  int
+	}{
+		{"English", English(), 500},
+		{"FirstNames", FirstNames(), 100},
+		{"LastNames", LastNames(), 100},
+		{"Cities", Cities(), 100},
+		{"Countries", Countries(), 60},
+		{"ChemicalFormulas", ChemicalFormulas(), 40},
+		{"PopularEntities", PopularEntities(), 60},
+	}
+	for _, c := range cases {
+		if len(c.list) < c.min {
+			t.Errorf("%s has %d entries, want >= %d", c.name, len(c.list), c.min)
+		}
+		for _, w := range c.list {
+			if w == "" {
+				t.Errorf("%s contains empty entry", c.name)
+				break
+			}
+		}
+	}
+}
+
+func TestRomanNumerals(t *testing.T) {
+	got := RomanNumerals(10)
+	want := []string{"I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("roman(%d) = %q, want %q", i+1, got[i], want[i])
+		}
+	}
+	all := RomanNumerals(60)
+	if all[39] != "XL" || all[49] != "L" || all[59] != "LX" {
+		t.Errorf("roman 40/50/60 = %q/%q/%q", all[39], all[49], all[59])
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	s := NewSet("Alpha", "beta")
+	if !s.Contains("alpha") || !s.Contains("BETA") {
+		t.Error("Set should be case-insensitive")
+	}
+	if s.Contains("gamma") {
+		t.Error("Set should not contain gamma")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

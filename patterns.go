@@ -1,0 +1,56 @@
+package unidetect
+
+import (
+	"context"
+
+	"github.com/unidetect/unidetect/internal/autodetect"
+)
+
+// PatternFinding is a detected pattern incompatibility (the Auto-Detect
+// class of errors, shown in Appendix C to be an instance of Uni-Detect's
+// LR test): a column mixes two value patterns that almost never
+// legitimately co-occur, e.g. "2001-Jan-01" among "2001-01-01" dates.
+type PatternFinding struct {
+	Table  string
+	Column string
+	// MajorityPattern and MinorityPattern are generalized character-class
+	// patterns (digits→d, letters→l, runs collapsed).
+	MajorityPattern, MinorityPattern string
+	// Rows flag the cells bearing the minority pattern.
+	Rows   []int
+	Values []string
+	// Score is the smoothed likelihood ratio exp(PMI); smaller means the
+	// patterns are more incompatible.
+	Score float64
+}
+
+// PatternModel holds corpus pattern-co-occurrence statistics.
+type PatternModel struct {
+	m *autodetect.Model
+}
+
+// TrainPatterns learns pattern statistics from a background corpus.
+func TrainPatterns(background []*Table) *PatternModel {
+	return &PatternModel{m: autodetect.Train(background)}
+}
+
+// Detect flags pattern-incompatible cells in a table; alpha <= 0 uses the
+// default significance level 0.05.
+func (pm *PatternModel) Detect(ctx context.Context, t *Table, alpha float64) []PatternFinding {
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	var out []PatternFinding
+	for _, f := range pm.m.Detect(t, alpha) {
+		out = append(out, PatternFinding{
+			Table:           t.Name,
+			Column:          f.Column,
+			MajorityPattern: f.PatternA,
+			MinorityPattern: f.PatternB,
+			Rows:            f.Rows,
+			Values:          f.Values,
+			Score:           f.LR,
+		})
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package unidetect
+
+import "github.com/unidetect/unidetect/internal/profile"
+
+// ColumnProfile is the descriptive summary of one column: type, distinct
+// counts, top values, character-class patterns, string-length histogram,
+// and numeric statistics — the Trifacta-style column summaries the paper
+// surveys in Appendix B, rendered for terminals by Render.
+type ColumnProfile = profile.Column
+
+// ProfileTable profiles every column of a table. Profiles are purely
+// descriptive; they pair well with Detect output as the context a user
+// inspects next to a finding.
+func ProfileTable(t *Table) []ColumnProfile {
+	return profile.Table(t)
+}

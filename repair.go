@@ -1,0 +1,51 @@
+package unidetect
+
+import (
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/repair"
+)
+
+// Repair is one proposed cell fix for a finding.
+type Repair struct {
+	Table  string
+	Column string
+	Row    int
+	// Old is the current (suspect) value, New the proposed replacement.
+	Old, New string
+	// Confidence in (0, 1]: how mechanically determined the repair is.
+	Confidence float64
+	// Rationale explains the proposal.
+	Rationale string
+}
+
+// SuggestRepairs proposes fixes for a finding against its table:
+// misspellings are corrected toward the recurring form, scale-shifted
+// outliers are re-scaled, FD violations take the group majority, and
+// FD-synthesis violations are recomputed from the synthesized program
+// (the exact repair of the paper's Appendix D). Uniqueness violations
+// yield no automatic repair — only the user knows which colliding row is
+// wrong. An empty slice means no mechanical repair exists.
+func SuggestRepairs(t *Table, f Finding) []Repair {
+	cf := core.Finding{
+		Class:  coreClass(f.Class),
+		Table:  f.Table,
+		Column: f.Column,
+		Rows:   f.Rows,
+		Values: f.Values,
+		LR:     f.Score,
+		Detail: f.Detail,
+	}
+	var out []Repair
+	for _, s := range repair.Suggest(t, cf) {
+		out = append(out, Repair{
+			Table:      s.Table,
+			Column:     s.Column,
+			Row:        s.Row,
+			Old:        s.Old,
+			New:        s.New,
+			Confidence: s.Confidence,
+			Rationale:  s.Rationale,
+		})
+	}
+	return out
+}

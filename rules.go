@@ -1,0 +1,37 @@
+package unidetect
+
+import "github.com/unidetect/unidetect/internal/excelrules"
+
+// RuleFinding is one violation of a curated error-checking rule.
+type RuleFinding struct {
+	// Rule names the rule that fired ("number-stored-as-text",
+	// "two-digit-year", "stray-whitespace", "inconsistent-case",
+	// "empty-in-dense-column").
+	Rule   string
+	Table  string
+	Column string
+	Row    int
+	Value  string
+	Detail string
+}
+
+// CheckRules runs the curated, Excel-style error-checking rules over a
+// table (Figure 1 / Appendix B of the paper: the commercial software
+// approach — a handful of manually authored, high-precision, low-recall
+// rules). It needs no trained model and complements Detect: rules catch
+// formatting pathologies (numbers stored as text, two-digit years, stray
+// whitespace) that the statistical detectors do not target.
+func CheckRules(t *Table) []RuleFinding {
+	var out []RuleFinding
+	for _, f := range excelrules.Check(t) {
+		out = append(out, RuleFinding{
+			Rule:   f.Rule,
+			Table:  f.Table,
+			Column: f.Column,
+			Row:    f.Row,
+			Value:  f.Value,
+			Detail: f.Detail,
+		})
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+// Package unidetect implements Uni-Detect (Wang & He, SIGMOD 2019): a
+// unified, unsupervised framework that automatically detects numeric
+// outliers, spelling mistakes, uniqueness violations and
+// functional-dependency violations in tables, with no per-dataset rules or
+// thresholds.
+//
+// The framework performs a "what-if" analysis: for a table D it considers
+// small hypothetical perturbations D\O (removing a suspect subset O) and
+// asks, against statistics learned offline from a large background corpus
+// of tables T, whether removing O makes D dramatically more "like" the
+// corpus. The likelihood-ratio test
+//
+//	LR(D, O) = P(D | T) / P(D\O | T)
+//
+// is evaluated per error class through a class-specific metric function,
+// natural perturbation, and featurized corpus subsetting; a tiny LR means
+// O is almost certainly an error.
+//
+// # Usage
+//
+//	model, err := unidetect.Train(ctx, backgroundTables, nil)
+//	...
+//	findings := model.Detect(ctx, table)
+//	for _, f := range findings {
+//	    fmt.Println(f) // ranked by LR: most confident errors first
+//	}
+//
+// Training is expensive (one pass over the background corpus); detection
+// is interactive (metric computation plus grid lookups). Models serialize
+// with Model.Save / Load.
+package unidetect
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/autodetect"
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Table is a named collection of equally long columns; the unit of
+// detection.
+type Table = table.Table
+
+// Column is a named column of string cell values.
+type Column = table.Column
+
+// NewTable builds a table, validating that all columns have equal length.
+func NewTable(name string, cols ...*Column) (*Table, error) {
+	return table.New(name, cols...)
+}
+
+// NewColumn builds a column from a name and values.
+func NewColumn(name string, values []string) *Column {
+	return table.NewColumn(name, values)
+}
+
+// ReadCSV parses a table from CSV data; the first record is the header.
+func ReadCSV(name string, r io.Reader) (*Table, error) { return table.ReadCSV(name, r) }
+
+// ReadCSVFile loads a table from a CSV file.
+func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
+
+// ReadTSV parses a tab-separated table; the first line is the header.
+func ReadTSV(name string, r io.Reader) (*Table, error) { return table.ReadTSV(name, r) }
+
+// ReadMarkdown parses the first GitHub-flavored markdown table found in r
+// — the format Wikipedia-style tables commonly travel in.
+func ReadMarkdown(name string, r io.Reader) (*Table, error) { return table.ReadMarkdown(name, r) }
+
+// ReadXLSXFile loads every worksheet of an Excel (.xlsx) workbook as a
+// table — the format of the paper's Enterprise corpus (§4.1).
+func ReadXLSXFile(path string) ([]*Table, error) { return table.ReadXLSXFile(path) }
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(t *Table, w io.Writer) error { return table.WriteCSV(t, w) }
+
+// WriteXLSX writes the table as a minimal single-sheet .xlsx workbook.
+func WriteXLSX(t *Table, w io.Writer) error { return table.WriteXLSX(t, w) }
+
+// ErrorClass identifies the kind of a detected error.
+type ErrorClass int
+
+// The error classes Uni-Detect is instantiated for (§3 of the paper, plus
+// the FD-synthesis variant of Appendix D and the Auto-Detect pattern
+// incompatibility class of Appendix C).
+const (
+	Spelling ErrorClass = iota
+	Outlier
+	Uniqueness
+	FD
+	FDSynthesis
+	// PatternIncompatibility findings come from the Auto-Detect
+	// instantiation (Appendix C) and are produced only by models trained
+	// with Options.WithPatterns.
+	PatternIncompatibility
+)
+
+// String names the class.
+func (c ErrorClass) String() string {
+	if c == PatternIncompatibility {
+		return "pattern"
+	}
+	return coreClass(c).String()
+}
+
+func coreClass(c ErrorClass) core.Class {
+	switch c {
+	case Spelling:
+		return core.ClassSpelling
+	case Outlier:
+		return core.ClassOutlier
+	case Uniqueness:
+		return core.ClassUniqueness
+	case FD:
+		return core.ClassFD
+	default:
+		return core.ClassFDSynth
+	}
+}
+
+func publicClass(c core.Class) ErrorClass {
+	switch c {
+	case core.ClassSpelling:
+		return Spelling
+	case core.ClassOutlier:
+		return Outlier
+	case core.ClassUniqueness:
+		return Uniqueness
+	case core.ClassFD:
+		return FD
+	default:
+		return FDSynthesis
+	}
+}
+
+// Finding is one detected error. Findings are ranked by Score ascending:
+// the Score is the likelihood ratio of the paper's hypothesis test, so
+// smaller means more confident.
+type Finding struct {
+	Class  ErrorClass
+	Table  string
+	Column string
+	// Rows are the 0-based row indices of the suspect cells. Pair-style
+	// findings (misspellings, duplicate keys, FD conflicts) flag every
+	// row involved; which side is wrong is for the user to judge.
+	Rows   []int
+	Values []string
+	// Score is the LR; findings satisfy Score <= the configured Alpha.
+	Score float64
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders the finding on one line.
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s!%s rows=%v values=%q score=%.3g %s",
+		f.Class, f.Table, f.Column, f.Rows, f.Values, f.Score, f.Detail)
+}
+
+// Options configures training and detection. The zero value of each field
+// selects the paper's default.
+type Options struct {
+	// Alpha is the LR significance level (default 0.05): findings with a
+	// larger LR are suppressed.
+	Alpha float64
+	// Epsilon is the perturbation budget as a fraction of rows (default
+	// 0.01, minimum one row) — Definition 2's ε.
+	Epsilon float64
+	// UseDictionary enables the UNIDETECT+Dict spelling refinement: pairs
+	// whose differing tokens are all valid dictionary words are refuted
+	// (§4.3).
+	UseDictionary bool
+	// DisableFeaturization uses whole-corpus statistics instead of the
+	// §2.2.2 featurized subsets (an ablation; strictly worse).
+	DisableFeaturization bool
+	// UseSDOutliers swaps the robust MAD dispersion metric for classical
+	// SD (an ablation; strictly worse, §3.1).
+	UseSDOutliers bool
+	// WithPatterns additionally trains the Auto-Detect pattern-
+	// incompatibility model (Appendix C); its findings merge into
+	// Detect output as PatternIncompatibility, ranked by their own
+	// significance score.
+	WithPatterns bool
+	// FDR, when positive, applies the Benjamini–Hochberg procedure at
+	// this false-discovery-rate level across the ranked findings of each
+	// DetectAll call — the multiple-testing correction the paper flags
+	// as an open challenge (§2.2.3).
+	FDR float64
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (o *Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	if o == nil {
+		return cfg
+	}
+	if o.Alpha > 0 {
+		cfg.Alpha = o.Alpha
+	}
+	if o.Epsilon > 0 {
+		cfg.EpsilonFrac = o.Epsilon
+	}
+	cfg.NoFeaturize = o.DisableFeaturization
+	cfg.Workers = o.Workers
+	return cfg
+}
+
+func (o *Options) detectorOptions() detectors.Options {
+	if o == nil {
+		return detectors.Options{}
+	}
+	return detectors.Options{WithDict: o.UseDictionary, OutlierSD: o.UseSDOutliers}
+}
+
+// Model is a trained Uni-Detect model: materialized evidence grids per
+// error class plus the token-prevalence index of the training corpus,
+// and (with Options.WithPatterns) the pattern-incompatibility statistics.
+type Model struct {
+	core     *core.Model
+	index    *corpus.TokenIndex
+	patterns *autodetect.Model
+	opts     *Options
+}
+
+// Train learns a model from a background corpus of (mostly clean) tables,
+// the paper's offline MapReduce-style pass (§2.2.3). The corpus should be
+// as large and diverse as possible; the paper uses 135M web tables, and
+// statistics stabilize in the tens of thousands.
+func Train(ctx context.Context, background []*Table, opts *Options) (*Model, error) {
+	if len(background) == 0 {
+		return nil, fmt.Errorf("unidetect: empty background corpus")
+	}
+	cfg := opts.config()
+	bg := corpus.New("background", background)
+	m, err := core.Train(ctx, cfg, bg, detectors.All(cfg, opts.detectorOptions()))
+	if err != nil {
+		return nil, fmt.Errorf("unidetect: train: %w", err)
+	}
+	out := &Model{core: m, index: bg.Index(), opts: opts}
+	if opts != nil && opts.WithPatterns {
+		out.patterns = autodetect.Train(background)
+	}
+	return out, nil
+}
+
+// CorpusTables reports the size of the training corpus.
+func (m *Model) CorpusTables() int { return m.core.CorpusTables }
+
+// predictor builds the online predictor for the model's options.
+func (m *Model) predictor() *core.Predictor {
+	dets := detectors.All(m.core.Config, m.opts.detectorOptions())
+	return core.NewPredictor(m.core, dets, &core.Env{Index: m.index})
+}
+
+// Detect scans one table and returns its findings ranked by Score.
+func (m *Model) Detect(ctx context.Context, t *Table) []Finding {
+	return m.DetectAll(ctx, []*Table{t})
+}
+
+// DetectAll scans many tables concurrently and returns all findings
+// ranked by Score across tables (likelihood-ratio scores and
+// pattern-significance scores share the ranking, as the paper's union of
+// per-class ranked lists does, §2.2.3).
+func (m *Model) DetectAll(ctx context.Context, tables []*Table) []Finding {
+	fs := m.predictor().DetectAll(ctx, tables)
+	if m.opts != nil && m.opts.FDR > 0 {
+		fs = core.FDRFilter(fs, m.opts.FDR)
+	}
+	out := make([]Finding, len(fs))
+	for i, f := range fs {
+		out[i] = Finding{
+			Class:  publicClass(f.Class),
+			Table:  f.Table,
+			Column: f.Column,
+			Rows:   f.Rows,
+			Values: f.Values,
+			Score:  f.LR,
+			Detail: f.Detail,
+		}
+	}
+	if m.patterns != nil {
+		alpha := m.core.Config.Alpha
+		for _, t := range tables {
+			for _, pf := range m.patterns.Detect(t, alpha) {
+				out = append(out, Finding{
+					Class:  PatternIncompatibility,
+					Table:  t.Name,
+					Column: pf.Column,
+					Rows:   pf.Rows,
+					Values: pf.Values,
+					Score:  pf.LR,
+					Detail: fmt.Sprintf("pattern %s among %s values", pf.PatternB, pf.PatternA),
+				})
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	}
+	return out
+}
+
+// modelMagic versions the model file format; bump the trailing byte on
+// incompatible layout changes.
+var modelMagic = []byte("UNIDETECT-MODEL\x01")
+
+// Save serializes the model (format header, evidence grids,
+// configuration, and the token index needed for featurization).
+func (m *Model) Save(w io.Writer) error {
+	if _, err := w.Write(modelMagic); err != nil {
+		return fmt.Errorf("unidetect: save header: %w", err)
+	}
+	if err := m.core.Save(w); err != nil {
+		return fmt.Errorf("unidetect: save model: %w", err)
+	}
+	if err := m.index.Encode(w); err != nil {
+		return fmt.Errorf("unidetect: save token index: %w", err)
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(m.patterns != nil); err != nil {
+		return fmt.Errorf("unidetect: save pattern flag: %w", err)
+	}
+	if m.patterns != nil {
+		if err := enc.Encode(m.patterns); err != nil {
+			return fmt.Errorf("unidetect: save pattern model: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a model written by Save. Detection options that do not
+// affect training (UseDictionary, Alpha) may be overridden via opts; nil
+// keeps the saved configuration.
+func Load(r io.Reader, opts *Options) (*Model, error) {
+	header := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("unidetect: read model header: %w", err)
+	}
+	if string(header) != string(modelMagic) {
+		return nil, fmt.Errorf("unidetect: not a model file (or incompatible version)")
+	}
+	cm, err := core.LoadModel(r)
+	if err != nil {
+		return nil, fmt.Errorf("unidetect: load model: %w", err)
+	}
+	ix, err := corpus.DecodeTokenIndex(r)
+	if err != nil {
+		return nil, fmt.Errorf("unidetect: load token index: %w", err)
+	}
+	dec := gob.NewDecoder(r)
+	var hasPatterns bool
+	if err := dec.Decode(&hasPatterns); err != nil {
+		return nil, fmt.Errorf("unidetect: load pattern flag: %w", err)
+	}
+	var pm *autodetect.Model
+	if hasPatterns {
+		pm = &autodetect.Model{}
+		if err := dec.Decode(pm); err != nil {
+			return nil, fmt.Errorf("unidetect: load pattern model: %w", err)
+		}
+	}
+	if opts != nil {
+		if opts.Alpha > 0 {
+			cm.Config.Alpha = opts.Alpha
+		}
+		cm.Config.Workers = opts.Workers
+	}
+	return &Model{core: cm, index: ix, patterns: pm, opts: opts}, nil
+}
+
+// Merge combines two models trained with the same Options over disjoint
+// background corpora, as if trained on their union (up to small
+// featurization drift: each shard bucketed token prevalence against its
+// own corpus). Use it to grow a model incrementally or to parallelize
+// training across corpus shards.
+func Merge(a, b *Model) (*Model, error) {
+	cm, err := core.MergeModels(a.core, b.core)
+	if err != nil {
+		return nil, fmt.Errorf("unidetect: merge: %w", err)
+	}
+	return &Model{core: cm, index: a.index.Merge(b.index), opts: a.opts}, nil
+}
+
+// ClassStats summarizes the learned evidence for one error class.
+type ClassStats struct {
+	Class ErrorClass
+	// Samples is the number of (θ1, θ2) observations learned.
+	Samples int64
+	// Buckets is the number of populated feature buckets (including
+	// backoff wildcards).
+	Buckets int
+}
+
+// Stats reports the model's learned evidence per class, for diagnostics
+// and the `unidetect info` command.
+func (m *Model) Stats() []ClassStats {
+	out := make([]ClassStats, 0, len(m.core.Classes))
+	for c := core.Class(0); int(c) < core.NumClasses; c++ {
+		cm, ok := m.core.Classes[c]
+		if !ok {
+			continue
+		}
+		out = append(out, ClassStats{
+			Class:   publicClass(c),
+			Samples: cm.Samples(),
+			Buckets: len(cm.Buckets),
+		})
+	}
+	return out
+}
