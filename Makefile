@@ -1,0 +1,35 @@
+# Developer workflow for the Uni-Detect reproduction.
+#
+#   make        — build + tier-1 tests (the seed verify)
+#   make lint   — project-specific static analysis (cmd/unilint)
+#   make vet    — go vet
+#   make test   — full test suite
+#   make race   — full test suite under the race detector
+#   make bench  — benchmarks (no tests)
+#   make check  — everything CI runs
+
+GO ?= go
+
+.PHONY: all build lint vet test race bench check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+lint:
+	$(GO) run ./cmd/unilint ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NoSuchTest -bench=. -benchtime=1x ./...
+
+check: build vet lint test race

@@ -1,0 +1,81 @@
+// Command unilint is Uni-Detect's project-specific static-analysis suite:
+// a multichecker bundling the analyzers under internal/analysis that
+// enforce the numeric and concurrency invariants the LR statistics depend
+// on. See DESIGN.md ("What unilint enforces") for the rationale behind
+// each rule.
+//
+// Usage:
+//
+//	go run ./cmd/unilint ./...          # lint package patterns
+//	go vet -vettool=$(which unilint) ./...
+//
+// The binary speaks the go vet -vettool protocol (via
+// golang.org/x/tools/go/analysis/unitchecker), so the go command handles
+// package loading, export data and caching. When invoked directly with
+// package patterns it re-executes itself through `go vet -vettool=<self>`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/unidetect/unidetect/internal/analysis/ctxpropagate"
+	"github.com/unidetect/unidetect/internal/analysis/floatcompare"
+	"github.com/unidetect/unidetect/internal/analysis/nonnegcount"
+	"github.com/unidetect/unidetect/internal/analysis/seededrand"
+	"github.com/unidetect/unidetect/internal/analysis/uncheckederr"
+)
+
+func main() {
+	args := os.Args[1:]
+	if invokedAsVettool(args) {
+		unitchecker.Main( // does not return
+			floatcompare.Analyzer,
+			seededrand.Analyzer,
+			ctxpropagate.Analyzer,
+			uncheckederr.Analyzer,
+			nonnegcount.Analyzer,
+		)
+	}
+
+	// Driver mode: delegate package loading to the go command by
+	// re-running ourselves as its vettool.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unilint: cannot locate own executable: %v\n", err)
+		os.Exit(2)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "unilint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// invokedAsVettool reports whether the go command is driving us: it calls
+// the tool with -V=full (version handshake), -flags (flag discovery), or
+// a *.cfg file naming one package's compilation unit.
+func invokedAsVettool(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" {
+			return true
+		}
+		if strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+// Package analysistest is a self-contained replacement for
+// golang.org/x/tools/go/analysis/analysistest, sufficient for unilint's
+// analyzers. The upstream package is not vendored with the Go toolchain,
+// and this repository builds offline, so we provide the same contract on
+// top of go/parser + go/types directly:
+//
+//   - test packages live under testdata/src/<pkg>/ as plain .go files;
+//   - expected diagnostics are declared inline with "// want `regexp`"
+//     comments on the offending line (backquoted or double-quoted Go
+//     string literals, several per comment allowed);
+//   - Run loads the package, executes the analyzer (and its Requires
+//     closure), and fails the test on any missed or surplus diagnostic.
+//
+// Standard-library imports inside testdata packages are type-checked with
+// the source importer, so tests need no compiled export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each pattern (a package directory name under dir/src) and
+// checks the analyzer's diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	for _, pat := range patterns {
+		pkgDir := filepath.Join(dir, "src", pat)
+		t.Run(pat, func(t *testing.T) {
+			t.Helper()
+			runOne(t, pkgDir, a)
+		})
+	}
+}
+
+// expectation is one "// want" pattern at a file:line.
+type expectation struct {
+	posn string // "file.go:17"
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+func runOne(t *testing.T, pkgDir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, pkgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", pkgDir)
+	}
+
+	pkgName := files[0].Name.Name
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Logf("type error (tolerated): %v", err) },
+	}
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		// Analyzers must still behave on packages with minor type
+		// errors; only fail on a nil package.
+		if pkg == nil {
+			t.Fatalf("type-checking %s: %v", pkgDir, err)
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := runRequires(pass, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+		matched := false
+		for _, w := range wants {
+			if w.posn == key && !w.met && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: no diagnostic matched want %q", w.posn, w.raw)
+		}
+	}
+}
+
+// runRequires runs the analyzer's dependency closure in dependency order,
+// populating pass.ResultOf.
+func runRequires(pass *analysis.Pass, a *analysis.Analyzer) error {
+	for _, dep := range a.Requires {
+		if _, done := pass.ResultOf[dep]; done {
+			continue
+		}
+		if err := runRequires(pass, dep); err != nil {
+			return err
+		}
+		sub := *pass
+		sub.Analyzer = dep
+		sub.Report = func(analysis.Diagnostic) {} // deps may not report
+		res, err := dep.Run(&sub)
+		if err != nil {
+			return fmt.Errorf("dependency %s: %v", dep.Name, err)
+		}
+		pass.ResultOf[dep] = res
+	}
+	return nil
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// wantRE matches the payload of a want comment; patterns are Go string
+// literals (usually backquoted) separated by spaces.
+var wantRE = regexp.MustCompile(`(?s)//\s*want\s+(.*)`)
+
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					lit, tail, err := scanStringLit(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want comment %q: %v", key, c.Text, err)
+					}
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", key, lit, err)
+					}
+					wants = append(wants, &expectation{posn: key, rx: rx, raw: lit})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// scanStringLit splits one leading Go string literal off s.
+func scanStringLit(s string) (lit, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty pattern")
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : 1+end], s[2+end:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				unq, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", err
+				}
+				return unq, s[i+1:], nil
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string")
+	default:
+		return "", "", fmt.Errorf("pattern must be a quoted or backquoted string")
+	}
+}

@@ -1,0 +1,194 @@
+// Package ctxpropagate defines an analyzer that flags functions which
+// accept a context.Context but start goroutines that ignore cancellation.
+//
+// The offline learner (internal/mapreduce), the corpus indexer and the
+// serving daemon are the codebase's concurrent backbone: they fan work out
+// to goroutine pools while a caller-supplied context carries deadlines and
+// shutdown. A goroutine spawned inside such a function that never consults
+// the context (directly or via a cancel function) keeps running after the
+// caller has given up — leaking workers, holding shards open, and in the
+// serving path turning one slow request into a pile-up.
+//
+// A go statement counts as context-aware when any of the following holds:
+//
+//   - the spawned call receives a context.Context argument;
+//   - the spawned function literal's body mentions a context.Context or
+//     context.CancelFunc value (selecting ctx.Done(), calling cancel(),
+//     passing ctx on);
+//   - the literal ranges over or receives from a channel that the
+//     enclosing function closes in response to cancellation — this is the
+//     worker-pool idiom, which the analyzer approximates by accepting
+//     literals whose body receives from a channel variable declared in the
+//     enclosing ctx-aware function and fed by a context-aware feeder.
+//
+// The last clause is deliberately conservative: a range over a locally
+// declared channel is accepted only if some sibling goroutine or statement
+// in the same enclosing function is itself context-aware (the feeder that
+// closes the channel on ctx.Done()).
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer flags ctx-accepting functions whose goroutines ignore cancellation.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxpropagate",
+	Doc:      "flag goroutines launched in context-accepting functions that ignore cancellation",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{
+		(*ast.FuncDecl)(nil),
+		(*ast.FuncLit)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		var ftype *ast.FuncType
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ftype, body = fn.Type, fn.Body
+		case *ast.FuncLit:
+			ftype, body = fn.Type, fn.Body
+		}
+		if body == nil || !hasCtxParam(pass, ftype) {
+			return
+		}
+		checkFunc(pass, body)
+	})
+	return nil, nil
+}
+
+// checkFunc inspects the go statements directly owned by this function
+// body (not those of nested function literals, which are visited on their
+// own if they accept a context).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var gos []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch g := n.(type) {
+		case *ast.FuncLit:
+			return false // nested literal owns its go statements
+		case *ast.GoStmt:
+			gos = append(gos, g)
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+	// The worker-pool idiom: accept channel-draining workers as long as
+	// at least one goroutine (the feeder) in the same function is
+	// directly context-aware.
+	anyAware := false
+	for _, g := range gos {
+		if ctxAware(pass, g) {
+			anyAware = true
+			break
+		}
+	}
+	for _, g := range gos {
+		if ctxAware(pass, g) {
+			continue
+		}
+		if anyAware && drainsChannel(pass, g) {
+			continue
+		}
+		pass.Reportf(g.Pos(), "goroutine in context-accepting function ignores ctx cancellation; pass ctx or select on ctx.Done()")
+	}
+}
+
+// ctxAware reports whether the spawned call receives a context argument or
+// its function-literal body mentions a Context or CancelFunc value.
+func ctxAware(pass *analysis.Pass, g *ast.GoStmt) bool {
+	for _, arg := range g.Call.Args {
+		if isCtxType(pass.TypesInfo.TypeOf(arg)) {
+			return true
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	aware := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		t := obj.Type()
+		if isCtxType(t) || isCancelFunc(t) {
+			aware = true
+			return false
+		}
+		return true
+	})
+	return aware
+}
+
+// drainsChannel reports whether the spawned function literal receives from
+// or ranges over a channel (the worker half of a feeder/worker pool).
+func drainsChannel(pass *analysis.Pass, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	drains := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(s.X).Underlying().(*types.Chan); ok {
+				drains = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW { // <-ch receive expression
+				drains = true
+				return false
+			}
+		}
+		return true
+	})
+	return drains
+}
+
+func hasCtxParam(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	if ftype == nil || ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if isCtxType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+func isCancelFunc(t types.Type) bool {
+	return isNamed(t, "context", "CancelFunc")
+}
+
+func isNamed(t types.Type, pkg, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}

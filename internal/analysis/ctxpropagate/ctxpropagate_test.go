@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/ctxpropagate"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxpropagate.Analyzer, "a", "clean")
+}

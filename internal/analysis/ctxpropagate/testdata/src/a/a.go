@@ -1,0 +1,36 @@
+// Package a exercises ctxpropagate's positive cases: goroutines launched
+// inside context-accepting functions with no path to cancellation.
+package a
+
+import "context"
+
+func fireAndForget(ctx context.Context, xs []int) {
+	go func() { // want `goroutine in context-accepting function ignores ctx cancellation`
+		for range xs {
+		}
+	}()
+}
+
+func worker(n int) {}
+
+func namedIgnoresCtx(ctx context.Context, n int) {
+	go worker(n) // want `goroutine in context-accepting function ignores ctx cancellation`
+}
+
+func insideLoop(ctx context.Context, jobs []int) {
+	for _, j := range jobs {
+		go func(j int) { // want `goroutine in context-accepting function ignores ctx cancellation`
+			_ = j * 2
+		}(j)
+	}
+}
+
+func litWithCtxParam(ctx context.Context) {
+	// The function literal itself accepts a context and spawns a blind
+	// goroutine: the literal is checked on its own.
+	f := func(ctx context.Context) {
+		go func() { // want `goroutine in context-accepting function ignores ctx cancellation`
+		}()
+	}
+	f(ctx)
+}

@@ -1,0 +1,68 @@
+// Package clean exercises ctxpropagate's accepted forms: passing ctx on,
+// selecting on Done, calling cancel, and the feeder/worker pool idiom.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+func passesCtx(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func selectsOnDone(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case ch <- 1:
+		}
+	}()
+}
+
+func callsCancel(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		defer cancel()
+	}()
+	<-ctx.Done()
+}
+
+// workerPool is the mapreduce shape: a ctx-aware feeder closes the work
+// channel on cancellation, and workers drain it to completion.
+func workerPool(ctx context.Context, inputs []int) {
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for _, i := range inputs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// noCtx takes no context, so its goroutines are out of scope.
+func noCtx(xs []int) {
+	go func() {
+		for range xs {
+		}
+	}()
+}

@@ -1,0 +1,137 @@
+// Package floatcompare defines an analyzer that flags == and != between
+// floating-point expressions.
+//
+// Uni-Detect's verdicts hinge on comparing smoothed likelihood-ratio
+// scores, p-values and θ extremeness thresholds — quantities produced by
+// chains of float arithmetic where exact equality is almost never the
+// intended predicate: two mathematically equal LR scores computed along
+// different code paths routinely differ in the last ulp, silently flipping
+// a ranking or a threshold test without failing any unit test. Equality
+// on floats must therefore go through an explicit epsilon helper.
+//
+// The analyzer permits:
+//
+//   - comparisons where both operands are compile-time constants (the
+//     compiler folds these exactly);
+//   - comparisons against an exact constant 0, the conventional sentinel
+//     and division guard (0 is exactly representable, and "x == 0 before
+//     dividing" is a correctness idiom, not a bug);
+//   - comparisons inside designated epsilon helpers (function names
+//     matching the -floatcompare.helpers regexp), which is where the one
+//     legitimate raw comparison belongs;
+//   - _test.go files, which legitimately assert exact deterministic
+//     outputs (golden values produced by the same code path).
+package floatcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var (
+	helpers   = `(?i)(approx|almost|within|epsilon|close|tol)`
+	skipTests = true
+)
+
+// Analyzer flags floating-point == / != outside epsilon helpers.
+var Analyzer = &analysis.Analyzer{
+	Name:     "floatcompare",
+	Doc:      "flag == and != between floating-point expressions outside epsilon helpers",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&helpers, "helpers", helpers,
+		"regexp of function names allowed to compare floats directly")
+	Analyzer.Flags.BoolVar(&skipTests, "skiptests", skipTests,
+		"skip _test.go files")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	helperRx, err := regexp.Compile(helpers)
+	if err != nil {
+		return nil, err
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Walk with a stack so the enclosing function name is known at each
+	// comparison site.
+	nodeFilter := []ast.Node{
+		(*ast.FuncDecl)(nil),
+		(*ast.FuncLit)(nil),
+		(*ast.BinaryExpr)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return true
+		}
+		if skipTests && isTestFile(pass, be.Pos()) {
+			return true
+		}
+		if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+			return true
+		}
+		if isConst(pass, be.X) && isConst(pass, be.Y) {
+			return true // folded exactly by the compiler
+		}
+		if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+			return true // sentinel / division guard
+		}
+		if name := enclosingFuncName(stack); helperRx.MatchString(name) {
+			return true // inside a designated epsilon helper
+		}
+		pass.Reportf(be.OpPos, "floating-point comparison with %s; use an epsilon helper (stats.ApproxEq) or bitwise identity (stats.SameFloat) instead", be.Op)
+		return true
+	})
+	return nil, nil
+}
+
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isExactZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}

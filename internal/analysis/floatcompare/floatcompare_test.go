@@ -1,0 +1,12 @@
+package floatcompare_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/floatcompare"
+)
+
+func TestFloatCompare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatcompare.Analyzer, "a", "clean")
+}

@@ -1,0 +1,29 @@
+// Package a exercises floatcompare's positive cases: raw equality on
+// computed floating-point values.
+package a
+
+func lrEqual(x, y float64) bool {
+	return x == y // want `floating-point comparison with ==`
+}
+
+func lrNotEqual(x, y float64) bool {
+	return x != y // want `floating-point comparison with !=`
+}
+
+func mixedWidth(x float32, y float64) bool {
+	return float64(x) == y // want `floating-point comparison with ==`
+}
+
+func againstNonZeroConst(x float64) bool {
+	return x == 0.5 // want `floating-point comparison with ==`
+}
+
+func insideCondition(scores []float64, threshold float64) int {
+	n := 0
+	for _, s := range scores {
+		if s != threshold { // want `floating-point comparison with !=`
+			n++
+		}
+	}
+	return n
+}

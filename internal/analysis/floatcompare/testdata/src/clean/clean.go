@@ -1,0 +1,39 @@
+// Package clean exercises floatcompare's allowed forms: zero sentinels,
+// constant folding, epsilon helpers, and non-float comparisons.
+package clean
+
+import "math"
+
+func divisionGuard(num, denom float64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return num / denom
+}
+
+func zeroOnLeft(x float64) bool {
+	return 0 == x
+}
+
+func widthGuard(lo, hi float64) bool {
+	return hi-lo == 0
+}
+
+func bothConst() bool {
+	return 1.5 == 3.0/2.0
+}
+
+func approxEqual(a, b, tol float64) bool {
+	if a == b { // allowed: designated epsilon helper
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+func bitwiseIdentity(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

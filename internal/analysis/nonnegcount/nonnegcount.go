@@ -1,0 +1,186 @@
+// Package nonnegcount defines an analyzer that flags raw integer
+// subtraction involving count and histogram values.
+//
+// Uni-Detect's likelihood ratio is built from corpus counts: grid cells,
+// token-prevalence tallies, row/support counts. These are non-negative by
+// construction, but Go's int subtraction is not — `seen - expected` on
+// counts that were clamped, sampled or merged along different paths can go
+// negative, and a negative count flows straight into a log-ratio where it
+// flips the sign of the LR statistic (or panics in math.Log) far from the
+// subtraction that caused it.
+//
+// The analyzer flags `a - b` and `a -= b` on integer operands when either
+// side mentions a count-like name (matching -nonnegcount.names). A
+// subtraction is accepted when it is visibly saturated at zero: written as
+// an argument of the max builtin together with a 0 literal
+// (`max(0, a-b)`), or passed to a helper whose name matches
+// -nonnegcount.clampers (e.g. subNonNeg, clampNonNeg, saturatingSub).
+// Test files are skipped; fixtures legitimately construct arbitrary
+// deltas.
+package nonnegcount
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var (
+	names    = `(?i)(count|total|freq|hist|support|tally|prevalence)`
+	clampers = `(?i)(clamp|nonneg|saturat)`
+)
+
+// Analyzer flags unclamped integer subtraction on count-like values.
+var Analyzer = &analysis.Analyzer{
+	Name:     "nonnegcount",
+	Doc:      "flag raw int subtraction on count/histogram values where underflow would flip an LR sign",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&names, "names", names,
+		"regexp of identifiers treated as count-like")
+	Analyzer.Flags.StringVar(&clampers, "clampers", clampers,
+		"regexp of saturating-helper function names that make a subtraction safe")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	nameRx, err := regexp.Compile(names)
+	if err != nil {
+		return nil, err
+	}
+	clampRx, err := regexp.Compile(clampers)
+	if err != nil {
+		return nil, err
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{
+		(*ast.BinaryExpr)(nil),
+		(*ast.AssignStmt)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		if isTestFile(pass, n.Pos()) {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op != token.SUB {
+				return true
+			}
+			if !isInt(pass, e.X) || !isInt(pass, e.Y) {
+				return true
+			}
+			if !mentionsCount(e.X, nameRx) && !mentionsCount(e.Y, nameRx) {
+				return true
+			}
+			if saturated(pass, stack, clampRx) {
+				return true
+			}
+			pass.Reportf(e.OpPos, "raw subtraction on count-like values can underflow and flip an LR sign; clamp with max(0, ...) or a %s helper", "saturating")
+		case *ast.AssignStmt:
+			if e.Tok != token.SUB_ASSIGN || len(e.Lhs) != 1 {
+				return true
+			}
+			if !isInt(pass, e.Lhs[0]) {
+				return true
+			}
+			if !mentionsCount(e.Lhs[0], nameRx) && !mentionsCount(e.Rhs[0], nameRx) {
+				return true
+			}
+			pass.Reportf(e.TokPos, "-= on count-like values can underflow and flip an LR sign; subtract via max(0, ...) into a fresh value")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// saturated reports whether the innermost enclosing call visibly clamps
+// the subtraction: max(..., 0, ...) or a helper matching clampRx.
+func saturated(pass *analysis.Pass, stack []ast.Node, clampRx *regexp.Regexp) bool {
+	// stack[len-1] is the BinaryExpr itself; look for a CallExpr parent
+	// with only parens in between.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			switch fun := p.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "max" && hasZeroArg(pass, p) {
+					return true
+				}
+				if clampRx.MatchString(fun.Name) {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if clampRx.MatchString(fun.Sel.Name) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func hasZeroArg(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[a]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsCount walks an operand looking for an identifier or selector
+// field whose name is count-like. len(...) calls are opaque: a slice
+// length is an index bound, not an accumulated tally, and `len(xs) - 1`
+// is the ubiquitous last-index idiom.
+func mentionsCount(e ast.Expr, rx *regexp.Regexp) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "len" {
+				return false
+			}
+		case *ast.Ident:
+			if rx.MatchString(x.Name) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if rx.MatchString(x.Sel.Name) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isInt(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,12 @@
+package nonnegcount_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/nonnegcount"
+)
+
+func TestNonNegCount(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nonnegcount.Analyzer, "a", "clean")
+}

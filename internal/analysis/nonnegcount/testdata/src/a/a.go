@@ -1,0 +1,28 @@
+// Package a exercises nonnegcount's positive cases: unclamped integer
+// subtraction on count-like values.
+package a
+
+type grid struct {
+	Counts []int64
+	Total  int64
+}
+
+func delta(g grid, expected int64) int64 {
+	return g.Total - expected // want `raw subtraction on count-like values can underflow`
+}
+
+func cellDelta(g grid, i int, seen int64) int64 {
+	return g.Counts[i] - seen // want `raw subtraction on count-like values can underflow`
+}
+
+func drain(g *grid, n int64) {
+	g.Total -= n // want `-= on count-like values can underflow`
+}
+
+func localNames(rowCount, headerCount int) int {
+	return rowCount - headerCount // want `raw subtraction on count-like values can underflow`
+}
+
+func freq(histogram []int, i, smoothing int) int {
+	return histogram[i] - smoothing // want `raw subtraction on count-like values can underflow`
+}

@@ -1,0 +1,35 @@
+// Package clean exercises nonnegcount's accepted forms: visible clamps,
+// saturating helpers, len() arithmetic, floats, and non-count names.
+package clean
+
+type grid struct {
+	Counts []int64
+	Total  int64
+}
+
+func clamped(g grid, expected int64) int64 {
+	return max(0, g.Total-expected)
+}
+
+func viaHelper(g grid, expected int64) int64 {
+	return clampNonNeg(g.Total - expected)
+}
+
+func clampNonNeg(x int64) int64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+func lastBin(counts []int64) int {
+	return len(counts) - 1 // len() is an index bound, not a tally
+}
+
+func floats(countRate, base float64) float64 {
+	return countRate - base // floats are floatcompare's territory
+}
+
+func plain(a, b int) int {
+	return a - b // no count-like name involved
+}

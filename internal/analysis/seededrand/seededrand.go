@@ -1,0 +1,97 @@
+// Package seededrand defines an analyzer that forbids the global
+// math/rand top-level functions in the packages that generate data for
+// experiments.
+//
+// EXPERIMENTS.md promises bit-for-bit reproducible synthetic corpora:
+// every table, every injected error and every train/test split must be
+// derivable from a recorded seed. The global math/rand functions
+// (rand.Float64, rand.Intn, rand.Shuffle, ...) draw from a process-wide
+// source whose state is shared with every other caller in the binary, so
+// the sequence a generator observes depends on unrelated code having run
+// first — results stop being a function of the seed. Generators must take
+// an injected *rand.Rand (constructed via rand.New(rand.NewSource(seed)))
+// instead; those constructors remain allowed.
+//
+// The rule applies to the packages named by -seededrand.packages (by
+// default the datagen/synth generators and the root package, which holds
+// synthetic.go).
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var packages = "github.com/unidetect/unidetect,internal/datagen,internal/synth"
+
+// allowed are the math/rand functions that construct an injectable
+// generator rather than drawing from the global source.
+var allowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Analyzer forbids global math/rand functions in data-generation packages.
+var Analyzer = &analysis.Analyzer{
+	Name:     "seededrand",
+	Doc:      "forbid global math/rand functions in data-generation packages; inject a seeded *rand.Rand",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", packages,
+		"comma-separated package path suffixes the rule applies to")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.SelectorExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return
+		}
+		path := pn.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		// Only package-level functions draw from the global source; type
+		// references (rand.Rand, rand.Source) and constants are fine.
+		if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+			return
+		}
+		if allowed[sel.Sel.Name] {
+			return
+		}
+		pass.Reportf(sel.Pos(), "global math/rand.%s breaks seed reproducibility; inject a *rand.Rand (rand.New(rand.NewSource(seed)))", sel.Sel.Name)
+	})
+	return nil, nil
+}
+
+func applies(pkgPath string) bool {
+	for _, suffix := range strings.Split(packages, ",") {
+		suffix = strings.TrimSpace(suffix)
+		if suffix == "" {
+			continue
+		}
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) || strings.HasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}

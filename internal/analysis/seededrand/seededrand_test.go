@@ -1,0 +1,18 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	// Scope the rule to the positive fixture package; "exempt" and
+	// "clean" stay outside the list, so "exempt" checks the scoping and
+	// "clean" the allowed constructors.
+	if err := seededrand.Analyzer.Flags.Set("packages", "a,clean"); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer, "a", "clean", "exempt")
+}

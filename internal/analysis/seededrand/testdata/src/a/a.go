@@ -1,0 +1,21 @@
+// Package a exercises seededrand's positive cases: global math/rand
+// functions inside a data-generation package.
+package a
+
+import "math/rand"
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle breaks seed reproducibility`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn breaks seed reproducibility`
+}
+
+func noise() float64 {
+	return rand.NormFloat64() // want `global math/rand\.NormFloat64 breaks seed reproducibility`
+}
+
+func reseed(seed int64) {
+	rand.Seed(seed) // want `global math/rand\.Seed breaks seed reproducibility`
+}

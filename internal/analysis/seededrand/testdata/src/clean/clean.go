@@ -1,0 +1,27 @@
+// Package clean exercises seededrand's allowed forms: constructing and
+// using an injected generator, and type references.
+package clean
+
+import "math/rand"
+
+type gen struct {
+	rng *rand.Rand
+}
+
+func newGen(seed int64) *gen {
+	return &gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *gen) pick(n int) int {
+	return g.rng.Intn(n)
+}
+
+func (g *gen) shuffle(xs []int) {
+	g.rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.1, 1, 100)
+}
+
+var _ rand.Source = rand.NewSource(1)

@@ -1,0 +1,9 @@
+// Package exempt is outside the configured package list: global rand use
+// here must NOT be diagnosed (the rule targets data-generation packages).
+package exempt
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,25 @@
+// Package a exercises uncheckederr's positive cases: expression statements
+// discarding an error returned by an in-module function or method.
+package a
+
+import "errors"
+
+func mayFail() error {
+	return errors.New("boom")
+}
+
+func loadCount() (int, error) {
+	return 0, errors.New("corrupt")
+}
+
+type store struct{}
+
+func (store) Flush() error { return nil }
+
+func caller() {
+	mayFail()   // want `error returned by mayFail is discarded`
+	loadCount() // want `error returned by loadCount is discarded`
+
+	var s store
+	s.Flush() // want `error returned by Flush is discarded`
+}

@@ -1,0 +1,27 @@
+// Package clean exercises uncheckederr's accepted forms: handled errors,
+// explicit blank assignment, error-free calls, and out-of-module callees.
+package clean
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error {
+	return errors.New("boom")
+}
+
+func pure() int { return 1 }
+
+func caller() error {
+	if err := mayFail(); err != nil {
+		return fmt.Errorf("caller: %w", err)
+	}
+	_ = mayFail() // explicit, greppable opt-out
+	pure()        // no error in the result list
+
+	// Out-of-module calls are go vet's jurisdiction, not ours.
+	fmt.Println(strings.ToUpper("ok"))
+	return nil
+}

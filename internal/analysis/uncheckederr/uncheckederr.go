@@ -1,0 +1,86 @@
+// Package uncheckederr defines an analyzer that flags discarded error
+// returns from this module's own functions.
+//
+// go vet only checks a fixed list of standard-library calls; Uni-Detect's
+// hot paths (corpus decoding, model training, the serving daemon) return
+// errors that encode data corruption — a gob decode failure or a ragged
+// table silently dropped on the floor becomes a wrong likelihood ratio,
+// not a crash. Calls into any package of this module whose result list
+// includes an error must consume it; an explicit `_ =` assignment remains
+// available as a visible, greppable opt-out.
+//
+// The module path is configurable (-uncheckederr.modpath); calls to the
+// package under analysis itself always count as in-module, which also
+// makes the rule self-contained for test fixtures.
+package uncheckederr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+var modpath = "github.com/unidetect/unidetect"
+
+// Analyzer flags expression statements that discard in-module errors.
+var Analyzer = &analysis.Analyzer{
+	Name:     "uncheckederr",
+	Doc:      "flag discarded error returns from this module's own functions",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&modpath, "modpath", modpath,
+		"module path prefix whose functions must have errors checked")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.ExprStmt)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		call, ok := n.(*ast.ExprStmt).X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || !inModule(pass, fn) {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		res := sig.Results()
+		for i := 0; i < res.Len(); i++ {
+			if isErrorType(res.At(i).Type()) {
+				pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or assign to _ explicitly", fn.Name())
+				return
+			}
+		}
+	})
+	return nil, nil
+}
+
+func inModule(pass *analysis.Pass, fn types.Object) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false // builtin
+	}
+	if pkg == pass.Pkg {
+		return true
+	}
+	path := pkg.Path()
+	return path == modpath || strings.HasPrefix(path, modpath+"/")
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,14 @@
+package uncheckederr_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/uncheckederr"
+)
+
+func TestUncheckedErr(t *testing.T) {
+	// Same-package calls always count as in-module, so the fixtures need
+	// no modpath override.
+	analysistest.Run(t, analysistest.TestData(), uncheckederr.Analyzer, "a", "clean")
+}

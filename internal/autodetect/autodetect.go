@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/unidetect/unidetect/internal/stats"
 	"github.com/unidetect/unidetect/internal/table"
 )
 
@@ -194,7 +195,7 @@ func (m *Model) Detect(t *table.Table, alpha float64) []Finding {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].LR != out[j].LR {
+		if !stats.SameFloat(out[i].LR, out[j].LR) {
 			return out[i].LR < out[j].LR
 		}
 		return out[i].Column < out[j].Column

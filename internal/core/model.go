@@ -8,6 +8,7 @@ import (
 
 	"github.com/unidetect/unidetect/internal/evidence"
 	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/stats"
 )
 
 // ClassModel holds the learned evidence for one error class: per-bucket
@@ -97,7 +98,7 @@ func (m *Model) LR(c Class, det Detector, meas Measurement) (lr float64, support
 func SortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
-		if a.LR != b.LR {
+		if !stats.SameFloat(a.LR, b.LR) {
 			return a.LR < b.LR
 		}
 		if a.Support != b.Support {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"github.com/unidetect/unidetect/internal/stats"
 	"github.com/unidetect/unidetect/internal/table"
 )
 
@@ -61,7 +62,7 @@ func (p *Predictor) Detect(t *table.Table) []Finding {
 			if !seen {
 				order = append(order, key)
 			}
-			if !seen || f.LR < prev.LR || (f.LR == prev.LR && f.Column < prev.Column) {
+			if !seen || f.LR < prev.LR || (stats.SameFloat(f.LR, prev.LR) && f.Column < prev.Column) {
 				best[key] = f
 			}
 		}

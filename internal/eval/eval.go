@@ -13,6 +13,7 @@ import (
 	"github.com/unidetect/unidetect/internal/baselines"
 	"github.com/unidetect/unidetect/internal/core"
 	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/stats"
 )
 
 // Item is one ranked prediction, method-agnostic.
@@ -158,7 +159,7 @@ func FromBaseline(ps []baselines.Prediction) []Item {
 	sorted := append([]baselines.Prediction(nil), ps...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		a, b := sorted[i], sorted[j]
-		if a.Score != b.Score {
+		if !stats.SameFloat(a.Score, b.Score) {
 			return a.Score > b.Score
 		}
 		if a.Table != b.Table {

@@ -199,8 +199,10 @@ func (g *Grid) Finalize() {
 	g.pre = make([]int64, (n+1)*(n+1))
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			g.pre[(i+1)*(n+1)+(j+1)] = g.Counts[i*n+j] +
-				g.pre[i*(n+1)+(j+1)] + g.pre[(i+1)*(n+1)+j] - g.pre[i*(n+1)+j]
+			// Inclusion–exclusion over the already-built prefix rows;
+			// pre is a monotone 2D prefix sum, so this cannot underflow.
+			inc := g.pre[i*(n+1)+(j+1)] + g.pre[(i+1)*(n+1)+j] - g.pre[i*(n+1)+j]
+			g.pre[(i+1)*(n+1)+(j+1)] = g.Counts[i*n+j] + inc
 		}
 	}
 	g.finalized = true

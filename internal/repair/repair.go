@@ -136,14 +136,14 @@ func suggestOutlier(t *table.Table, f core.Finding) []Suggestion {
 	// The shift must bring the value into the column's ordinary range
 	// AND improve dramatically over the raw value — otherwise this is a
 	// genuine extreme, not a scale error.
-	if bestFactor == 1 || bestScore > 5 || bestScore > origScore/3 {
+	if stats.SameFloat(bestFactor, 1) || bestScore > 5 || bestScore > origScore/3 {
 		return nil
 	}
 	fixed := v * bestFactor
 	var newVal string
 	if isInt && bestFactor > 1 {
 		newVal = fmt.Sprintf("%d", int64(math.Round(fixed)))
-	} else if fixed == math.Trunc(fixed) {
+	} else if stats.IsWhole(fixed) {
 		newVal = fmt.Sprintf("%d", int64(fixed))
 	} else {
 		newVal = strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", fixed), "0"), ".")

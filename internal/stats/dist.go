@@ -74,10 +74,11 @@ func NewHistogram(xs []float64, bins int) *Histogram {
 }
 
 func (h *Histogram) bin(x float64) int {
-	if h.Max == h.Min {
+	width := h.Max - h.Min
+	if width == 0 {
 		return 0
 	}
-	i := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	i := int(float64(len(h.Counts)) * (x - h.Min) / width)
 	if i < 0 {
 		i = 0
 	}

@@ -206,3 +206,25 @@ func Skewness(xs []float64) float64 {
 	g1 := m3 / math.Pow(m2, 1.5)
 	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
 }
+
+// ApproxEq reports whether a and b are within tol of each other. It is the
+// sanctioned epsilon comparison for LR scores, p-values and θ thresholds:
+// raw == / != on computed floats is rejected by unilint's floatcompare
+// analyzer because last-ulp drift between algebraically equal code paths
+// silently flips verdicts.
+func ApproxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// SameFloat reports bitwise equality of two floats. Unlike ==, it is
+// NaN-safe (NaN equals itself) and therefore gives sorts a total order,
+// which is what deterministic tie-breaking on computed scores needs.
+func SameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// IsWhole reports whether x has no fractional part (and so can be printed
+// as an integer losslessly).
+func IsWhole(x float64) bool {
+	return x-math.Trunc(x) == 0
+}

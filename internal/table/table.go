@@ -9,6 +9,7 @@ package table
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // ValueType classifies the dominant value type of a column, following the
@@ -54,14 +55,20 @@ func (t ValueType) String() string {
 }
 
 // Column is a named, typed column of string cell values.
+//
+// A Column may be read from many goroutines at once (the predictor runs
+// detectors concurrently over shared tables), so the type cache below is
+// atomic. Mutating Values concurrently with readers is still the caller's
+// responsibility.
 type Column struct {
 	Name   string
 	Values []string
 
-	// typ caches the inferred ValueType; 0 (TypeEmpty) doubles as
-	// "not yet computed" for non-empty columns, so we track it with ok.
-	typ   ValueType
-	typOK bool
+	// typ caches the inferred ValueType in its low byte, with bit 8 set
+	// once computed (0 therefore means "not yet computed"). It is atomic
+	// because concurrent detector goroutines race to fill the cache;
+	// InferType is deterministic, so a duplicated computation is harmless.
+	typ atomic.Uint32
 }
 
 // NewColumn builds a column from a name and values.
@@ -72,18 +79,23 @@ func NewColumn(name string, values []string) *Column {
 // Len returns the number of cells in the column.
 func (c *Column) Len() int { return len(c.Values) }
 
+// typComputed is OR-ed into the cached type word to distinguish a cached
+// TypeEmpty (value 0) from "not yet computed".
+const typComputed = 1 << 8
+
 // Type returns the inferred ValueType of the column, computing and caching
-// it on first use.
+// it on first use. It is safe for concurrent use.
 func (c *Column) Type() ValueType {
-	if !c.typOK {
-		c.typ = InferType(c.Values)
-		c.typOK = true
+	if v := c.typ.Load(); v&typComputed != 0 {
+		return ValueType(v)
 	}
-	return c.typ
+	t := InferType(c.Values)
+	c.typ.Store(typComputed | uint32(t))
+	return t
 }
 
 // Invalidate drops cached derived state after the Values slice is mutated.
-func (c *Column) Invalidate() { c.typOK = false }
+func (c *Column) Invalidate() { c.typ.Store(0) }
 
 // Drop returns a copy of the column with the cells at the given row indices
 // removed. Indices outside the column are ignored. The receiver is not

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -259,5 +260,31 @@ func TestParseNumberIntProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentTypeRace is a regression test for the data race that existed
+// in Column.Type's lazy cache: concurrent detector goroutines would race on
+// the unsynchronized typ/typOK pair. Run under -race.
+func TestConcurrentTypeRace(t *testing.T) {
+	c := NewColumn("v", []string{"1", "2", "3.5", "x7"})
+	var wg sync.WaitGroup
+	got := make([]ValueType, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c.Type()
+		}(i)
+	}
+	wg.Wait()
+	for i, ty := range got {
+		if ty != got[0] {
+			t.Fatalf("goroutine %d saw type %v, goroutine 0 saw %v", i, ty, got[0])
+		}
+	}
+	c.Invalidate()
+	if ty := c.Type(); ty != got[0] {
+		t.Fatalf("Type after Invalidate = %v, want %v", ty, got[0])
 	}
 }
