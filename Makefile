@@ -1,16 +1,18 @@
 # Developer workflow for the Uni-Detect reproduction.
 #
-#   make        — build + tier-1 tests (the seed verify)
-#   make lint   — project-specific static analysis (cmd/unilint)
-#   make vet    — go vet
-#   make test   — full test suite
-#   make race   — full test suite under the race detector
-#   make bench  — benchmarks (no tests)
-#   make check  — everything CI runs
+#   make           — build + tier-1 tests (the seed verify)
+#   make lint      — project-specific static analysis (cmd/unilint)
+#   make lint-fix  — apply unilint's suggested fixes in place
+#   make sarif     — write unilint findings to unilint.sarif
+#   make vet       — go vet
+#   make test      — full test suite
+#   make race      — full test suite under the race detector
+#   make bench     — benchmarks (no tests)
+#   make check     — everything CI runs
 
 GO ?= go
 
-.PHONY: all build lint vet test race bench check
+.PHONY: all build lint lint-fix sarif vet test race bench check
 
 all: build test
 
@@ -19,6 +21,13 @@ build:
 
 lint:
 	$(GO) run ./cmd/unilint ./...
+
+lint-fix:
+	$(GO) run ./cmd/unilint -fix ./...
+
+# Exit status intentionally ignored: the report is the artifact.
+sarif:
+	$(GO) run ./cmd/unilint -sarif ./... > unilint.sarif || true
 
 vet:
 	$(GO) vet ./...

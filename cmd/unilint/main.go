@@ -2,17 +2,23 @@
 // a multichecker bundling the analyzers under internal/analysis that
 // enforce the numeric and concurrency invariants the LR statistics depend
 // on. See DESIGN.md ("What unilint enforces") for the rationale behind
-// each rule.
+// each rule. The analyzer list lives in internal/analysis/registry; this
+// command is only the driver.
 //
 // Usage:
 //
-//	go run ./cmd/unilint ./...          # lint package patterns
+//	go run ./cmd/unilint ./...           # lint package patterns
+//	go run ./cmd/unilint -json ./...     # machine-readable diagnostics
+//	go run ./cmd/unilint -sarif ./...    # SARIF 2.1.0 for code scanning
+//	go run ./cmd/unilint -fix ./...      # apply suggested fixes in place
 //	go vet -vettool=$(which unilint) ./...
 //
 // The binary speaks the go vet -vettool protocol (via
 // golang.org/x/tools/go/analysis/unitchecker), so the go command handles
 // package loading, export data and caching. When invoked directly with
-// package patterns it re-executes itself through `go vet -vettool=<self>`.
+// package patterns it re-executes itself through `go vet -vettool=<self>`;
+// the -json/-sarif/-fix modes additionally capture the per-package JSON
+// the unitchecker emits and post-process it.
 package main
 
 import (
@@ -23,45 +29,73 @@ import (
 
 	"golang.org/x/tools/go/analysis/unitchecker"
 
-	"github.com/unidetect/unidetect/internal/analysis/ctxpropagate"
-	"github.com/unidetect/unidetect/internal/analysis/floatcompare"
-	"github.com/unidetect/unidetect/internal/analysis/nonnegcount"
-	"github.com/unidetect/unidetect/internal/analysis/seededrand"
-	"github.com/unidetect/unidetect/internal/analysis/uncheckederr"
+	"github.com/unidetect/unidetect/internal/analysis/registry"
 )
 
 func main() {
 	args := os.Args[1:]
 	if invokedAsVettool(args) {
-		unitchecker.Main( // does not return
-			floatcompare.Analyzer,
-			seededrand.Analyzer,
-			ctxpropagate.Analyzer,
-			uncheckederr.Analyzer,
-			nonnegcount.Analyzer,
-		)
+		unitchecker.Main(registry.All()...) // does not return
+	}
+	os.Exit(drive(args))
+}
+
+// drive is the driver mode: strip unilint's own mode flags, re-exec the
+// go command with ourselves as its vettool, and post-process the output.
+func drive(args []string) int {
+	var jsonMode, sarifMode, fixMode bool
+	rest := make([]string, 0, len(args))
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonMode = true
+		case "-sarif", "--sarif":
+			sarifMode = true
+		case "-fix", "--fix":
+			fixMode = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if len(rest) == 0 || strings.HasPrefix(rest[len(rest)-1], "-") {
+		rest = append(rest, "./...")
 	}
 
-	// Driver mode: delegate package loading to the go command by
-	// re-running ourselves as its vettool.
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unilint: cannot locate own executable: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
+
+	if !jsonMode && !sarifMode && !fixMode {
+		// Plain mode: let go vet own the terminal and the exit code.
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, rest...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Stdin = os.Stdin
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				return ee.ExitCode()
+			}
+			fmt.Fprintf(os.Stderr, "unilint: %v\n", err)
+			return 2
 		}
-		fmt.Fprintf(os.Stderr, "unilint: %v\n", err)
-		os.Exit(2)
+		return 0
+	}
+
+	diags, errOut, err := vetJSON(exe, rest)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unilint: %v\n%s", err, errOut)
+		return 2
+	}
+
+	switch {
+	case fixMode:
+		return applyFixes(diags)
+	case sarifMode:
+		return emitSARIF(os.Stdout, diags)
+	default:
+		return emitJSON(os.Stdout, diags)
 	}
 }
 

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the unilint executable: when
+// re-invoked with UNILINT_SMOKE_CHILD=1 it runs main() instead of the
+// tests, both as the driver and — because go vet inherits the
+// environment — as the vettool the driver hands to the go command.
+func TestMain(m *testing.M) {
+	if os.Getenv("UNILINT_SMOKE_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runSelf runs this test binary as unilint in dir.
+func runSelf(t *testing.T, dir string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "UNILINT_SMOKE_CHILD=1", "GOWORK=off")
+	var out, errBuf strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+	}
+	return out.String(), errBuf.String(), cmd.ProcessState.ExitCode()
+}
+
+// copyFixture clones testdata/fixture into a temp dir so -fix can mutate
+// it freely.
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	err = filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func TestSmokePlain(t *testing.T) {
+	dir := copyFixture(t)
+	_, stderr, exit := runSelf(t, dir, "./...")
+	if exit != 1 {
+		t.Fatalf("plain mode exit = %d, want 1\nstderr:\n%s", exit, stderr)
+	}
+	if !strings.Contains(stderr, "floating-point comparison with ==") {
+		t.Errorf("plain mode stderr missing the floatcompare diagnostic:\n%s", stderr)
+	}
+}
+
+func TestSmokeJSON(t *testing.T) {
+	dir := copyFixture(t)
+	stdout, stderr, exit := runSelf(t, dir, "-json", "./...")
+	if exit != 1 {
+		t.Fatalf("-json exit = %d, want 1\nstderr:\n%s", exit, stderr)
+	}
+	var diags []diag
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "floatcompare" || !strings.HasSuffix(splitPosnFile(d.Posn), "main.go") {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if len(d.SuggestedFixes) == 0 || len(d.SuggestedFixes[0].Edits) == 0 {
+		t.Errorf("diagnostic carries no suggested fix: %+v", d)
+	}
+}
+
+func splitPosnFile(posn string) string {
+	file, _, _ := splitPosn(posn)
+	return file
+}
+
+func TestSmokeSARIF(t *testing.T) {
+	dir := copyFixture(t)
+	stdout, stderr, exit := runSelf(t, dir, "-sarif", "./...")
+	if exit != 1 {
+		t.Fatalf("-sarif exit = %d, want 1\nstderr:\n%s", exit, stderr)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "unilint" {
+		t.Errorf("driver name = %q, want unilint", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 1 || run.Results[0].RuleID != "floatcompare" {
+		t.Fatalf("unexpected SARIF results: %+v", run.Results)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "main.go" || loc.Region.StartLine == 0 {
+		t.Errorf("unexpected SARIF location: %+v", loc)
+	}
+}
+
+func TestSmokeFix(t *testing.T) {
+	dir := copyFixture(t)
+	_, stderr, exit := runSelf(t, dir, "-fix", "./...")
+	if exit != 0 {
+		t.Fatalf("-fix exit = %d, want 0\nstderr:\n%s", exit, stderr)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "stats.SameFloat(a, b)") {
+		t.Errorf("-fix did not rewrite the comparison:\n%s", fixed)
+	}
+	// The fixed fixture must re-lint clean.
+	_, stderr, exit = runSelf(t, dir, "./...")
+	if exit != 0 {
+		t.Errorf("fixed fixture still fails lint (exit %d):\n%s", exit, stderr)
+	}
+}

@@ -1,0 +1,333 @@
+// JSON capture and the -json / -sarif / -fix emitters for the unilint
+// driver. The unitchecker's -json output (one JSON object per package,
+// interleaved with "# pkg" comment lines from the go command) is parsed
+// into a flat diagnostic list that each mode renders its own way.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// jsonDiagnostic mirrors analysisflags.JSONDiagnostic.
+type jsonDiagnostic struct {
+	Category       string          `json:"category,omitempty"`
+	Posn           string          `json:"posn"`
+	Message        string          `json:"message"`
+	SuggestedFixes []jsonSuggested `json:"suggested_fixes,omitempty"`
+}
+
+type jsonSuggested struct {
+	Message string         `json:"message"`
+	Edits   []jsonTextEdit `json:"edits"`
+}
+
+// jsonTextEdit is a byte-offset splice into one file.
+type jsonTextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// diag is one diagnostic attributed to its package and analyzer.
+type diag struct {
+	Pkg      string
+	Analyzer string
+	jsonDiagnostic
+}
+
+// vetJSON runs `go vet -vettool=exe -json args...` and parses the stream
+// of per-package JSON trees. go vet exits 0 in -json mode even when there
+// are diagnostics; a non-zero exit therefore means the build itself broke.
+func vetJSON(exe string, args []string) ([]diag, string, error) {
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe, "-json"}, args...)...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, errBuf.String(), fmt.Errorf("go vet: %v", err)
+	}
+	diags, err := parseJSONTrees(io.MultiReader(&out, &errBuf))
+	if err != nil {
+		return nil, errBuf.String(), err
+	}
+	return diags, errBuf.String(), nil
+}
+
+// parseJSONTrees decodes a concatenation of JSON trees of the shape
+// {"pkg": {"analyzer": [diag, ...]}}, skipping "# pkg" comment lines.
+func parseJSONTrees(r io.Reader) ([]diag, error) {
+	var clean bytes.Buffer
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		if strings.HasPrefix(strings.TrimSpace(sc.Text()), "#") {
+			continue
+		}
+		clean.WriteString(sc.Text())
+		clean.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	var diags []diag
+	dec := json.NewDecoder(&clean)
+	for {
+		var tree map[string]map[string]json.RawMessage
+		if err := dec.Decode(&tree); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go vet -json output: %v", err)
+		}
+		for pkg, byAnalyzer := range tree {
+			for analyzer, raw := range byAnalyzer {
+				var ds []jsonDiagnostic
+				if err := json.Unmarshal(raw, &ds); err != nil {
+					continue // e.g. an "error" payload; not diagnostics
+				}
+				for _, d := range ds {
+					diags = append(diags, diag{Pkg: pkg, Analyzer: analyzer, jsonDiagnostic: d})
+				}
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+func sortDiags(diags []diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Posn != diags[j].Posn {
+			return diags[i].Posn < diags[j].Posn
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+// emitJSON prints the merged diagnostic list as one JSON document.
+// Exit status follows plain-mode convention: 1 if anything was found.
+func emitJSON(w io.Writer, diags []diag) int {
+	if diags == nil {
+		diags = []diag{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(diags); err != nil {
+		fmt.Fprintf(os.Stderr, "unilint: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// sarif structures: the minimal subset of SARIF 2.1.0 that GitHub code
+// scanning and most viewers consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID string `json:"id"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// emitSARIF renders the diagnostics as a SARIF 2.1.0 log.
+func emitSARIF(w io.Writer, diags []diag) int {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "unilint"}},
+		Results: []sarifResult{},
+	}
+	seenRules := map[string]bool{}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if !seenRules[d.Analyzer] {
+			seenRules[d.Analyzer] = true
+			run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{ID: d.Analyzer})
+		}
+		file, line, col := splitPosn(d.Posn)
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: file},
+				Region:           sarifRegion{StartLine: line, StartColumn: col},
+			}}},
+		})
+	}
+	sort.Slice(run.Tool.Driver.Rules, func(i, j int) bool {
+		return run.Tool.Driver.Rules[i].ID < run.Tool.Driver.Rules[j].ID
+	})
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(log); err != nil {
+		fmt.Fprintf(os.Stderr, "unilint: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// splitPosn parses "file:line:col" (col optional), tolerating drive-less
+// absolute paths.
+func splitPosn(posn string) (file string, line, col int) {
+	file = posn
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			col = n
+			file = file[:i]
+		}
+	}
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			line = n
+			file = file[:i]
+		}
+	}
+	if line == 0 && col != 0 {
+		// Only one numeric suffix was present: it was the line.
+		line, col = col, 0
+	}
+	return file, line, col
+}
+
+// applyFixes splices every suggested edit into its file, skipping edits
+// that overlap an already-applied one. Diagnostics with no fix (or whose
+// fix was skipped) are printed and keep the exit status at 1, so -fix
+// surfaces exactly the findings that still need a human.
+func applyFixes(diags []diag) int {
+	type edit struct {
+		start, end int
+		new        string
+	}
+	byFile := map[string][]edit{}
+	var unfixed []diag
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			unfixed = append(unfixed, d)
+			continue
+		}
+		// Apply the first fix only: alternatives are exclusive.
+		for _, te := range d.SuggestedFixes[0].Edits {
+			byFile[te.Filename] = append(byFile[te.Filename], edit{te.Start, te.End, te.New})
+		}
+	}
+
+	applied, skipped := 0, 0
+	files := make([]string, 0, len(byFile))
+	for name := range byFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unilint: -fix: %v\n", err)
+			return 2
+		}
+		es := byFile[name]
+		sort.Slice(es, func(i, j int) bool { return es[i].start < es[j].start })
+		var out []byte
+		last := 0
+		for _, e := range es {
+			if e.start < last || e.start > len(src) || e.end > len(src) {
+				skipped++
+				continue
+			}
+			out = append(out, src[last:e.start]...)
+			out = append(out, e.new...)
+			last = e.end
+			applied++
+		}
+		out = append(out, src[last:]...)
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "unilint: -fix: %v\n", err)
+			return 2
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "unilint: applied %d suggested fixes in %d files", applied, len(byFile))
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, " (%d overlapping edits skipped)", skipped)
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, d := range unfixed {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Posn, d.Analyzer, d.Message)
+	}
+	if len(unfixed) > 0 || skipped > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,17 @@
+// The fixture trips exactly one rule: a raw floating-point comparison,
+// which also carries a suggested fix (stats is imported).
+package main
+
+import (
+	"fmt"
+
+	"fixture/stats"
+)
+
+func equalScores(a, b float64) bool {
+	return a == b
+}
+
+func main() {
+	fmt.Println(equalScores(0.1+0.2, 0.3), stats.ApproxEq(0.3, 0.3, 1e-9))
+}

@@ -1,0 +1,10 @@
+// Package stats gives the fixture a SameFloat target for -fix rewrites.
+package stats
+
+import "math"
+
+// ApproxEq reports |a-b| <= eps.
+func ApproxEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// SameFloat reports bitwise identity.
+func SameFloat(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }

@@ -9,7 +9,14 @@
 //     comments on the offending line (backquoted or double-quoted Go
 //     string literals, several per comment allowed);
 //   - Run loads the package, executes the analyzer (and its Requires
-//     closure), and fails the test on any missed or surplus diagnostic.
+//     closure), and fails the test on any missed or surplus diagnostic;
+//   - imports of sibling packages under testdata/src resolve locally, and
+//     the analyzer runs over those dependencies first with a shared
+//     in-memory fact store, so analyzers using analysis.Fact propagation
+//     can be golden-tested across package boundaries;
+//   - RunWithFixes additionally applies every SuggestedFix the analyzer
+//     reports, compares the result against <file>.golden, and re-runs the
+//     analyzer over the fixed source to prove it re-lints clean.
 //
 // Standard-library imports inside testdata packages are type-checked with
 // the source importer, so tests need no compiled export data.
@@ -24,6 +31,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -48,34 +56,194 @@ func TestData() string {
 func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
 	for _, pat := range patterns {
-		pkgDir := filepath.Join(dir, "src", pat)
 		t.Run(pat, func(t *testing.T) {
 			t.Helper()
-			runOne(t, pkgDir, a)
+			ld := newLoader(dir, a)
+			pkg, err := ld.load(pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWants(t, ld.fset, pkg.files, ld.diags[pat])
 		})
 	}
 }
 
-// expectation is one "// want" pattern at a file:line.
-type expectation struct {
-	posn string // "file.go:17"
-	rx   *regexp.Regexp
-	raw  string
-	met  bool
-}
-
-func runOne(t *testing.T, pkgDir string, a *analysis.Analyzer) {
+// RunWithFixes runs the analyzer over one pattern package, checks want
+// comments, applies every SuggestedFix, compares changed files against
+// their .golden siblings, and finally re-runs the analyzer over the fixed
+// sources, failing if any diagnostic survives the fixes.
+func RunWithFixes(t *testing.T, dir string, a *analysis.Analyzer, pattern string) {
 	t.Helper()
-	fset := token.NewFileSet()
-	files, err := parseDir(fset, pkgDir)
+	ld := newLoader(dir, a)
+	pkg, err := ld.load(pattern)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) == 0 {
-		t.Fatalf("no Go files in %s", pkgDir)
+	diags := ld.diags[pattern]
+	checkWants(t, ld.fset, pkg.files, diags)
+
+	// Gather edits per file.
+	type edit struct {
+		start, end int
+		new        string
+	}
+	edits := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				p0 := ld.fset.Position(te.Pos)
+				p1 := ld.fset.Position(te.End)
+				if p1.Offset < p0.Offset {
+					t.Fatalf("suggested fix edit with End before Pos at %v", p0)
+				}
+				edits[p0.Filename] = append(edits[p0.Filename], edit{p0.Offset, p1.Offset, string(te.NewText)})
+			}
+		}
+	}
+	if len(edits) == 0 {
+		t.Fatalf("analyzer %s reported no suggested fixes for %s", a.Name, pattern)
 	}
 
-	pkgName := files[0].Name.Name
+	fixed := map[string][]byte{} // filename -> fixed content
+	for name, es := range edits {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].start < es[j].start })
+		var out []byte
+		last := 0
+		for _, e := range es {
+			if e.start < last {
+				t.Fatalf("%s: overlapping suggested fixes", name)
+			}
+			out = append(out, src[last:e.start]...)
+			out = append(out, e.new...)
+			last = e.end
+		}
+		out = append(out, src[last:]...)
+		fixed[name] = out
+
+		golden, err := os.ReadFile(name + ".golden")
+		if err != nil {
+			t.Fatalf("missing golden file for fixed %s: %v", name, err)
+		}
+		if string(out) != string(golden) {
+			t.Errorf("%s: fixed output does not match %s.golden:\n-- got --\n%s", name, name, out)
+		}
+	}
+
+	// Re-lint the fixed package: parse the post-fix sources (falling back
+	// to the original bytes for untouched files) and require a clean run.
+	refset := token.NewFileSet()
+	var refiles []*ast.File
+	for _, f := range pkg.files {
+		name := ld.fset.Position(f.Pos()).Filename
+		src, ok := fixed[name]
+		if !ok {
+			var err error
+			src, err = os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		pf, err := parser.ParseFile(refset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("fixed source does not parse: %v", err)
+		}
+		refiles = append(refiles, pf)
+	}
+	reld := newLoader(dir, a)
+	reld.fset = refset
+	repkg, err := reld.check(pattern, refiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range reld.diags[pattern] {
+		// Want comments survive the fix; only genuine re-reports fail.
+		posn := refset.Position(d.Pos)
+		t.Errorf("%s:%d: diagnostic survives -fix: %s", filepath.Base(posn.Filename), posn.Line, d.Message)
+	}
+	_ = repkg
+}
+
+// loader loads testdata packages, resolving imports of sibling testdata
+// packages locally (running the analyzer over them first, so facts flow
+// across package boundaries through the shared store).
+type loader struct {
+	dir      string // the testdata directory
+	a        *analysis.Analyzer
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*loadedPkg
+	store    *factStore
+	diags    map[string][]analysis.Diagnostic
+	loading  map[string]bool
+	typeErrs []error
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(dir string, a *analysis.Analyzer) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:     dir,
+		a:       a,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*loadedPkg{},
+		store:   newFactStore(),
+		diags:   map[string][]analysis.Diagnostic{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer: sibling testdata packages are loaded
+// (and analyzed) locally; everything else falls through to the source
+// importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.dir, "src", path)) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// load parses, type-checks and analyzes one testdata package (memoized).
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through testdata package %q", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	files, err := parseDir(ld.fset, filepath.Join(ld.dir, "src", path))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", filepath.Join(ld.dir, "src", path))
+	}
+	return ld.check(path, files)
+}
+
+// check type-checks the files as package path and runs the analyzer.
+func (ld *loader) check(path string, files []*ast.File) (*loadedPkg, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Instances:  map[*ast.Ident]types.Instance{},
@@ -86,41 +254,144 @@ func runOne(t *testing.T, pkgDir string, a *analysis.Analyzer) {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "source", nil),
-		Error:    func(err error) { t.Logf("type error (tolerated): %v", err) },
+		Importer: ld,
+		Error:    func(err error) { ld.typeErrs = append(ld.typeErrs, err) },
 	}
-	pkg, err := conf.Check(pkgName, fset, files, info)
-	if err != nil {
-		// Analyzers must still behave on packages with minor type
-		// errors; only fail on a nil package.
-		if pkg == nil {
-			t.Fatalf("type-checking %s: %v", pkgDir, err)
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil && pkg == nil {
+		// Analyzers must still behave on packages with minor type errors;
+		// only fail on a nil package.
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = lp
+
+	pass := &analysis.Pass{
+		Analyzer:          ld.a,
+		Fset:              ld.fset,
+		Files:             files,
+		Pkg:               pkg,
+		TypesInfo:         info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          map[*analysis.Analyzer]interface{}{},
+		Report:            func(d analysis.Diagnostic) { ld.diags[path] = append(ld.diags[path], d) },
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  ld.store.importObjectFact,
+		ExportObjectFact:  ld.store.exportObjectFact,
+		AllObjectFacts:    ld.store.allObjectFacts,
+		ImportPackageFact: ld.store.importPackageFact,
+		ExportPackageFact: func(f analysis.Fact) { ld.store.exportPackageFact(pkg, f) },
+		AllPackageFacts:   ld.store.allPackageFacts,
+	}
+	if err := runRequires(pass, ld.a); err != nil {
+		return nil, err
+	}
+	if _, err := ld.a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s on %s: %v", ld.a.Name, path, err)
+	}
+	return lp, nil
+}
+
+// factStore is the in-memory substitute for unitchecker's serialized
+// .vetx fact files: facts exported while analyzing one testdata package
+// are importable while analyzing its dependents.
+type factStore struct {
+	obj map[types.Object][]analysis.Fact
+	pkg map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: map[types.Object][]analysis.Fact{},
+		pkg: map[*types.Package][]analysis.Fact{},
+	}
+}
+
+func (s *factStore) importObjectFact(obj types.Object, ptr analysis.Fact) bool {
+	for _, f := range s.obj[obj] {
+		if reflect.TypeOf(f) == reflect.TypeOf(ptr) {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
 		}
 	}
+	return false
+}
 
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:   a,
-		Fset:       fset,
-		Files:      files,
-		Pkg:        pkg,
-		TypesInfo:  info,
-		TypesSizes: types.SizesFor("gc", "amd64"),
-		ResultOf:   map[*analysis.Analyzer]interface{}{},
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+func (s *factStore) exportObjectFact(obj types.Object, f analysis.Fact) {
+	cp := copyFact(f)
+	for i, old := range s.obj[obj] {
+		if reflect.TypeOf(old) == reflect.TypeOf(f) {
+			s.obj[obj][i] = cp
+			return
+		}
 	}
-	if err := runRequires(pass, a); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
-	}
+	s.obj[obj] = append(s.obj[obj], cp)
+}
 
+func (s *factStore) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, fs := range s.obj {
+		for _, f := range fs {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	return out
+}
+
+func (s *factStore) importPackageFact(pkg *types.Package, ptr analysis.Fact) bool {
+	for _, f := range s.pkg[pkg] {
+		if reflect.TypeOf(f) == reflect.TypeOf(ptr) {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) exportPackageFact(pkg *types.Package, f analysis.Fact) {
+	cp := copyFact(f)
+	for i, old := range s.pkg[pkg] {
+		if reflect.TypeOf(old) == reflect.TypeOf(f) {
+			s.pkg[pkg][i] = cp
+			return
+		}
+	}
+	s.pkg[pkg] = append(s.pkg[pkg], cp)
+}
+
+func (s *factStore) allPackageFacts() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for pkg, fs := range s.pkg {
+		for _, f := range fs {
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+		}
+	}
+	return out
+}
+
+// copyFact clones a fact value so later mutation by the exporting
+// analyzer cannot alias the stored copy (mirrors gob round-tripping).
+func copyFact(f analysis.Fact) analysis.Fact {
+	v := reflect.New(reflect.TypeOf(f).Elem())
+	v.Elem().Set(reflect.ValueOf(f).Elem())
+	return v.Interface().(analysis.Fact)
+}
+
+// expectation is one "// want" pattern at a file:line.
+type expectation struct {
+	posn string // "file.go:17"
+	rx   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// checkWants matches diagnostics against the files' want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	wants, err := collectWants(fset, files)
 	if err != nil {
 		t.Fatal(err)
 	}
-
 	for _, d := range diags {
 		posn := fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)

@@ -1,0 +1,510 @@
+// Package deterministic defines an inter-package analyzer that proves the
+// functions on Uni-Detect's metric paths deterministic.
+//
+// Theorem 1's monotonicity and the merged LR ranking (§3–4) hold only if
+// every metric function m — and everything it transitively calls — is a
+// pure function of its inputs. Three leaks break that silently, without
+// failing any unit test:
+//
+//   - map iteration order reaching a returned slice (Go randomizes range
+//     order per execution, so scores and row sets reorder between runs);
+//   - wall-clock reads (time.Now and friends);
+//   - non-injected randomness (global math/rand, crypto/rand).
+//
+// The analyzer walks every function body in this module, records a
+// *"nondeterministic"* object fact (with a human-readable reason chain)
+// for each function that exhibits one of the leaks directly or calls —
+// possibly through other packages, via analysis.Fact propagation — a
+// function that does, and reports a diagnostic at every *root* function
+// (by default: Measure, Detect, DetectAll, Predict, Train and LR — the
+// Detector metric entry points and the online scoring path) whose body is
+// tainted.
+//
+// Map-range taint is dataflow-aware but syntactic: ranging over a map is
+// fine per se (building another map, or counting into integers, commutes);
+// what taints is appending to a slice that reaches the function's return
+// values without an intervening sort (sort.*, slices.Sort*, or a
+// project-level Sort* helper), or accumulating a float in map order
+// (float addition does not commute in the last ulp). Calls through
+// interfaces cannot be resolved statically and are trusted; the concrete
+// implementations behind them are exactly the Measure roots this analyzer
+// checks directly.
+package deterministic
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var (
+	rootsFlag = `^(Measure|Detect|DetectAll|Predict|Train|LR)$`
+	modsFlag  = "github.com/unidetect/unidetect"
+	allFlag   = false
+)
+
+// Analyzer proves determinism of metric-path functions via fact
+// propagation.
+var Analyzer = &analysis.Analyzer{
+	Name:      "deterministic",
+	Doc:       "prove detector metric paths deterministic: no map-order leaks, wall-clock reads, or non-injected randomness",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(isNondet)},
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&rootsFlag, "roots", rootsFlag,
+		"regexp of function names that must be deterministic (the metric-path entry points)")
+	Analyzer.Flags.StringVar(&modsFlag, "mods", modsFlag,
+		"comma-separated module prefixes whose packages are analyzed")
+	Analyzer.Flags.BoolVar(&allFlag, "all", allFlag,
+		"analyze every package regardless of module prefix (testing)")
+}
+
+// isNondet marks a function that may behave nondeterministically; Reason
+// is a human-readable taint chain ("calls x, which ranges over a map...").
+type isNondet struct{ Reason string }
+
+func (*isNondet) AFact()           {}
+func (f *isNondet) String() string { return "nondeterministic: " + f.Reason }
+
+// nondetCalls maps std functions that are nondeterministic by contract.
+// Global math/rand draws are handled separately (any package-level func
+// except the New* constructors).
+var nondetCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"crypto/rand": {"*": "draws OS randomness"},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	rootsRx, err := regexp.Compile(rootsFlag)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: per function, direct taint reasons and intra-package callees.
+	type funcInfo struct {
+		decl    *ast.FuncDecl
+		obj     *types.Func
+		reasons []string
+		callees []*types.Func
+	}
+	var funcs []*funcInfo
+	byObj := map[*types.Func]*funcInfo{}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &funcInfo{decl: fd, obj: obj}
+			fi.reasons = directTaints(pass, fd)
+			fi.callees = callees(pass, fd)
+			funcs = append(funcs, fi)
+			byObj[obj] = fi
+		}
+	}
+
+	// Taint state: local reasons plus facts imported from dependencies.
+	taintOf := func(fn *types.Func) (string, bool) {
+		if fi, ok := byObj[fn]; ok && len(fi.reasons) > 0 {
+			return fi.reasons[0], true
+		}
+		var fact isNondet
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Reason, true
+		}
+		return "", false
+	}
+
+	// Pass 2: propagate through the intra-package call graph to a fixed
+	// point (taint only grows, so this terminates).
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			if len(fi.reasons) > 0 {
+				continue
+			}
+			for _, callee := range fi.callees {
+				if callee == fi.obj {
+					continue
+				}
+				if reason, bad := taintOf(callee); bad {
+					fi.reasons = append(fi.reasons,
+						clip(fmt.Sprintf("calls %s, which %s", callee.Name(), reason)))
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: export facts and report tainted roots.
+	for _, fi := range funcs {
+		if len(fi.reasons) == 0 {
+			continue
+		}
+		sort.Strings(fi.reasons)
+		reason := fi.reasons[0]
+		pass.ExportObjectFact(fi.obj, &isNondet{Reason: reason})
+		if rootsRx.MatchString(fi.obj.Name()) {
+			pass.Reportf(fi.decl.Name.Pos(),
+				"%s is a determinism root (metric path) but %s", fi.obj.Name(), reason)
+		}
+	}
+	return nil, nil
+}
+
+// directTaints returns the nondeterminism leaks evident in fd's own body:
+// denylisted std calls, global math/rand draws, and map-iteration order
+// reaching the return values.
+func directTaints(pass *analysis.Pass, fd *ast.FuncDecl) []string {
+	var reasons []string
+
+	// Denylisted calls anywhere in the body (including closures).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+			return true
+		}
+		if m, ok := nondetCalls[path]; ok {
+			if r, ok := m[sel.Sel.Name]; ok {
+				reasons = append(reasons, fmt.Sprintf("calls %s.%s, which %s", path, sel.Sel.Name, r))
+			} else if r, ok := m["*"]; ok {
+				reasons = append(reasons, fmt.Sprintf("calls %s.%s, which %s", path, sel.Sel.Name, r))
+			}
+		}
+		if (path == "math/rand" || path == "math/rand/v2") && !strings.HasPrefix(sel.Sel.Name, "New") {
+			reasons = append(reasons, fmt.Sprintf("calls global %s.%s (non-injected randomness)", path, sel.Sel.Name))
+		}
+		return true
+	})
+
+	// Map-order leaks, per function-like unit (the decl body and each
+	// closure get their own return set).
+	for _, u := range splitUnits(fd) {
+		reasons = append(reasons, u.mapOrderLeaks(pass)...)
+	}
+	return reasons
+}
+
+// unit is one function-like body: the FuncDecl itself or a closure.
+type unit struct {
+	body    *ast.BlockStmt
+	ftype   *ast.FuncType
+	nested  map[ast.Node]bool // FuncLits whose bodies belong to inner units
+	returns []ast.Expr        // result expressions of this unit's returns
+}
+
+// splitUnits partitions fd's body into per-function units.
+func splitUnits(fd *ast.FuncDecl) []*unit {
+	var units []*unit
+	var mk func(body *ast.BlockStmt, ftype *ast.FuncType)
+	mk = func(body *ast.BlockStmt, ftype *ast.FuncType) {
+		u := &unit{body: body, ftype: ftype, nested: map[ast.Node]bool{}}
+		units = append(units, u)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				u.nested[n] = true
+				mk(n.Body, n.Type)
+				return false
+			case *ast.ReturnStmt:
+				u.returns = append(u.returns, n.Results...)
+			}
+			return true
+		})
+	}
+	mk(fd.Body, fd.Type)
+	return units
+}
+
+// inspectOwn walks the unit's own body, skipping nested closures.
+func (u *unit) inspectOwn(f func(ast.Node) bool) {
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if u.nested[n] {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// accum is one order-sensitive accumulation inside a map-range loop.
+type accum struct {
+	target string // canonical expression text of the accumulation target
+	pos    token.Pos
+	kind   string // "appends to" or "accumulates float"
+}
+
+// mapOrderLeaks reports map-range loops whose iteration order reaches the
+// unit's return values without an intervening sort.
+func (u *unit) mapOrderLeaks(pass *analysis.Pass) []string {
+	type sortCall struct {
+		argText string
+		pos     token.Pos
+	}
+	var sorts []sortCall
+	type loop struct {
+		end    token.Pos
+		accums []accum
+	}
+	var loops []*loop
+
+	u.inspectOwn(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isSortCall(pass, n) {
+				var args []string
+				for _, a := range n.Args {
+					args = append(args, exprText(a))
+				}
+				sorts = append(sorts, sortCall{argText: strings.Join(args, ","), pos: n.Pos()})
+			}
+		case *ast.RangeStmt:
+			if !isMapType(pass, n.X) {
+				return true
+			}
+			lp := &loop{end: n.End()}
+			loops = append(loops, lp)
+			// Collect accumulations in the loop body (nested closures
+			// excluded: a closure defined in the loop runs later, when
+			// order is already fixed by its caller).
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if u.nested[m] {
+					return false
+				}
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != 1 {
+					return true
+				}
+				lhs := as.Lhs[0]
+				switch lhs.(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+				default:
+					return true // index/star targets: not order-carrying
+				}
+				target := exprText(lhs)
+				switch as.Tok {
+				case token.ASSIGN, token.DEFINE:
+					if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+							lp.accums = append(lp.accums, accum{target: target, pos: as.Pos(), kind: "appends to"})
+						}
+					}
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					if isFloatExpr(pass, lhs) {
+						lp.accums = append(lp.accums, accum{target: target, pos: as.Pos(), kind: "accumulates float"})
+					}
+				}
+				return true
+			})
+			return true
+		}
+		return true
+	})
+
+	var reasons []string
+	for _, lp := range loops {
+		for _, ac := range lp.accums {
+			if !u.reachesOutput(ac.target) {
+				continue
+			}
+			sorted := false
+			for _, sc := range sorts {
+				if sc.pos > lp.end && strings.Contains(sc.argText, ac.target) {
+					sorted = true
+					break
+				}
+			}
+			if !sorted {
+				reasons = append(reasons, fmt.Sprintf(
+					"ranges over a map and %s %q, which reaches the return value without an intervening sort",
+					ac.kind, ac.target))
+			}
+		}
+	}
+	return reasons
+}
+
+// reachesOutput reports whether target (an expression string like "out"
+// or "st.rows") can flow into the unit's results: it is returned, its
+// root is returned, or its root is a named result.
+func (u *unit) reachesOutput(target string) bool {
+	root := target
+	if i := strings.IndexByte(root, '.'); i >= 0 {
+		root = root[:i]
+	}
+	for _, r := range u.returns {
+		t := strings.TrimPrefix(exprText(r), "&")
+		if t == target || t == root {
+			return true
+		}
+	}
+	if u.ftype.Results != nil {
+		for _, field := range u.ftype.Results.List {
+			for _, name := range field.Names {
+				if name.Name == root {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes sort.* / slices.Sort* and project-level Sort*
+// helpers (e.g. core.SortFindings).
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				if p == "sort" || p == "slices" {
+					return true
+				}
+			}
+		}
+		return strings.HasPrefix(fun.Sel.Name, "Sort")
+	case *ast.Ident:
+		return strings.HasPrefix(fun.Name, "Sort")
+	}
+	return false
+}
+
+// callees returns the statically resolvable functions fd calls: package
+// functions and methods with concrete receivers. Interface method calls
+// resolve to nil concrete functions and are skipped.
+func callees(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+				// Method call: skip interface dispatch (unresolvable).
+				if types.IsInterface(sel.Recv()) {
+					return true
+				}
+			}
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		default:
+			return true
+		}
+		if fn, ok := obj.(*types.Func); ok && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+func isMapType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isFloatExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// exprText renders simple expressions (idents, selector chains) to a
+// canonical string; complex expressions get a best-effort rendering that
+// only needs to be self-consistent within one function.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprText(e.X)
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[" + exprText(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// clip bounds reason-chain growth through deep call chains.
+func clip(s string) string {
+	const max = 220
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "..."
+}
+
+func applies(pkgPath string) bool {
+	if allFlag {
+		return true
+	}
+	for _, prefix := range strings.Split(modsFlag, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix != "" && (pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")) {
+			return true
+		}
+	}
+	return false
+}

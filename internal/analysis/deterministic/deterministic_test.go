@@ -1,0 +1,21 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/deterministic"
+
+	// The registry's init instruments the analyzer with the //lint:ignore
+	// suppression layer exercised by the "suppressed" pattern.
+	_ "github.com/unidetect/unidetect/internal/analysis/registry"
+)
+
+func TestDeterministic(t *testing.T) {
+	// Testdata packages ("a", "b", ...) are outside the module prefix the
+	// analyzer scopes itself to under go vet; lift the scoping for the test.
+	if err := deterministic.Analyzer.Flags.Set("all", "true"); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, analysistest.TestData(), deterministic.Analyzer, "a", "clean", "suppressed")
+}

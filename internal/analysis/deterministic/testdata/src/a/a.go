@@ -1,0 +1,57 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+
+	"b"
+)
+
+type D struct {
+	weights map[string]float64
+}
+
+// Measure leaks map-iteration order into the returned score slice.
+func (d *D) Measure(rows []string) []float64 { // want `Measure is a determinism root \(metric path\) but ranges over a map and appends to "scores"`
+	var scores []float64
+	for _, w := range d.weights {
+		scores = append(scores, w)
+	}
+	return scores
+}
+
+// Detect is clean locally; the taint arrives from package b via a fact.
+func Detect(m map[string]int) []string { // want `Detect is a determinism root \(metric path\) but calls Keys, which ranges over a map`
+	return b.Keys(m)
+}
+
+// Train draws from the global math/rand source instead of an injected one.
+func Train(n int) float64 { // want `Train is a determinism root \(metric path\) but calls global math/rand\.Float64`
+	return rand.Float64() * float64(n)
+}
+
+// Predict reads the wall clock.
+func Predict(xs []float64) float64 { // want `Predict is a determinism root \(metric path\) but calls time\.Now, which reads the wall clock`
+	_ = time.Now()
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// LR is tainted two hops deep, through a local helper.
+func LR(counts map[string]float64) float64 { // want `LR is a determinism root \(metric path\) but calls sumFloats, which ranges over a map and accumulates float "total"`
+	return sumFloats(counts)
+}
+
+// sumFloats accumulates a float in map order: addition does not commute
+// in the last ulp, so the sum varies run to run. Not a root, so the
+// diagnostic lands on LR; sumFloats only gets the fact.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package b is a dependency of testdata package a: its nondeterminism
+// must reach a's roots through an exported fact, not through source
+// inspection of a alone.
+package b
+
+// Keys returns the keys of m in map-iteration order: nondeterministic.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Measure ranges over a map but sorts before returning: order cannot leak.
+func Measure(weights map[string]float64) []float64 {
+	var scores []float64
+	for _, w := range weights {
+		scores = append(scores, w)
+	}
+	sort.Float64s(scores)
+	return scores
+}
+
+// Detect accumulates an integer; integer addition commutes.
+func Detect(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Predict copies map to map; the destination has no iteration order.
+func Predict(src map[string]float64) map[string]float64 {
+	dst := make(map[string]float64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Train injects a seeded source: deterministic by construction.
+func Train(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// LR appends in map order but the slice never reaches a return value.
+func LR(m map[string]float64) int {
+	var scratch []float64
+	for _, v := range m {
+		scratch = append(scratch, v)
+	}
+	return len(scratch)
+}

@@ -1,0 +1,26 @@
+package suppressed
+
+// Measure's map-order leak is reviewed and accepted in this fixture; the
+// standalone directive on the line above the declaration covers it.
+//
+//lint:ignore deterministic fixture exercises the suppression layer
+func Measure(weights map[string]float64) []float64 {
+	var scores []float64
+	for _, w := range weights {
+		scores = append(scores, w)
+	}
+	return scores
+}
+
+func LR(m map[string]float64) []float64 { //lint:ignore deterministic trailing form, same line as the diagnostic
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+//lint:ignore deterministic stale: Train is deterministic now // want `unused //lint:ignore deterministic suppression`
+func Train(seed int64) float64 {
+	return float64(seed)
+}

@@ -24,10 +24,14 @@
 package floatcompare
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
+	"go/format"
 	"go/token"
 	"go/types"
 	"regexp"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -95,10 +99,85 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if name := enclosingFuncName(stack); helperRx.MatchString(name) {
 			return true // inside a designated epsilon helper
 		}
-		pass.Reportf(be.OpPos, "floating-point comparison with %s; use an epsilon helper (stats.ApproxEq) or bitwise identity (stats.SameFloat) instead", be.Op)
+		d := analysis.Diagnostic{
+			Pos:     be.OpPos,
+			Message: fmt.Sprintf("floating-point comparison with %s; use an epsilon helper (stats.ApproxEq) or bitwise identity (stats.SameFloat) instead", be.Op),
+		}
+		if fix, ok := sameFloatFix(pass, be); ok {
+			d.SuggestedFixes = []analysis.SuggestedFix{fix}
+		}
+		pass.Report(d)
 		return true
 	})
 	return nil, nil
+}
+
+// sameFloatFix rewrites `x == y` to `stats.SameFloat(x, y)` (negated for
+// !=): bitwise identity, the semantics the raw comparison was already
+// getting, made explicit. The fix is only offered when the comparison's
+// file imports a stats package — inserting an import is beyond a text
+// edit's pay grade, so files without one keep the diagnostic only.
+func sameFloatFix(pass *analysis.Pass, be *ast.BinaryExpr) (analysis.SuggestedFix, bool) {
+	qual, ok := statsQualifier(pass, be.Pos())
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	x, okx := render(pass, be.X)
+	y, oky := render(pass, be.Y)
+	if !okx || !oky {
+		return analysis.SuggestedFix{}, false
+	}
+	neg := ""
+	if be.Op == token.NEQ {
+		neg = "!"
+	}
+	return analysis.SuggestedFix{
+		Message: fmt.Sprintf("replace with %s%sSameFloat", neg, qual),
+		TextEdits: []analysis.TextEdit{{
+			Pos:     be.Pos(),
+			End:     be.End(),
+			NewText: []byte(fmt.Sprintf("%s%sSameFloat(%s, %s)", neg, qual, x, y)),
+		}},
+	}, true
+}
+
+// statsQualifier returns the local qualifier ("stats." or an alias) under
+// which the file containing pos imports a stats package, if any.
+func statsQualifier(pass *analysis.Pass, pos token.Pos) (string, bool) {
+	for _, f := range pass.Files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != "stats" && !strings.HasSuffix(path, "/stats") {
+				continue
+			}
+			name := "stats"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			switch name {
+			case "_":
+				continue
+			case ".":
+				return "", true
+			}
+			return name + ".", true
+		}
+	}
+	return "", false
+}
+
+func render(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var buf bytes.Buffer
+	if err := format.Node(&buf, pass.Fset, e); err != nil {
+		return "", false
+	}
+	return buf.String(), true
 }
 
 func isTestFile(pass *analysis.Pass, pos token.Pos) bool {

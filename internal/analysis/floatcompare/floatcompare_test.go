@@ -10,3 +10,9 @@ import (
 func TestFloatCompare(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), floatcompare.Analyzer, "a", "clean")
 }
+
+func TestFloatCompareFixes(t *testing.T) {
+	// The fixture imports a sibling stats package, so every diagnostic
+	// carries a SameFloat rewrite; the fixed source must re-lint clean.
+	analysistest.RunWithFixes(t, analysistest.TestData(), floatcompare.Analyzer, "fixable")
+}

@@ -1,0 +1,24 @@
+package fixable
+
+import "stats"
+
+func Equal(a, b float64) bool {
+	return a == b // want `floating-point comparison with ==`
+}
+
+func NotEqual(a, b float64) bool {
+	return a != b // want `floating-point comparison with !=`
+}
+
+func Threshold(scores []float64, cut float64) int {
+	n := 0
+	for _, s := range scores {
+		if s == cut { // want `floating-point comparison with ==`
+			n++
+		}
+	}
+	return n
+}
+
+// Near keeps the import referenced before the fix rewrites anything.
+func Near(a, b float64) bool { return stats.ApproxEq(a, b, 1e-9) }

@@ -1,0 +1,11 @@
+// Package stats mirrors the repo's internal/stats float helpers so the
+// fixable fixture can import them under the same qualifier.
+package stats
+
+import "math"
+
+// ApproxEq reports |a-b| <= eps.
+func ApproxEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// SameFloat reports bitwise identity.
+func SameFloat(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }

@@ -1,0 +1,162 @@
+// Package goroleak defines an analyzer that flags goroutines launched
+// with no visible join path.
+//
+// The mapreduce runtime and the serving daemon launch goroutines on every
+// corpus pass and every request; a goroutine that nothing waits for
+// outlives its call, keeps its captured shards reachable, and — under the
+// daemon's request churn — accumulates into an unbounded leak that no
+// unit test notices. A goroutine is considered joined if its body
+// visibly participates in any of the standard rendezvous idioms:
+//
+//   - it calls <something>.Done() — a sync.WaitGroup the caller Waits on,
+//     or it selects/receives on a ctx.Done() channel, so cancellation
+//     reaches it;
+//   - it sends on or closes a channel — a reader can drain it to
+//     completion;
+//   - it receives from a channel — the sender controls its lifetime by
+//     closing.
+//
+// Bodies with none of these markers run until they return on their own,
+// with nothing to bound when that happens. For `go f(x)` with a named
+// function declared in the same package, f's body is scanned; calls into
+// other packages cannot be inspected and are trusted.
+//
+// Like seededrand, the analyzer scopes itself to the packages where the
+// invariant is policy (-packages, default internal/mapreduce and
+// cmd/unidetectd): tests and one-shot CLI paths may legitimately fire
+// and forget.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var packagesFlag = "internal/mapreduce,cmd/unidetectd"
+
+// Analyzer flags goroutines with no WaitGroup/channel/ctx join path.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "flag goroutines launched without a WaitGroup, channel, or context join path",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages", packagesFlag,
+		"comma-separated package path suffixes in which goroutines must have a join path")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	// Index same-package function bodies so `go f(x)` can be inspected.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := goBody(pass, gs, decls)
+			if body == nil {
+				return true // cross-package or dynamic call: trusted
+			}
+			if !hasJoinPath(pass, body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine %s has no join path (no WaitGroup Done, channel send/close/receive, or ctx.Done)", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// goBody resolves the body of the function a go statement launches: a
+// function literal's own body, or the declaration of a same-package
+// named function.
+func goBody(pass *analysis.Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, "(func literal)"
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body, fn.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd, ok := decls[fn]; ok {
+				return fd.Body, fn.Name()
+			}
+		}
+	}
+	return nil, ""
+}
+
+// hasJoinPath reports whether the goroutine body contains any rendezvous
+// marker, including inside nested closures it calls or defers.
+func hasJoinPath(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel is a receive loop: the sender joins
+			// the goroutine by closing.
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func applies(pkgPath string) bool {
+	for _, suffix := range strings.Split(packagesFlag, ",") {
+		suffix = strings.TrimSpace(suffix)
+		if suffix != "" && (pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) || strings.HasSuffix(pkgPath, suffix)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/goroleak"
+
+	// The registry's init instruments the analyzer with the //lint:ignore
+	// suppression layer exercised by the "suppressed" pattern.
+	_ "github.com/unidetect/unidetect/internal/analysis/registry"
+)
+
+func TestGoroleak(t *testing.T) {
+	// The testdata package names stand in for the real scoped packages;
+	// "exempt" stays outside the list to verify scoping.
+	if err := goroleak.Analyzer.Flags.Set("packages", "a,clean,suppressed"); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, analysistest.TestData(), goroleak.Analyzer, "a", "clean", "exempt", "suppressed")
+}

@@ -1,0 +1,23 @@
+package a
+
+// fireAndForget launches goroutines nothing waits for.
+func fireAndForget(items []int) {
+	for _, i := range items {
+		go func() { // want `goroutine \(func literal\) has no join path`
+			work(i)
+		}()
+	}
+}
+
+// namedLeak launches a same-package named function with no join path.
+func namedLeak() {
+	go spin() // want `goroutine spin has no join path`
+}
+
+func spin() {
+	for {
+		work(0)
+	}
+}
+
+func work(int) {}

@@ -1,0 +1,43 @@
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// waitGroup joins its workers through wg.Done / wg.Wait.
+func waitGroup(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// feeder is the mapreduce idiom: close on exit, send under select with
+// ctx.Done, so both the reader and cancellation bound its lifetime.
+func feeder(ctx context.Context, n int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			select {
+			case out <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// drainer ranges over a channel: the sender joins it by closing.
+func drainer(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}

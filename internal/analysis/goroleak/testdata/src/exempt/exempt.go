@@ -1,0 +1,10 @@
+// Package exempt is outside the -packages list: fire-and-forget is
+// tolerated here, so the leak below must not be reported.
+package exempt
+
+func fireAndForget() {
+	go func() {
+		for {
+		}
+	}()
+}

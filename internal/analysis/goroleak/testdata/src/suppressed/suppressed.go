@@ -1,0 +1,17 @@
+package suppressed
+
+// daemon's accept loop runs for the life of the process by design.
+func daemon() {
+	//lint:ignore goroleak process-lifetime goroutine, exits with the daemon
+	go func() {
+		for {
+		}
+	}()
+}
+
+func clean(ch chan int) {
+	//lint:ignore goroleak stale: the send below already joins it // want `unused //lint:ignore goroleak suppression`
+	go func() {
+		ch <- 1
+	}()
+}

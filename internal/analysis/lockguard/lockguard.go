@@ -1,0 +1,223 @@
+// Package lockguard defines an analyzer that enforces "guarded by"
+// field-comment contracts: a struct field annotated
+//
+//	mu sync.Mutex
+//	// guarded by mu
+//	model *core.Model
+//
+// (or with a trailing `// guarded by mu` comment) may only be accessed
+// from functions that visibly acquire that mutex.
+//
+// The offline learner and the serving daemon share model and cache state
+// across goroutines; PR 1 caught a Column.Type race only because the race
+// detector happened to schedule the conflict. Declaring the guard in the
+// struct makes the invariant compiler-checked on every build instead:
+// any method that touches the field without a `mu.Lock()`/`mu.RLock()`
+// (or `defer`red variant) anywhere in its body is flagged.
+//
+// Heuristics, chosen to keep false positives near zero:
+//
+//   - only accesses through receivers, parameters, and package-level
+//     variables are checked; locals are assumed unshared (construction
+//     before publication is the idiomatic lock-free window);
+//   - a function that locks the right mutex anywhere in its body is
+//     trusted for all accesses in that body (no path sensitivity);
+//   - methods whose name ends in "Locked" are trusted entirely (the
+//     caller-holds-the-lock convention).
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer enforces `// guarded by <mutex>` field comments.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "flag reads/writes of `guarded by <mutex>` struct fields outside functions that acquire the mutex",
+	Run:  run,
+}
+
+// guardRE extracts the mutex field name from a field comment.
+var guardRE = regexp.MustCompile(`(?i)\b(?:guarded|protected) by (\w+)`)
+
+// guard records one annotated field.
+type guard struct {
+	structName string
+	mutex      string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // caller-holds-the-lock convention
+			}
+			locked := lockedMutexes(fd)
+			checkAccesses(pass, fd, guards, locked)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards maps annotated field objects to their guard contract. A
+// comment naming a non-sibling mutex is itself diagnosed: a stale
+// annotation is worse than none.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := map[*types.Var]guard{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mutex := guardComment(f)
+				if mutex == "" {
+					continue
+				}
+				if !siblings[mutex] {
+					pass.Reportf(f.Pos(), "field is marked guarded by %q, but %s has no such field", mutex, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[obj] = guard{structName: ts.Name.Name, mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardComment returns the mutex named by the field's doc or line
+// comment, or "".
+func guardComment(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the names of mutex fields the function acquires
+// anywhere in its body: x.mu.Lock(), x.mu.RLock(), plain mu.Lock(), and
+// their deferred forms all count.
+func lockedMutexes(fd *ast.FuncDecl) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		case *ast.Ident:
+			locked[x.Name] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// checkAccesses reports guarded-field selector accesses in fd whose
+// mutex is not in the locked set.
+func checkAccesses(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]guard, locked map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := guards[obj]
+		if !guarded || locked[g.mutex] {
+			return true
+		}
+		if !sharedBase(pass, fd, sel.X) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %q but %s accesses it without holding the lock",
+			g.structName, sel.Sel.Name, g.mutex, fd.Name.Name)
+		return true
+	})
+}
+
+// sharedBase reports whether the access base can be visible to other
+// goroutines: a receiver, parameter, or package-level variable (or any
+// non-trivial expression). Function-local variables are exempt.
+func sharedBase(pass *analysis.Pass, fd *ast.FuncDecl, base ast.Expr) bool {
+	root := base
+	for {
+		switch x := root.(type) {
+		case *ast.ParenExpr:
+			root = x.X
+		case *ast.StarExpr:
+			root = x.X
+		case *ast.SelectorExpr:
+			root = x.X
+		case *ast.IndexExpr:
+			root = x.X
+		default:
+			goto done
+		}
+	}
+done:
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return true
+	}
+	if v.Parent() == pass.Pkg.Scope() {
+		return true // package-level
+	}
+	// Declared inside the body: a local, assumed unshared. Declared in
+	// the receiver/parameter list: shared.
+	return !within(v.Pos(), fd.Body.Pos(), fd.Body.End())
+}
+
+func within(p, lo, hi token.Pos) bool { return p >= lo && p < hi }

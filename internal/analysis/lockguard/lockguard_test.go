@@ -1,0 +1,16 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/lockguard"
+
+	// The registry's init instruments the analyzer with the //lint:ignore
+	// suppression layer exercised by the "suppressed" pattern.
+	_ "github.com/unidetect/unidetect/internal/analysis/registry"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockguard.Analyzer, "a", "clean", "suppressed")
+}

@@ -1,0 +1,47 @@
+package a
+
+import "sync"
+
+type Cache struct {
+	mu sync.Mutex
+	// guarded by mu
+	entries map[string]int
+	hits    int // guarded by mu
+}
+
+// Get holds the lock: clean.
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	return v, ok
+}
+
+// Peek reads a guarded field without the lock.
+func (c *Cache) Peek(k string) int {
+	return c.entries[k] // want `Cache\.entries is guarded by "mu" but Peek accesses it without holding the lock`
+}
+
+// bump writes a guarded field without the lock.
+func (c *Cache) bump() {
+	c.hits++ // want `Cache\.hits is guarded by "mu" but bump accesses it without holding the lock`
+}
+
+// sizeLocked follows the caller-holds-the-lock naming convention.
+func (c *Cache) sizeLocked() int {
+	return len(c.entries)
+}
+
+// NewCache touches guarded fields of a local, unpublished value: exempt.
+func NewCache() *Cache {
+	c := &Cache{entries: map[string]int{}}
+	c.hits = 0
+	return c
+}
+
+type Broken struct {
+	// guarded by lock
+	data int // want `field is marked guarded by "lock", but Broken has no such field`
+}
+
+func (b *Broken) Data() int { return b.data }

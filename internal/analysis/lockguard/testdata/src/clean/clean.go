@@ -1,0 +1,41 @@
+package clean
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// NewCounter builds a fresh value before publication.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 0
+	return c
+}
+
+type Stats struct {
+	mu sync.RWMutex
+	// guarded by mu
+	avg float64
+}
+
+// Avg takes the read lock: RLock counts as holding the mutex.
+func (s *Stats) Avg() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.avg
+}

@@ -1,0 +1,21 @@
+package suppressed
+
+import "sync"
+
+type Cache struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+}
+
+// Snapshot tolerates a stale read: metrics only, staleness reviewed.
+func (c *Cache) Snapshot() int {
+	return c.n //lint:ignore lockguard approximate read is acceptable for metrics
+}
+
+//lint:ignore lockguard stale: Set locks properly now // want `unused //lint:ignore lockguard suppression`
+func (c *Cache) Set(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = v
+}

@@ -1,0 +1,167 @@
+// Package registry is the single source of truth for unilint's analyzer
+// suite. cmd/unilint, the CI gate, and the analyzer tests all consume the
+// same list, so an analyzer added under internal/analysis cannot ship
+// half-wired (registered in the driver but untested, or vice versa — the
+// registry test walks the directory and cross-checks).
+//
+// The registry also owns the suppression layer shared by every analyzer:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line (trailing) or on its own line directly
+// above it. A suppression swallows matching diagnostics from the named
+// analyzers only; a suppression that swallows nothing is itself reported
+// as an error, so stale ignores cannot rot in place after the code they
+// excused is gone. Instrumentation happens in place at package init by
+// wrapping each Analyzer.Run, which keeps analyzer identity (flags,
+// facts, Requires edges) intact for unitchecker.
+package registry
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/unidetect/unidetect/internal/analysis/ctxpropagate"
+	"github.com/unidetect/unidetect/internal/analysis/deterministic"
+	"github.com/unidetect/unidetect/internal/analysis/floatcompare"
+	"github.com/unidetect/unidetect/internal/analysis/goroleak"
+	"github.com/unidetect/unidetect/internal/analysis/lockguard"
+	"github.com/unidetect/unidetect/internal/analysis/nonnegcount"
+	"github.com/unidetect/unidetect/internal/analysis/seededrand"
+	"github.com/unidetect/unidetect/internal/analysis/uncheckederr"
+)
+
+// analyzers is the full suite, kept in name order. Add new analyzers
+// here; the registry test fails if a package under internal/analysis is
+// missing from this list.
+var analyzers = []*analysis.Analyzer{
+	ctxpropagate.Analyzer,
+	deterministic.Analyzer,
+	floatcompare.Analyzer,
+	goroleak.Analyzer,
+	lockguard.Analyzer,
+	nonnegcount.Analyzer,
+	seededrand.Analyzer,
+	uncheckederr.Analyzer,
+}
+
+func init() {
+	for i, a := range analyzers {
+		// Exactly one analyzer reports malformed //lint:ignore comments;
+		// otherwise every member of the suite would repeat the diagnostic.
+		instrument(a, i == 0)
+	}
+}
+
+// All returns the suppression-instrumented suite in registration order.
+func All() []*analysis.Analyzer {
+	out := make([]*analysis.Analyzer, len(analyzers))
+	copy(out, analyzers)
+	return out
+}
+
+// Lookup returns the registered analyzer with the given name, or nil.
+func Lookup(name string) *analysis.Analyzer {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// suppression is one parsed //lint:ignore directive scoped to an analyzer.
+type suppression struct {
+	pos  token.Pos
+	file string
+	line int
+	used bool
+}
+
+// instrument wraps a.Run with the suppression filter. Diagnostics whose
+// position falls on the directive's line or the line below are swallowed
+// and mark the directive used; unused directives become diagnostics
+// themselves, reported through the unwrapped Report so they cannot
+// self-suppress.
+func instrument(a *analysis.Analyzer, reportMalformed bool) {
+	orig := a.Run
+	name := a.Name
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		supps, malformed := collect(pass, name)
+		if reportMalformed {
+			for _, pos := range malformed {
+				pass.Reportf(pos, "malformed //lint:ignore comment: want //lint:ignore <analyzer>[,<analyzer>...] <reason>")
+			}
+		}
+		if len(supps) == 0 {
+			return orig(pass)
+		}
+		origReport := pass.Report
+		pass.Report = func(d analysis.Diagnostic) {
+			p := pass.Fset.Position(d.Pos)
+			for _, s := range supps {
+				if s.file == p.Filename && (s.line == p.Line || s.line+1 == p.Line) {
+					s.used = true
+					return
+				}
+			}
+			origReport(d)
+		}
+		res, err := orig(pass)
+		pass.Report = origReport
+		if err != nil {
+			return res, err
+		}
+		for _, s := range supps {
+			if !s.used {
+				origReport(analysis.Diagnostic{
+					Pos: s.pos,
+					Message: fmt.Sprintf(
+						"unused //lint:ignore %s suppression: no %s diagnostic on this or the next line", name, name),
+				})
+			}
+		}
+		return res, err
+	}
+}
+
+// collect parses the pass's files for //lint:ignore directives naming the
+// given analyzer, plus the positions of malformed directives.
+func collect(pass *analysis.Pass, name string) (supps []*suppression, malformed []token.Pos) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue // not the directive (e.g. //lint:ignore-file)
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// Analyzer names but no reason (or nothing at all).
+					malformed = append(malformed, c.Pos())
+					continue
+				}
+				named := false
+				for _, n := range strings.Split(fields[0], ",") {
+					if n == name {
+						named = true
+						break
+					}
+				}
+				if !named {
+					continue
+				}
+				posn := pass.Fset.Position(c.Pos())
+				supps = append(supps, &suppression{
+					pos:  c.Pos(),
+					file: posn.Filename,
+					line: posn.Line,
+				})
+			}
+		}
+	}
+	return supps, malformed
+}

@@ -1,0 +1,99 @@
+package registry
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+)
+
+// TestAllRegistered walks internal/analysis and fails if any analyzer
+// package there is missing from the registry (or vice versa).
+func TestAllRegistered(t *testing.T) {
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		switch e.Name() {
+		case "analysistest", "registry", "testdata":
+			continue // infrastructure, not analyzers
+		}
+		dirs = append(dirs, e.Name())
+	}
+	for _, dir := range dirs {
+		if Lookup(dir) == nil {
+			t.Errorf("analyzer package internal/analysis/%s is not in the registry", dir)
+		}
+	}
+	if got, want := len(All()), len(dirs); got != want {
+		t.Errorf("registry has %d analyzers, internal/analysis has %d analyzer packages", got, want)
+	}
+}
+
+// TestSuppression runs a toy analyzer through the instrumentation layer:
+// standalone and trailing directives suppress, unrelated code still
+// reports, and a stale directive is itself an error.
+func TestSuppression(t *testing.T) {
+	toy := &analysis.Analyzer{
+		Name: "toy",
+		Doc:  "flag functions named Bad*",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+						pass.Reportf(fd.Name.Pos(), "function %s is bad", fd.Name.Name)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	instrument(toy, false)
+	analysistest.Run(t, analysistest.TestData(), toy, "supp")
+}
+
+// TestCollectMalformed checks that a directive with no reason is flagged
+// as malformed rather than silently treated as a suppression.
+func TestCollectMalformed(t *testing.T) {
+	const src = `package p
+
+//lint:ignore
+func A() {}
+
+//lint:ignore toy
+func B() {}
+
+//lint:ignore toy has a reason
+func C() {}
+
+//lint:ignore-file not the directive at all
+func D() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{Fset: fset, Files: []*ast.File{f}}
+	supps, malformed := collect(pass, "toy")
+	if len(malformed) != 2 {
+		t.Errorf("got %d malformed directives, want 2 (bare and reason-less)", len(malformed))
+	}
+	if len(supps) != 1 {
+		t.Fatalf("got %d suppressions for toy, want 1", len(supps))
+	}
+	if line := fset.Position(supps[0].pos).Line; line != 9 {
+		t.Errorf("suppression at line %d, want 9", line)
+	}
+}

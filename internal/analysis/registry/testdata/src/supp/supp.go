@@ -1,0 +1,16 @@
+// Package supp exercises the suppression layer against a toy analyzer
+// that flags every function whose name starts with "Bad".
+package supp
+
+//lint:ignore toy standalone form covers the next line
+func BadStandalone() {}
+
+func BadTrailing() {} //lint:ignore toy trailing form covers its own line
+
+func BadPlain() {} // want `function BadPlain is bad`
+
+//lint:ignore toy nothing bad below, so this is stale // want `unused //lint:ignore toy suppression`
+func Fine() {}
+
+//lint:ignore othertool directives for other analyzers are not ours to judge
+func AlsoFine() {}

@@ -18,8 +18,11 @@
 package seededrand
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -78,9 +81,89 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if allowed[sel.Sel.Name] {
 			return
 		}
-		pass.Reportf(sel.Pos(), "global math/rand.%s breaks seed reproducibility; inject a *rand.Rand (rand.New(rand.NewSource(seed)))", sel.Sel.Name)
+		d := analysis.Diagnostic{
+			Pos:     sel.Pos(),
+			Message: fmt.Sprintf("global math/rand.%s breaks seed reproducibility; inject a *rand.Rand (rand.New(rand.NewSource(seed)))", sel.Sel.Name),
+		}
+		if fix, ok := injectedRandFix(pass, sel); ok {
+			d.SuggestedFixes = []analysis.SuggestedFix{fix}
+		}
+		pass.Report(d)
 	})
 	return nil, nil
+}
+
+// randMethods are the top-level math/rand functions mirrored as methods
+// on *rand.Rand, so `rand.X(...)` can be rewritten to `rng.X(...)`.
+var randMethods = map[string]bool{
+	"ExpFloat64": true, "Float32": true, "Float64": true,
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Intn": true, "NormFloat64": true, "Perm": true,
+	"Read": true, "Seed": true, "Shuffle": true,
+	"Uint32": true, "Uint64": true,
+}
+
+// injectedRandFix rewrites a global draw to go through a *rand.Rand that
+// is already in scope at the call site — the common leftover after a
+// generator was refactored to take an injected source but a call site
+// kept using the package-level function. With no such variable in scope
+// there is no mechanical fix (injecting one is a design change).
+func injectedRandFix(pass *analysis.Pass, sel *ast.SelectorExpr) (analysis.SuggestedFix, bool) {
+	if !randMethods[sel.Sel.Name] {
+		return analysis.SuggestedFix{}, false
+	}
+	name, ok := scopedRand(pass, sel.Pos())
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	return analysis.SuggestedFix{
+		Message: fmt.Sprintf("draw from the injected %s instead of the global source", name),
+		TextEdits: []analysis.TextEdit{{
+			Pos:     sel.X.Pos(),
+			End:     sel.X.End(),
+			NewText: []byte(name),
+		}},
+	}, true
+}
+
+// scopedRand finds a *math/rand.Rand variable visible at pos, innermost
+// scope first, names in sorted order for determinism.
+func scopedRand(pass *analysis.Pass, pos token.Pos) (string, bool) {
+	for scope := pass.Pkg.Scope().Innermost(pos); scope != nil; scope = scope.Parent() {
+		names := append([]string(nil), scope.Names()...)
+		sort.Strings(names)
+		for _, name := range names {
+			obj := scope.Lookup(name)
+			v, ok := obj.(*types.Var)
+			if !ok || !isRandRand(v.Type()) {
+				continue
+			}
+			// Inside function bodies an object is only visible after its
+			// declaration.
+			if v.Pos() > pos && scope != pass.Pkg.Scope() {
+				continue
+			}
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func isRandRand(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Rand" {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "math/rand" || p == "math/rand/v2"
 }
 
 func applies(pkgPath string) bool {

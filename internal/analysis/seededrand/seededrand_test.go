@@ -16,3 +16,12 @@ func TestSeededRand(t *testing.T) {
 	}
 	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer, "a", "clean", "exempt")
 }
+
+func TestSeededRandFixes(t *testing.T) {
+	// The fixture functions already take an injected *rand.Rand; the fix
+	// redirects the leftover global draws through it.
+	if err := seededrand.Analyzer.Flags.Set("packages", "fixable"); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.RunWithFixes(t, analysistest.TestData(), seededrand.Analyzer, "fixable")
+}

@@ -1,0 +1,17 @@
+package fixable
+
+import "math/rand"
+
+// Shuffle already takes an injected source; the call site below was left
+// on the global functions.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle breaks seed reproducibility`
+}
+
+func Noise(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rand.NormFloat64() // want `global math/rand.NormFloat64 breaks seed reproducibility`
+	}
+	return out
+}

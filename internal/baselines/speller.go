@@ -26,7 +26,7 @@ type Speller struct {
 	vocab   map[string]float64 // token -> simulated query-log frequency
 	byLen   [][]vocabEntry     // vocab bucketed by word length
 	cacheMu sync.Mutex
-	cache   map[string]correction // memoized per-token results
+	cache   map[string]correction // memoized per-token results; guarded by cacheMu
 }
 
 type vocabEntry struct {
@@ -97,7 +97,11 @@ func (s *Speller) buildVocab() {
 	for w, f := range s.vocab {
 		s.byLen[len(w)] = append(s.byLen[len(w)], vocabEntry{w, f})
 	}
+	// once.Do already publishes the map, but holding the lock keeps the
+	// field's guarded-by contract unconditional.
+	s.cacheMu.Lock()
 	s.cache = make(map[string]correction)
+	s.cacheMu.Unlock()
 }
 
 // rareToponyms are the Figure 3-style places a query-log vocabulary has

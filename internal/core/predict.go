@@ -114,7 +114,12 @@ func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Find
 	}
 	results := make([][]Finding, len(tables))
 	next := make(chan int)
+	var wg sync.WaitGroup
+	// The feeder joins the same WaitGroup as the workers, so DetectAll
+	// never returns with it still live after a context cancellation.
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		defer close(next)
 		for i := range tables {
 			select {
@@ -124,7 +129,6 @@ func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Find
 			}
 		}
 	}()
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

@@ -45,10 +45,10 @@ type Lab struct {
 	cfg  core.Config
 
 	mu       sync.Mutex
-	model    *core.Model
-	trainBG  *corpus.Corpus
-	testRes  map[datagen.Profile]*datagen.Result
-	findings map[findingsKey][]core.Finding
+	model    *core.Model                         // guarded by mu
+	trainBG  *corpus.Corpus                      // guarded by mu
+	testRes  map[datagen.Profile]*datagen.Result // guarded by mu
+	findings map[findingsKey][]core.Finding      // guarded by mu
 }
 
 type findingsKey struct {

@@ -79,9 +79,14 @@ func MapShuffle[I any, K comparable, V any](
 	// keeps the hot emit path lock-free.
 	shards := make([][]kv, nw)
 	errs := make([]error, nw)
+	// The feeder joins the same WaitGroup as the workers: on the error
+	// path it unblocks via ctx.Done (cancel happens before the worker
+	// returns), so MapShuffle never returns with the feeder still live.
 	var wg sync.WaitGroup
 	next := make(chan int)
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		defer close(next)
 		for i := range inputs {
 			select {
@@ -148,7 +153,11 @@ func Reduce[K comparable, V any, R any](
 	var mu sync.Mutex
 	errs := make([]error, nw)
 	next := make(chan K)
+	var wg sync.WaitGroup
+	// As in MapShuffle, the feeder is part of the join set.
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		defer close(next)
 		for _, k := range keys {
 			select {
@@ -158,7 +167,6 @@ func Reduce[K comparable, V any, R any](
 			}
 		}
 	}()
-	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
