@@ -8,11 +8,14 @@
 #   make test      — full test suite
 #   make race      — full test suite under the race detector
 #   make bench     — benchmarks (no tests)
+#   make chaos     — fault-injection suite, three fixed seeds, -race
 #   make check     — everything CI runs
 
 GO ?= go
+CHAOS_SEEDS ?= 1,7,42
+CHAOS_ARTIFACT_DIR ?= $(CURDIR)/chaos-artifacts
 
-.PHONY: all build lint lint-fix sarif vet test race bench check
+.PHONY: all build lint lint-fix sarif vet test race bench chaos check
 
 all: build test
 
@@ -40,5 +43,16 @@ race:
 
 bench:
 	$(GO) test -run=NoSuchTest -bench=. -benchtime=1x ./...
+
+# Chaos suite: deterministic fault-injection tests under the race
+# detector, -count=1 so every run re-executes the schedules. Failure
+# transcripts land in $(CHAOS_ARTIFACT_DIR) for CI to upload. The
+# -chaos.seeds flag is registered only by test binaries importing
+# internal/testkit, so the seed sweep and the fixed-schedule packages
+# run as separate invocations.
+chaos:
+	mkdir -p $(CHAOS_ARTIFACT_DIR)
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) $(GO) test -race -count=1 ./internal/testkit/ -chaos.seeds=$(CHAOS_SEEDS)
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) $(GO) test -race -count=1 ./internal/faultinject/ ./internal/mapreduce/ ./internal/core/ ./cmd/unidetectd/
 
 check: build vet lint test race

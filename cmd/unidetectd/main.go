@@ -10,40 +10,86 @@
 //	POST /v1/detect?repair=1   body: CSV        -> JSON findings
 //	POST /v1/profile           body: CSV        -> JSON column profiles
 //	GET  /healthz                               -> 200 once the model is ready
+//	GET  /statusz                               -> JSON request accounting
+//
+// The daemon runs under an explicit failure model (DESIGN.md §8): every
+// request gets a deadline, handler panics become 500s without killing
+// the process, load beyond -max-inflight is shed with 429 + Retry-After,
+// and SIGINT/SIGTERM drain in-flight requests before exit. The -chaos-*
+// flags inject deterministic faults into request handling, for drills.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/faultinject"
 )
 
 func main() {
 	modelPath := flag.String("model", "", "trained model path (empty: train a synthetic model at startup)")
 	tables := flag.Int("tables", 8000, "synthetic corpus size when no -model is given")
 	addr := flag.String("addr", ":8080", "listen address")
+	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request handler deadline (0 disables)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	maxInFlight := flag.Int("max-inflight", 64, "concurrent requests before load shedding with 429")
+	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes (413 beyond)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos-p fault injection")
+	chaosP := flag.Float64("chaos-p", 0, "per-request fault probability (0 disables injection)")
 	flag.Parse()
 
 	model, err := loadOrTrain(*modelPath, *tables)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg := serverConfig{
+		ReqTimeout:   *reqTimeout,
+		DrainTimeout: *drain,
+		MaxInFlight:  *maxInFlight,
+		MaxBody:      *maxBody,
+		RetryAfter:   1,
+		Inject:       chaosInjector(*chaosSeed, *chaosP),
+		Logf:         log.Printf,
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(model),
+		Handler:           newHandler(model, cfg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("unidetectd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("unidetectd listening on %s", ln.Addr())
+	if err := serve(ctx, srv, ln, *drain, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("unidetectd: drained cleanly")
+}
+
+// chaosInjector builds the -chaos-p fault schedule: errors, panics and
+// latency on every protected endpoint, in a 4:1:2 ratio. Each fault class
+// exercises a different protection layer (error path, panic recovery,
+// timeout).
+func chaosInjector(seed int64, p float64) *faultinject.Injector {
+	if p <= 0 {
+		return nil
+	}
+	return faultinject.New(seed,
+		faultinject.Rule{Site: "unidetectd/*", P: p, Fault: faultinject.Fault{Err: errors.New("chaos: injected request fault")}},
+		faultinject.Rule{Site: "unidetectd/*", P: p / 4, Fault: faultinject.Fault{Panic: "chaos: injected handler panic"}},
+		faultinject.Rule{Site: "unidetectd/*", P: p / 2, Fault: faultinject.Fault{Delay: 5 * time.Millisecond}},
+	)
 }
 
 func loadOrTrain(modelPath string, tables int) (*unidetect.Model, error) {
@@ -61,9 +107,6 @@ func loadOrTrain(modelPath string, tables int) (*unidetect.Model, error) {
 	return unidetect.Train(context.Background(), bg, nil)
 }
 
-// maxBody caps request bodies at 32 MiB.
-const maxBody = 32 << 20
-
 // detectResponse is the /v1/detect reply.
 type detectResponse struct {
 	Table    string        `json:"table"`
@@ -80,67 +123,51 @@ type findingJSON struct {
 	Repairs []unidetect.Repair `json:"repairs,omitempty"`
 }
 
-func newHandler(model *unidetect.Model) http.Handler {
+// newHandler wires the endpoints. /healthz and /statusz bypass the
+// protection middleware: they must answer even when the service is
+// saturated, or the orchestrator would kill a merely-busy daemon.
+func newHandler(model *unidetect.Model, cfg serverConfig) http.Handler {
+	s := newServer(model, cfg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/v1/detect", func(w http.ResponseWriter, r *http.Request) {
-		tbl, ok := readTable(w, r)
-		if !ok {
-			return
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			s.logf("unidetectd: write healthz: %v", err)
 		}
-		findings := model.Detect(r.Context(), tbl)
-		resp := detectResponse{Table: tbl.Name, Findings: []findingJSON{}}
-		withRepairs := r.URL.Query().Get("repair") != ""
-		for _, f := range findings {
-			jf := findingJSON{
-				Class: f.Class.String(), Column: f.Column, Rows: f.Rows,
-				Values: f.Values, Score: f.Score, Detail: f.Detail,
-			}
-			if withRepairs {
-				jf.Repairs = unidetect.SuggestRepairs(tbl, f)
-			}
-			resp.Findings = append(resp.Findings, jf)
-		}
-		writeJSON(w, resp)
 	})
-	mux.HandleFunc("/v1/profile", func(w http.ResponseWriter, r *http.Request) {
-		tbl, ok := readTable(w, r)
-		if !ok {
-			return
-		}
-		writeJSON(w, unidetect.ProfileTable(tbl))
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, s.m.snapshot())
 	})
+	mux.HandleFunc("/v1/detect", s.protect(s.handleDetect))
+	mux.HandleFunc("/v1/profile", s.protect(s.handleProfile))
 	return mux
 }
 
-// readTable parses the request body as CSV; the table name comes from the
-// ?name= query parameter (default "upload").
-func readTable(w http.ResponseWriter, r *http.Request) (*unidetect.Table, bool) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a CSV body", http.StatusMethodNotAllowed)
-		return nil, false
+func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.readTable(w, r)
+	if !ok {
+		return
 	}
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		name = "upload"
+	findings := s.model.Detect(r.Context(), tbl)
+	resp := detectResponse{Table: tbl.Name, Findings: []findingJSON{}}
+	withRepairs := r.URL.Query().Get("repair") != ""
+	for _, f := range findings {
+		jf := findingJSON{
+			Class: f.Class.String(), Column: f.Column, Rows: f.Rows,
+			Values: f.Values, Score: f.Score, Detail: f.Detail,
+		}
+		if withRepairs {
+			jf.Repairs = unidetect.SuggestRepairs(tbl, f)
+		}
+		resp.Findings = append(resp.Findings, jf)
 	}
-	tbl, err := unidetect.ReadCSV(name, http.MaxBytesReader(w, r.Body, maxBody))
-	if err != nil {
-		http.Error(w, "bad csv: "+err.Error(), http.StatusBadRequest)
-		return nil, false
-	}
-	if tbl.NumCols() == 0 {
-		http.Error(w, "empty table", http.StatusBadRequest)
-		return nil, false
-	}
-	return tbl, true
+	s.writeJSON(w, resp)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.readTable(w, r)
+	if !ok {
+		return
 	}
+	s.writeJSON(w, unidetect.ProfileTable(tbl))
 }

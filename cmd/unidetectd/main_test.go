@@ -33,7 +33,7 @@ func testModel(t *testing.T) *unidetect.Model {
 const typoCSV = "Director\nKevin Doeling\nKevin Dowling\nAlan Myerson\nRob Morrow\nLesli Glatter\nPeter Bonerz\n"
 
 func TestDetectEndpoint(t *testing.T) {
-	h := newHandler(testModel(t))
+	h := newHandler(testModel(t), defaultServerConfig())
 	req := httptest.NewRequest(http.MethodPost, "/v1/detect?name=cast&repair=1", strings.NewReader(typoCSV))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -53,7 +53,7 @@ func TestDetectEndpoint(t *testing.T) {
 }
 
 func TestDetectEndpointRejectsGET(t *testing.T) {
-	h := newHandler(testModel(t))
+	h := newHandler(testModel(t), defaultServerConfig())
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/detect", nil))
 	if rec.Code != http.StatusMethodNotAllowed {
@@ -62,7 +62,7 @@ func TestDetectEndpointRejectsGET(t *testing.T) {
 }
 
 func TestDetectEndpointBadBody(t *testing.T) {
-	h := newHandler(testModel(t))
+	h := newHandler(testModel(t), defaultServerConfig())
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader("\"unterminated")))
 	if rec.Code != http.StatusBadRequest {
@@ -76,7 +76,7 @@ func TestDetectEndpointBadBody(t *testing.T) {
 }
 
 func TestProfileEndpoint(t *testing.T) {
-	h := newHandler(testModel(t))
+	h := newHandler(testModel(t), defaultServerConfig())
 	req := httptest.NewRequest(http.MethodPost, "/v1/profile", strings.NewReader("A,B\nx,1\ny,2\n"))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -93,7 +93,7 @@ func TestProfileEndpoint(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	h := newHandler(testModel(t))
+	h := newHandler(testModel(t), defaultServerConfig())
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -104,7 +104,7 @@ func TestHealthz(t *testing.T) {
 // TestConcurrentDetect hammers the handler from many goroutines: the
 // model must be safe for concurrent readers (run with -race).
 func TestConcurrentDetect(t *testing.T) {
-	h := newHandler(testModel(t))
+	h := newHandler(testModel(t), defaultServerConfig())
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)

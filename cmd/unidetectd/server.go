@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/faultinject"
+)
+
+// serverConfig is the daemon's failure-model knobs: how long a request
+// may run, how many may run at once, how large a body may be, and — for
+// chaos testing — which faults to inject where.
+type serverConfig struct {
+	// ReqTimeout bounds one request's handler time; the request context
+	// is cancelled at the deadline so model scans stop early. 0 = none.
+	ReqTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the listener closes.
+	DrainTimeout time.Duration
+	// MaxInFlight bounds concurrently served requests; excess load is
+	// shed with 429 + Retry-After rather than queued without bound.
+	MaxInFlight int
+	// MaxBody caps request body size; larger uploads get 413.
+	MaxBody int64
+	// RetryAfter is the Retry-After header value (seconds) on shed
+	// responses.
+	RetryAfter int
+	// Inject, when non-nil, injects faults at "unidetectd<path>" sites —
+	// the serving half of the chaos harness.
+	Inject *faultinject.Injector
+	// Logf receives server diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func defaultServerConfig() serverConfig {
+	return serverConfig{
+		ReqTimeout:   30 * time.Second,
+		DrainTimeout: 10 * time.Second,
+		MaxInFlight:  64,
+		MaxBody:      32 << 20,
+		RetryAfter:   1,
+	}
+}
+
+// metrics is the daemon's request accounting, updated atomically on the
+// hot path and reported by /statusz. The counters are the chaos-test
+// oracle: after N requests under a fault schedule, requests must equal N
+// and the status classes must sum to it — no request may vanish.
+type metrics struct {
+	requests  atomic.Int64 // accepted into protect, including shed
+	inflight  atomic.Int64 // currently holding a concurrency slot
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+	shed      atomic.Int64 // rejected with 429 (counted in status4xx too)
+	panics    atomic.Int64 // handler panics converted to 500
+	timeouts  atomic.Int64 // requests whose deadline expired
+}
+
+// statuszResponse is the /statusz reply.
+type statuszResponse struct {
+	Requests  int64 `json:"requests"`
+	InFlight  int64 `json:"in_flight"`
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	Shed      int64 `json:"shed"`
+	Panics    int64 `json:"panics"`
+	Timeouts  int64 `json:"timeouts"`
+}
+
+func (m *metrics) snapshot() statuszResponse {
+	return statuszResponse{
+		Requests:  m.requests.Load(),
+		InFlight:  m.inflight.Load(),
+		Status2xx: m.status2xx.Load(),
+		Status4xx: m.status4xx.Load(),
+		Status5xx: m.status5xx.Load(),
+		Shed:      m.shed.Load(),
+		Panics:    m.panics.Load(),
+		Timeouts:  m.timeouts.Load(),
+	}
+}
+
+func (m *metrics) count(status int) {
+	switch {
+	case status >= 500:
+		m.status5xx.Add(1)
+	case status >= 400:
+		m.status4xx.Add(1)
+	default:
+		m.status2xx.Add(1)
+	}
+}
+
+// server wires the model's endpoints behind the protection middleware.
+type server struct {
+	model *unidetect.Model
+	cfg   serverConfig
+	m     metrics
+	sem   chan struct{} // concurrency slots; len() is the inflight gauge
+}
+
+func newServer(model *unidetect.Model, cfg serverConfig) *server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultServerConfig().MaxInFlight
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = defaultServerConfig().MaxBody
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = defaultServerConfig().RetryAfter
+	}
+	return &server{model: model, cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+}
+
+func (s *server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// statusWriter records the status code a handler sent, for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote = true
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// protect wraps a handler with the serving failure model, outermost
+// first: load shedding (429 + Retry-After instead of unbounded queueing),
+// a per-request deadline on the context, panic recovery (500 instead of
+// a dead daemon), and a chaos injection point at "unidetectd<path>".
+func (s *server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.m.shed.Add(1)
+			sw.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+			http.Error(sw, "overloaded, retry later", http.StatusTooManyRequests)
+			s.m.count(sw.status)
+			return
+		}
+		s.m.inflight.Add(1)
+		ctx := r.Context()
+		cancel := context.CancelFunc(func() {})
+		if s.cfg.ReqTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.ReqTimeout)
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Add(1)
+				s.logf("unidetectd: %s %s panicked: %v", r.Method, r.URL.Path, rec)
+				if !sw.wrote {
+					http.Error(sw, "internal error", http.StatusInternalServerError)
+				}
+			}
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.m.timeouts.Add(1)
+			}
+			cancel()
+			s.m.count(sw.status)
+			s.m.inflight.Add(-1)
+			<-s.sem
+		}()
+		if err := s.cfg.Inject.Hit(ctx, "unidetectd"+r.URL.Path); err != nil {
+			http.Error(sw, "injected fault: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		h(sw, r.WithContext(ctx))
+	}
+}
+
+// writeJSON marshals v into a buffer first, so an encoding failure can
+// still become a 500 (headers are unsent) instead of a torn 200, and
+// successful replies carry Content-Length.
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		s.logf("unidetectd: encode response: %v", err)
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.logf("unidetectd: write response: %v", err)
+	}
+}
+
+// readTable parses the request body as CSV; the table name comes from the
+// ?name= query parameter (default "upload"). Oversized bodies (past
+// cfg.MaxBody) get 413, malformed CSV gets 400.
+func (s *server) readTable(w http.ResponseWriter, r *http.Request) (*unidetect.Table, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a CSV body", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "upload"
+	}
+	tbl, err := unidetect.ReadCSV(name, http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		http.Error(w, "bad csv: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if tbl.NumCols() == 0 {
+		http.Error(w, "empty table", http.StatusBadRequest)
+		return nil, false
+	}
+	return tbl, true
+}
+
+// serve runs srv on ln until ctx is cancelled, then drains gracefully:
+// the listener closes immediately (new connections are refused) while
+// in-flight requests get drain to finish.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, logf func(format string, args ...any)) error {
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		if logf != nil {
+			logf("unidetectd: draining (up to %v)", drain)
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		done <- srv.Shutdown(sctx)
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/faultinject"
+)
+
+// chaosConfig is the base test config: no timeouts small enough to
+// interfere, plenty of concurrency, quiet logging.
+func chaosConfig(t *testing.T) serverConfig {
+	cfg := defaultServerConfig()
+	cfg.ReqTimeout = 30 * time.Second
+	cfg.Logf = t.Logf
+	return cfg
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.MaxBody = 1 << 10
+	h := newHandler(testModel(t), cfg)
+	big := "A\n" + strings.Repeat("xxxxxxxxxxxxxxxx\n", 1<<10)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(big)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", rec.Code)
+	}
+}
+
+// TestInjectedPanicIsA500NotACrash is the core serving guarantee: a
+// panicking handler answers 500 and the daemon keeps serving.
+func TestInjectedPanicIsA500NotACrash(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Inject = faultinject.New(1, faultinject.Rule{
+		Site: "unidetectd/v1/detect", Hits: []int{1},
+		Fault: faultinject.Fault{Panic: "chaos: handler down"},
+	})
+	h := newHandler(testModel(t), cfg)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicked request status = %d, want 500", rec.Code)
+	}
+	// The very next request must succeed: recovery, not restart.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after panic status = %d, want 200", rec.Code)
+	}
+	var got statuszResponse
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Panics != 1 || got.Status5xx != 1 || got.Status2xx != 1 {
+		t.Errorf("accounting after panic = %+v", got)
+	}
+}
+
+// TestInjectedErrorFailsRequestOnly: an injected (non-panic) fault in the
+// middleware surfaces as a 500 on that request alone.
+func TestInjectedErrorFailsRequestOnly(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Inject = faultinject.New(1, faultinject.Rule{
+		Site: "unidetectd/*", Hits: []int{1},
+		Fault: faultinject.Fault{Err: errors.New("chaos: request fault")},
+	})
+	h := newHandler(testModel(t), cfg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second request status = %d, want 200", rec.Code)
+	}
+}
+
+// TestLoadShedding: with one concurrency slot occupied by a delayed
+// request, the next request is shed with 429 and a Retry-After header
+// instead of queueing.
+func TestLoadShedding(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.MaxInFlight = 1
+	cfg.RetryAfter = 7
+	// The first /v1/detect request sleeps 2s in the middleware (real
+	// clock), pinning the only slot.
+	cfg.Inject = faultinject.New(1, faultinject.Rule{
+		Site: "unidetectd/v1/detect", Hits: []int{1},
+		Fault: faultinject.Fault{Delay: 2 * time.Second},
+	})
+	h := newHandler(testModel(t), cfg)
+
+	slowDone := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+		slowDone <- rec.Code
+	}()
+	// Wait (via the unprotected /statusz) until the slow request holds
+	// its slot, then overload.
+	waitInFlight(t, h, 1)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want \"7\"", got)
+	}
+	if code := <-slowDone; code != http.StatusOK {
+		t.Errorf("slot-holding request status = %d, want 200", code)
+	}
+}
+
+func waitInFlight(t *testing.T, h http.Handler, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+		var got statuszResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.InFlight >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("timed out waiting for in-flight request")
+}
+
+// TestRequestTimeout: a request delayed past its deadline is cancelled
+// and counted as a timeout.
+func TestRequestTimeout(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.ReqTimeout = 30 * time.Millisecond
+	cfg.Inject = faultinject.New(1, faultinject.Rule{
+		Site: "unidetectd/v1/detect", Hits: []int{1},
+		Fault: faultinject.Fault{Delay: 10 * time.Second},
+	})
+	h := newHandler(testModel(t), cfg)
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timed-out request took %v; deadline not enforced", elapsed)
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	var got statuszResponse
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", got.Timeouts)
+	}
+}
+
+// TestGracefulDrain runs the real serve loop on a real listener: cancel
+// the context while a request is in flight, and the listener must close
+// (new connections refused) while the in-flight request completes.
+func TestGracefulDrain(t *testing.T) {
+	cfg := chaosConfig(t)
+	cfg.Inject = faultinject.New(1, faultinject.Rule{
+		Site: "unidetectd/v1/detect", Hits: []int{1},
+		Fault: faultinject.Fault{Delay: 500 * time.Millisecond},
+	})
+	h := newHandler(testModel(t), cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- serve(ctx, srv, ln, 5*time.Second, t.Logf) }()
+
+	base := "http://" + ln.Addr().String()
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/detect", "text/csv", strings.NewReader(typoCSV))
+		if err != nil {
+			slowDone <- -1
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		slowDone <- resp.StatusCode
+	}()
+	waitInFlight(t, h, 1)
+
+	cancel()
+	if code := <-slowDone; code != http.StatusOK {
+		t.Errorf("in-flight request during drain: status %d, want 200", code)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve returned %v, want nil after clean drain", err)
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("connection accepted after drain")
+	}
+}
+
+// TestChaosAccounting1000 is the serving acceptance check: 1,000
+// requests under a deterministic fault schedule — a mix of valid,
+// malformed and oversized payloads with injected errors, panics and
+// delays — must all be answered (no lost requests, no process exit) and
+// the status accounting must sum exactly.
+func TestChaosAccounting1000(t *testing.T) {
+	const total = 1000
+	cfg := chaosConfig(t)
+	cfg.MaxBody = 64 << 10
+	cfg.Logf = nil // too chatty at this volume
+	cfg.Inject = faultinject.New(42,
+		faultinject.Rule{Site: "unidetectd/*", P: 0.05, Fault: faultinject.Fault{Err: errors.New("chaos: request fault")}},
+		faultinject.Rule{Site: "unidetectd/*", P: 0.01, Fault: faultinject.Fault{Panic: "chaos: handler panic"}},
+		faultinject.Rule{Site: "unidetectd/*", P: 0.02, Fault: faultinject.Fault{Delay: time.Millisecond}},
+	)
+	h := newHandler(testModel(t), cfg)
+
+	oversized := "A\n" + strings.Repeat("yyyyyyyyyyyyyyyy\n", 8<<10)
+	var codes [600]atomic.Int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var body, path string
+			switch {
+			case i%5 == 0:
+				body, path = "\"unterminated", "/v1/detect"
+			case i%7 == 0:
+				body, path = oversized, "/v1/detect"
+			case i%3 == 0:
+				body, path = "A,B\nx,1\ny,2\n", "/v1/profile"
+			default:
+				body, path = typoCSV, "/v1/detect"
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+			codes[rec.Code].Add(1)
+		}(i)
+	}
+	wg.Wait()
+
+	var got statuszResponse
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests != total {
+		t.Errorf("requests = %d, want %d", got.Requests, total)
+	}
+	if sum := got.Status2xx + got.Status4xx + got.Status5xx; sum != total {
+		t.Errorf("status classes sum to %d, want %d: %+v", sum, total, got)
+	}
+	if got.InFlight != 0 {
+		t.Errorf("in_flight = %d after drain, want 0", got.InFlight)
+	}
+	if got.Panics == 0 || got.Status5xx < got.Panics {
+		t.Errorf("panic accounting off: %+v", got)
+	}
+	for _, want := range []int{200, 400, 413, 500} {
+		if codes[want].Load() == 0 {
+			t.Errorf("no %d responses in 1000 chaos requests; schedule has no power", want)
+		}
+	}
+	if n := codes[200].Load() + codes[400].Load() + codes[413].Load() + codes[500].Load(); n != total {
+		t.Errorf("observed %d accounted responses, want %d", n, total)
+	}
+	// Zero process exits: the daemon must still serve.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after chaos = %d", rec.Code)
+	}
+	t.Logf("accounting: %+v", got)
+}
+
+// FuzzReadTable fuzzes the CSV ingestion path: arbitrary bodies must
+// produce a table or an HTTP error, never a panic, and accepted tables
+// must be non-degenerate.
+func FuzzReadTable(f *testing.F) {
+	f.Add([]byte("A,B\nx,1\ny,2\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\"unterminated"))
+	f.Add([]byte("A,B\nonly-one-field\n"))
+	f.Add([]byte("\xff\xfe\x00bad utf8,B\n1,2\n"))
+	f.Add([]byte(strings.Repeat("col,", 1000) + "end\n"))
+
+	s := newServer(nil, serverConfig{MaxBody: 1 << 20})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(string(data)))
+		tbl, ok := s.readTable(rec, req)
+		if ok {
+			if tbl == nil || tbl.NumCols() == 0 {
+				t.Fatalf("accepted degenerate table: %+v", tbl)
+			}
+			if rec.Code != http.StatusOK {
+				t.Fatalf("ok=true but status %d", rec.Code)
+			}
+			return
+		}
+		if rec.Code < 400 {
+			t.Fatalf("rejected body with non-error status %d", rec.Code)
+		}
+	})
+}
+
+// TestWriteJSONEncodeError: an unencodable value becomes a 500, not a
+// torn 200 (the headers have not been sent yet thanks to buffering).
+func TestWriteJSONEncodeError(t *testing.T) {
+	s := newServer(nil, serverConfig{Logf: t.Logf})
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, map[string]any{"bad": func() {}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+}
+
+// TestWriteJSONContentLength: successful replies carry an exact
+// Content-Length, so clients can detect truncation.
+func TestWriteJSONContentLength(t *testing.T) {
+	s := newServer(nil, serverConfig{})
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, map[string]int{"a": 1})
+	want := fmt.Sprintf("%d", rec.Body.Len())
+	if got := rec.Header().Get("Content-Length"); got != want {
+		t.Errorf("Content-Length = %q, want %q", got, want)
+	}
+}

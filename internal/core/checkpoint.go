@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+)
+
+// Checkpoint file layout. The format favours crash tolerance over
+// compactness: a fixed magic, then a framed gob header carrying the job
+// fingerprint, then one framed gob record per completed reduce bucket.
+// Each frame is [4-byte big-endian length][payload]; every payload is an
+// independent gob stream, so appending after a crash needs no decoder
+// state and a torn final frame is detected and truncated away on open.
+var ckptMagic = []byte("UNIDETECT-CKPT\x01")
+
+// ckptMaxFrame bounds a frame so corrupt length prefixes cannot trigger
+// huge allocations (a grid of 64 bins is ~100 KiB of gob).
+const ckptMaxFrame = 16 << 20
+
+// ckptHeader identifies the job a checkpoint belongs to.
+type ckptHeader struct {
+	Fingerprint uint64
+}
+
+// ckptRecord is one completed reduce bucket.
+type ckptRecord struct {
+	Class Class
+	Key   feature.Key
+	Grid  *evidence.Grid
+}
+
+// fingerprint hashes everything that determines the learning job's
+// reduce buckets — config, corpus shape and detector set — so a stale
+// checkpoint from a different job is discarded instead of corrupting the
+// model.
+func fingerprint(cfg Config, bg *corpus.Corpus, detectors []Detector) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%d|%d", cfg, bg.NumTables(), bg.NumColumns())
+	for _, t := range bg.Tables {
+		fmt.Fprintf(h, "|%s:%dx%d", t.Name, t.NumCols(), t.NumRows())
+	}
+	for _, det := range detectors {
+		fmt.Fprintf(h, "|%d:%d", det.Class(), det.Quantizer().Bins())
+	}
+	return h.Sum64()
+}
+
+// checkpointFile is an append-only record of completed reduce buckets.
+type checkpointFile struct {
+	f    *os.File
+	path string
+	logf func(format string, args ...any)
+}
+
+func (c *checkpointFile) log(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+// openCheckpoint opens (or creates) the checkpoint at path and returns
+// the buckets a previous run already completed. A file whose magic or
+// fingerprint does not match, or whose header is torn, is discarded and
+// restarted; a valid file with a torn tail is truncated to the last
+// complete record and resumed.
+func openCheckpoint(path string, fp uint64, logf func(string, ...any)) (*checkpointFile, map[bucketID]*evidence.Grid, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: open checkpoint: %w", err)
+	}
+	c := &checkpointFile{f: f, path: path, logf: logf}
+	done, err := c.load(fp)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	return c, done, nil
+}
+
+// load validates the header and replays complete records, leaving the
+// file offset at the end of the last valid frame, ready for appends.
+func (c *checkpointFile) load(fp uint64) (map[bucketID]*evidence.Grid, error) {
+	done := map[bucketID]*evidence.Grid{}
+	var hdr ckptHeader
+	offset, err := c.readHeader(&hdr)
+	if err != nil || hdr.Fingerprint != fp {
+		if err == nil {
+			c.log("core: checkpoint %s belongs to a different job (fingerprint %x != %x); restarting", c.path, hdr.Fingerprint, fp)
+		} else if offset > 0 {
+			// Non-empty but unreadable: a torn or foreign file.
+			c.log("core: checkpoint %s unreadable (%v); restarting", c.path, err)
+		}
+		return done, c.restart(fp)
+	}
+	valid := offset
+	for {
+		var rec ckptRecord
+		n, err := c.readFrame(valid, &rec)
+		if err != nil {
+			c.log("core: checkpoint %s: torn tail at offset %d (%v); truncating", c.path, valid, err)
+			break
+		}
+		if n == 0 { // clean EOF
+			break
+		}
+		if rec.Grid == nil || rec.Grid.N <= 0 || len(rec.Grid.Counts) != rec.Grid.N*rec.Grid.N {
+			c.log("core: checkpoint %s: malformed grid at offset %d; truncating", c.path, valid)
+			break
+		}
+		done[bucketID{class: rec.Class, key: rec.Key}] = rec.Grid
+		valid += n
+	}
+	if err := c.f.Truncate(valid); err != nil {
+		return nil, fmt.Errorf("core: truncate checkpoint: %w", err)
+	}
+	if _, err := c.f.Seek(valid, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("core: seek checkpoint: %w", err)
+	}
+	if len(done) > 0 {
+		c.log("core: resuming from checkpoint %s: %d buckets already reduced", c.path, len(done))
+	}
+	return done, nil
+}
+
+// readHeader reads magic + header frame, returning the offset of the
+// first record frame.
+func (c *checkpointFile) readHeader(hdr *ckptHeader) (int64, error) {
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(c.f, magic); err != nil {
+		if err == io.EOF { // brand-new file
+			return 0, io.EOF
+		}
+		return 1, err
+	}
+	if !bytes.Equal(magic, ckptMagic) {
+		return 1, fmt.Errorf("bad magic")
+	}
+	off := int64(len(ckptMagic))
+	n, err := c.readFrame(off, hdr)
+	if err != nil {
+		return 1, err
+	}
+	if n == 0 {
+		return 1, fmt.Errorf("missing header frame")
+	}
+	return off + n, nil
+}
+
+// readFrame decodes one frame at offset into v. It returns the total
+// frame size, 0 at a clean EOF, or an error for torn/corrupt frames.
+func (c *checkpointFile) readFrame(offset int64, v any) (int64, error) {
+	var lenBuf [4]byte
+	if _, err := c.f.ReadAt(lenBuf[:], offset); err != nil {
+		if err == io.EOF {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > ckptMaxFrame {
+		return 0, fmt.Errorf("implausible frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := c.f.ReadAt(payload, offset+4); err != nil {
+		return 0, err // includes torn tails (unexpected EOF)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return 0, err
+	}
+	return 4 + int64(n), nil
+}
+
+// restart truncates the file and writes a fresh magic + header.
+func (c *checkpointFile) restart(fp uint64) error {
+	if err := c.f.Truncate(0); err != nil {
+		return fmt.Errorf("core: reset checkpoint: %w", err)
+	}
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("core: reset checkpoint: %w", err)
+	}
+	if _, err := c.f.Write(ckptMagic); err != nil {
+		return fmt.Errorf("core: write checkpoint magic: %w", err)
+	}
+	return c.writeFrame(ckptHeader{Fingerprint: fp})
+}
+
+// writeFrame appends one framed gob value. The frame is assembled in
+// memory and written with a single Write so a crash tears at most the
+// final frame, which load detects and truncates.
+func (c *checkpointFile) writeFrame(v any) error {
+	var payload bytes.Buffer
+	payload.Write(make([]byte, 4)) // length placeholder
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("core: encode checkpoint frame: %w", err)
+	}
+	b := payload.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	if _, err := c.f.Write(b); err != nil {
+		return fmt.Errorf("core: write checkpoint frame: %w", err)
+	}
+	return nil
+}
+
+// append durably records one completed reduce bucket.
+func (c *checkpointFile) append(id bucketID, g *evidence.Grid) error {
+	return c.writeFrame(ckptRecord{Class: id.class, Key: id.key, Grid: g})
+}
+
+// Close closes the file, keeping it on disk for a later resume.
+func (c *checkpointFile) Close() error { return c.f.Close() }
+
+// CloseAndRemove deletes the checkpoint — the job completed, so there is
+// nothing left to resume.
+func (c *checkpointFile) CloseAndRemove() error {
+	if err := c.f.Close(); err != nil {
+		return fmt.Errorf("core: close checkpoint: %w", err)
+	}
+	if err := os.Remove(c.path); err != nil {
+		return fmt.Errorf("core: remove checkpoint: %w", err)
+	}
+	return nil
+}

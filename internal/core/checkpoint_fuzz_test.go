@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// fuzzFingerprint is the job fingerprint both fuzz targets open
+// checkpoints under; any file not written under it must restart.
+const fuzzFingerprint = 0xfeedface
+
+// writeCkpt dumps raw bytes as a checkpoint file and returns its path.
+func writeCkpt(t testing.TB, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// FuzzCheckpointLoad feeds arbitrary bytes to the checkpoint opener. The
+// invariant under corruption is availability, not recovery: open must
+// never panic or error on mangled content (only on I/O failure), and the
+// file it leaves behind must accept appends that a reopen then returns.
+func FuzzCheckpointLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("UNIDETECT-CKPT\x01"))
+	f.Add([]byte("not a checkpoint at all"))
+	// A huge declared frame length with no payload behind it.
+	tornLen := append([]byte("UNIDETECT-CKPT\x01"), 0xff, 0xff, 0xff, 0xff)
+	f.Add(tornLen)
+	// A valid file, produced by the real writer, then a valid file with
+	// trailing garbage — the torn-tail path.
+	valid := fuzzValidCheckpoint(f)
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), 0, 0, 1, 0, 0xde, 0xad))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := writeCkpt(t, data)
+		ckpt, done, err := openCheckpoint(path, fuzzFingerprint, nil)
+		if err != nil {
+			t.Skipf("open: %v", err) // I/O-level failure, not a parse outcome
+		}
+		for id, g := range done {
+			if g == nil || g.N <= 0 || len(g.Counts) != g.N*g.N {
+				t.Fatalf("restored malformed grid for %+v", id)
+			}
+		}
+		// Whatever open salvaged, the file must still be appendable and
+		// the appended record must survive a reopen.
+		id := bucketID{class: ClassSpelling, key: feature.Key{Type: 1, Rows: 2}}
+		g := evidence.NewGrid(4)
+		g.Add(1, 2)
+		if err := ckpt.append(id, g); err != nil {
+			t.Fatalf("append after load: %v", err)
+		}
+		if err := ckpt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ckpt2, done2, err := openCheckpoint(path, fuzzFingerprint, nil)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer func() { _ = ckpt2.Close() }()
+		got, ok := done2[id]
+		if !ok {
+			t.Fatalf("record appended after salvage is gone (had %d before, %d after)", len(done), len(done2))
+		}
+		if got.Total != g.Total {
+			t.Fatalf("restored grid total = %d, want %d", got.Total, g.Total)
+		}
+	})
+}
+
+// fuzzValidCheckpoint builds a well-formed one-record checkpoint via the
+// production writer, as a seed the fuzzer can mutate from.
+func fuzzValidCheckpoint(f *testing.F) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "seed.ckpt")
+	ckpt, _, err := openCheckpoint(path, fuzzFingerprint, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := evidence.NewGrid(4)
+	g.Add(0, 3)
+	if err := ckpt.append(bucketID{class: ClassUniqueness, key: feature.Key{Type: 2}}, g); err != nil {
+		f.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzCheckpointRoundTrip drives the writer with fuzzer-chosen bucket
+// identities and grid contents, then checks load returns exactly what
+// was appended.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(2), uint8(3), uint8(4), uint8(4), uint16(7))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(1), uint16(0))
+	f.Add(uint8(9), uint8(31), uint8(5), uint8(255), uint8(16), uint16(65535))
+
+	f.Fuzz(func(t *testing.T, class, ftype, a, b, n uint8, fill uint16) {
+		if n == 0 || n > 64 {
+			t.Skip("grid size out of range")
+		}
+		id := bucketID{
+			class: Class(class),
+			key:   feature.Key{Type: table.ValueType(ftype), Rows: 1, A: a, B: b},
+		}
+		g := evidence.NewGrid(int(n))
+		for i := 0; i < int(fill)%128; i++ {
+			g.Add(i%int(n), (i*7)%int(n))
+		}
+		path := filepath.Join(t.TempDir(), "rt.ckpt")
+		ckpt, done, err := openCheckpoint(path, fuzzFingerprint, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(done) != 0 {
+			t.Fatalf("fresh checkpoint reports %d done buckets", len(done))
+		}
+		if err := ckpt.append(id, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := ckpt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ckpt2, done2, err := openCheckpoint(path, fuzzFingerprint, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = ckpt2.Close() }()
+		got, ok := done2[id]
+		if !ok {
+			t.Fatalf("bucket %+v missing after round trip", id)
+		}
+		if got.N != g.N || got.Total != g.Total {
+			t.Fatalf("grid shape/total changed: got N=%d Total=%d, want N=%d Total=%d", got.N, got.Total, g.N, g.Total)
+		}
+		for i := range g.Counts {
+			if got.Counts[i] != g.Counts[i] {
+				t.Fatalf("count[%d] = %d, want %d", i, got.Counts[i], g.Counts[i])
+			}
+		}
+	})
+}
+
+// TestCheckpointFrameLengthBound documents why ckptMaxFrame exists: a
+// frame header claiming an absurd length must be rejected as torn, not
+// allocated.
+func TestCheckpointFrameLengthBound(t *testing.T) {
+	data := append([]byte{}, ckptMagic...)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], ckptMaxFrame+1)
+	data = append(data, lenBuf[:]...)
+	path := writeCkpt(t, data)
+	ckpt, done, err := openCheckpoint(path, fuzzFingerprint, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ckpt.Close() }()
+	if len(done) != 0 {
+		t.Fatalf("implausible frame yielded %d buckets", len(done))
+	}
+}

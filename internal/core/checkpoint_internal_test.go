@@ -1,0 +1,70 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+)
+
+// TestCheckpointTornTail appends garbage to a checkpoint and requires
+// open to truncate it away and keep the valid prefix.
+func TestCheckpointTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	c, done, err := openCheckpoint(path, 42, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("fresh checkpoint has %d buckets", len(done))
+	}
+	g := evidence.NewGrid(4)
+	g.Add(1, 2)
+	id := bucketID{class: ClassSpelling, key: feature.Key{Rows: 3}}
+	if err := c.append(id, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a frame header promising more bytes than exist.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 1, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, done2, err := openCheckpoint(path, 42, t.Logf)
+	if err != nil {
+		t.Fatalf("torn tail broke open: %v", err)
+	}
+	defer func() {
+		if err := c2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, ok := done2[id]
+	if !ok || len(done2) != 1 {
+		t.Fatalf("restored %d buckets, want the 1 valid one", len(done2))
+	}
+	if got.Total != 1 || got.N != 4 || got.Counts[1*4+2] != 1 {
+		t.Errorf("restored grid = %+v", got)
+	}
+	// And appends after the truncation must land on a clean boundary.
+	id2 := bucketID{class: ClassOutlier, key: feature.Key{A: 1}}
+	if err := c2.append(id2, g); err != nil {
+		t.Fatal(err)
+	}
+	_, done3, err := openCheckpoint(path, 42, t.Logf)
+	if err != nil || len(done3) != 2 {
+		t.Fatalf("after post-truncation append: %d buckets, err %v", len(done3), err)
+	}
+}

@@ -1,0 +1,200 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+)
+
+func smallCorpus(seed int64) *corpus.Corpus {
+	spec := datagen.Spec{Name: "ckpt", Profile: datagen.ProfileWeb, NumTables: 250,
+		AvgRows: 18, AvgCols: 4, Seed: seed}
+	return corpus.New(spec.Name, datagen.Generate(spec).Tables)
+}
+
+func saveBytes(t *testing.T, m *core.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSaveDeterministic is the precondition for resume-equals-restart:
+// two saves of one model, and saves of two identically trained models,
+// must be byte-identical.
+func TestSaveDeterministic(t *testing.T) {
+	bg := smallCorpus(3)
+	cfg := core.DefaultConfig()
+	dets := detectors.All(cfg, detectors.Options{})
+	a, err := core.Train(context.Background(), cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Train(context.Background(), cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, a), saveBytes(t, a)) {
+		t.Error("two saves of one model differ")
+	}
+	if !bytes.Equal(saveBytes(t, a), saveBytes(t, b)) {
+		t.Error("saves of identically trained models differ")
+	}
+	// And the round trip preserves the bytes.
+	m, err := core.LoadModel(bytes.NewReader(saveBytes(t, a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, a), saveBytes(t, m)) {
+		t.Error("save→load→save changed bytes")
+	}
+}
+
+// TestResumeEqualsRestart is the acceptance check for the checkpoint
+// protocol: kill a chaos-injected core.Train mid-reduce, resume it from the
+// checkpoint, and require the serialized model to be byte-identical to
+// an uninterrupted run.
+func TestResumeEqualsRestart(t *testing.T) {
+	bg := smallCorpus(5)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+
+	clean, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBytes := saveBytes(t, clean)
+
+	// First run: each reduce key fails with probability 0.5 (decided by
+	// the seed), so some buckets commit to the checkpoint before the
+	// first failing key aborts the fail-fast job — a mid-reduce kill.
+	ckptPath := filepath.Join(t.TempDir(), "train.ckpt")
+	inj := faultinject.New(11, faultinject.Rule{
+		Site:  "mapreduce/reduce/*",
+		P:     0.5,
+		Fault: faultinject.Fault{Err: errors.New("chaos: reduce torn")},
+	})
+	_, err = core.TrainWith(ctx, cfg, core.TrainOptions{
+		FT:             mapreduce.FT{Inject: inj, Seed: 11, Logf: t.Logf},
+		CheckpointPath: ckptPath,
+	}, bg, dets)
+	if err == nil {
+		t.Fatal("chaos run unexpectedly succeeded; kill not exercised")
+	}
+	st, err := os.Stat(ckptPath)
+	if err != nil {
+		t.Fatalf("no checkpoint left behind: %v", err)
+	}
+	if st.Size() <= 20 {
+		t.Fatalf("checkpoint is empty (%d bytes); kill happened before any commit", st.Size())
+	}
+
+	// Resume without faults: must complete and reproduce the clean model
+	// byte for byte.
+	resumed, err := core.TrainWith(ctx, cfg, core.TrainOptions{
+		FT:             mapreduce.FT{Logf: t.Logf},
+		CheckpointPath: ckptPath,
+	}, bg, dets)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !bytes.Equal(saveBytes(t, resumed), cleanBytes) {
+		t.Error("resumed model differs from uninterrupted model")
+	}
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after successful run: %v", err)
+	}
+}
+
+// TestCheckpointFingerprintMismatch proves a checkpoint from a different
+// job (different corpus) is discarded, not merged into the wrong model.
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	cfg := core.DefaultConfig()
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+	ckptPath := filepath.Join(t.TempDir(), "train.ckpt")
+
+	// Abort a run against corpus A, leaving a checkpoint behind.
+	inj := faultinject.New(3, faultinject.Rule{Site: "mapreduce/reduce/*", P: 0.7,
+		Fault: faultinject.Fault{Err: errors.New("x")}})
+	_, err := core.TrainWith(ctx, cfg, core.TrainOptions{
+		FT: mapreduce.FT{Inject: inj}, CheckpointPath: ckptPath,
+	}, smallCorpus(5), dets)
+	if err == nil {
+		t.Fatal("chaos run succeeded")
+	}
+
+	// core.Train corpus B against A's checkpoint: it must restart cleanly and
+	// match a checkpoint-free run of B.
+	bgB := smallCorpus(6)
+	gotLog := false
+	m, err := core.TrainWith(ctx, cfg, core.TrainOptions{
+		FT: mapreduce.FT{Logf: func(f string, a ...any) {
+			gotLog = true
+			t.Logf(f, a...)
+		}},
+		CheckpointPath: ckptPath,
+	}, bgB, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Train(ctx, cfg, bgB, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, m), saveBytes(t, want)) {
+		t.Error("stale checkpoint leaked into a different job's model")
+	}
+	if !gotLog {
+		t.Error("fingerprint mismatch was not logged")
+	}
+}
+
+// TestTrainWithLostShardsCompletes exercises graceful degradation: a
+// permanently dead shard under SkipAndLog within budget yields a usable
+// (slightly degraded) model rather than an error.
+func TestTrainWithLostShardsCompletes(t *testing.T) {
+	bg := smallCorpus(7)
+	cfg := core.DefaultConfig()
+	dets := detectors.All(cfg, detectors.Options{})
+	inj := faultinject.New(1, faultinject.Rule{Site: "mapreduce/map/shard=10", P: 1,
+		Fault: faultinject.Fault{Err: errors.New("dead shard")}})
+	stats := &mapreduce.Stats{}
+	m, err := core.TrainWith(context.Background(), cfg, core.TrainOptions{
+		FT: mapreduce.FT{
+			Retry:   mapreduce.RetryPolicy{MaxAttempts: 2},
+			Policy:  mapreduce.SkipAndLog,
+			MaxLost: 2,
+			Inject:  inj,
+			Stats:   stats,
+			Logf:    t.Logf,
+		},
+	}, bg, dets)
+	if err != nil {
+		t.Fatalf("within-budget loss aborted training: %v", err)
+	}
+	if len(stats.LostShards) != 1 || stats.LostShards[0] != 10 {
+		t.Errorf("LostShards = %v", stats.LostShards)
+	}
+	clean, err := core.Train(context.Background(), cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Classes[core.ClassSpelling].Samples() >= clean.Classes[core.ClassSpelling].Samples() {
+		t.Error("degraded model does not have fewer samples than clean model")
+	}
+}

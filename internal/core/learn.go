@@ -47,18 +47,44 @@ func backoffKeys(k feature.Key) []feature.Key {
 	}
 }
 
+// bucketID identifies one reduce bucket of the learning job: an error
+// class plus a feature bucket (or a wildcard/global pseudo-bucket).
+type bucketID struct {
+	class Class
+	key   feature.Key
+}
+
+// binPair is one quantized (θ1, θ2) observation.
+type binPair struct{ b1, b2 uint16 }
+
+// TrainOptions carries the fault-tolerance and checkpointing knobs of
+// the offline pass. The zero value trains exactly like Train always has:
+// no retries, fail-fast, no checkpoint.
+type TrainOptions struct {
+	// FT configures per-shard retry, the failure policy and fault
+	// injection of the underlying MapReduce job.
+	FT mapreduce.FT
+	// CheckpointPath, when non-empty, makes the job durably record each
+	// completed reduce bucket there so a killed run can resume: a rerun
+	// with the same corpus, config and path skips the recorded buckets
+	// and produces a byte-identical model. The file is removed once
+	// training completes.
+	CheckpointPath string
+}
+
 // Train runs the offline learning pass: a MapReduce-like job over the
 // background corpus T that, per error class and per feature bucket,
 // materializes the joint (θ1, θ2) distribution (§2.2.3). The resulting
 // Model answers online predictions by lookup.
 func Train(ctx context.Context, cfg Config, bg *corpus.Corpus, detectors []Detector) (*Model, error) {
-	env := &Env{Index: bg.Index()}
+	return TrainWith(ctx, cfg, TrainOptions{}, bg, detectors)
+}
 
-	type bucketID struct {
-		class Class
-		key   feature.Key
-	}
-	type binPair struct{ b1, b2 uint16 }
+// TrainWith is Train with fault tolerance: retry/skip policies from
+// opts.FT and, when opts.CheckpointPath is set, checkpoint/resume of
+// completed reduce buckets.
+func TrainWith(ctx context.Context, cfg Config, opts TrainOptions, bg *corpus.Corpus, detectors []Detector) (*Model, error) {
+	env := &Env{Index: bg.Index()}
 
 	mapper := func(t *table.Table, emit func(bucketID, binPair)) error {
 		for _, det := range detectors {
@@ -90,9 +116,50 @@ func Train(ctx context.Context, cfg Config, bg *corpus.Corpus, detectors []Detec
 		return g, nil
 	}
 
-	grids, err := mapreduce.Run(ctx, mapreduce.Config{Workers: cfg.Workers}, bg.Tables, mapper, reducer)
+	mrCfg := mapreduce.Config{Workers: cfg.Workers, FT: opts.FT}
+
+	// With a checkpoint path, already-reduced buckets from a previous
+	// (killed) run are restored and skipped; every newly completed
+	// bucket is appended to the checkpoint before the job moves on.
+	var ckpt *checkpointFile
+	done := map[bucketID]*evidence.Grid{}
+	if opts.CheckpointPath != "" {
+		var err error
+		ckpt, done, err = openCheckpoint(opts.CheckpointPath, fingerprint(cfg, bg, detectors), opts.FT.Logf)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if ckpt != nil {
+				// Abandoned mid-job (error path): keep the file for resume.
+				_ = ckpt.Close()
+			}
+		}()
+	}
+
+	groups, err := mapreduce.MapShuffle(ctx, mrCfg, bg.Tables, mapper)
 	if err != nil {
 		return nil, err
+	}
+	for id := range done {
+		delete(groups, id)
+	}
+	var observe func(bucketID, *evidence.Grid) error
+	if ckpt != nil {
+		observe = ckpt.append
+	}
+	grids, err := mapreduce.ReduceObserved(ctx, mrCfg, groups, reducer, observe)
+	if err != nil {
+		return nil, err
+	}
+	for id, g := range done {
+		grids[id] = g
+	}
+	if ckpt != nil {
+		if err := ckpt.CloseAndRemove(); err != nil {
+			return nil, err
+		}
+		ckpt = nil
 	}
 
 	m := &Model{

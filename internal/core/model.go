@@ -187,22 +187,67 @@ func sumGrids(a, b *evidence.Grid) *evidence.Grid {
 
 // modelWire is the gob wire format of a Model. evidence.Grid's exported
 // fields carry all persistent state; derived prefix sums are rebuilt on
-// load.
+// load. Classes and buckets are sorted slices, not maps: gob encodes
+// maps in Go's randomized iteration order, and the checkpoint/resume
+// protocol promises that resuming a killed training run reproduces the
+// uninterrupted run's model byte for byte.
 type modelWire struct {
-	Classes       map[Class]*ClassModel
+	Classes       []classWire
 	Config        Config
 	CorpusTables  int
 	CorpusColumns int
 }
 
-// Save writes the model to w (gob).
+type classWire struct {
+	Class   Class
+	Dirs    evidence.Directions
+	Buckets []bucketWire
+	Global  *evidence.Grid
+}
+
+type bucketWire struct {
+	Key  feature.Key
+	Grid *evidence.Grid
+}
+
+// keyLess orders feature keys lexicographically over their dimensions.
+func keyLess(a, b feature.Key) bool {
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	if a.Rows != b.Rows {
+		return a.Rows < b.Rows
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// Save writes the model to w (gob). The encoding is deterministic: two
+// saves of equal models produce identical bytes.
 func (m *Model) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(modelWire{
-		Classes:       m.Classes,
+	wire := modelWire{
 		Config:        m.Config,
 		CorpusTables:  m.CorpusTables,
 		CorpusColumns: m.CorpusColumns,
-	})
+		Classes:       make([]classWire, 0, len(m.Classes)),
+	}
+	for cls, cm := range m.Classes {
+		cw := classWire{
+			Class:   cls,
+			Dirs:    cm.Dirs,
+			Global:  cm.Global,
+			Buckets: make([]bucketWire, 0, len(cm.Buckets)),
+		}
+		for k, g := range cm.Buckets {
+			cw.Buckets = append(cw.Buckets, bucketWire{Key: k, Grid: g})
+		}
+		sort.Slice(cw.Buckets, func(i, j int) bool { return keyLess(cw.Buckets[i].Key, cw.Buckets[j].Key) })
+		wire.Classes = append(wire.Classes, cw)
+	}
+	sort.Slice(wire.Classes, func(i, j int) bool { return wire.Classes[i].Class < wire.Classes[j].Class })
+	return gob.NewEncoder(w).Encode(wire)
 }
 
 // LoadModel reads a model written by Save and finalizes its grids.
@@ -212,10 +257,21 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: decode model: %w", err)
 	}
 	m := &Model{
-		Classes:       w.Classes,
+		Classes:       make(map[Class]*ClassModel, len(w.Classes)),
 		Config:        w.Config,
 		CorpusTables:  w.CorpusTables,
 		CorpusColumns: w.CorpusColumns,
+	}
+	for _, cw := range w.Classes {
+		cm := &ClassModel{
+			Dirs:    cw.Dirs,
+			Global:  cw.Global,
+			Buckets: make(map[feature.Key]*evidence.Grid, len(cw.Buckets)),
+		}
+		for _, bw := range cw.Buckets {
+			cm.Buckets[bw.Key] = bw.Grid
+		}
+		m.Classes[cw.Class] = cm
 	}
 	for _, cm := range m.Classes {
 		cm.finalize()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"github.com/unidetect/unidetect/internal/faultinject"
 	"github.com/unidetect/unidetect/internal/stats"
 	"github.com/unidetect/unidetect/internal/table"
 )
@@ -15,6 +16,14 @@ type Predictor struct {
 	Model     *Model
 	Detectors []Detector
 	Env       *Env
+	// Inject, when non-nil, enables chaos testing of the batch predict
+	// path: DetectAll hits the site "core/predict/table=<name>" per
+	// table, and degrades gracefully — an injected error or panic drops
+	// that table's findings (logged via Logf) instead of aborting or
+	// crashing the scan.
+	Inject *faultinject.Injector
+	// Logf receives degradation messages; nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // NewPredictor builds a predictor. env may carry a token index built over
@@ -134,7 +143,7 @@ func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Find
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = p.Detect(tables[i])
+				results[i] = p.detectShard(ctx, tables[i])
 			}
 		}()
 	}
@@ -145,4 +154,31 @@ func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Find
 	}
 	SortFindings(out)
 	return out
+}
+
+// detectShard scores one table of a batch scan. With chaos injection
+// enabled it shields the scan from the table's failure: an injected
+// error or panic logs and yields no findings for that table — graceful
+// degradation, the batch analogue of the daemon's panic middleware.
+func (p *Predictor) detectShard(ctx context.Context, t *table.Table) (fs []Finding) {
+	if p.Inject == nil {
+		return p.Detect(t)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.logf("core: predict table %q panicked: %v; skipping", t.Name, r)
+			fs = nil
+		}
+	}()
+	if err := p.Inject.Hit(ctx, "core/predict/table="+t.Name); err != nil {
+		p.logf("core: predict table %q failed: %v; skipping", t.Name, err)
+		return nil
+	}
+	return p.Detect(t)
+}
+
+func (p *Predictor) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
 }

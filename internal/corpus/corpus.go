@@ -196,16 +196,32 @@ func (ix *TokenIndex) RelPrevalence(c *table.Column) float64 {
 	return ix.Prevalence(c) / float64(ix.numTables)
 }
 
-// tokenIndexWire is the gob wire format of a TokenIndex.
+// tokenIndexWire is the gob wire format of a TokenIndex: parallel
+// hash/count slices sorted by hash, rather than a map, so the encoding
+// is deterministic (gob writes maps in randomized iteration order, and
+// model files promise byte-stable serialization).
 type tokenIndexWire struct {
-	Counts    map[uint64]int32
+	Hashes    []uint64
+	Counts    []int32
 	NumTables int
 }
 
 // Encode writes the index to w (gob), so a trained model can carry its
-// featurization context.
+// featurization context. The encoding is deterministic.
 func (ix *TokenIndex) Encode(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(tokenIndexWire{Counts: ix.counts, NumTables: ix.numTables})
+	wire := tokenIndexWire{
+		Hashes:    make([]uint64, 0, len(ix.counts)),
+		Counts:    make([]int32, 0, len(ix.counts)),
+		NumTables: ix.numTables,
+	}
+	for h := range ix.counts {
+		wire.Hashes = append(wire.Hashes, h)
+	}
+	sort.Slice(wire.Hashes, func(i, j int) bool { return wire.Hashes[i] < wire.Hashes[j] })
+	for _, h := range wire.Hashes {
+		wire.Counts = append(wire.Counts, ix.counts[h])
+	}
+	return gob.NewEncoder(w).Encode(wire)
 }
 
 // DecodeTokenIndex reads an index written by Encode.
@@ -214,10 +230,14 @@ func DecodeTokenIndex(r io.Reader) (*TokenIndex, error) {
 	if err := gob.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("corpus: decode token index: %w", err)
 	}
-	if w.Counts == nil {
-		w.Counts = map[uint64]int32{}
+	if len(w.Hashes) != len(w.Counts) {
+		return nil, fmt.Errorf("corpus: token index hash/count length mismatch (%d vs %d)", len(w.Hashes), len(w.Counts))
 	}
-	return &TokenIndex{counts: w.Counts, numTables: w.NumTables}, nil
+	counts := make(map[uint64]int32, len(w.Hashes))
+	for i, h := range w.Hashes {
+		counts[h] = w.Counts[i]
+	}
+	return &TokenIndex{counts: counts, numTables: w.NumTables}, nil
 }
 
 func hashToken(tok string) uint64 {

@@ -1,0 +1,318 @@
+// Package faultinject is a deterministic, seeded fault-injection layer.
+//
+// Production code declares injection points by calling [Injector.Hit] with
+// a site name ("mapreduce/map/shard=3", "unidetectd/v1/detect"); an
+// injector configured with a seed and a set of [Rule]s decides, purely as
+// a function of (seed, site, hit ordinal), whether that hit fails — with
+// an error, a panic, or added latency. Because the decision is a hash of
+// the site name and the per-site hit count rather than a draw from a
+// shared stream, the schedule of injected faults is reproducible from the
+// seed alone, independent of goroutine interleaving — the property the
+// chaos harness in internal/testkit builds its golden transcripts on, and
+// the reason the `deterministic` analyzer facts for Train/Detect still
+// hold: no global math/rand, no wall-clock reads.
+//
+// A nil *Injector is valid and injects nothing; the disabled hot-path
+// cost is one pointer comparison.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock abstracts sleeping so fault delays and retry backoff can run
+// against a virtual clock in tests. Sleep returns early with ctx.Err()
+// if the context is cancelled first.
+type Clock interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+// Real is the wall-clock Clock.
+var Real Clock = realClock{}
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Fault describes what happens when a rule fires: an optional delay
+// (slept on the injector's clock), then an error return or a panic.
+type Fault struct {
+	// Delay is slept before Err/Panic take effect; a pure-latency fault
+	// sets only Delay.
+	Delay time.Duration
+	// Err, when non-nil, is returned (wrapped in *Error) from Hit.
+	Err error
+	// Panic, when non-empty, makes Hit panic with a *PanicValue.
+	Panic string
+}
+
+func (f Fault) describe() string {
+	var parts []string
+	if f.Delay > 0 {
+		parts = append(parts, "delay="+f.Delay.String())
+	}
+	if f.Err != nil {
+		parts = append(parts, "error="+f.Err.Error())
+	}
+	if f.Panic != "" {
+		parts = append(parts, "panic="+f.Panic)
+	}
+	if len(parts) == 0 {
+		return "noop"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Rule matches injection sites and decides which hits fire.
+type Rule struct {
+	// Site is an exact site name, or a prefix pattern ending in '*'
+	// ("mapreduce/map/*" matches every map shard site).
+	Site string
+	// P is the per-hit firing probability, decided deterministically by
+	// hashing (seed, rule index, site, hit ordinal).
+	P float64
+	// Hits lists 1-based per-site hit ordinals that fire unconditionally
+	// — "fail the first two attempts of shard 3" — in addition to P.
+	Hits []int
+	// MaxFires caps how many times this rule fires in total; 0 = no cap.
+	MaxFires int
+	// Fault is what happens on a firing hit.
+	Fault Fault
+}
+
+func (r Rule) matches(site string) bool {
+	if n := len(r.Site); n > 0 && r.Site[n-1] == '*' {
+		return strings.HasPrefix(site, r.Site[:n-1])
+	}
+	return r.Site == site
+}
+
+// fires reports whether the rule fires on the n-th hit of site. The
+// decision is a pure function of its arguments: no shared RNG state.
+func (r Rule) fires(seed int64, idx int, site string, n int) bool {
+	for _, h := range r.Hits {
+		if h == n {
+			return true
+		}
+	}
+	return r.P > 0 && Unit(seed+int64(idx)*0x9e3779b9, site, n) < r.P
+}
+
+// ErrInjected is the sentinel all injected errors wrap; detect them with
+// errors.Is(err, faultinject.ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// Error is an injected failure, carrying the site and hit it fired on.
+type Error struct {
+	Site  string
+	Hit   int
+	Cause error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: %s at %s hit %d", e.Cause, e.Site, e.Hit)
+}
+
+// Unwrap exposes the rule's cause; Is matches ErrInjected.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// Is reports whether target is ErrInjected.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// PanicValue is the value injected panics carry, so recovery layers can
+// tell an injected panic from a genuine bug.
+type PanicValue struct {
+	Site string
+	Hit  int
+	Msg  string
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("faultinject: panic %q at %s hit %d", p.Msg, p.Site, p.Hit)
+}
+
+// Event is one transcript entry: a hit on which a rule fired.
+type Event struct {
+	Site   string
+	Hit    int    // per-site 1-based ordinal
+	Rule   int    // index of the rule that fired
+	Action string // human-readable fault description
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s hit=%d rule=%d %s", e.Site, e.Hit, e.Rule, e.Action)
+}
+
+// Injector decides, at each declared injection point, whether to inject
+// a fault. Safe for concurrent use. The zero *Injector (nil) is an
+// injector that never fires.
+type Injector struct {
+	seed  int64
+	rules []Rule
+	clock Clock
+
+	mu     sync.Mutex
+	hits   map[string]int // per-site hit counts; guarded by mu
+	fires  []int          // per-rule fire counts; guarded by mu
+	events []Event        // transcript; guarded by mu
+}
+
+// New builds an injector with the given seed and rules. The default
+// clock is the wall clock; see WithClock.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{seed: seed, rules: rules, clock: Real, hits: map[string]int{}, fires: make([]int, len(rules))}
+}
+
+// WithClock sets the clock delays are slept on and returns the injector.
+func (in *Injector) WithClock(c Clock) *Injector {
+	in.clock = c
+	return in
+}
+
+// Hit declares an injection point. It returns nil (fast) when the
+// injector is nil or no rule fires; otherwise it applies the firing
+// rule's fault: sleeps the delay on the injector's clock (returning
+// ctx.Err() if cancelled first), then returns a *Error or panics with a
+// *PanicValue.
+func (in *Injector) Hit(ctx context.Context, site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.hits[site]++
+	n := in.hits[site]
+	var fault Fault
+	fired := -1
+	for i, r := range in.rules {
+		if !r.matches(site) {
+			continue
+		}
+		if r.MaxFires > 0 && in.fires[i] >= r.MaxFires {
+			continue
+		}
+		if !r.fires(in.seed, i, site, n) {
+			continue
+		}
+		fired, fault = i, r.Fault
+		in.fires[i]++
+		in.events = append(in.events, Event{Site: site, Hit: n, Rule: i, Action: fault.describe()})
+		break
+	}
+	in.mu.Unlock()
+	if fired < 0 {
+		return nil
+	}
+	if fault.Delay > 0 {
+		if err := in.clock.Sleep(ctx, fault.Delay); err != nil {
+			return err
+		}
+	}
+	if fault.Panic != "" {
+		panic(&PanicValue{Site: site, Hit: n, Msg: fault.Panic})
+	}
+	if fault.Err != nil {
+		return &Error{Site: site, Hit: n, Cause: fault.Err}
+	}
+	return nil
+}
+
+// Hits returns how many times site has been hit so far.
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Fires returns the total number of injected faults so far.
+func (in *Injector) Fires() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.events)
+}
+
+// Transcript returns a copy of the fault transcript in firing order.
+// Note the order events were *recorded* in depends on goroutine
+// scheduling when sites are hit concurrently; use SortEvents for a
+// canonical view.
+func (in *Injector) Transcript() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// SortEvents orders events canonically (site, hit, rule) so transcripts
+// of concurrent runs compare stably.
+func SortEvents(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Hit != b.Hit {
+			return a.Hit < b.Hit
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// FormatTranscript renders events one per line (canonically sorted).
+func FormatTranscript(events []Event) string {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	SortEvents(sorted)
+	var b strings.Builder
+	for _, e := range sorted {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Unit returns a deterministic uniform draw in [0, 1) keyed by
+// (seed, site, n) — the injector's decision function, exported so retry
+// jitter elsewhere can stay deterministic and schedule-independent too.
+func Unit(seed int64, site string, n int) float64 {
+	h := fnv.New64a()
+	// Errors are impossible on hash.Hash writes.
+	_, _ = h.Write([]byte(site))
+	x := h.Sum64() ^ uint64(seed) ^ uint64(n)*0xbf58476d1ce4e5b9
+	return float64(splitmix64(x)>>11) / float64(1<<53)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

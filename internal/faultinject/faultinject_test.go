@@ -1,0 +1,198 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(context.Background(), "any/site"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if in.Fires() != 0 || in.Hits("any/site") != 0 || in.Transcript() != nil {
+		t.Error("nil injector accounted state")
+	}
+}
+
+func TestExplicitHitsFire(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1, Rule{Site: "s", Hits: []int{2, 4}, Fault: Fault{Err: boom}})
+	ctx := context.Background()
+	var got []int
+	for i := 1; i <= 5; i++ {
+		if err := in.Hit(ctx, "s"); err != nil {
+			got = append(got, i)
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("hit %d: error does not match ErrInjected: %v", i, err)
+			}
+			if !errors.Is(err, boom) {
+				t.Errorf("hit %d: error does not unwrap to cause: %v", i, err)
+			}
+		}
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("fired on hits %v, want [2 4]", got)
+	}
+}
+
+func TestGlobMatchAndMaxFires(t *testing.T) {
+	in := New(1, Rule{Site: "map/*", P: 1, MaxFires: 3, Fault: Fault{Err: errors.New("x")}})
+	ctx := context.Background()
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if err := in.Hit(ctx, fmt.Sprintf("map/shard=%d", i)); err != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("fired %d times, want MaxFires=3", fails)
+	}
+	if err := in.Hit(ctx, "reduce/key=a"); err != nil {
+		t.Errorf("non-matching site fired: %v", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	in := New(1, Rule{Site: "s", Hits: []int{1}, Fault: Fault{Panic: "chaos"}})
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *PanicValue", r, r)
+		}
+		if pv.Msg != "chaos" || pv.Site != "s" || pv.Hit != 1 {
+			t.Errorf("panic value = %+v", pv)
+		}
+	}()
+	_ = in.Hit(context.Background(), "s")
+	t.Fatal("no panic injected")
+}
+
+// recordingClock counts sleeps without sleeping.
+type recordingClock struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (c *recordingClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	return ctx.Err()
+}
+
+func TestDelayUsesClock(t *testing.T) {
+	clk := &recordingClock{}
+	in := New(1, Rule{Site: "s", Hits: []int{1}, Fault: Fault{Delay: 50 * time.Millisecond}}).WithClock(clk)
+	if err := in.Hit(context.Background(), "s"); err != nil {
+		t.Fatalf("pure-latency fault returned error: %v", err)
+	}
+	if len(clk.sleeps) != 1 || clk.sleeps[0] != 50*time.Millisecond {
+		t.Errorf("sleeps = %v", clk.sleeps)
+	}
+}
+
+func TestDelayCancelledContext(t *testing.T) {
+	in := New(1, Rule{Site: "s", Hits: []int{1}, Fault: Fault{Delay: time.Hour, Err: errors.New("x")}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := in.Hit(ctx, "s"); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeterministicSchedule is the core contract: the set of fired
+// (site, hit) pairs is a pure function of the seed, no matter how many
+// goroutines hammer the injector or in what order.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(parallel bool) []Event {
+		in := New(42,
+			Rule{Site: "map/*", P: 0.3, Fault: Fault{Err: errors.New("e")}},
+			Rule{Site: "reduce/*", P: 0.2, Fault: Fault{Delay: time.Nanosecond}},
+		)
+		var wg sync.WaitGroup
+		for s := 0; s < 8; s++ {
+			hit := func(s int) {
+				ctx := context.Background()
+				for n := 0; n < 20; n++ {
+					_ = in.Hit(ctx, fmt.Sprintf("map/shard=%d", s))
+					_ = in.Hit(ctx, fmt.Sprintf("reduce/key=%d", s))
+				}
+			}
+			if parallel {
+				wg.Add(1)
+				go func(s int) { defer wg.Done(); hit(s) }(s)
+			} else {
+				hit(s)
+			}
+		}
+		wg.Wait()
+		ev := in.Transcript()
+		SortEvents(ev)
+		return ev
+	}
+	seq := run(false)
+	par := run(true)
+	if len(seq) == 0 {
+		t.Fatal("schedule fired nothing; test is vacuous")
+	}
+	if fmt.Sprint(seq) != fmt.Sprint(par) {
+		t.Errorf("sequential and parallel schedules differ:\nseq: %v\npar: %v", seq, par)
+	}
+	if FormatTranscript(seq) != FormatTranscript(par) {
+		t.Error("transcripts differ")
+	}
+}
+
+func TestUnitDistribution(t *testing.T) {
+	// Unit must be in [0,1) and roughly uniform: the mean of many draws
+	// across sites and ordinals should be near 0.5.
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		u := Unit(7, fmt.Sprintf("site-%d", i%100), i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Unit out of range: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean of draws = %v, want ~0.5", mean)
+	}
+	if Unit(1, "s", 1) == Unit(2, "s", 1) && Unit(1, "s", 2) == Unit(2, "s", 2) {
+		t.Error("seeds do not change draws")
+	}
+}
+
+func TestProbabilisticRatePlausible(t *testing.T) {
+	in := New(9, Rule{Site: "*", P: 0.25, Fault: Fault{Err: errors.New("x")}})
+	ctx := context.Background()
+	fails := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := in.Hit(ctx, fmt.Sprintf("s%d", i%37)); err != nil {
+			fails++
+		}
+	}
+	rate := float64(fails) / n
+	if rate < 0.2 || rate > 0.3 {
+		t.Errorf("firing rate = %v, want ~0.25", rate)
+	}
+}
+
+func TestRealClockSleepCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Real.Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if err := Real.Sleep(context.Background(), 0); err != nil {
+		t.Errorf("zero sleep err = %v", err)
+	}
+}

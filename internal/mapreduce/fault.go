@@ -1,0 +1,186 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/faultinject"
+)
+
+// FailurePolicy decides what a permanently failed work unit (a map shard
+// or a reduce key that exhausted its retries) does to the job.
+type FailurePolicy uint8
+
+const (
+	// FailFast aborts the job on the first permanent failure (the
+	// pre-fault-tolerance behaviour, and the zero value).
+	FailFast FailurePolicy = iota
+	// SkipAndLog drops the failed unit, logs it, and continues — up to
+	// FT.MaxLost units; one more aborts the job. The resulting model is
+	// degraded (it misses the lost shards' evidence) but usable.
+	SkipAndLog
+)
+
+// RetryPolicy is capped exponential backoff with deterministic jitter.
+// The zero value means a single attempt, no retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per work unit (first
+	// attempt included); values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; attempt k
+	// waits BaseDelay·2^(k-2), capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means no cap.
+	MaxDelay time.Duration
+	// Jitter adds up to Jitter·delay of extra wait, drawn
+	// deterministically from (FT.Seed, site, attempt) — reproducible and
+	// independent of goroutine scheduling, so `deterministic` analyzer
+	// facts on the Train path still hold.
+	Jitter float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the wait before attempt+1, given that attempt (1-based)
+// just failed.
+func (p RetryPolicy) backoff(seed int64, site string, attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(float64(d) * p.Jitter * faultinject.Unit(seed, site, attempt))
+	}
+	return d
+}
+
+// Stats reports what fault tolerance did during a job. Callers hang a
+// *Stats off FT; the job fills it before returning (not concurrently
+// safe to read mid-job).
+type Stats struct {
+	// MapRetries and ReduceRetries count failed attempts that were
+	// retried.
+	MapRetries    int
+	ReduceRetries int
+	// LostShards are the input indices permanently dropped by
+	// SkipAndLog, sorted.
+	LostShards []int
+	// LostKeys counts reduce keys permanently dropped by SkipAndLog.
+	LostKeys int
+}
+
+// Lost returns the total number of dropped work units.
+func (s *Stats) Lost() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.LostShards) + s.LostKeys
+}
+
+// FT bundles the fault-tolerance configuration of a job. The zero value
+// is the pre-fault-tolerance behaviour: one attempt, fail fast, no
+// injection.
+type FT struct {
+	Retry  RetryPolicy
+	Policy FailurePolicy
+	// MaxLost is the SkipAndLog loss budget: the job tolerates at most
+	// MaxLost dropped work units and aborts on the next. <= 0 means no
+	// budget (every loss is tolerated).
+	MaxLost int
+	// Seed drives retry jitter (and should match the injector's seed in
+	// chaos tests so one seed reproduces the whole run).
+	Seed int64
+	// Inject is the fault-injection layer; nil injects nothing.
+	Inject *faultinject.Injector
+	// Clock is slept on between retries; nil means the wall clock.
+	Clock faultinject.Clock
+	// Logf receives skip-and-log and retry messages; nil discards them.
+	Logf func(format string, args ...any)
+	// Stats, when non-nil, is filled with what happened.
+	Stats *Stats
+}
+
+func (ft FT) clock() faultinject.Clock {
+	if ft.Clock != nil {
+		return ft.Clock
+	}
+	return faultinject.Real
+}
+
+func (ft FT) logf(format string, args ...any) {
+	if ft.Logf != nil {
+		ft.Logf(format, args...)
+	}
+}
+
+// lossTracker enforces the SkipAndLog budget across workers.
+type lossTracker struct {
+	ft FT
+
+	mu     sync.Mutex
+	shards []int // guarded by mu
+	keys   int   // guarded by mu
+}
+
+// lose records a permanently failed unit. It returns nil if the loss is
+// within policy and budget, else the error that must abort the job.
+func (lt *lossTracker) lose(shard int, isKey bool, cause error) error {
+	if lt.ft.Policy != SkipAndLog {
+		return cause
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lost := len(lt.shards) + lt.keys
+	if lt.ft.MaxLost > 0 && lost >= lt.ft.MaxLost {
+		return fmt.Errorf("mapreduce: loss budget %d exhausted: %w", lt.ft.MaxLost, cause)
+	}
+	if isKey {
+		lt.keys++
+	} else {
+		lt.shards = append(lt.shards, shard)
+	}
+	lt.ft.logf("mapreduce: skipping failed unit (%d lost so far): %v", lost+1, cause)
+	return nil
+}
+
+// flush publishes loss counts into ft.Stats (additively, so the map and
+// reduce phases of one job share a Stats).
+func (lt *lossTracker) flush() {
+	if lt.ft.Stats == nil {
+		return
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.ft.Stats.LostShards = append(lt.ft.Stats.LostShards, lt.shards...)
+	sort.Ints(lt.ft.Stats.LostShards)
+	lt.ft.Stats.LostKeys += lt.keys
+}
+
+// recovered runs f, converting a panic into an error so chaos-injected
+// (or genuine) panics in user map/reduce functions become retryable
+// failures instead of killing the process.
+func recovered(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mapreduce: recovered panic: %v", r)
+		}
+	}()
+	return f()
+}

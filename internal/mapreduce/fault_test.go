@@ -1,0 +1,271 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/faultinject"
+)
+
+// vclock is a virtual clock: sleeps record their duration and return
+// immediately.
+type vclock struct {
+	mu     sync.Mutex
+	sleeps []time.Duration // guarded by mu
+}
+
+func (c *vclock) Sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	return ctx.Err()
+}
+
+// identityJob maps n inputs to themselves keyed by parity and sums each
+// group; the fixture every fault test perturbs.
+func identityJob(t *testing.T, cfg Config, n int) (map[string]int, error) {
+	t.Helper()
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i + 1
+	}
+	return Run(context.Background(), cfg, inputs,
+		func(in int, emit func(string, int)) error {
+			if in%2 == 0 {
+				emit("even", in)
+			} else {
+				emit("odd", in)
+			}
+			return nil
+		},
+		func(key string, vs []int) (int, error) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return sum, nil
+		})
+}
+
+func TestRetryRecoversTransientFaults(t *testing.T) {
+	boom := errors.New("torn shard")
+	inj := faultinject.New(1,
+		faultinject.Rule{Site: "mapreduce/map/shard=1", Hits: []int{1, 2}, Fault: faultinject.Fault{Err: boom}})
+	stats := &Stats{}
+	cfg := Config{Workers: 4, FT: FT{
+		Retry:  RetryPolicy{MaxAttempts: 3},
+		Inject: inj,
+		Stats:  stats,
+	}}
+	got, err := identityJob(t, cfg, 10)
+	if err != nil {
+		t.Fatalf("job failed despite retries: %v", err)
+	}
+	want, _ := identityJob(t, Config{Workers: 4}, 10)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("chaos result %v != clean result %v", got, want)
+	}
+	if stats.MapRetries != 2 {
+		t.Errorf("MapRetries = %d, want 2", stats.MapRetries)
+	}
+	if n := len(inj.Transcript()); n != 2 {
+		t.Errorf("transcript has %d events, want 2", n)
+	}
+}
+
+func TestBackoffScheduleOnVirtualClock(t *testing.T) {
+	inj := faultinject.New(1,
+		faultinject.Rule{Site: "mapreduce/map/shard=0", Hits: []int{1, 2, 3, 4}, Fault: faultinject.Fault{Err: errors.New("x")}})
+	clk := &vclock{}
+	cfg := Config{Workers: 1, FT: FT{
+		Retry:  RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond},
+		Inject: inj,
+		Clock:  clk,
+	}}
+	if _, err := identityJob(t, cfg, 1); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond}
+	if fmt.Sprint(clk.sleeps) != fmt.Sprint(want) {
+		t.Errorf("backoff schedule = %v, want %v (base doubling, capped)", clk.sleeps, want)
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	var prev []time.Duration
+	for run := 0; run < 2; run++ {
+		var ds []time.Duration
+		for a := 1; a <= 3; a++ {
+			d := p.backoff(7, "mapreduce/map/shard=3", a)
+			base := 10 * time.Millisecond << (a - 1)
+			if d < base || d > base+base/2 {
+				t.Errorf("attempt %d: backoff %v outside [%v, %v]", a, d, base, base+base/2)
+			}
+			ds = append(ds, d)
+		}
+		if run == 1 && fmt.Sprint(ds) != fmt.Sprint(prev) {
+			t.Errorf("jitter not deterministic: %v vs %v", ds, prev)
+		}
+		prev = ds
+	}
+}
+
+func TestFailFastAborts(t *testing.T) {
+	inj := faultinject.New(1,
+		faultinject.Rule{Site: "mapreduce/map/shard=2", P: 1, Fault: faultinject.Fault{Err: errors.New("dead shard")}})
+	cfg := Config{Workers: 2, FT: FT{Inject: inj}}
+	if _, err := identityJob(t, cfg, 8); err == nil {
+		t.Fatal("FailFast job succeeded despite permanent fault")
+	} else if !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("error does not carry injected cause: %v", err)
+	}
+}
+
+func TestSkipAndLogWithinBudget(t *testing.T) {
+	inj := faultinject.New(1,
+		faultinject.Rule{Site: "mapreduce/map/shard=3", P: 1, Fault: faultinject.Fault{Err: errors.New("x")}},
+		faultinject.Rule{Site: "mapreduce/map/shard=6", P: 1, Fault: faultinject.Fault{Err: errors.New("x")}})
+	stats := &Stats{}
+	var logs []string
+	var mu sync.Mutex
+	cfg := Config{Workers: 3, FT: FT{
+		Policy:  SkipAndLog,
+		MaxLost: 3,
+		Inject:  inj,
+		Stats:   stats,
+		Logf: func(f string, a ...any) {
+			mu.Lock()
+			logs = append(logs, fmt.Sprintf(f, a...))
+			mu.Unlock()
+		},
+	}}
+	got, err := identityJob(t, cfg, 10)
+	if err != nil {
+		t.Fatalf("job aborted within budget: %v", err)
+	}
+	// Shards 3 and 6 (inputs 4 and 7) are lost: odd loses 7, even loses 4.
+	if got["odd"] != 1+3+5+9 || got["even"] != 2+6+8+10 {
+		t.Errorf("degraded result = %v", got)
+	}
+	if fmt.Sprint(stats.LostShards) != "[3 6]" || stats.Lost() != 2 {
+		t.Errorf("LostShards = %v", stats.LostShards)
+	}
+	if len(logs) != 2 || !strings.Contains(logs[0], "skipping failed unit") {
+		t.Errorf("logs = %q", logs)
+	}
+}
+
+func TestSkipAndLogBudgetExhausted(t *testing.T) {
+	inj := faultinject.New(1,
+		faultinject.Rule{Site: "mapreduce/map/*", P: 1, Fault: faultinject.Fault{Err: errors.New("x")}})
+	cfg := Config{Workers: 2, FT: FT{Policy: SkipAndLog, MaxLost: 3, Inject: inj}}
+	_, err := identityJob(t, cfg, 10)
+	if err == nil || !strings.Contains(err.Error(), "loss budget") {
+		t.Fatalf("err = %v, want loss-budget abort", err)
+	}
+}
+
+func TestPanicIsRecoveredAndRetried(t *testing.T) {
+	inj := faultinject.New(1,
+		faultinject.Rule{Site: "mapreduce/map/shard=0", Hits: []int{1}, Fault: faultinject.Fault{Panic: "chaos"}})
+	cfg := Config{Workers: 2, FT: FT{Retry: RetryPolicy{MaxAttempts: 2}, Inject: inj}}
+	got, err := identityJob(t, cfg, 4)
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if got["odd"] != 1+3 || got["even"] != 2+4 {
+		t.Errorf("result = %v", got)
+	}
+}
+
+// TestEmitRollback proves a failed attempt's partial emissions are
+// discarded: a mapper that emits then fails must not double-count after
+// its retry succeeds.
+func TestEmitRollback(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	inputs := []int{10, 20, 30}
+	got, err := Run(context.Background(),
+		Config{Workers: 2, FT: FT{Retry: RetryPolicy{MaxAttempts: 3}}},
+		inputs,
+		func(in int, emit func(string, int)) error {
+			emit("sum", in) // emitted before the failure: must roll back
+			mu.Lock()
+			attempts[in]++
+			first := attempts[in] == 1
+			mu.Unlock()
+			if first {
+				return errors.New("flaky after emit")
+			}
+			return nil
+		},
+		func(key string, vs []int) (int, error) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return sum, nil
+		})
+	if err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	if got["sum"] != 60 {
+		t.Errorf("sum = %d, want 60 (partial emissions double-counted?)", got["sum"])
+	}
+}
+
+func TestReduceObservedCheckpointsEachBucket(t *testing.T) {
+	groups := map[string][]int{"a": {1, 2}, "b": {3}, "c": {4, 5, 6}}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	out, err := ReduceObserved(context.Background(), Config{Workers: 2}, groups,
+		func(k string, vs []int) (int, error) { return len(vs), nil },
+		func(k string, r int) error {
+			mu.Lock()
+			seen[k] = r
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(seen) != fmt.Sprint(out) {
+		t.Errorf("observed %v != reduced %v", seen, out)
+	}
+}
+
+func TestReduceObserveErrorAborts(t *testing.T) {
+	groups := map[string][]int{"a": {1}, "b": {2}}
+	_, err := ReduceObserved(context.Background(), Config{Workers: 1}, groups,
+		func(k string, vs []int) (int, error) { return 0, nil },
+		func(k string, r int) error { return errors.New("disk full") })
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want observer abort", err)
+	}
+}
+
+func TestReduceLossWithinBudget(t *testing.T) {
+	inj := faultinject.New(1,
+		faultinject.Rule{Site: "mapreduce/reduce/key=b", P: 1, Fault: faultinject.Fault{Err: errors.New("x")}})
+	stats := &Stats{}
+	groups := map[string][]int{"a": {1}, "b": {2}, "c": {3}}
+	out, err := Reduce(context.Background(),
+		Config{Workers: 2, FT: FT{Policy: SkipAndLog, MaxLost: 1, Inject: inj, Stats: stats}},
+		groups,
+		func(k string, vs []int) (int, error) { return vs[0], nil })
+	if err != nil {
+		t.Fatalf("job aborted within budget: %v", err)
+	}
+	if _, ok := out["b"]; ok || len(out) != 2 {
+		t.Errorf("out = %v, want b dropped", out)
+	}
+	if stats.LostKeys != 1 {
+		t.Errorf("LostKeys = %d", stats.LostKeys)
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Mapper transforms one input into zero or more keyed values via emit.
@@ -27,6 +29,11 @@ type Reducer[K comparable, V any, R any] func(key K, values []V) (R, error)
 type Config struct {
 	// Workers is the map-phase parallelism; <= 0 means GOMAXPROCS.
 	Workers int
+	// FT is the fault-tolerance configuration: per-unit retry with
+	// capped exponential backoff, a failure policy with a loss budget,
+	// and deterministic fault injection. The zero value preserves the
+	// historical semantics (one attempt, first error aborts).
+	FT FT
 }
 
 func (c Config) workers() int {
@@ -37,7 +44,10 @@ func (c Config) workers() int {
 }
 
 // Run executes a full map-shuffle-reduce job over the inputs and returns
-// the per-key results. Map errors cancel the job; the first error wins.
+// the per-key results. Under the default FT config map errors cancel the
+// job and the first error wins; with retries configured a unit fails only
+// after exhausting its attempts, and under SkipAndLog failed units are
+// dropped (within the loss budget) instead of aborting.
 func Run[I any, K comparable, V any, R any](
 	ctx context.Context,
 	cfg Config,
@@ -96,14 +106,29 @@ func MapShuffle[I any, K comparable, V any](
 			}
 		}
 	}()
+	lt := &lossTracker{ft: cfg.FT}
+	var retries atomic.Int64
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			emit := func(k K, v V) { shards[w] = append(shards[w], kv{k, v}) }
 			for i := range next {
-				if err := m(inputs[i], emit); err != nil {
-					errs[w] = fmt.Errorf("map input %d: %w", i, err)
+				site := "mapreduce/map/shard=" + strconv.Itoa(i)
+				mark := len(shards[w])
+				err := runUnit(ctx, cfg.FT, site, &retries,
+					func() error { return m(inputs[i], emit) },
+					func() { shards[w] = shards[w][:mark] })
+				if err == nil {
+					continue
+				}
+				if ctx.Err() != nil {
+					// The job is already being cancelled; whoever
+					// cancelled recorded the cause.
+					return
+				}
+				if lerr := lt.lose(i, false, fmt.Errorf("map input %d: %w", i, err)); lerr != nil {
+					errs[w] = lerr
 					cancel()
 					return
 				}
@@ -111,6 +136,10 @@ func MapShuffle[I any, K comparable, V any](
 		}(w)
 	}
 	wg.Wait()
+	lt.flush()
+	if cfg.FT.Stats != nil {
+		cfg.FT.Stats.MapRetries += int(retries.Load())
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -134,6 +163,22 @@ func Reduce[K comparable, V any, R any](
 	cfg Config,
 	groups map[K][]V,
 	r Reducer[K, V, R],
+) (map[K]R, error) {
+	return ReduceObserved(ctx, cfg, groups, r, nil)
+}
+
+// ReduceObserved folds each key group concurrently, calling observe(k,
+// result) — serially, under the output lock — as each bucket completes.
+// This is the hook checkpointing builds on: the observer durably records
+// finished buckets so a killed job can resume instead of restarting.
+// Unlike reducer errors, an observe error is never retried or skipped;
+// it aborts the job (it signals broken persistence, not chaos).
+func ReduceObserved[K comparable, V any, R any](
+	ctx context.Context,
+	cfg Config,
+	groups map[K][]V,
+	r Reducer[K, V, R],
+	observe func(K, R) error,
 ) (map[K]R, error) {
 	keys := make([]K, 0, len(groups))
 	for k := range groups {
@@ -167,30 +212,98 @@ func Reduce[K comparable, V any, R any](
 			}
 		}
 	}()
+	lt := &lossTracker{ft: cfg.FT}
+	var retries atomic.Int64
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for k := range next {
-				res, err := r(k, groups[k])
-				if err != nil {
-					errs[w] = fmt.Errorf("reduce key %v: %w", k, err)
+				site := "mapreduce/reduce/key=" + fmt.Sprint(k)
+				var res R
+				err := runUnit(ctx, cfg.FT, site, &retries,
+					func() error {
+						var rerr error
+						res, rerr = r(k, groups[k])
+						return rerr
+					}, nil)
+				if err == nil {
+					mu.Lock()
+					out[k] = res
+					var oerr error
+					if observe != nil {
+						oerr = observe(k, res)
+					}
+					mu.Unlock()
+					if oerr != nil {
+						errs[w] = fmt.Errorf("reduce observer, key %v: %w", k, oerr)
+						cancel()
+						return
+					}
+					continue
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if lerr := lt.lose(0, true, fmt.Errorf("reduce key %v: %w", k, err)); lerr != nil {
+					errs[w] = lerr
 					cancel()
 					return
 				}
-				mu.Lock()
-				out[k] = res
-				mu.Unlock()
 			}
 		}(w)
 	}
 	wg.Wait()
+	lt.flush()
+	if cfg.FT.Stats != nil {
+		cfg.FT.Stats.ReduceRetries += int(retries.Load())
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil && err != context.Canceled {
+		return nil, err
+	}
 	return out, nil
+}
+
+// runUnit executes one work unit under the retry policy: each attempt
+// first passes the unit's injection site, then runs attempt (panics from
+// either are recovered into retryable errors); on failure rollback (if
+// any) undoes partial effects and runUnit sleeps the backoff on the FT
+// clock before trying again, up to Retry.MaxAttempts total attempts.
+func runUnit(ctx context.Context, ft FT, site string, retries *atomic.Int64, attempt func() error, rollback func()) error {
+	max := ft.Retry.attempts()
+	for a := 1; ; a++ {
+		err := recovered(func() error {
+			if err := ft.Inject.Hit(ctx, site); err != nil {
+				return err
+			}
+			return attempt()
+		})
+		if err == nil {
+			return nil
+		}
+		if rollback != nil {
+			rollback()
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if a >= max {
+			return fmt.Errorf("after %d attempt(s): %w", a, err)
+		}
+		retries.Add(1)
+		d := ft.Retry.backoff(ft.Seed, site, a)
+		ft.logf("mapreduce: %s attempt %d/%d failed: %v; retrying in %v", site, a, max, err, d)
+		if d > 0 {
+			if serr := ft.clock().Sleep(ctx, d); serr != nil {
+				return serr
+			}
+		}
+	}
 }
 
 // SortedKeys returns the keys of m in sorted order; a convenience for

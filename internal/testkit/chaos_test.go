@@ -1,0 +1,252 @@
+package testkit_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/testkit"
+)
+
+// chaosCorpus generates a small training corpus; chaos tests iterate
+// seeds, so it stays cheap.
+func chaosCorpus(seed int64) *corpus.Corpus {
+	spec := datagen.Spec{Name: "chaos", Profile: datagen.ProfileWeb, NumTables: 120,
+		AvgRows: 16, AvgCols: 4, Seed: seed}
+	return corpus.New(spec.Name, datagen.Generate(spec).Tables)
+}
+
+// evalTables generates tables with injected errors to score models on.
+func evalTables(seed int64) *datagen.Result {
+	return datagen.Generate(datagen.Spec{Name: "chaos-eval", Profile: datagen.ProfileWeb,
+		NumTables: 40, AvgRows: 20, AvgCols: 4, ErrorRate: 1.5, Seed: seed})
+}
+
+func saveBytes(t *testing.T, m *core.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// retry is the policy the transient schedules are designed against (see
+// TrainChaos): enough attempts that a fail-fast job always completes.
+func retry() mapreduce.RetryPolicy {
+	return mapreduce.RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond,
+		MaxDelay: 8 * time.Millisecond, Jitter: 0.5}
+}
+
+// TestChaosTrainMatchesClean is the central metamorphic property of the
+// fault-tolerant trainer: a run whose every fault is transient (absorbed
+// by retries, no shard loss) must produce the *byte-identical* model of a
+// fault-free run — retries, backoff, panics and injected delays must
+// leave no trace in the learned statistics.
+func TestChaosTrainMatchesClean(t *testing.T) {
+	bg := chaosCorpus(3)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+
+	clean, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBytes := saveBytes(t, clean)
+	evals := evalTables(9)
+	cleanFindings := core.NewPredictor(clean, dets, &core.Env{Index: bg.Index()}).
+		DetectAll(ctx, evals.Tables)
+	if len(cleanFindings) == 0 {
+		t.Fatal("clean model found nothing on error-injected tables; test has no power")
+	}
+
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			clock := &testkit.VirtualClock{}
+			inj := faultinject.New(seed, testkit.TrainChaos(0.04)...).WithClock(clock)
+			testkit.DumpTranscriptOnFailure(t, seed, inj)
+			stats := &mapreduce.Stats{}
+			m, err := core.TrainWith(ctx, cfg, core.TrainOptions{FT: mapreduce.FT{
+				Retry: retry(), Seed: seed, Inject: inj, Clock: clock,
+				Stats: stats, Logf: t.Logf,
+			}}, bg, dets)
+			if err != nil {
+				t.Fatalf("transient chaos killed a retrying train: %v", err)
+			}
+			if inj.Fires() == 0 {
+				t.Fatal("schedule fired no faults; test has no power")
+			}
+			if stats.MapRetries == 0 {
+				t.Error("no map retries recorded despite every shard's first attempt failing")
+			}
+			if stats.Lost() != 0 {
+				t.Errorf("transient schedule lost work: %+v", stats)
+			}
+			if !bytes.Equal(saveBytes(t, m), cleanBytes) {
+				t.Error("chaos-trained model differs from clean model")
+			}
+			// LR agreement on error-injected tables: same model bytes must
+			// mean same findings, checked end to end through the predictor.
+			got := core.NewPredictor(m, dets, &core.Env{Index: bg.Index()}).
+				DetectAll(ctx, evals.Tables)
+			if len(got) != len(cleanFindings) {
+				t.Fatalf("chaos model found %d findings, clean %d", len(got), len(cleanFindings))
+			}
+			for i := range got {
+				c, g := cleanFindings[i], got[i]
+				if c.Table != g.Table || c.Column != g.Column || c.LR != g.LR {
+					t.Fatalf("finding %d disagrees: clean %s/%s LR=%g vs chaos %s/%s LR=%g",
+						i, c.Table, c.Column, c.LR, g.Table, g.Column, g.LR)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosResumeEqualsRestart is the multi-seed metamorphic form of the
+// checkpoint acceptance test: kill training mid-reduce under each seed's
+// schedule, resume from the checkpoint, and require byte-identity with
+// the uninterrupted run.
+func TestChaosResumeEqualsRestart(t *testing.T) {
+	bg := chaosCorpus(5)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+
+	clean, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBytes := saveBytes(t, clean)
+
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := faultinject.New(seed, testkit.TrainKill(0.5)...)
+			testkit.DumpTranscriptOnFailure(t, seed, inj)
+			ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+			_, err := core.TrainWith(ctx, cfg, core.TrainOptions{
+				FT:             mapreduce.FT{Inject: inj, Seed: seed, Logf: t.Logf},
+				CheckpointPath: ckpt,
+			}, bg, dets)
+			if err == nil {
+				t.Fatal("lethal schedule did not kill the run")
+			}
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("run died of %v, not an injected fault", err)
+			}
+			resumed, err := core.TrainWith(ctx, cfg, core.TrainOptions{
+				FT:             mapreduce.FT{Logf: t.Logf},
+				CheckpointPath: ckpt,
+			}, bg, dets)
+			if err != nil {
+				t.Fatalf("resume failed: %v", err)
+			}
+			if !bytes.Equal(saveBytes(t, resumed), cleanBytes) {
+				t.Error("resumed model differs from uninterrupted model")
+			}
+		})
+	}
+}
+
+// TestChaosLossBudget exercises graceful degradation end to end: a
+// permanently dead shard under skip-and-log yields a model that still
+// detects errors, and the loss is visible in Stats rather than silent.
+func TestChaosLossBudget(t *testing.T) {
+	bg := chaosCorpus(7)
+	cfg := core.DefaultConfig()
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			shard := int(seed) % bg.NumTables()
+			inj := faultinject.New(seed, testkit.DeadShard(shard))
+			testkit.DumpTranscriptOnFailure(t, seed, inj)
+			stats := &mapreduce.Stats{}
+			m, err := core.TrainWith(ctx, cfg, core.TrainOptions{FT: mapreduce.FT{
+				Retry:   mapreduce.RetryPolicy{MaxAttempts: 2},
+				Policy:  mapreduce.SkipAndLog,
+				MaxLost: 3,
+				Seed:    seed,
+				Inject:  inj,
+				Stats:   stats,
+				Logf:    t.Logf,
+			}}, bg, dets)
+			if err != nil {
+				t.Fatalf("within-budget loss aborted training: %v", err)
+			}
+			if len(stats.LostShards) != 1 || stats.LostShards[0] != shard {
+				t.Errorf("LostShards = %v, want [%d]", stats.LostShards, shard)
+			}
+			evals := evalTables(11)
+			found := core.NewPredictor(m, dets, &core.Env{Index: bg.Index()}).
+				DetectAll(ctx, evals.Tables)
+			if len(found) == 0 {
+				t.Error("degraded model detects nothing; degradation is not graceful")
+			}
+		})
+	}
+}
+
+// TestGoldenTranscript pins the exact fault schedule seed 1 produces on
+// a fixed job. The schedule is a pure function of (seed, site, ordinal),
+// so the sorted transcript is reproducible across runs, interleavings
+// and platforms — any drift means the hash chain changed and every
+// recorded chaos run's meaning silently shifted.
+func TestGoldenTranscript(t *testing.T) {
+	bg := chaosCorpus(3)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+	clock := &testkit.VirtualClock{}
+	inj := faultinject.New(1, testkit.TrainChaos(0.04)...).WithClock(clock)
+	if _, err := core.TrainWith(context.Background(), cfg, core.TrainOptions{FT: mapreduce.FT{
+		Retry: retry(), Seed: 1, Inject: inj, Clock: clock,
+	}}, bg, dets); err != nil {
+		t.Fatal(err)
+	}
+	events := inj.Transcript()
+	faultinject.SortEvents(events)
+	testkit.Golden(t, filepath.Join("testdata", "golden", "train-seed1-transcript.txt"),
+		faultinject.FormatTranscript(events))
+}
+
+// TestVirtualClock pins the clock's contract: sleeps accumulate without
+// blocking and a cancelled context short-circuits.
+func TestVirtualClock(t *testing.T) {
+	c := &testkit.VirtualClock{}
+	ctx := context.Background()
+	if err := c.Sleep(ctx, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sleep(ctx, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Elapsed() != 5*time.Second {
+		t.Errorf("Elapsed = %v, want 5s", c.Elapsed())
+	}
+	if got := c.Sleeps(); len(got) != 2 || got[0] != 3*time.Second {
+		t.Errorf("Sleeps = %v", got)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := c.Sleep(cancelled, time.Second); err == nil {
+		t.Error("Sleep on cancelled context returned nil")
+	}
+	if c.Elapsed() != 5*time.Second {
+		t.Error("cancelled Sleep advanced the clock")
+	}
+}

@@ -1,0 +1,175 @@
+// Package testkit is the chaos harness backing the fault-injection test
+// suite: deterministic fault schedules for training and serving, a
+// virtual clock so backoff schedules run in microseconds, golden
+// transcript comparison, and failure-artifact dumps for CI.
+//
+// It is imported only from _test.go files; nothing in the production
+// binaries depends on it.
+package testkit
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/faultinject"
+)
+
+var (
+	chaosSeeds = flag.String("chaos.seeds", "1,7,42",
+		"comma-separated injector seeds the chaos tests iterate over")
+	updateGolden = flag.Bool("chaos.update", false,
+		"rewrite golden transcript files instead of comparing")
+)
+
+// ErrTransient is the error the built-in schedules inject for faults a
+// retry is expected to absorb.
+var ErrTransient = errors.New("chaos: transient fault")
+
+// Seeds returns the injector seeds under test, from -chaos.seeds.
+func Seeds(t testing.TB) []int64 {
+	t.Helper()
+	var out []int64
+	for _, part := range strings.Split(*chaosSeeds, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			t.Fatalf("testkit: bad -chaos.seeds entry %q: %v", part, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		t.Fatal("testkit: -chaos.seeds is empty")
+	}
+	return out
+}
+
+// TrainChaos is a transient-fault schedule for the training path: every
+// map shard's first attempt fails, reduce keys fail or panic with
+// probability p, and a slice of map attempts are delayed. Every fault is
+// transient — per-site consecutive failures are rare enough at p ≤ 0.05
+// that a retry policy with ≥ 6 attempts absorbs the whole schedule, so a
+// fail-fast job under this schedule must still complete (and, being
+// loss-free, must reproduce the fault-free model byte for byte).
+func TrainChaos(p float64) []faultinject.Rule {
+	return []faultinject.Rule{
+		{Site: "mapreduce/map/*", Hits: []int{1}, Fault: faultinject.Fault{Err: ErrTransient}},
+		{Site: "mapreduce/reduce/*", P: p, Fault: faultinject.Fault{Err: ErrTransient}},
+		{Site: "mapreduce/reduce/*", P: p / 4, Fault: faultinject.Fault{Panic: "chaos: injected reduce panic"}},
+		{Site: "mapreduce/map/*", P: p, Fault: faultinject.Fault{Delay: time.Millisecond}},
+	}
+}
+
+// TrainKill is a fail-fast-lethal schedule: reduce keys fail with
+// probability p on every attempt ordinal, so under a fail-fast policy
+// with bounded retries the job dies mid-reduce — the setup for
+// checkpoint/resume tests.
+func TrainKill(p float64) []faultinject.Rule {
+	return []faultinject.Rule{
+		{Site: "mapreduce/reduce/*", P: p, Fault: faultinject.Fault{Err: errors.New("chaos: lethal reduce fault")}},
+	}
+}
+
+// DeadShard is a permanent fault on one map shard: every attempt fails,
+// so only a skip-and-log policy survives it.
+func DeadShard(shard int) faultinject.Rule {
+	return faultinject.Rule{
+		Site:  "mapreduce/map/shard=" + strconv.Itoa(shard),
+		P:     1,
+		Fault: faultinject.Fault{Err: errors.New("chaos: dead shard")},
+	}
+}
+
+// ServeChaos is a fault schedule for the serving path: requests are
+// delayed, failed, or panicked with probability p each. Sites follow the
+// daemon's "unidetectd<path>" convention.
+func ServeChaos(p float64) []faultinject.Rule {
+	return []faultinject.Rule{
+		{Site: "unidetectd/detect", P: p, Fault: faultinject.Fault{Panic: "chaos: injected handler panic"}},
+		{Site: "unidetectd/detect", P: p, Fault: faultinject.Fault{Err: ErrTransient}},
+		{Site: "unidetectd/*", P: p, Fault: faultinject.Fault{Delay: 2 * time.Millisecond}},
+	}
+}
+
+// Golden compares got against the golden file at path (relative to the
+// test's working directory). Under -chaos.update the file is rewritten
+// instead. The diff failure dumps both sides via Artifact, so CI failures
+// ship the observed transcript as an artifact.
+func Golden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("testkit: create golden dir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("testkit: write golden %s: %v", path, err)
+		}
+		t.Logf("testkit: rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("testkit: read golden %s (rerun with -chaos.update to create): %v", path, err)
+	}
+	if string(want) != got {
+		Artifact(t, filepath.Base(path)+".got", got)
+		t.Errorf("testkit: %s mismatch (rerun with -chaos.update to accept):\n--- want\n%s--- got\n%s", path, want, got)
+	}
+}
+
+// Artifact writes content under $CHAOS_ARTIFACT_DIR for CI to upload
+// (e.g. failure transcripts). Without the variable it logs the content
+// instead, so local failures are still diagnosable.
+func Artifact(t testing.TB, name, content string) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		t.Logf("testkit: artifact %s:\n%s", name, content)
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("testkit: create artifact dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, sanitize(t.Name())+"-"+name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Logf("testkit: write artifact %s: %v", path, err)
+		return
+	}
+	t.Logf("testkit: wrote artifact %s", path)
+}
+
+// DumpTranscriptOnFailure registers a cleanup that, if the test failed,
+// ships the injector's transcript (per Artifact) — the failure's exact
+// fault schedule, for offline replay.
+func DumpTranscriptOnFailure(t *testing.T, seed int64, inj *faultinject.Injector) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() || inj == nil {
+			return
+		}
+		events := inj.Transcript()
+		faultinject.SortEvents(events)
+		Artifact(t, fmt.Sprintf("seed%d-transcript.txt", seed), faultinject.FormatTranscript(events))
+	})
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -307,8 +307,10 @@ func (m *Model) DetectAll(ctx context.Context, tables []*Table) []Finding {
 }
 
 // modelMagic versions the model file format; bump the trailing byte on
-// incompatible layout changes.
-var modelMagic = []byte("UNIDETECT-MODEL\x01")
+// incompatible layout changes. \x02: deterministic (sorted) wire layout
+// for evidence grids and the token index — two saves of equal models are
+// byte-identical, which the checkpoint/resume protocol relies on.
+var modelMagic = []byte("UNIDETECT-MODEL\x02")
 
 // Save serializes the model (format header, evidence grids,
 // configuration, and the token index needed for featurization).
