@@ -8,6 +8,7 @@
 #   make test      — full test suite
 #   make race      — full test suite under the race detector
 #   make bench     — benchmarks (no tests)
+#   make bench-json — train/predict baseline + registry counters → BENCH_core.json
 #   make chaos     — fault-injection suite, three fixed seeds, -race
 #   make check     — everything CI runs
 
@@ -15,7 +16,7 @@ GO ?= go
 CHAOS_SEEDS ?= 1,7,42
 CHAOS_ARTIFACT_DIR ?= $(CURDIR)/chaos-artifacts
 
-.PHONY: all build lint lint-fix sarif vet test race bench chaos check
+.PHONY: all build lint lint-fix sarif vet test race bench bench-json chaos check
 
 all: build test
 
@@ -43,6 +44,12 @@ race:
 
 bench:
 	$(GO) test -run=NoSuchTest -bench=. -benchtime=1x ./...
+
+# Regenerates the committed perf/behaviour baseline. Timings are
+# machine-relative; the counters block is seed-deterministic and a diff
+# there means the pipeline's behaviour changed, not just its speed.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # Chaos suite: deterministic fault-injection tests under the race
 # detector, -count=1 so every run re-executes the schedules. Failure

@@ -11,6 +11,11 @@
 //	POST /v1/profile           body: CSV        -> JSON column profiles
 //	GET  /healthz                               -> 200 once the model is ready
 //	GET  /statusz                               -> JSON request accounting
+//	GET  /metrics                               -> Prometheus text exposition
+//
+// With -debug-addr a second listener additionally serves /metrics and the
+// net/http/pprof endpoints (DESIGN.md §9), so profiling can stay bound to
+// localhost while the service port faces traffic.
 //
 // The daemon runs under an explicit failure model (DESIGN.md §8): every
 // request gets a deadline, handler panics become 500s without killing
@@ -33,6 +38,7 @@ import (
 
 	"github.com/unidetect/unidetect"
 	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/obs"
 )
 
 func main() {
@@ -45,9 +51,15 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes (413 beyond)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos-p fault injection")
 	chaosP := flag.Float64("chaos-p", 0, "per-request fault probability (0 disables injection)")
+	debugAddr := flag.String("debug-addr", "", "optional second listener for /metrics and /debug/pprof (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
-	model, err := loadOrTrain(*modelPath, *tables)
+	// One registry spans the whole process: startup training, per-request
+	// prediction, and the serving middleware all land in the same /metrics.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, 512)
+
+	model, err := loadOrTrain(*modelPath, *tables, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +71,9 @@ func main() {
 		RetryAfter:   1,
 		Inject:       chaosInjector(*chaosSeed, *chaosP),
 		Logf:         log.Printf,
+		Obs:          reg,
+		Tracer:       tracer,
+		ChaosSeed:    *chaosSeed,
 	}
 	srv := &http.Server{
 		Handler:           newHandler(model, cfg),
@@ -67,6 +82,23 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dsrv := &http.Server{
+			Handler:           debugHandler(reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		debugDone := make(chan error, 1)
+		go func() { debugDone <- dsrv.Serve(dln) }()
+		defer func() {
+			_ = dsrv.Close()
+			<-debugDone
+		}()
+		log.Printf("unidetectd debug listener on %s", dln.Addr())
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,7 +124,8 @@ func chaosInjector(seed int64, p float64) *faultinject.Injector {
 	)
 }
 
-func loadOrTrain(modelPath string, tables int) (*unidetect.Model, error) {
+func loadOrTrain(modelPath string, tables int, reg *obs.Registry) (*unidetect.Model, error) {
+	opts := &unidetect.Options{Obs: reg}
 	if modelPath != "" {
 		f, err := os.Open(modelPath)
 		if err != nil {
@@ -100,11 +133,11 @@ func loadOrTrain(modelPath string, tables int) (*unidetect.Model, error) {
 		}
 		defer f.Close()
 		log.Printf("loading model from %s", modelPath)
-		return unidetect.Load(f, nil)
+		return unidetect.Load(f, opts)
 	}
 	log.Printf("training synthetic model on %d tables...", tables)
 	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, tables, 1)
-	return unidetect.Train(context.Background(), bg, nil)
+	return unidetect.Train(context.Background(), bg, opts)
 }
 
 // detectResponse is the /v1/detect reply.
@@ -138,6 +171,7 @@ func newHandler(model *unidetect.Model, cfg serverConfig) http.Handler {
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, s.m.snapshot())
 	})
+	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/v1/detect", s.protect(s.handleDetect))
 	mux.HandleFunc("/v1/profile", s.protect(s.handleProfile))
 	return mux

@@ -8,12 +8,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"github.com/unidetect/unidetect"
 	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/obs"
 )
 
 // serverConfig is the daemon's failure-model knobs: how long a request
@@ -39,6 +40,15 @@ type serverConfig struct {
 	Inject *faultinject.Injector
 	// Logf receives server diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+	// Obs is the metrics registry behind /metrics and /statusz; nil
+	// makes newServer create a private one, so accounting always works.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per protected request,
+	// tagged with the chaos seed and final status.
+	Tracer *obs.Tracer
+	// ChaosSeed is stamped on request spans so a latency outlier can be
+	// joined to the failure transcript that produced it.
+	ChaosSeed int64
 }
 
 func defaultServerConfig() serverConfig {
@@ -51,19 +61,46 @@ func defaultServerConfig() serverConfig {
 	}
 }
 
-// metrics is the daemon's request accounting, updated atomically on the
-// hot path and reported by /statusz. The counters are the chaos-test
-// oracle: after N requests under a fault schedule, requests must equal N
-// and the status classes must sum to it — no request may vanish.
+// metrics is the daemon's request accounting, resolved once from the
+// registry and updated on the hot path through the cached children. The
+// counters are the chaos-test oracle: after N requests under a fault
+// schedule, requests must equal N and the status classes must sum to it
+// — no request may vanish. /statusz and /metrics read the same
+// collectors, so the two views can never disagree.
 type metrics struct {
-	requests  atomic.Int64 // accepted into protect, including shed
-	inflight  atomic.Int64 // currently holding a concurrency slot
-	status2xx atomic.Int64
-	status4xx atomic.Int64
-	status5xx atomic.Int64
-	shed      atomic.Int64 // rejected with 429 (counted in status4xx too)
-	panics    atomic.Int64 // handler panics converted to 500
-	timeouts  atomic.Int64 // requests whose deadline expired
+	requests  *obs.Counter
+	inflight  *obs.Gauge
+	status2xx *obs.Counter
+	status4xx *obs.Counter
+	status5xx *obs.Counter
+	shed      *obs.Counter
+	panics    *obs.Counter
+	timeouts  *obs.Counter
+	injected  *obs.CounterVec
+}
+
+// newMetrics registers the daemon's metric families on r. Every
+// unidetectd_* name literal lives here and nowhere else.
+func newMetrics(r *obs.Registry) metrics {
+	responses := r.CounterVec("unidetectd_responses_total",
+		"Completed requests by status class.", "class")
+	return metrics{
+		requests: r.Counter("unidetectd_requests_total",
+			"Requests accepted into the protection middleware, shed included."),
+		inflight: r.Gauge("unidetectd_inflight",
+			"Requests currently holding a concurrency slot."),
+		status2xx: responses.With("2xx"),
+		status4xx: responses.With("4xx"),
+		status5xx: responses.With("5xx"),
+		shed: r.Counter("unidetectd_shed_total",
+			"Requests rejected with 429 under load (also counted as 4xx)."),
+		panics: r.Counter("unidetectd_panics_total",
+			"Handler panics converted to 500 responses."),
+		timeouts: r.Counter("unidetectd_timeouts_total",
+			"Requests whose per-request deadline expired."),
+		injected: r.CounterVec("unidetectd_injected_faults_total",
+			"Faults the chaos injector fired during request handling, by site.", "site"),
+	}
 }
 
 // statuszResponse is the /statusz reply.
@@ -80,25 +117,25 @@ type statuszResponse struct {
 
 func (m *metrics) snapshot() statuszResponse {
 	return statuszResponse{
-		Requests:  m.requests.Load(),
-		InFlight:  m.inflight.Load(),
-		Status2xx: m.status2xx.Load(),
-		Status4xx: m.status4xx.Load(),
-		Status5xx: m.status5xx.Load(),
-		Shed:      m.shed.Load(),
-		Panics:    m.panics.Load(),
-		Timeouts:  m.timeouts.Load(),
+		Requests:  m.requests.Value(),
+		InFlight:  m.inflight.Value(),
+		Status2xx: m.status2xx.Value(),
+		Status4xx: m.status4xx.Value(),
+		Status5xx: m.status5xx.Value(),
+		Shed:      m.shed.Value(),
+		Panics:    m.panics.Value(),
+		Timeouts:  m.timeouts.Value(),
 	}
 }
 
 func (m *metrics) count(status int) {
 	switch {
 	case status >= 500:
-		m.status5xx.Add(1)
+		m.status5xx.Inc()
 	case status >= 400:
-		m.status4xx.Add(1)
+		m.status4xx.Inc()
 	default:
-		m.status2xx.Add(1)
+		m.status2xx.Inc()
 	}
 }
 
@@ -106,6 +143,7 @@ func (m *metrics) count(status int) {
 type server struct {
 	model *unidetect.Model
 	cfg   serverConfig
+	reg   *obs.Registry
 	m     metrics
 	sem   chan struct{} // concurrency slots; len() is the inflight gauge
 }
@@ -120,7 +158,22 @@ func newServer(model *unidetect.Model, cfg serverConfig) *server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = defaultServerConfig().RetryAfter
 	}
-	return &server{model: model, cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	s := &server{
+		model: model,
+		cfg:   cfg,
+		reg:   cfg.Obs,
+		m:     newMetrics(cfg.Obs),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+	// Count every fault the injector fires while serving; the transcript
+	// stays the source of truth, the counter is its live aggregate.
+	cfg.Inject.Observe(func(ev faultinject.Event) {
+		s.m.injected.With(ev.Site).Inc()
+	})
+	return s
 }
 
 func (s *server) logf(format string, args ...any) {
@@ -156,17 +209,23 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // first: load shedding (429 + Retry-After instead of unbounded queueing),
 // a per-request deadline on the context, panic recovery (500 instead of
 // a dead daemon), and a chaos injection point at "unidetectd<path>".
+// Each protected request is one span, tagged with the chaos seed and the
+// final status.
 func (s *server) protect(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.m.requests.Add(1)
+		s.m.requests.Inc()
+		sp := s.cfg.Tracer.Start("unidetectd" + r.URL.Path)
+		sp.Tag("seed", s.cfg.ChaosSeed)
 		sw := &statusWriter{ResponseWriter: w}
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			s.m.shed.Add(1)
+			s.m.shed.Inc()
 			sw.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
 			http.Error(sw, "overloaded, retry later", http.StatusTooManyRequests)
 			s.m.count(sw.status)
+			sp.Tag("status", sw.status)
+			sp.End()
 			return
 		}
 		s.m.inflight.Add(1)
@@ -177,19 +236,21 @@ func (s *server) protect(h http.HandlerFunc) http.HandlerFunc {
 		}
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.m.panics.Add(1)
+				s.m.panics.Inc()
 				s.logf("unidetectd: %s %s panicked: %v", r.Method, r.URL.Path, rec)
 				if !sw.wrote {
 					http.Error(sw, "internal error", http.StatusInternalServerError)
 				}
 			}
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				s.m.timeouts.Add(1)
+				s.m.timeouts.Inc()
 			}
 			cancel()
 			s.m.count(sw.status)
 			s.m.inflight.Add(-1)
 			<-s.sem
+			sp.Tag("status", sw.status)
+			sp.End()
 		}()
 		if err := s.cfg.Inject.Hit(ctx, "unidetectd"+r.URL.Path); err != nil {
 			http.Error(sw, "injected fault: "+err.Error(), http.StatusInternalServerError)
@@ -243,6 +304,21 @@ func (s *server) readTable(w http.ResponseWriter, r *http.Request) (*unidetect.T
 		return nil, false
 	}
 	return tbl, true
+}
+
+// debugHandler serves the observability endpoints of the -debug-addr
+// listener: the metrics exposition plus the standard pprof surface. It
+// is a separate handler (rather than more mux routes) so profiling can
+// bind to localhost while the service port faces the load balancer.
+func debugHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs srv on ln until ctx is cancelled, then drains gracefully:

@@ -46,6 +46,7 @@ import (
 var (
 	rootsFlag = `^(Measure|Detect|DetectAll|Predict|Train|LR)$`
 	modsFlag  = "github.com/unidetect/unidetect"
+	trustFlag = "github.com/unidetect/unidetect/internal/obs"
 	allFlag   = false
 )
 
@@ -63,6 +64,8 @@ func init() {
 		"regexp of function names that must be deterministic (the metric-path entry points)")
 	Analyzer.Flags.StringVar(&modsFlag, "mods", modsFlag,
 		"comma-separated module prefixes whose packages are analyzed")
+	Analyzer.Flags.StringVar(&trustFlag, "trust", trustFlag,
+		"comma-separated packages trusted on metric paths: their functions are audited to read time only through an injectable clock, so calls into them do not taint callers")
 	Analyzer.Flags.BoolVar(&allFlag, "all", allFlag,
 		"analyze every package regardless of module prefix (testing)")
 }
@@ -406,7 +409,13 @@ func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 
 // callees returns the statically resolvable functions fd calls: package
 // functions and methods with concrete receivers. Interface method calls
-// resolve to nil concrete functions and are skipped.
+// resolve to nil concrete functions and are skipped, as are calls into
+// -trust packages: the observability layer reads time only through its
+// injectable Clock (put on testkit.VirtualClock, instrumented chaos runs
+// stay byte-deterministic — the property its own tests pin), so
+// instrumenting a metric-path function must not taint it. The trust is
+// scoped to the named packages, not granted per call site, so there are
+// no blanket //lint:ignore suppressions to rot on metric paths.
 func callees(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Func {
 	var out []*types.Func
 	seen := map[*types.Func]bool{}
@@ -430,13 +439,27 @@ func callees(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Func {
 		default:
 			return true
 		}
-		if fn, ok := obj.(*types.Func); ok && !seen[fn] {
+		if fn, ok := obj.(*types.Func); ok && !seen[fn] && !trusted(fn) {
 			seen[fn] = true
 			out = append(out, fn)
 		}
 		return true
 	})
 	return out
+}
+
+// trusted reports whether fn is defined in a -trust package.
+func trusted(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	for _, p := range strings.Split(trustFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" && pkg.Path() == p {
+			return true
+		}
+	}
+	return false
 }
 
 func isMapType(pass *analysis.Pass, e ast.Expr) bool {

@@ -19,3 +19,21 @@ func TestDeterministic(t *testing.T) {
 	}
 	analysistest.Run(t, analysistest.TestData(), deterministic.Analyzer, "a", "clean", "suppressed")
 }
+
+func TestDeterministicTrust(t *testing.T) {
+	for flag, val := range map[string]string{"all": "true", "trust": "obspkg"} {
+		if err := deterministic.Analyzer.Flags.Set(flag, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if err := deterministic.Analyzer.Flags.Set("trust",
+			"github.com/unidetect/unidetect/internal/obs"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	// Package trusted instruments its Measure root through obspkg's
+	// wall-clock registry: with obspkg trusted the root stays clean,
+	// while a wall-clock read outside the trusted package still taints.
+	analysistest.Run(t, analysistest.TestData(), deterministic.Analyzer, "trusted")
+}

@@ -1,0 +1,16 @@
+// Package obspkg is a stand-in for internal/obs in the -trust test: a
+// metrics registry whose clock method reads wall time. Untrusted, that
+// read would taint every instrumented caller; the -trust flag contains
+// it, because the real package only reads time through an injectable
+// Clock whose virtual implementation keeps chaos runs deterministic.
+package obspkg
+
+import "time"
+
+type Registry struct{ start time.Time }
+
+// Now reads the wall clock — the taint -trust must contain.
+func (r *Registry) Now() time.Duration { return time.Since(r.start) }
+
+// Observe records a sample; deterministic by itself.
+func (r *Registry) Observe(v float64) {}

@@ -1,0 +1,30 @@
+package trusted
+
+import (
+	"time"
+
+	"obspkg"
+)
+
+type D struct {
+	reg *obspkg.Registry
+}
+
+// Measure is instrumented through the trusted registry: the clock reads
+// hide behind obspkg, so the metric path stays provably deterministic
+// and no suppression is needed.
+func (d *D) Measure(rows []string) []float64 {
+	start := d.reg.Now()
+	out := make([]float64, len(rows))
+	d.reg.Observe(float64(d.reg.Now() - start))
+	return out
+}
+
+// Detect reaches the wall clock through a local helper, not the trusted
+// package: still tainted — trust is per package, not per time read.
+func Detect(xs []string) []string { // want `Detect is a determinism root \(metric path\) but calls stamp, which calls time\.Since, which reads the wall clock`
+	_ = stamp()
+	return xs
+}
+
+func stamp() time.Duration { return time.Since(time.Time{}) }

@@ -1,0 +1,178 @@
+// Package metricname defines an analyzer that keeps the observability
+// registry's metric inventory statically checkable.
+//
+// DESIGN.md §9 promises a complete metric inventory: every time series
+// the binaries can emit is listed in one table, greppable by name. That
+// promise holds only if (a) every name passed to an internal/obs
+// constructor (Registry.Counter, Gauge, Histogram, CounterVec,
+// HistogramVec) is a string literal — a name assembled at runtime is
+// invisible to grep and to this analyzer — and (b) each name has exactly
+// one constructor call site, so the inventory maps names to owners
+// unambiguously and two subsystems cannot silently fight over one series
+// with different help strings or bucket layouts (the registry panics at
+// runtime on such a mismatch; this analyzer moves the failure to vet
+// time). Literal names are also validated against the Prometheus metric
+// name grammar, since an invalid name poisons the whole /metrics scrape.
+//
+// Uniqueness is enforced per package directly and across packages via a
+// package fact listing each package's registrations: a duplicate is
+// reported wherever both sites are visible on the import graph. Sibling
+// packages with no import relation cannot be cross-checked by a modular
+// analysis; the shared internal/obs convention (every subsystem registers
+// its own unidetect_<subsystem>_* prefix) keeps that gap theoretical.
+// Test files are exempt: tests register scratch names on private
+// registries, and get-or-create re-registration is itself under test.
+package metricname
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var obspkgFlag = "github.com/unidetect/unidetect/internal/obs"
+
+// constructors are the Registry methods whose first argument is a metric
+// name that lands in the exposition.
+var constructors = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"HistogramVec": true,
+}
+
+// nameRx is the Prometheus metric name grammar (text format 0.0.4).
+var nameRx = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Analyzer checks obs metric registrations: literal, valid, unique names.
+var Analyzer = &analysis.Analyzer{
+	Name:      "metricname",
+	Doc:       "require obs metric names to be valid Prometheus literals registered at exactly one call site",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(registered)},
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&obspkgFlag, "obspkg", obspkgFlag,
+		"import path of the metrics registry package whose constructors are checked")
+}
+
+// site is one constructor call registering a metric name.
+type site struct {
+	Name string // the metric name literal
+	Pos  string // "file.go:17", for cross-package duplicate messages
+}
+
+// registered is the package fact carrying a package's metric
+// registrations to its dependents.
+type registered struct{ Sites []site }
+
+func (*registered) AFact() {}
+
+func (r *registered) String() string {
+	names := make([]string, len(r.Sites))
+	for i, s := range r.Sites {
+		names[i] = s.Name
+	}
+	return "registers " + strings.Join(names, ",")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var sites []site
+	first := map[string]site{}         // name -> first local registration
+	firstPos := map[string]token.Pos{} // name -> its reporting position
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isConstructor(pass, call) {
+				return true
+			}
+			arg := call.Args[0]
+			lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(arg.Pos(),
+					"metric name must be a string literal (the DESIGN.md inventory and this check cannot see computed names)")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !nameRx.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"%q is not a valid Prometheus metric name (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name)
+				return true
+			}
+			posn := pass.Fset.Position(arg.Pos())
+			s := site{Name: name, Pos: fmt.Sprintf("%s:%d", posn.Filename, posn.Line)}
+			if prev, dup := first[name]; dup {
+				pass.Reportf(arg.Pos(),
+					"metric %q is registered more than once (first at %s); each name gets exactly one constructor call site", name, prev.Pos)
+			} else {
+				first[name] = s
+				firstPos[name] = arg.Pos()
+			}
+			sites = append(sites, s)
+			return true
+		})
+	}
+
+	// Cross-package: any dependency that registered one of our names.
+	for _, pf := range pass.AllPackageFacts() {
+		dep, ok := pf.Fact.(*registered)
+		if !ok || pf.Package == pass.Pkg {
+			continue
+		}
+		for _, ds := range dep.Sites {
+			if pos, dup := firstPos[ds.Name]; dup {
+				pass.Reportf(pos,
+					"metric %q is also registered by %s (at %s); each name gets exactly one constructor call site",
+					ds.Name, pf.Package.Path(), ds.Pos)
+			}
+		}
+	}
+
+	if len(sites) > 0 {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Name != sites[j].Name {
+				return sites[i].Name < sites[j].Name
+			}
+			return sites[i].Pos < sites[j].Pos
+		})
+		pass.ExportPackageFact(&registered{Sites: sites})
+	}
+	return nil, nil
+}
+
+// isConstructor reports whether call resolves to one of the registry
+// constructor methods of the configured obs package.
+func isConstructor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !constructors[fn.Name()] {
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != obspkgFlag {
+		return false
+	}
+	// Methods only: a free function that happens to share a name with a
+	// constructor is not a registration.
+	return fn.Type().(*types.Signature).Recv() != nil
+}

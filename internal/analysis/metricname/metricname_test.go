@@ -1,0 +1,30 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/metricname"
+
+	// The registry's init instruments the analyzer with the //lint:ignore
+	// suppression layer exercised by the "suppressed" pattern.
+	_ "github.com/unidetect/unidetect/internal/analysis/registry"
+)
+
+func TestMetricName(t *testing.T) {
+	// The fixtures register against the fake registry package, not the
+	// real internal/obs.
+	if err := metricname.Analyzer.Flags.Set("obspkg", "obspkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := metricname.Analyzer.Flags.Set("obspkg",
+			"github.com/unidetect/unidetect/internal/obs"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	// pkg2 imports pkg1, so the loader analyzes pkg1 first and the
+	// cross-package duplicate arrives through the package fact.
+	analysistest.Run(t, analysistest.TestData(), metricname.Analyzer,
+		"a", "clean", "suppressed", "pkg2")
+}

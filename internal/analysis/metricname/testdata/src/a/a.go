@@ -1,0 +1,20 @@
+package a
+
+import "obspkg"
+
+var computed = "app_" + suffix
+
+var suffix = "requests_total"
+
+func Register(r *obspkg.Registry) {
+	r.Counter("app-requests-total", "dashes are not in the grammar") // want `"app-requests-total" is not a valid Prometheus metric name`
+	r.Gauge(computed, "assembled at runtime")                        // want `metric name must be a string literal`
+	r.Counter(obspkg.Counter("x"), "computed through a call")        // want `metric name must be a string literal`
+	r.Histogram("app_latency_seconds", "ok", nil)
+	r.HistogramVec("app_latency_seconds", "same name, different shape", nil, "path") // want `metric "app_latency_seconds" is registered more than once \(first at .*a\.go:13\)`
+	r.CounterVec("app_by_code_total", "ok", "code")
+}
+
+func RegisterAgain(r *obspkg.Registry) {
+	r.Counter("app_by_code_total", "second owner in the same package") // want `metric "app_by_code_total" is registered more than once`
+}

@@ -1,0 +1,16 @@
+package clean
+
+import "obspkg"
+
+// Register owns each of its names at exactly one call site, all valid
+// Prometheus literals — including a colon, which the grammar allows.
+func Register(r *obspkg.Registry) {
+	reqs := r.Counter("clean_requests_total", "requests")
+	_ = reqs
+	r.Gauge("clean_inflight", "in flight")
+	r.Histogram("clean_latency_seconds", "latency", nil)
+	r.CounterVec("clean_responses_total", "by class", "class")
+	r.HistogramVec("clean:scrape_seconds", "recording-rule style name", nil, "job")
+	// Not a registration: free function, not a Registry method.
+	_ = obspkg.Counter("not_a_metric")
+}

@@ -1,0 +1,34 @@
+// Package obspkg is a stand-in for internal/obs: a registry exposing the
+// five metric constructors the metricname analyzer checks. The test sets
+// -obspkg=obspkg so call sites in sibling fixture packages resolve here.
+package obspkg
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type CounterVec struct{}
+
+type HistogramVec struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+
+func (r *Registry) CounterVec(name, help, label string) *CounterVec { return &CounterVec{} }
+
+func (r *Registry) HistogramVec(name, help string, buckets []float64, label string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+// Counter is a free function sharing a constructor's name; calls to it
+// are not registrations.
+func Counter(name string) string { return name }

@@ -1,0 +1,9 @@
+// Package pkg1 registers a metric that package pkg2, its dependent, also
+// tries to own — the cross-package duplicate the package fact carries.
+package pkg1
+
+import "obspkg"
+
+func Register(r *obspkg.Registry) {
+	r.Counter("shared_widgets_total", "owned here")
+}

@@ -1,0 +1,12 @@
+package pkg2
+
+import (
+	"obspkg"
+	"pkg1"
+)
+
+func Register(r *obspkg.Registry) {
+	pkg1.Register(r)
+	r.Counter("shared_widgets_total", "fighting pkg1 for the series") // want `metric "shared_widgets_total" is also registered by pkg1`
+	r.Counter("pkg2_own_total", "fine")
+}

@@ -1,0 +1,8 @@
+package suppressed
+
+import "obspkg"
+
+func Register(r *obspkg.Registry) {
+	//lint:ignore metricname migration shim: old dashboards scrape the legacy dashed name
+	r.Counter("legacy-name", "grandfathered")
+}

@@ -29,6 +29,7 @@ import (
 	"github.com/unidetect/unidetect/internal/analysis/floatcompare"
 	"github.com/unidetect/unidetect/internal/analysis/goroleak"
 	"github.com/unidetect/unidetect/internal/analysis/lockguard"
+	"github.com/unidetect/unidetect/internal/analysis/metricname"
 	"github.com/unidetect/unidetect/internal/analysis/nonnegcount"
 	"github.com/unidetect/unidetect/internal/analysis/seededrand"
 	"github.com/unidetect/unidetect/internal/analysis/uncheckederr"
@@ -43,6 +44,7 @@ var analyzers = []*analysis.Analyzer{
 	floatcompare.Analyzer,
 	goroleak.Analyzer,
 	lockguard.Analyzer,
+	metricname.Analyzer,
 	nonnegcount.Analyzer,
 	seededrand.Analyzer,
 	uncheckederr.Analyzer,

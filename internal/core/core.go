@@ -15,6 +15,7 @@ import (
 	"github.com/unidetect/unidetect/internal/corpus"
 	"github.com/unidetect/unidetect/internal/evidence"
 	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/obs"
 	"github.com/unidetect/unidetect/internal/table"
 )
 
@@ -58,9 +59,14 @@ func (c Class) String() string {
 }
 
 // Env carries the corpus-derived context detectors need at measure time
-// (currently the token-prevalence index used by the §3.3 featurization).
+// (currently the token-prevalence index used by the §3.3 featurization),
+// plus the optional metrics registry measurement counters report to.
 type Env struct {
 	Index *corpus.TokenIndex
+	// Obs, when non-nil, receives per-detector measurement counts via
+	// CountMeasurements. Nil disables counting at the cost of one
+	// pointer test.
+	Obs *obs.Registry
 }
 
 // Measurement is one (θ1, θ2) observation produced by a detector for a

@@ -7,6 +7,7 @@ import (
 	"github.com/unidetect/unidetect/internal/evidence"
 	"github.com/unidetect/unidetect/internal/feature"
 	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/obs"
 	"github.com/unidetect/unidetect/internal/table"
 )
 
@@ -84,7 +85,18 @@ func Train(ctx context.Context, cfg Config, bg *corpus.Corpus, detectors []Detec
 // opts.FT and, when opts.CheckpointPath is set, checkpoint/resume of
 // completed reduce buckets.
 func TrainWith(ctx context.Context, cfg Config, opts TrainOptions, bg *corpus.Corpus, detectors []Detector) (*Model, error) {
-	env := &Env{Index: bg.Index()}
+	reg := opts.FT.Obs
+	tm := newTrainMetrics(reg)
+	tm.runs.Inc()
+	sp := obs.StartSpan(ctx, "core/train")
+	sp.Tag("tables", bg.NumTables())
+	trainStart := reg.Now()
+	defer func() {
+		tm.seconds.Observe((reg.Now() - trainStart).Seconds())
+		sp.End()
+	}()
+
+	env := &Env{Index: bg.Index(), Obs: reg}
 
 	mapper := func(t *table.Table, emit func(bucketID, binPair)) error {
 		for _, det := range detectors {
@@ -137,6 +149,12 @@ func TrainWith(ctx context.Context, cfg Config, opts TrainOptions, bg *corpus.Co
 		}()
 	}
 
+	if len(done) > 0 {
+		tm.resumes.Inc()
+		tm.ckResume.Add(int64(len(done)))
+		sp.Tag("resumed_buckets", len(done))
+	}
+
 	groups, err := mapreduce.MapShuffle(ctx, mrCfg, bg.Tables, mapper)
 	if err != nil {
 		return nil, err
@@ -146,7 +164,13 @@ func TrainWith(ctx context.Context, cfg Config, opts TrainOptions, bg *corpus.Co
 	}
 	var observe func(bucketID, *evidence.Grid) error
 	if ckpt != nil {
-		observe = ckpt.append
+		observe = func(id bucketID, g *evidence.Grid) error {
+			if err := ckpt.append(id, g); err != nil {
+				return err
+			}
+			tm.ckWrites.Inc()
+			return nil
+		}
 	}
 	grids, err := mapreduce.ReduceObserved(ctx, mrCfg, groups, reducer, observe)
 	if err != nil {

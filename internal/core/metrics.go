@@ -1,0 +1,74 @@
+package core
+
+import (
+	"github.com/unidetect/unidetect/internal/obs"
+)
+
+// trainMetrics bundles the offline-pass metric children. Fields are nil
+// (no-op) without a registry.
+type trainMetrics struct {
+	runs     *obs.Counter
+	resumes  *obs.Counter
+	seconds  *obs.Histogram
+	ckWrites *obs.Counter
+	ckResume *obs.Counter
+}
+
+// newTrainMetrics resolves the training metric children from r (nil-safe).
+// Every training metric name literal lives here and nowhere else.
+func newTrainMetrics(r *obs.Registry) trainMetrics {
+	return trainMetrics{
+		runs: r.Counter("unidetect_train_runs_total",
+			"Offline learning passes started."),
+		resumes: r.Counter("unidetect_train_resumes_total",
+			"Learning passes that resumed work from a checkpoint."),
+		seconds: r.Histogram("unidetect_train_seconds",
+			"Wall time of the offline learning pass.", nil),
+		ckWrites: r.Counter("unidetect_train_checkpoint_buckets_written_total",
+			"Reduce buckets durably appended to the checkpoint."),
+		ckResume: r.Counter("unidetect_train_checkpoint_buckets_resumed_total",
+			"Reduce buckets restored from a checkpoint instead of recomputed."),
+	}
+}
+
+// predictMetrics bundles the online-path metric children.
+type predictMetrics struct {
+	tables     *obs.Counter
+	degraded   *obs.Counter
+	detSeconds *obs.HistogramVec
+	lr         *obs.HistogramVec
+	findings   *obs.CounterVec
+}
+
+// newPredictMetrics resolves the prediction metric children from r
+// (nil-safe). Every prediction metric name literal lives here.
+func newPredictMetrics(r *obs.Registry) predictMetrics {
+	return predictMetrics{
+		tables: r.Counter("unidetect_predict_tables_total",
+			"Tables scored by the predictor."),
+		degraded: r.Counter("unidetect_predict_degraded_tables_total",
+			"Tables whose findings were dropped by graceful degradation."),
+		detSeconds: r.HistogramVec("unidetect_predict_detector_seconds",
+			"Per-table prediction latency by detector (measure plus LR lookups).",
+			"detector", nil),
+		lr: r.HistogramVec("unidetect_predict_lr",
+			"Likelihood ratios of valid measurements by detector.",
+			"detector", obs.ScoreBuckets),
+		findings: r.CounterVec("unidetect_predict_findings_total",
+			"Findings emitted (before cross-candidate dedup) by detector.",
+			"detector"),
+	}
+}
+
+// CountMeasurements records n measurements produced by a detector of
+// class cls. Detectors call this at the end of Measure; the single call
+// chain keeps the metric name at one registration site. Safe on a nil
+// Env or an Env with no registry.
+func (e *Env) CountMeasurements(cls Class, n int) {
+	if e == nil || e.Obs == nil || n <= 0 {
+		return
+	}
+	e.Obs.CounterVec("unidetect_detector_measurements_total",
+		"Measurements produced by each detector's Measure.", "detector").
+		With(cls.String()).Add(int64(n))
+}

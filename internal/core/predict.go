@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/obs"
 	"github.com/unidetect/unidetect/internal/stats"
 	"github.com/unidetect/unidetect/internal/table"
 )
@@ -24,6 +25,14 @@ type Predictor struct {
 	Inject *faultinject.Injector
 	// Logf receives degradation messages; nil discards them.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives prediction metrics: per-detector
+	// latency and LR histograms, finding and degraded-table counters.
+	Obs *obs.Registry
+
+	metricsOnce sync.Once
+	// pm is built from Obs on first use; all children are no-ops when
+	// Obs is nil.
+	pm predictMetrics
 }
 
 // NewPredictor builds a predictor. env may carry a token index built over
@@ -42,18 +51,23 @@ func NewPredictor(m *Model, detectors []Detector, env *Env) *Predictor {
 // other column — so findings of the same class flagging the same row set
 // are deduplicated, keeping the most confident (smallest LR).
 func (p *Predictor) Detect(t *table.Table) []Finding {
+	pm := p.metrics()
+	pm.tables.Inc()
 	best := map[string]Finding{}
 	var order []string
 	for _, det := range p.Detectors {
 		cls := det.Class()
+		detStart := p.Obs.Now()
 		for _, meas := range det.Measure(t, p.Env) {
 			if !meas.Valid {
 				continue
 			}
 			lr, support := p.Model.LR(cls, det, meas)
+			pm.lr.With(cls.String()).Observe(lr)
 			if lr > p.Model.Config.Alpha {
 				continue
 			}
+			pm.findings.With(cls.String()).Inc()
 			f := Finding{
 				Class:   cls,
 				Table:   t.Name,
@@ -75,6 +89,7 @@ func (p *Predictor) Detect(t *table.Table) []Finding {
 				best[key] = f
 			}
 		}
+		pm.detSeconds.With(cls.String()).Observe((p.Obs.Now() - detStart).Seconds())
 	}
 	out := make([]Finding, 0, len(order))
 	for _, k := range order {
@@ -114,6 +129,9 @@ func appendInt(b []byte, v int) []byte {
 // DetectAll scores many tables concurrently and returns all findings
 // ranked by ascending LR.
 func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Finding {
+	sp := obs.StartSpan(ctx, "core/detect_all")
+	sp.Tag("tables", len(tables))
+	defer sp.End()
 	workers := p.Model.Config.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -167,14 +185,24 @@ func (p *Predictor) detectShard(ctx context.Context, t *table.Table) (fs []Findi
 	defer func() {
 		if r := recover(); r != nil {
 			p.logf("core: predict table %q panicked: %v; skipping", t.Name, r)
+			p.metrics().degraded.Inc()
 			fs = nil
 		}
 	}()
 	if err := p.Inject.Hit(ctx, "core/predict/table="+t.Name); err != nil {
 		p.logf("core: predict table %q failed: %v; skipping", t.Name, err)
+		p.metrics().degraded.Inc()
 		return nil
 	}
 	return p.Detect(t)
+}
+
+// metrics resolves the predictor's metric children once; cheap and
+// concurrency-safe thereafter (DetectAll shares one Predictor across
+// workers).
+func (p *Predictor) metrics() *predictMetrics {
+	p.metricsOnce.Do(func() { p.pm = newPredictMetrics(p.Obs) })
+	return &p.pm
 }
 
 func (p *Predictor) logf(format string, args ...any) {

@@ -27,8 +27,8 @@ func (d *FD) Quantizer() evidence.Quantizer { return evidence.RatioQuantizer{N: 
 func (d *FD) Directions() evidence.Directions { return evidence.RatioDirections }
 
 // Measure implements core.Detector.
-func (d *FD) Measure(t *table.Table, env *core.Env) []core.Measurement {
-	var out []core.Measurement
+func (d *FD) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
+	defer func() { env.CountMeasurements(core.ClassFD, len(out)) }()
 	n := t.NumRows()
 	if n < d.Cfg.MinRows {
 		return nil

@@ -39,8 +39,8 @@ func (d *FDSynth) minConforming() float64 {
 }
 
 // Measure implements core.Detector.
-func (d *FDSynth) Measure(t *table.Table, env *core.Env) []core.Measurement {
-	var out []core.Measurement
+func (d *FDSynth) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
+	defer func() { env.CountMeasurements(core.ClassFDSynth, len(out)) }()
 	n := t.NumRows()
 	if n < d.Cfg.MinRows {
 		return nil

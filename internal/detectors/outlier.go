@@ -81,8 +81,8 @@ func (d *Outlier) Quantizer() evidence.Quantizer {
 func (d *Outlier) Directions() evidence.Directions { return evidence.OutlierDirections }
 
 // Measure implements core.Detector.
-func (d *Outlier) Measure(t *table.Table, env *core.Env) []core.Measurement {
-	var out []core.Measurement
+func (d *Outlier) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
+	defer func() { env.CountMeasurements(core.ClassOutlier, len(out)) }()
 	for _, c := range t.Columns {
 		typ := c.Type()
 		if typ != table.TypeInt && typ != table.TypeFloat {

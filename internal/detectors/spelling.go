@@ -34,8 +34,8 @@ func (d *Spelling) Quantizer() evidence.Quantizer { return evidence.IntQuantizer
 func (d *Spelling) Directions() evidence.Directions { return evidence.SpellingDirections }
 
 // Measure implements core.Detector.
-func (d *Spelling) Measure(t *table.Table, env *core.Env) []core.Measurement {
-	var out []core.Measurement
+func (d *Spelling) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
+	defer func() { env.CountMeasurements(core.ClassSpelling, len(out)) }()
 	for _, c := range t.Columns {
 		if c.Len() < d.Cfg.MinRows {
 			continue

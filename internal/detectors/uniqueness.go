@@ -28,8 +28,8 @@ func (d *Uniqueness) Quantizer() evidence.Quantizer { return evidence.RatioQuant
 func (d *Uniqueness) Directions() evidence.Directions { return evidence.RatioDirections }
 
 // Measure implements core.Detector.
-func (d *Uniqueness) Measure(t *table.Table, env *core.Env) []core.Measurement {
-	var out []core.Measurement
+func (d *Uniqueness) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
+	defer func() { env.CountMeasurements(core.ClassUniqueness, len(out)) }()
 	for pos, c := range t.Columns {
 		n := c.Len()
 		if n < d.Cfg.MinRows {

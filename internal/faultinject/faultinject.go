@@ -170,10 +170,11 @@ type Injector struct {
 	rules []Rule
 	clock Clock
 
-	mu     sync.Mutex
-	hits   map[string]int // per-site hit counts; guarded by mu
-	fires  []int          // per-rule fire counts; guarded by mu
-	events []Event        // transcript; guarded by mu
+	mu       sync.Mutex
+	hits     map[string]int // per-site hit counts; guarded by mu
+	fires    []int          // per-rule fire counts; guarded by mu
+	events   []Event        // transcript; guarded by mu
+	observer func(Event)    // guarded by mu (set once, read per fire)
 }
 
 // New builds an injector with the given seed and rules. The default
@@ -185,6 +186,20 @@ func New(seed int64, rules ...Rule) *Injector {
 // WithClock sets the clock delays are slept on and returns the injector.
 func (in *Injector) WithClock(c Clock) *Injector {
 	in.clock = c
+	return in
+}
+
+// Observe registers fn to be called — under the injector lock, in firing
+// order — for every event appended to the transcript. Observability
+// layers use this to count injected faults without polling; fn must be
+// fast and must not call back into the injector. Nil-safe.
+func (in *Injector) Observe(fn func(Event)) *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.observer = fn
+	in.mu.Unlock()
 	return in
 }
 
@@ -214,7 +229,11 @@ func (in *Injector) Hit(ctx context.Context, site string) error {
 		}
 		fired, fault = i, r.Fault
 		in.fires[i]++
-		in.events = append(in.events, Event{Site: site, Hit: n, Rule: i, Action: fault.describe()})
+		ev := Event{Site: site, Hit: n, Rule: i, Action: fault.describe()}
+		in.events = append(in.events, ev)
+		if in.observer != nil {
+			in.observer(ev)
+		}
 		break
 	}
 	in.mu.Unlock()

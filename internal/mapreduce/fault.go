@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/obs"
 )
 
 // FailurePolicy decides what a permanently failed work unit (a map shard
@@ -115,6 +116,11 @@ type FT struct {
 	Logf func(format string, args ...any)
 	// Stats, when non-nil, is filled with what happened.
 	Stats *Stats
+	// Obs, when non-nil, receives job metrics: per-phase duration
+	// histograms and retry/panic/lost-unit counters. Durations are read
+	// from the registry's clock, so a virtual clock keeps instrumented
+	// runs deterministic.
+	Obs *obs.Registry
 }
 
 func (ft FT) clock() faultinject.Clock {
@@ -133,6 +139,7 @@ func (ft FT) logf(format string, args ...any) {
 // lossTracker enforces the SkipAndLog budget across workers.
 type lossTracker struct {
 	ft FT
+	jm jobMetrics
 
 	mu     sync.Mutex
 	shards []int // guarded by mu
@@ -153,8 +160,10 @@ func (lt *lossTracker) lose(shard int, isKey bool, cause error) error {
 	}
 	if isKey {
 		lt.keys++
+		lt.jm.lostKeys.Inc()
 	} else {
 		lt.shards = append(lt.shards, shard)
+		lt.jm.lostShards.Inc()
 	}
 	lt.ft.logf("mapreduce: skipping failed unit (%d lost so far): %v", lost+1, cause)
 	return nil
@@ -175,11 +184,12 @@ func (lt *lossTracker) flush() {
 
 // recovered runs f, converting a panic into an error so chaos-injected
 // (or genuine) panics in user map/reduce functions become retryable
-// failures instead of killing the process.
+// failures instead of killing the process. Panics come back as
+// *panicError so runUnit can count them.
 func recovered(f func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("mapreduce: recovered panic: %v", r)
+			err = &panicError{val: r}
 		}
 	}()
 	return f()

@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"github.com/unidetect/unidetect/internal/obs"
 )
 
 // Mapper transforms one input into zero or more keyed values via emit.
@@ -70,6 +72,14 @@ func MapShuffle[I any, K comparable, V any](
 	inputs []I,
 	m Mapper[I, K, V],
 ) (map[K][]V, error) {
+	jm := cfg.FT.metrics("map")
+	sp := obs.StartSpan(ctx, "mapreduce/map")
+	sp.Tag("shards", len(inputs))
+	phaseStart := cfg.FT.Obs.Now()
+	defer func() {
+		jm.phase.Observe((cfg.FT.Obs.Now() - phaseStart).Seconds())
+		sp.End()
+	}()
 	nw := cfg.workers()
 	if nw > len(inputs) && len(inputs) > 0 {
 		nw = len(inputs)
@@ -106,7 +116,7 @@ func MapShuffle[I any, K comparable, V any](
 			}
 		}
 	}()
-	lt := &lossTracker{ft: cfg.FT}
+	lt := &lossTracker{ft: cfg.FT, jm: jm}
 	var retries atomic.Int64
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -116,7 +126,7 @@ func MapShuffle[I any, K comparable, V any](
 			for i := range next {
 				site := "mapreduce/map/shard=" + strconv.Itoa(i)
 				mark := len(shards[w])
-				err := runUnit(ctx, cfg.FT, site, &retries,
+				err := runUnit(ctx, cfg.FT, jm, site, &retries,
 					func() error { return m(inputs[i], emit) },
 					func() { shards[w] = shards[w][:mark] })
 				if err == nil {
@@ -180,6 +190,14 @@ func ReduceObserved[K comparable, V any, R any](
 	r Reducer[K, V, R],
 	observe func(K, R) error,
 ) (map[K]R, error) {
+	jm := cfg.FT.metrics("reduce")
+	sp := obs.StartSpan(ctx, "mapreduce/reduce")
+	sp.Tag("keys", len(groups))
+	phaseStart := cfg.FT.Obs.Now()
+	defer func() {
+		jm.phase.Observe((cfg.FT.Obs.Now() - phaseStart).Seconds())
+		sp.End()
+	}()
 	keys := make([]K, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
@@ -212,7 +230,7 @@ func ReduceObserved[K comparable, V any, R any](
 			}
 		}
 	}()
-	lt := &lossTracker{ft: cfg.FT}
+	lt := &lossTracker{ft: cfg.FT, jm: jm}
 	var retries atomic.Int64
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -221,7 +239,7 @@ func ReduceObserved[K comparable, V any, R any](
 			for k := range next {
 				site := "mapreduce/reduce/key=" + fmt.Sprint(k)
 				var res R
-				err := runUnit(ctx, cfg.FT, site, &retries,
+				err := runUnit(ctx, cfg.FT, jm, site, &retries,
 					func() error {
 						var rerr error
 						res, rerr = r(k, groups[k])
@@ -274,7 +292,7 @@ func ReduceObserved[K comparable, V any, R any](
 // either are recovered into retryable errors); on failure rollback (if
 // any) undoes partial effects and runUnit sleeps the backoff on the FT
 // clock before trying again, up to Retry.MaxAttempts total attempts.
-func runUnit(ctx context.Context, ft FT, site string, retries *atomic.Int64, attempt func() error, rollback func()) error {
+func runUnit(ctx context.Context, ft FT, jm jobMetrics, site string, retries *atomic.Int64, attempt func() error, rollback func()) error {
 	max := ft.Retry.attempts()
 	for a := 1; ; a++ {
 		err := recovered(func() error {
@@ -286,6 +304,9 @@ func runUnit(ctx context.Context, ft FT, site string, retries *atomic.Int64, att
 		if err == nil {
 			return nil
 		}
+		if isPanicError(err) {
+			jm.panics.Inc()
+		}
 		if rollback != nil {
 			rollback()
 		}
@@ -296,6 +317,7 @@ func runUnit(ctx context.Context, ft FT, site string, retries *atomic.Int64, att
 			return fmt.Errorf("after %d attempt(s): %w", a, err)
 		}
 		retries.Add(1)
+		jm.retries.Inc()
 		d := ft.Retry.backoff(ft.Seed, site, a)
 		ft.logf("mapreduce: %s attempt %d/%d failed: %v; retrying in %v", site, a, max, err, d)
 		if d > 0 {

@@ -1,0 +1,53 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/unidetect/unidetect/internal/obs"
+)
+
+// jobMetrics caches one phase's metric children so the per-unit paths
+// never touch the registry. All fields are nil (no-op) when FT.Obs is
+// nil, keeping the nil-is-off convention free on the hot path.
+type jobMetrics struct {
+	phase      *obs.Histogram
+	retries    *obs.Counter
+	panics     *obs.Counter
+	lostShards *obs.Counter
+	lostKeys   *obs.Counter
+}
+
+// metrics resolves the phase's metric children from FT.Obs. Each metric
+// name literal appears only here — the metricname analyzer holds this
+// function to one registration site per name.
+func (ft FT) metrics(phase string) jobMetrics {
+	r := ft.Obs
+	lost := r.CounterVec("unidetect_mapreduce_lost_units_total",
+		"Work units permanently dropped under SkipAndLog, by kind.", "kind")
+	return jobMetrics{
+		phase: r.HistogramVec("unidetect_mapreduce_phase_seconds",
+			"Wall time of each mapreduce phase run.", "phase", nil).With(phase),
+		retries: r.CounterVec("unidetect_mapreduce_retries_total",
+			"Failed work-unit attempts that were retried, by phase.", "phase").With(phase),
+		panics: r.CounterVec("unidetect_mapreduce_recovered_panics_total",
+			"Panics recovered out of user map/reduce functions, by phase.", "phase").With(phase),
+		lostShards: lost.With("shard"),
+		lostKeys:   lost.With("key"),
+	}
+}
+
+// panicError marks an error that started life as a recovered panic, so
+// runUnit can count panics separately from ordinary failures.
+type panicError struct {
+	val any
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("mapreduce: recovered panic: %v", e.val)
+}
+
+func isPanicError(err error) bool {
+	var pe *panicError
+	return errors.As(err, &pe)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The nil *Counter (what a
+// nil registry hands out) is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored (counters
+// only go up — a decrease is always a caller bug).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 for a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways (in-flight
+// requests, queue depth). The nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value; 0 for a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// CounterVec is a family of counters keyed by one label value
+// (per-detector, per-phase, per-status-class). The nil *CounterVec hands
+// out nil counters.
+type CounterVec struct {
+	label string
+
+	mu sync.Mutex
+	// guarded by mu
+	children map[string]*Counter
+}
+
+// With returns the counter for one label value, creating it on first
+// use. Hot paths should cache the child rather than re-resolve per
+// observation.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// snapshot returns (label value, counter) pairs sorted by label value.
+func (v *CounterVec) snapshot() []labelled[*Counter] {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return sortChildren(v.children)
+}
+
+// HistogramVec is a family of histograms keyed by one label value. All
+// children share the vec's bucket bounds. The nil *HistogramVec hands
+// out nil histograms.
+type HistogramVec struct {
+	label   string
+	buckets []float64
+
+	mu sync.Mutex
+	// guarded by mu
+	children map[string]*Histogram
+}
+
+// With returns the histogram for one label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = newHistogram(v.buckets)
+		v.children[value] = h
+	}
+	return h
+}
+
+// snapshot returns (label value, histogram) pairs sorted by label value.
+func (v *HistogramVec) snapshot() []labelled[*Histogram] {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return sortChildren(v.children)
+}
+
+// labelled pairs one label value with its child collector.
+type labelled[T any] struct {
+	value string
+	child T
+}
+
+func sortChildren[T any](m map[string]T) []labelled[T] {
+	out := make([]labelled[T], 0, len(m))
+	for v, c := range m {
+		out = append(out, labelled[T]{value: v, child: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}

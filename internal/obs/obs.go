@@ -1,0 +1,108 @@
+// Package obs is a zero-dependency observability subsystem: a metrics
+// registry (atomic counters, gauges, lock-sharded log-bucket histograms),
+// Prometheus text-format 0.0.4 exposition, and lightweight trace spans.
+//
+// The ROADMAP's north star is a production service under heavy traffic;
+// after the fault-tolerance PR the system can *survive* chaos but cannot
+// be *watched* — there was no way to ask "which detector is slow", "what
+// is the LR-lookup hit rate", or "how many tables degraded this hour".
+// This package is the answer, built under the same constraints as the
+// rest of the codebase:
+//
+//   - Zero dependencies. Exposition is the Prometheus text format written
+//     by hand; no client library, nothing new in go.mod.
+//   - Nil is off. A nil *Registry hands out nil metrics, and every method
+//     on a nil metric is a no-op — instrumented hot paths pay one pointer
+//     test when observability is disabled, mirroring the nil *Injector
+//     convention of internal/faultinject.
+//   - Determinism is preserved. The only clock reads live behind the
+//     Clock interface; under testkit.VirtualClock spans and durations are
+//     pure functions of the chaos schedule, so the `deterministic`
+//     analyzer can exempt this package (see its -trust flag) without
+//     giving up the guarantee that instrumentation never changes model
+//     bytes or findings.
+//   - Registration is get-or-create. Re-requesting a metric by name
+//     returns the existing instance (so per-job instrument structs can be
+//     rebuilt freely); a name reused with a different type, help string
+//     or label is a programmer error and panics. The `metricname`
+//     analyzer statically enforces that each name literal appears at
+//     exactly one constructor call site per binary.
+package obs
+
+import (
+	"time"
+)
+
+// Clock abstracts elapsed-time reads so durations and spans can run
+// against a virtual clock in tests. Now returns time elapsed since an
+// arbitrary fixed origin (process start for the wall clock, total virtual
+// sleep for testkit.VirtualClock); only differences are meaningful.
+type Clock interface {
+	Now() time.Duration
+}
+
+// wallClock measures real elapsed time from its creation, using the
+// monotonic reading inside time.Time.
+type wallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a Clock reading real elapsed time. It is the
+// default clock of a new Registry.
+func NewWallClock() Clock {
+	return &wallClock{start: time.Now()}
+}
+
+func (c *wallClock) Now() time.Duration { return time.Since(c.start) }
+
+// ValidName reports whether name is a legal Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*). Registry constructors panic on violations;
+// the metricname analyzer catches them at lint time.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabel reports whether name is a legal Prometheus label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func ValidLabel(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to pick histogram shards
+// from observed-value bits without any shared state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

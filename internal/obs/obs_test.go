@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock for deterministic tests.
+type fakeClock struct {
+	mu sync.Mutex
+	// guarded by mu
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	g := r.Gauge("x", "h")
+	h := r.Histogram("x_seconds", "h", nil)
+	cv := r.CounterVec("xv_total", "h", "k")
+	hv := r.HistogramVec("xv_seconds", "h", "k", nil)
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(1.5)
+	cv.With("a").Inc()
+	hv.With("a").Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must observe nothing")
+	}
+	if r.Now() != 0 {
+		t.Fatal("nil registry Now must be 0")
+	}
+	var sb strings.Builder
+	if err := r.WritePromText(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q, %v", sb.String(), err)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "same")
+	b := r.Counter("dup_total", "same")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatalf("shared counter = %d, want 2", b.Value())
+	}
+}
+
+func TestRegistryMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"kind", func(r *Registry) { r.Counter("m_total", "h"); r.Gauge("m_total", "h") }},
+		{"help", func(r *Registry) { r.Counter("m_total", "h"); r.Counter("m_total", "other") }},
+		{"label", func(r *Registry) { r.CounterVec("m_total", "h", "a"); r.CounterVec("m_total", "h", "b") }},
+		{"badname", func(r *Registry) { r.Counter("9bad", "h") }},
+		{"badlabel", func(r *Registry) { r.CounterVec("m_total", "h", "le-no") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("neg_total", "h")
+	c.Add(5)
+	c.Add(-3)
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestValidNameAndLabel(t *testing.T) {
+	for _, ok := range []string{"a", "foo_bar_total", "A9", "_x", ":colon:ok"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "9a", "a-b", "a b", "a.b"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+	if ValidLabel(":x") {
+		t.Error("colons are not legal in label names")
+	}
+	if !ValidLabel("detector") {
+		t.Error("ValidLabel(detector) must hold")
+	}
+}
+
+// TestHistogramBucketIndex cross-checks the frexp fast path against the
+// generic binary search over many values and edge cases.
+func TestHistogramBucketIndex(t *testing.T) {
+	fast := newHistogram(DurationBuckets)
+	if !fast.pow2 {
+		t.Fatal("DurationBuckets must take the frexp path")
+	}
+	slow := newHistogram(DurationBuckets)
+	slow.pow2 = false
+	values := []float64{
+		0, -1, 1e-9, math.Ldexp(1, -20), math.Ldexp(1, -20) + 1e-12,
+		0.5, 1, 1.5, 2, 63.999, 64, 64.001, 1e9,
+	}
+	for e := -25; e <= 10; e++ {
+		values = append(values, math.Ldexp(1, e), math.Ldexp(1.3, e), math.Ldexp(0.999, e))
+	}
+	for _, v := range values {
+		if got, want := fast.bucket(v), slow.bucket(v); got != want {
+			t.Errorf("bucket(%g): frexp=%d search=%d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if want := []uint64{2, 3, 4, 5}; len(cum) != len(want) {
+		t.Fatalf("cumulative = %v", cum)
+	} else {
+		for i := range want {
+			if cum[i] != want[i] {
+				t.Fatalf("cumulative = %v, want %v", cum, want)
+			}
+		}
+	}
+	if sum < 105.999 || 106.001 < sum {
+		t.Fatalf("sum = %v, want 106", sum)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry().WithClock(clk)
+	r.Counter("rt_requests_total", "Requests seen.").Add(7)
+	r.Gauge("rt_inflight", "In flight.").Set(3)
+	r.CounterVec("rt_findings_total", "Findings.", "detector").With("spelling").Add(4)
+	r.CounterVec("rt_findings_total", "Findings.", "detector").With("outlier").Inc()
+	h := r.HistogramVec("rt_latency_seconds", "Latency.", "detector", PowerOfTwoBuckets(-4, 2))
+	h.With("fd").Observe(0.1)
+	h.With("fd").Observe(3)
+	var sb strings.Builder
+	if err := r.WritePromText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	fams, err := ParseProm(text)
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, text)
+	}
+	if s, ok := Sample(fams, "rt_requests_total", nil); !ok || s.Value != 7 {
+		t.Fatalf("rt_requests_total = %+v, %v", s, ok)
+	}
+	if s, ok := Sample(fams, "rt_findings_total", map[string]string{"detector": "spelling"}); !ok || s.Value != 4 {
+		t.Fatalf("spelling findings = %+v, %v", s, ok)
+	}
+	if s, ok := Sample(fams, "rt_latency_seconds_count", map[string]string{"detector": "fd"}); !ok || s.Value != 2 {
+		t.Fatalf("latency count = %+v, %v", s, ok)
+	}
+	if f := fams["rt_latency_seconds"]; f.Type != "histogram" {
+		t.Fatalf("latency type = %q", f.Type)
+	}
+
+	// Determinism: identical state, byte-identical output.
+	var sb2 strings.Builder
+	if err := r.WritePromText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Fatal("exposition is not byte-stable")
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "line one\nline \\ two", "site").With(`a"b\c` + "\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePromText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(sb.String())
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, sb.String())
+	}
+	if got := fams["esc_total"].Help; got != "line one\nline \\ two" {
+		t.Fatalf("help round-trip = %q", got)
+	}
+	if s, ok := Sample(fams, "esc_total", nil); !ok || s.Labels["site"] != `a"b\c`+"\nd" {
+		t.Fatalf("label round-trip = %+v", s.Labels)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRegistry().WithClock(clk)
+	tr := NewTracer(r, 4)
+	ctx := WithTracer(context.Background(), tr)
+
+	sp := StartSpan(ctx, "train")
+	clk.advance(2 * time.Second)
+	sp.Tag("shards", 8)
+	sp.End()
+	sp.End() // double End is ignored
+
+	spans, total := tr.Finished()
+	if total != 1 || len(spans) != 1 {
+		t.Fatalf("finished = %d/%d, want 1/1", len(spans), total)
+	}
+	got := spans[0]
+	if got.Name != "train" || got.Duration != 2*time.Second || len(got.Tags) != 1 || got.Tags[0] != "shards=8" {
+		t.Fatalf("span = %+v", got)
+	}
+	if h := r.HistogramVec("unidetect_span_seconds", "Span durations by span name.", "span", nil); h.With("train").Count() != 1 {
+		t.Fatal("span histogram missed the observation")
+	}
+
+	// No tracer in context: everything no-ops.
+	none := StartSpan(context.Background(), "ghost")
+	none.Tag("k", "v")
+	none.End()
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(nil, 3)
+	for i := 0; i < 5; i++ {
+		sp := tr.Start("s")
+		sp.Tag("i", i)
+		sp.End()
+	}
+	spans, total := tr.Finished()
+	if total != 5 || len(spans) != 3 {
+		t.Fatalf("ring = %d spans, total %d; want 3, 5", len(spans), total)
+	}
+	if spans[0].Tags[0] != "i=2" || spans[2].Tags[0] != "i=4" {
+		t.Fatalf("ring order wrong: %+v", spans)
+	}
+}
+
+func TestFormatSpansStable(t *testing.T) {
+	spans := []SpanRecord{
+		{Name: "b", Start: 2 * time.Second, Duration: time.Second},
+		{Name: "a", Start: time.Second, Duration: time.Second, Tags: []string{"k=v"}},
+		{Name: "a", Start: time.Second, Duration: 2 * time.Second},
+	}
+	rev := []SpanRecord{spans[2], spans[0], spans[1]}
+	if FormatSpans(spans) != FormatSpans(rev) {
+		t.Fatal("FormatSpans must be order-independent")
+	}
+	want := "a start=1s dur=1s k=v\na start=1s dur=2s\nb start=2s dur=1s\n"
+	if got := FormatSpans(spans); got != want {
+		t.Fatalf("FormatSpans = %q, want %q", got, want)
+	}
+}
+
+// TestConcurrentObserve exercises every collector from many goroutines;
+// meaningful under -race.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "h")
+	g := r.Gauge("cc_gauge", "h")
+	h := r.Histogram("cc_seconds", "h", nil)
+	cv := r.CounterVec("cc_vec_total", "h", "k")
+	tr := NewTracer(r, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 100)
+				cv.With([]string{"a", "b", "c"}[j%3]).Inc()
+				sp := tr.Start("work")
+				sp.End()
+			}
+		}(i)
+	}
+	var sb strings.Builder
+	for k := 0; k < 20; k++ {
+		sb.Reset()
+		if err := r.WritePromText(&sb); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 1600 {
+		t.Fatalf("counter = %d, want 1600", c.Value())
+	}
+	if h.Count() != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", h.Count())
+	}
+	if _, err := ParseProm(func() string { sb.Reset(); _ = r.WritePromText(&sb); return sb.String() }()); err != nil {
+		t.Fatalf("final exposition invalid: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePromText writes the registry in Prometheus text format 0.0.4.
+// Families are emitted in name order and vec children in label-value
+// order, so identical metric state yields byte-identical output.
+// A nil registry writes nothing.
+func (r *Registry) WritePromText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		writeHeader(bw, f)
+		switch {
+		case f.label == "" && f.kind == kindHistogram:
+			writeHistogram(bw, f.name, "", "", f.collector.(*Histogram))
+		case f.label == "":
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			switch c := f.collector.(type) {
+			case *Counter:
+				bw.WriteString(strconv.FormatInt(c.Value(), 10))
+			case *Gauge:
+				bw.WriteString(strconv.FormatInt(c.Value(), 10))
+			}
+			bw.WriteByte('\n')
+		case f.kind == kindHistogram:
+			for _, lc := range f.vec.(*HistogramVec).snapshot() {
+				writeHistogram(bw, f.name, f.label, lc.value, lc.child)
+			}
+		default:
+			for _, lc := range f.vec.(*CounterVec).snapshot() {
+				bw.WriteString(f.name)
+				writeLabels(bw, f.label, lc.value, "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(lc.child.Value(), 10))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(bw *bufio.Writer, f *family) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	writeEscaped(bw, f.help, false)
+	bw.WriteString("\n# TYPE ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	bw.WriteString(string(f.kind))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the _bucket/_sum/_count triplet for one
+// histogram, with an optional extra (label, value) pair ahead of le.
+func writeHistogram(bw *bufio.Writer, name, label, value string, h *Histogram) {
+	cumulative, count, sum := h.snapshot()
+	for i, b := range h.bounds {
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, label, value, strconv.FormatFloat(b, 'g', -1, 64))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cumulative[i], 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_bucket")
+	writeLabels(bw, label, value, "+Inf")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(cumulative[len(cumulative)-1], 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, label, value, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatFloat(sum, 'g', -1, 64))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, label, value, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels writes a {label="value"} block. Either the named label,
+// the le bound, both, or (when both are empty) nothing.
+func writeLabels(bw *bufio.Writer, label, value, le string) {
+	if label == "" && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	if label != "" {
+		bw.WriteString(label)
+		bw.WriteString(`="`)
+		writeEscaped(bw, value, true)
+		bw.WriteByte('"')
+		if le != "" {
+			bw.WriteByte(',')
+		}
+	}
+	if le != "" {
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+// writeEscaped writes s with backslash and newline escaped; label values
+// (quoted) additionally escape the double quote.
+func writeEscaped(bw *bufio.Writer, s string, quoted bool) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '\n':
+			bw.WriteString(`\n`)
+		case '"':
+			if quoted {
+				bw.WriteString(`\"`)
+			} else {
+				bw.WriteByte(c)
+			}
+		default:
+			bw.WriteByte(c)
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics. Works (serving an empty page) on a
+// nil registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePromText(w)
+	})
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one exposition line: a metric name, its labels, and the
+// parsed value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseProm parses Prometheus text format 0.0.4 as produced by
+// WritePromText. It is strict enough to validate our own exposition in
+// end-to-end tests: every sample line must parse, every sample must
+// belong to a family declared by a preceding # TYPE line, and histogram
+// bucket counts must be non-decreasing in le order.
+func ParseProm(text string) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	var current *PromFamily
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			f := ensureFamily(fams, name)
+			f.Help = unescapeProm(help, false)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			f := ensureFamily(fams, name)
+			f.Type = typ
+			current = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		fam := familyOf(fams, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q precedes its TYPE declaration", ln+1, s.Name)
+		}
+		if current == nil || fam != current {
+			return nil, fmt.Errorf("line %d: sample %q outside its family block", ln+1, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, f := range fams {
+		if err := checkBuckets(f); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+func ensureFamily(fams map[string]*PromFamily, name string) *PromFamily {
+	f, ok := fams[name]
+	if !ok {
+		f = &PromFamily{Name: name}
+		fams[name] = f
+	}
+	return f
+}
+
+// familyOf maps a sample name to its family, stripping the histogram
+// _bucket/_sum/_count suffixes when the base name is a histogram.
+func familyOf(fams map[string]*PromFamily, sample string) *PromFamily {
+	if f, ok := fams[sample]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base == sample {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:nameEnd]
+	if !ValidName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(block string, into map[string]string) error {
+	for block != "" {
+		eq := strings.Index(block, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", block)
+		}
+		name := block[:eq]
+		if name != "le" && !ValidLabel(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		block = block[eq+1:]
+		if len(block) == 0 || block[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		// Find the closing quote, skipping escapes.
+		i := 1
+		for i < len(block) {
+			if block[i] == '\\' {
+				i += 2
+				continue
+			}
+			if block[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(block) {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		into[name] = unescapeProm(block[1:i], true)
+		block = block[i+1:]
+		block = strings.TrimPrefix(block, ",")
+	}
+	return nil
+}
+
+func unescapeProm(s string, quoted bool) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			if quoted {
+				b.WriteByte('"')
+			} else {
+				b.WriteString(`\"`)
+			}
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// checkBuckets validates histogram shape: cumulative bucket counts
+// non-decreasing per label set, +Inf bucket equal to _count.
+func checkBuckets(f *PromFamily) error {
+	if f.Type != "histogram" {
+		return nil
+	}
+	type series struct {
+		prev float64
+		inf  float64
+		seen bool
+	}
+	buckets := map[string]*series{}
+	counts := map[string]float64{}
+	for _, s := range f.Samples {
+		key := labelKeySansLE(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			sr, ok := buckets[key]
+			if !ok {
+				sr = &series{}
+				buckets[key] = sr
+			}
+			if sr.seen && s.Value < sr.prev {
+				return fmt.Errorf("histogram %s{%s}: bucket counts decrease", f.Name, key)
+			}
+			sr.prev, sr.seen = s.Value, true
+			if s.Labels["le"] == "+Inf" {
+				sr.inf = s.Value
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			counts[key] = s.Value
+		}
+	}
+	for key, sr := range buckets {
+		if c, ok := counts[key]; !ok || c < sr.inf || sr.inf < c {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != count %v", f.Name, key, sr.inf, counts[key])
+		}
+	}
+	return nil
+}
+
+func labelKeySansLE(labels map[string]string) string {
+	var parts []string
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	if len(parts) > 1 {
+		// One label max in our exposition, but keep the key stable anyway.
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Sample returns the first sample of family name whose labels include
+// want (nil matches any), or false. Convenience for tests asserting
+// counter values out of a parsed exposition.
+func Sample(fams map[string]*PromFamily, name string, want map[string]string) (PromSample, bool) {
+	f := familyOf(fams, name)
+	if f == nil {
+		return PromSample{}, false
+	}
+	for _, s := range f.Samples {
+		match := s.Name == name
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+			}
+		}
+		if match {
+			return s, true
+		}
+	}
+	return PromSample{}, false
+}

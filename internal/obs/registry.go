@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// kind is the exposition TYPE of a metric family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// family is one registered metric name: either a single collector (empty
+// label) or a labelled vec.
+type family struct {
+	name  string
+	help  string
+	kind  kind
+	label string // label name for vecs; "" for plain metrics
+
+	collector any // *Counter, *Gauge or *Histogram when label == ""
+	vec       any // *CounterVec or *HistogramVec when label != ""
+}
+
+// Registry owns a set of uniquely named metric families and the clock
+// instrumentation reads. The zero value is not useful; a nil *Registry is
+// a valid, fully disabled registry: every constructor returns nil and
+// every nil metric is a no-op.
+type Registry struct {
+	clock Clock
+
+	mu sync.Mutex
+	// guarded by mu
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry on the wall clock.
+func NewRegistry() *Registry {
+	return &Registry{clock: NewWallClock(), fams: map[string]*family{}}
+}
+
+// WithClock sets the clock Now and span durations read, and returns the
+// registry. Call before handing the registry to instrumented code.
+func (r *Registry) WithClock(c Clock) *Registry {
+	if r != nil && c != nil {
+		r.clock = c
+	}
+	return r
+}
+
+// Now reads the registry's clock; 0 when the registry is nil. All
+// instrumentation duration math goes through here, so a virtual clock
+// makes the whole registry deterministic.
+func (r *Registry) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.clock.Now()
+}
+
+// lookup returns the family registered under name after checking that
+// its shape matches, creating it via mk on first use. Mismatched
+// re-registration panics: two call sites disagreeing about a metric's
+// meaning is a bug no test should paper over.
+func (r *Registry) lookup(name, help string, k kind, label string, mk func() *family) *family {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if label != "" && !ValidLabel(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q on metric %q", label, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != k || f.help != help || f.label != label {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%q/label=%q, was %s/%q/label=%q",
+				name, k, help, label, f.kind, f.help, f.label))
+		}
+		return f
+	}
+	f := mk()
+	r.fams[name] = f
+	return f
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Nil registry: returns a nil (no-op) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindCounter, "", func() *family {
+		return &family{name: name, help: help, kind: kindCounter, collector: &Counter{}}
+	})
+	return f.collector.(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil registry: returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindGauge, "", func() *family {
+		return &family{name: name, help: help, kind: kindGauge, collector: &Gauge{}}
+	})
+	return f.collector.(*Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with the given bucket upper bounds (nil means
+// DurationBuckets). Nil registry: returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindHistogram, "", func() *family {
+		return &family{name: name, help: help, kind: kindHistogram, collector: newHistogram(buckets)}
+	})
+	return f.collector.(*Histogram)
+}
+
+// CounterVec returns the counter family registered under name, keyed by
+// one label, creating it on first use. Nil registry: nil vec.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindCounter, label, func() *family {
+		return &family{name: name, help: help, kind: kindCounter, label: label,
+			vec: &CounterVec{label: label, children: map[string]*Counter{}}}
+	})
+	return f.vec.(*CounterVec)
+}
+
+// HistogramVec returns the histogram family registered under name, keyed
+// by one label, creating it on first use with the given bucket bounds
+// (nil means DurationBuckets). Nil registry: nil vec.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindHistogram, label, func() *family {
+		return &family{name: name, help: help, kind: kindHistogram, label: label,
+			vec: &HistogramVec{label: label, buckets: buckets, children: map[string]*Histogram{}}}
+	})
+	return f.vec.(*HistogramVec)
+}
+
+// families returns a snapshot of the registered families in name order —
+// the exposition order, so /metrics output is deterministic.
+func (r *Registry) families() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span: what ran, when (on the tracer's
+// clock), for how long, and any tags attached along the way.
+type SpanRecord struct {
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+	Tags     []string // "key=value", in Tag() call order
+}
+
+// Tracer collects spans into a bounded ring and feeds their durations
+// into the registry's span histogram. All time reads go through the
+// registry clock, so under testkit.VirtualClock span records are pure
+// functions of the chaos schedule. The nil *Tracer is a no-op.
+type Tracer struct {
+	reg  *Registry
+	hist *HistogramVec
+
+	mu sync.Mutex
+	// guarded by mu
+	ring []SpanRecord
+	// guarded by mu
+	next int
+	// guarded by mu
+	total int
+}
+
+// NewTracer returns a tracer keeping the most recent capacity finished
+// spans (capacity <= 0 defaults to 256). Passing a nil registry yields a
+// tracer that records spans with zero durations and no histogram.
+func NewTracer(reg *Registry, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{
+		reg:  reg,
+		hist: reg.HistogramVec("unidetect_span_seconds", "Span durations by span name.", "span", nil),
+		ring: make([]SpanRecord, 0, capacity),
+	}
+}
+
+// Span is one in-flight operation. Create with Tracer.Start or
+// obs.StartSpan, then End exactly once. The nil *Span is a no-op.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Duration
+
+	mu sync.Mutex
+	// guarded by mu
+	tags []string
+	// guarded by mu
+	ended bool
+}
+
+// Start opens a span named name. Nil tracer: nil (no-op) span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, name: name, start: t.reg.Now()}
+}
+
+// Tag attaches a key=value pair to the span. Values are formatted with
+// %v; tag order is preserved.
+func (s *Span) Tag(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tags = append(s.tags, key+"="+fmt.Sprint(value))
+	s.mu.Unlock()
+}
+
+// End closes the span: records its duration in the span histogram and
+// appends it to the tracer ring. Extra End calls are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tr.reg.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	tags := s.tags
+	s.mu.Unlock()
+	d := now - s.start
+	if d < 0 {
+		d = 0
+	}
+	s.tr.hist.With(s.name).Observe(d.Seconds())
+	s.tr.record(SpanRecord{Name: s.name, Start: s.start, Duration: d, Tags: tags})
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, r)
+		return
+	}
+	t.ring[t.next] = r
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Finished returns the retained finished spans, oldest first, plus the
+// total number ever finished (which may exceed the ring size).
+func (t *Tracer) Finished() ([]SpanRecord, int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out, t.total
+}
+
+// FormatSpans renders span records one per line in a stable order
+// (start, then name, then duration, then tags) so two runs with the same
+// virtual-clock schedule produce byte-identical dumps regardless of
+// goroutine interleaving at the ring.
+func FormatSpans(spans []SpanRecord) string {
+	sorted := make([]SpanRecord, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Duration != b.Duration {
+			return a.Duration < b.Duration
+		}
+		return strings.Join(a.Tags, ",") < strings.Join(b.Tags, ",")
+	})
+	var b strings.Builder
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%s start=%s dur=%s", r.Name, r.Start, r.Duration)
+		if len(r.Tags) > 0 {
+			b.WriteString(" ")
+			b.WriteString(strings.Join(r.Tags, " "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// tracerKey is the context key carrying the ambient tracer.
+type tracerKey struct{}
+
+// WithTracer returns ctx carrying t; StartSpan picks it up.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span on the tracer carried by ctx. With no tracer in
+// ctx it returns a nil (no-op) span, so call sites never branch.
+func StartSpan(ctx context.Context, name string) *Span {
+	return TracerFrom(ctx).Start(name)
+}

@@ -6,6 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,6 +19,7 @@ import (
 	"github.com/unidetect/unidetect/internal/detectors"
 	"github.com/unidetect/unidetect/internal/faultinject"
 	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/obs"
 	"github.com/unidetect/unidetect/internal/testkit"
 )
 
@@ -48,6 +53,22 @@ func retry() mapreduce.RetryPolicy {
 		MaxDelay: 8 * time.Millisecond, Jitter: 0.5}
 }
 
+// parseRegistry round-trips a registry through its own text exposition,
+// so every metric assertion in the chaos suite also validates the
+// format end to end.
+func parseRegistry(t *testing.T, reg *obs.Registry) map[string]*obs.PromFamily {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePromText(&sb); err != nil {
+		t.Fatalf("write exposition: %v", err)
+	}
+	fams, err := obs.ParseProm(sb.String())
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, sb.String())
+	}
+	return fams
+}
+
 // TestChaosTrainMatchesClean is the central metamorphic property of the
 // fault-tolerant trainer: a run whose every fault is transient (absorbed
 // by retries, no shard loss) must produce the *byte-identical* model of a
@@ -77,10 +98,14 @@ func TestChaosTrainMatchesClean(t *testing.T) {
 			clock := &testkit.VirtualClock{}
 			inj := faultinject.New(seed, testkit.TrainChaos(0.04)...).WithClock(clock)
 			testkit.DumpTranscriptOnFailure(t, seed, inj)
+			// Full instrumentation on the virtual clock: metrics, spans
+			// and phase timings must leave the learned bytes untouched.
+			reg := obs.NewRegistry().WithClock(clock)
+			tracer := obs.NewTracer(reg, 64)
 			stats := &mapreduce.Stats{}
-			m, err := core.TrainWith(ctx, cfg, core.TrainOptions{FT: mapreduce.FT{
+			m, err := core.TrainWith(obs.WithTracer(ctx, tracer), cfg, core.TrainOptions{FT: mapreduce.FT{
 				Retry: retry(), Seed: seed, Inject: inj, Clock: clock,
-				Stats: stats, Logf: t.Logf,
+				Stats: stats, Logf: t.Logf, Obs: reg,
 			}}, bg, dets)
 			if err != nil {
 				t.Fatalf("transient chaos killed a retrying train: %v", err)
@@ -90,6 +115,16 @@ func TestChaosTrainMatchesClean(t *testing.T) {
 			}
 			if stats.MapRetries == 0 {
 				t.Error("no map retries recorded despite every shard's first attempt failing")
+			}
+			// The registry's view must agree with the Stats the job
+			// reported through the legacy channel.
+			fams := parseRegistry(t, reg)
+			if s, ok := obs.Sample(fams, "unidetect_mapreduce_retries_total",
+				map[string]string{"phase": "map"}); !ok || int(s.Value) != stats.MapRetries {
+				t.Errorf("map retries metric = %+v, want %d", s, stats.MapRetries)
+			}
+			if spans, total := tracer.Finished(); total < 3 || len(spans) == 0 {
+				t.Errorf("expected train + both phase spans, got %d", total)
 			}
 			if stats.Lost() != 0 {
 				t.Errorf("transient schedule lost work: %+v", stats)
@@ -136,9 +171,13 @@ func TestChaosResumeEqualsRestart(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			inj := faultinject.New(seed, testkit.TrainKill(0.5)...)
 			testkit.DumpTranscriptOnFailure(t, seed, inj)
+			// One registry and tracer across kill and resume, as a
+			// long-lived process would have: spans enabled end to end.
+			reg := obs.NewRegistry()
+			ctx := obs.WithTracer(ctx, obs.NewTracer(reg, 64))
 			ckpt := filepath.Join(t.TempDir(), "train.ckpt")
 			_, err := core.TrainWith(ctx, cfg, core.TrainOptions{
-				FT:             mapreduce.FT{Inject: inj, Seed: seed, Logf: t.Logf},
+				FT:             mapreduce.FT{Inject: inj, Seed: seed, Logf: t.Logf, Obs: reg},
 				CheckpointPath: ckpt,
 			}, bg, dets)
 			if err == nil {
@@ -147,8 +186,10 @@ func TestChaosResumeEqualsRestart(t *testing.T) {
 			if !errors.Is(err, faultinject.ErrInjected) {
 				t.Fatalf("run died of %v, not an injected fault", err)
 			}
+			killFams := parseRegistry(t, reg)
+			killWritten, _ := obs.Sample(killFams, "unidetect_train_checkpoint_buckets_written_total", nil)
 			resumed, err := core.TrainWith(ctx, cfg, core.TrainOptions{
-				FT:             mapreduce.FT{Logf: t.Logf},
+				FT:             mapreduce.FT{Logf: t.Logf, Obs: reg},
 				CheckpointPath: ckpt,
 			}, bg, dets)
 			if err != nil {
@@ -156,6 +197,20 @@ func TestChaosResumeEqualsRestart(t *testing.T) {
 			}
 			if !bytes.Equal(saveBytes(t, resumed), cleanBytes) {
 				t.Error("resumed model differs from uninterrupted model")
+			}
+			// Every bucket the killed run durably wrote — and only those —
+			// must come back from the checkpoint on resume.
+			fams := parseRegistry(t, reg)
+			resumedN, _ := obs.Sample(fams, "unidetect_train_checkpoint_buckets_resumed_total", nil)
+			if resumedN.Value != killWritten.Value {
+				t.Errorf("resumed %v buckets, but the killed run wrote %v", resumedN.Value, killWritten.Value)
+			}
+			wantResumes := 0.0
+			if killWritten.Value > 0 {
+				wantResumes = 1
+			}
+			if s, ok := obs.Sample(fams, "unidetect_train_resumes_total", nil); !ok || s.Value != wantResumes {
+				t.Errorf("resumes metric = %v, want %v", s.Value, wantResumes)
 			}
 		})
 	}
@@ -222,6 +277,94 @@ func TestGoldenTranscript(t *testing.T) {
 	faultinject.SortEvents(events)
 	testkit.Golden(t, filepath.Join("testdata", "golden", "train-seed1-transcript.txt"),
 		faultinject.FormatTranscript(events))
+}
+
+// TestChaosPredictDegradation pins the accounting of graceful
+// degradation on the batch predict path: the degraded-table counter and
+// the set of logged sites must match the faultinject transcript exactly
+// — every injected fault degrades exactly one table, every degradation
+// is logged, and nothing degrades without an injected cause.
+func TestChaosPredictDegradation(t *testing.T) {
+	bg := chaosCorpus(13)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+	m, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := evalTables(17)
+
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := faultinject.New(seed, testkit.PredictChaos(0.2)...)
+			testkit.DumpTranscriptOnFailure(t, seed, inj)
+			reg := obs.NewRegistry()
+			var mu sync.Mutex
+			var logged []string // guarded by mu
+			p := core.NewPredictor(m, dets, &core.Env{Index: bg.Index()})
+			p.Inject = inj
+			p.Obs = reg
+			p.Logf = func(format string, args ...any) {
+				mu.Lock()
+				logged = append(logged, fmt.Sprintf(format, args...))
+				mu.Unlock()
+			}
+			p.DetectAll(ctx, evals.Tables)
+
+			events := inj.Transcript()
+			if len(events) == 0 {
+				t.Fatal("schedule fired no faults; test has no power")
+			}
+			wantSites := make([]string, len(events))
+			for i, e := range events {
+				wantSites[i] = e.Site
+			}
+			sort.Strings(wantSites)
+
+			// Every log line names the degraded table; rebuild the site
+			// set from the logs and require exact equality.
+			gotSites := make([]string, 0, len(logged))
+			for _, line := range logged {
+				name, ok := degradedTable(line)
+				if !ok {
+					t.Fatalf("unparseable degradation log %q", line)
+				}
+				gotSites = append(gotSites, "core/predict/table="+name)
+			}
+			sort.Strings(gotSites)
+			if !slices.Equal(gotSites, wantSites) {
+				t.Errorf("logged sites diverge from transcript:\nlogged: %v\ntranscript: %v",
+					gotSites, wantSites)
+			}
+
+			fams := parseRegistry(t, reg)
+			if s, ok := obs.Sample(fams, "unidetect_predict_degraded_tables_total", nil); !ok || int(s.Value) != len(events) {
+				t.Errorf("degraded counter = %v, want %d (one per transcript event)", s.Value, len(events))
+			}
+			if s, ok := obs.Sample(fams, "unidetect_predict_tables_total", nil); !ok ||
+				int(s.Value) != len(evals.Tables)-len(events) {
+				t.Errorf("scored tables = %v, want %d of %d (rest degraded)",
+					s.Value, len(evals.Tables)-len(events), len(evals.Tables))
+			}
+		})
+	}
+}
+
+// degradedTable extracts the quoted table name from a detectShard
+// degradation log line.
+func degradedTable(line string) (string, bool) {
+	const prefix = `core: predict table "`
+	if !strings.HasPrefix(line, prefix) {
+		return "", false
+	}
+	rest := line[len(prefix):]
+	end := strings.Index(rest, `"`)
+	if end < 0 {
+		return "", false
+	}
+	return rest[:end], true
 }
 
 // TestVirtualClock pins the clock's contract: sleeps accumulate without

@@ -36,6 +36,14 @@ func (c *VirtualClock) Elapsed() time.Duration {
 	return c.now
 }
 
+// Now returns the current virtual time, satisfying obs.Clock: a metrics
+// registry put on a VirtualClock sees time advance only when injected
+// delays are slept, making instrumented chaos runs — span dumps included
+// — pure functions of the schedule.
+func (c *VirtualClock) Now() time.Duration {
+	return c.Elapsed()
+}
+
 // Sleeps returns a copy of every sleep duration in call order.
 func (c *VirtualClock) Sleeps() []time.Duration {
 	c.mu.Lock()

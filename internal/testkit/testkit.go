@@ -89,6 +89,17 @@ func DeadShard(shard int) faultinject.Rule {
 	}
 }
 
+// PredictChaos is a fault schedule for the batch predict path: tables
+// fail or panic with probability p and p/2. It deliberately has no
+// delay-only rule, so every transcript event corresponds to exactly one
+// gracefully degraded table — the invariant the degradation test pins.
+func PredictChaos(p float64) []faultinject.Rule {
+	return []faultinject.Rule{
+		{Site: "core/predict/*", P: p, Fault: faultinject.Fault{Err: ErrTransient}},
+		{Site: "core/predict/*", P: p / 2, Fault: faultinject.Fault{Panic: "chaos: injected predict panic"}},
+	}
+}
+
 // ServeChaos is a fault schedule for the serving path: requests are
 // delayed, failed, or panicked with probability p each. Sites follow the
 // daemon's "unidetectd<path>" convention.

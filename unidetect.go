@@ -41,6 +41,8 @@ import (
 	"github.com/unidetect/unidetect/internal/core"
 	"github.com/unidetect/unidetect/internal/corpus"
 	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/obs"
 	"github.com/unidetect/unidetect/internal/table"
 )
 
@@ -195,6 +197,19 @@ type Options struct {
 	FDR float64
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// Obs, when non-nil, receives training and detection metrics
+	// (internal/obs registry): mapreduce phase durations, checkpoint
+	// write/resume counters, per-detector latency and LR histograms.
+	// Nil disables instrumentation at the cost of one pointer check.
+	Obs *obs.Registry
+}
+
+// obs returns the configured metrics registry (nil when unset).
+func (o *Options) obs() *obs.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Obs
 }
 
 func (o *Options) config() core.Config {
@@ -240,7 +255,8 @@ func Train(ctx context.Context, background []*Table, opts *Options) (*Model, err
 	}
 	cfg := opts.config()
 	bg := corpus.New("background", background)
-	m, err := core.Train(ctx, cfg, bg, detectors.All(cfg, opts.detectorOptions()))
+	topts := core.TrainOptions{FT: mapreduce.FT{Obs: opts.obs()}}
+	m, err := core.TrainWith(ctx, cfg, topts, bg, detectors.All(cfg, opts.detectorOptions()))
 	if err != nil {
 		return nil, fmt.Errorf("unidetect: train: %w", err)
 	}
@@ -257,7 +273,9 @@ func (m *Model) CorpusTables() int { return m.core.CorpusTables }
 // predictor builds the online predictor for the model's options.
 func (m *Model) predictor() *core.Predictor {
 	dets := detectors.All(m.core.Config, m.opts.detectorOptions())
-	return core.NewPredictor(m.core, dets, &core.Env{Index: m.index})
+	p := core.NewPredictor(m.core, dets, &core.Env{Index: m.index, Obs: m.opts.obs()})
+	p.Obs = m.opts.obs()
+	return p
 }
 
 // Detect scans one table and returns its findings ranked by Score.
