@@ -9,14 +9,31 @@
 #   make race      — full test suite under the race detector
 #   make bench     — benchmarks (no tests)
 #   make bench-json — train/predict baseline + registry counters → BENCH_core.json
+#   make bench-gate — regenerate the report, fail on >20% detect regression
+#   make fuzz      — every fuzz target for FUZZTIME (default 10s) each
 #   make chaos     — fault-injection suite, three fixed seeds, -race
 #   make check     — everything CI runs
 
 GO ?= go
 CHAOS_SEEDS ?= 1,7,42
 CHAOS_ARTIFACT_DIR ?= $(CURDIR)/chaos-artifacts
+FUZZTIME ?= 10s
 
-.PHONY: all build lint lint-fix sarif vet test race bench bench-json chaos check
+# Every fuzz target in the tree, as package=Target pairs ("make fuzz"
+# runs each for FUZZTIME; committed corpora under testdata/fuzz replay
+# as plain tests regardless).
+FUZZ_TARGETS = \
+	./internal/strdist=FuzzLevenshteinBounded \
+	./internal/strdist=FuzzDifferingTokens \
+	./internal/table=FuzzParseNumber \
+	./internal/table=FuzzTokenize \
+	./internal/table=FuzzInferType \
+	./internal/core=FuzzCheckpointLoad \
+	./internal/core=FuzzCheckpointRoundTrip \
+	./internal/lrindex=FuzzLRIndexLookup \
+	./cmd/unidetectd=FuzzReadTable
+
+.PHONY: all build lint lint-fix sarif vet test race bench bench-json bench-gate chaos fuzz check
 
 all: build test
 
@@ -50,6 +67,23 @@ bench:
 # there means the pipeline's behaviour changed, not just its speed.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_core.json
+
+# Regression gate: regenerate the report into a scratch file and compare
+# the detect-path benchmarks against the committed baseline; >20% ns/op
+# (or allocs/op) regression fails. Run on the same host class as the
+# baseline — timings are machine-relative.
+bench-gate:
+	$(GO) run ./cmd/benchjson -out bench-candidate.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_core.json -candidate bench-candidate.json
+
+# Coverage-guided fuzzing, one target at a time (go test accepts a
+# single -fuzz pattern per invocation).
+fuzz:
+	@set -e; for pair in $(FUZZ_TARGETS); do \
+		pkg=$${pair%%=*}; target=$${pair##*=}; \
+		echo "--- fuzz $$pkg $$target"; \
+		$(GO) test $$pkg -run=NoSuchTest -fuzz="^$$target$$" -fuzztime=$(FUZZTIME); \
+	done
 
 # Chaos suite: deterministic fault-injection tests under the race
 # detector, -count=1 so every run re-executes the schedules. Failure

@@ -1,0 +1,114 @@
+// Command benchgate compares a fresh benchjson report against the
+// committed BENCH_core.json baseline and fails if the detect-path
+// benchmarks regressed. It is the CI teeth behind the fast-path work:
+// the committed baseline records the serving speed the repo has already
+// demonstrated, and a change that gives a meaningful slice of it back
+// should not merge silently.
+//
+//	benchgate -baseline BENCH_core.json -candidate /tmp/bench.json
+//	benchgate -pattern Detect -max-regress 0.20 ...
+//
+// Only ns/op gates (timings compare within one host, which is how CI
+// runs it; the threshold absorbs scheduler noise). Alloc counts are
+// reported for context but fail only on -max-allocs-regress, which is
+// stricter to enable than the timing gate since allocs/op are stable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+// benchmark mirrors cmd/benchjson's per-benchmark record.
+type benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func load(path string) (map[string]benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_core.json", "committed baseline report")
+	candidatePath := flag.String("candidate", "", "fresh report to gate (required)")
+	pattern := flag.String("pattern", "Detect", "gate benchmarks whose name contains this substring")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", 0.20, "maximum tolerated allocs/op regression")
+	flag.Parse()
+	if *candidatePath == "" {
+		log.Fatal("benchgate: -candidate is required")
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidate, err := load(*candidatePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gated, failed := 0, 0
+	for name, base := range baseline {
+		if !strings.Contains(name, *pattern) {
+			continue
+		}
+		cand, ok := candidate[name]
+		if !ok {
+			// A gated benchmark that vanished is a silent hole in the
+			// baseline, not an improvement.
+			log.Printf("FAIL %s: present in baseline, missing from candidate", name)
+			failed++
+			continue
+		}
+		gated++
+		nsRatio := cand.NsPerOp / base.NsPerOp
+		status := "ok  "
+		if nsRatio > 1+*maxRegress {
+			status = "FAIL"
+			failed++
+		}
+		log.Printf("%s %s: ns/op %.0f -> %.0f (%+.1f%%, limit +%.0f%%)",
+			status, name, base.NsPerOp, cand.NsPerOp, (nsRatio-1)*100, *maxRegress*100)
+		if base.AllocsPerOp > 0 {
+			allocRatio := float64(cand.AllocsPerOp) / float64(base.AllocsPerOp)
+			status = "ok  "
+			if allocRatio > 1+*maxAllocsRegress {
+				status = "FAIL"
+				failed++
+			}
+			log.Printf("%s %s: allocs/op %d -> %d (%+.1f%%, limit +%.0f%%)",
+				status, name, base.AllocsPerOp, cand.AllocsPerOp, (allocRatio-1)*100, *maxAllocsRegress*100)
+		}
+	}
+	if gated == 0 {
+		log.Fatalf("benchgate: no baseline benchmark matches %q; the gate is vacuous", *pattern)
+	}
+	if failed > 0 {
+		log.Fatalf("benchgate: %d check(s) failed", failed)
+	}
+	log.Printf("benchgate: %d benchmark(s) within limits", gated)
+}

@@ -1,0 +1,189 @@
+// Command benchjson runs the core train/predict benchmarks and writes a
+// machine-readable baseline: per-benchmark ns/op, allocs/op and B/op from
+// testing.Benchmark, plus the key registry counters of the instrumented
+// run — so a perf regression and a behaviour regression (more retries,
+// fewer findings per table) are caught by the same diff.
+//
+//	benchjson -out BENCH_core.json
+//	benchjson -tables 2000 -eval 128 -out /dev/stdout
+//
+// The committed BENCH_core.json is the reference point: timings are
+// machine-relative (compare trends, not absolute numbers across hosts),
+// while the counters are deterministic for a given corpus seed and must
+// match exactly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/obs"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Go           string             `json:"go"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	CorpusTables int                `json:"corpus_tables"`
+	EvalTables   int                `json:"eval_tables"`
+	Benchmarks   []benchResult      `json:"benchmarks"`
+	Counters     map[string]float64 `json:"counters"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output path for the JSON report")
+	tables := flag.Int("tables", 800, "synthetic background corpus size")
+	evalN := flag.Int("eval", 64, "error-injected tables the predict benchmark scans")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	opts := &unidetect.Options{Obs: reg}
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, *tables, *seed)
+	evals := datagen.Generate(datagen.Spec{Name: "bench-eval", Profile: datagen.ProfileWeb,
+		NumTables: *evalN, AvgRows: 20, AvgCols: 4, ErrorRate: 1.5, Seed: *seed + 1})
+	ctx := context.Background()
+
+	var model *unidetect.Model
+	trainRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tm, err := unidetect.Train(ctx, bg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model = tm
+		}
+	})
+	predictRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if fs := model.DetectAll(ctx, evals.Tables); len(fs) == 0 {
+				b.Fatal("predict benchmark found nothing on error-injected tables")
+			}
+		}
+	})
+
+	rep := report{
+		Go:           runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CorpusTables: *tables,
+		EvalTables:   len(evals.Tables),
+		Benchmarks: []benchResult{
+			result(fmt.Sprintf("TrainSynthetic%d", *tables), trainRes),
+			result(fmt.Sprintf("DetectAll%d", len(evals.Tables)), predictRes),
+		},
+	}
+	// The benchmark registry accumulates across b.N iterations, and b.N is
+	// machine-dependent; scrape the baseline counters from one fresh
+	// instrumented train+predict pass so they are seed-deterministic.
+	single := obs.NewRegistry()
+	m, err := unidetect.Train(ctx, bg, &unidetect.Options{Obs: single})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.DetectAll(ctx, evals.Tables)
+	counters, err := scrape(single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Counters = counters
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("benchjson: wrote %s (train %v/op, predict %v/op)",
+		*out, trainRes.NsPerOp(), predictRes.NsPerOp())
+}
+
+func result(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// nondeterministic lists count-valued series that legitimately vary
+// run to run or machine to machine and must stay out of the committed
+// baseline: scratch reuse depends on the worker count (NumCPU), and
+// measurement-cache hit/miss splits depend on scheduling and eviction
+// order under concurrency.
+var nondeterministic = map[string]bool{
+	"unidetect_predict_scratch_reuse_total": true,
+	"unidetect_predict_measure_cache_total": true,
+}
+
+// scrape round-trips the registry through its text exposition and keeps
+// the count-valued series: counters, gauges and histogram _count lines.
+// Bucket and sum lines are timing-dependent noise in a baseline diff,
+// as are the interleaving-dependent series above.
+func scrape(reg *obs.Registry) (map[string]float64, error) {
+	var sb strings.Builder
+	if err := reg.WritePromText(&sb); err != nil {
+		return nil, err
+	}
+	fams, err := obs.ParseProm(sb.String())
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, fam := range fams {
+		for _, s := range fam.Samples {
+			if strings.HasSuffix(s.Name, "_bucket") || strings.HasSuffix(s.Name, "_sum") {
+				continue
+			}
+			if nondeterministic[s.Name] {
+				continue
+			}
+			out[flatten(s)] = s.Value
+		}
+	}
+	return out, nil
+}
+
+func flatten(s obs.PromSample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + s.Labels[k]
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}

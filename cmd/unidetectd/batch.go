@@ -1,0 +1,194 @@
+package main
+
+// batch.go implements POST /v1/batch: many tables per request, and
+// concurrent requests coalesced into a single DetectAll scan. The fast
+// prediction path batches column units across every table it is handed
+// (internal/core/fastpath.go), so the wider the DetectAll call, the
+// better its worker pool and measurement cache amortize — the daemon's
+// job is to hand it wide calls.
+//
+// Coalescing is group-commit style, with no resident goroutine: the
+// first request to arrive becomes the batch leader, waits a short
+// window for concurrent requests to pile on, then runs one DetectAll
+// over every submitted table under its own request context (so the
+// protect middleware's deadline and panic recovery cover the whole
+// batch). Followers block on the leader's completion and carve their
+// findings out of the shared result. Table names are namespaced per
+// submission ("r<seq>/<name>") while inside the shared scan, so equal
+// names across requests cannot collide, and stripped before replies.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/unidetect/unidetect"
+)
+
+// batchRequest is the /v1/batch request envelope.
+type batchRequest struct {
+	Tables []batchTable `json:"tables"`
+}
+
+// batchTable is one table of a batch: a name and an inline CSV body.
+type batchTable struct {
+	Name string `json:"name"`
+	CSV  string `json:"csv"`
+}
+
+// batchResponse is the /v1/batch reply: one detectResponse per
+// submitted table, in submission order.
+type batchResponse struct {
+	Results []detectResponse `json:"results"`
+}
+
+// coalescer groups concurrent batch submissions into one DetectAll.
+type coalescer struct {
+	model  *unidetect.Model
+	window time.Duration
+	m      *metrics
+
+	mu      sync.Mutex
+	pending *batchGroup // open group accepting joiners, nil if none
+	seq     int64       // submission namespace counter
+}
+
+// batchGroup is one in-flight coalesced scan. tables is appended under
+// the coalescer's mutex until the leader seals the group; findings is
+// written by the leader before done closes and read-only after.
+type batchGroup struct {
+	tables   []*unidetect.Table
+	done     chan struct{}
+	findings []unidetect.Finding
+}
+
+// join submits prefixed tables and blocks until their findings are
+// available. The bool reports whether this submission led the batch
+// (followers count toward the coalesced metric). A follower abandons
+// the wait when its own context dies; the leader always finishes the
+// scan — other requests' results ride on it.
+func (c *coalescer) join(ctx context.Context, tables []*unidetect.Table) ([]unidetect.Finding, bool, error) {
+	c.mu.Lock()
+	g := c.pending
+	leader := g == nil
+	if leader {
+		g = &batchGroup{done: make(chan struct{})}
+		c.pending = g
+	}
+	g.tables = append(g.tables, tables...)
+	c.mu.Unlock()
+
+	if !leader {
+		c.m.batchCoalesced.Inc()
+		select {
+		case <-g.done:
+			return g.findings, false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+
+	// Leader: hold the window open, then seal — later arrivals start
+	// the next group — and run the combined scan.
+	if c.window > 0 {
+		t := time.NewTimer(c.window)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+	c.mu.Lock()
+	c.pending = nil
+	tabs := g.tables
+	c.mu.Unlock()
+	c.m.batchGroups.Inc()
+	c.m.batchTables.Observe(float64(len(tabs)))
+	g.findings = c.model.DetectAll(ctx, tabs)
+	close(g.done)
+	return g.findings, true, nil
+}
+
+// nextSeq reserves a fresh submission namespace.
+func (c *coalescer) nextSeq() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+// handleBatch serves POST /v1/batch. The request inlines CSV bodies in
+// a JSON envelope; the reply carries per-table findings in submission
+// order, each table's list ranked by score (the shared scan ranks
+// globally; the carve-out preserves relative order).
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON batch", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Tables) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+
+	prefix := fmt.Sprintf("r%d/", s.batch.nextSeq())
+	tabs := make([]*unidetect.Table, 0, len(req.Tables))
+	names := make([]string, 0, len(req.Tables))
+	for i, bt := range req.Tables {
+		name := bt.Name
+		if name == "" {
+			name = fmt.Sprintf("table-%d", i)
+		}
+		tbl, err := unidetect.ReadCSV(prefix+name, strings.NewReader(bt.CSV))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad csv in table %q: %v", name, err), http.StatusBadRequest)
+			return
+		}
+		tabs = append(tabs, tbl)
+		names = append(names, name)
+	}
+
+	all, _, err := s.batch.join(r.Context(), tabs)
+	if err != nil {
+		http.Error(w, "batch abandoned: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	results := make([]detectResponse, len(names))
+	byName := make(map[string]int, len(names))
+	for i, name := range names {
+		results[i] = detectResponse{Table: name, Findings: []findingJSON{}}
+		byName[name] = i
+	}
+	for _, f := range all {
+		name, ok := strings.CutPrefix(f.Table, prefix)
+		if !ok {
+			continue // another submission's table
+		}
+		i, ok := byName[name]
+		if !ok {
+			continue
+		}
+		results[i].Findings = append(results[i].Findings, findingJSON{
+			Class: f.Class.String(), Column: f.Column, Rows: f.Rows,
+			Values: f.Values, Score: f.Score, Detail: f.Detail,
+		})
+	}
+	s.writeJSON(w, batchResponse{Results: results})
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func postBatch(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	h := newHandler(testModel(t), defaultServerConfig())
+	body, err := json.Marshal(batchRequest{Tables: []batchTable{
+		{Name: "cast", CSV: typoCSV},
+		{Name: "clean", CSV: "City\nParis\nRome\nOslo\nBern\nRiga\nKyiv\n"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postBatch(t, h, string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(resp.Results))
+	}
+	if resp.Results[0].Table != "cast" || resp.Results[1].Table != "clean" {
+		t.Fatalf("tables = %q, %q; namespacing prefix must not leak", resp.Results[0].Table, resp.Results[1].Table)
+	}
+	if len(resp.Results[0].Findings) == 0 || resp.Results[0].Findings[0].Class != "spelling" {
+		t.Fatalf("cast findings = %+v", resp.Results[0].Findings)
+	}
+}
+
+// TestBatchMatchesDetect holds the batch endpoint to the single-table
+// endpoint's output: the shared scan plus per-request carve-out must not
+// change what one table's findings look like.
+func TestBatchMatchesDetect(t *testing.T) {
+	h := newHandler(testModel(t), defaultServerConfig())
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/detect?name=cast", strings.NewReader(typoCSV))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var single detectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &single); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(batchRequest{Tables: []batchTable{{Name: "cast", CSV: typoCSV}}})
+	var batch batchResponse
+	if err := json.Unmarshal(postBatch(t, h, string(body)).Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	got, want := batch.Results[0].Findings, single.Findings
+	if len(got) != len(want) {
+		t.Fatalf("batch found %d, detect found %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Class != want[i].Class || got[i].Column != want[i].Column ||
+			got[i].Score != want[i].Score || fmt.Sprint(got[i].Rows) != fmt.Sprint(want[i].Rows) {
+			t.Fatalf("finding %d: batch %+v != detect %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchCoalesces drives concurrent requests through a wide window
+// and asserts at least one pair actually shared a scan — the metric the
+// whole endpoint exists for.
+func TestBatchCoalesces(t *testing.T) {
+	cfg := defaultServerConfig()
+	cfg.BatchWindow = 50 * time.Millisecond
+	s := newServer(testModel(t), cfg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(batchRequest{Tables: []batchTable{
+				{Name: fmt.Sprintf("cast-%d", i), CSV: typoCSV},
+			}})
+			rec := postBatch(t, mux, string(body))
+			if rec.Code != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, rec.Code, rec.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	groups := s.m.batchGroups.Value()
+	coalesced := s.m.batchCoalesced.Value()
+	if groups+coalesced < n {
+		t.Fatalf("accounting lost requests: %d groups + %d coalesced < %d", groups, coalesced, n)
+	}
+	if coalesced == 0 {
+		t.Fatalf("no coalescing across %d concurrent requests within a %v window", n, cfg.BatchWindow)
+	}
+}
+
+// TestBatchSameNameAcrossRequests asserts the per-request namespace
+// keeps identically named tables from different requests apart.
+func TestBatchSameNameAcrossRequests(t *testing.T) {
+	cfg := defaultServerConfig()
+	cfg.BatchWindow = 50 * time.Millisecond
+	s := newServer(testModel(t), cfg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
+
+	clean := "City\nParis\nRome\nOslo\nBern\nRiga\nKyiv\n"
+	bodies := []string{typoCSV, clean}
+	var wg sync.WaitGroup
+	results := make([]batchResponse, 2)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(batchRequest{Tables: []batchTable{{Name: "shared", CSV: bodies[i]}}})
+			rec := postBatch(t, mux, string(body))
+			if rec.Code != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, rec.Code, rec.Body)
+				return
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &results[i]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// The typo table must keep its spelling finding; the clean table —
+	// same name, possibly same scan — must not inherit it.
+	if len(results[0].Results[0].Findings) == 0 {
+		t.Fatal("typo request lost its findings")
+	}
+	for _, f := range results[1].Results[0].Findings {
+		if f.Class == "spelling" {
+			t.Fatalf("clean request inherited a spelling finding: %+v", f)
+		}
+	}
+}
+
+func TestBatchRejectsBadRequests(t *testing.T) {
+	h := newHandler(testModel(t), defaultServerConfig())
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"not-json", "csv,here\n1,2\n", http.StatusBadRequest},
+		{"empty", `{"tables":[]}`, http.StatusBadRequest},
+		{"bad-csv", `{"tables":[{"name":"x","csv":"a,b\n\"torn quote\n"}]}`, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if rec := postBatch(t, h, tc.body); rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d: %s", rec.Code, tc.status, rec.Body)
+			}
+		})
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/batch", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", rec.Code)
+	}
+}

@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	POST /v1/detect?repair=1   body: CSV        -> JSON findings
+//	POST /v1/batch             body: JSON batch -> JSON findings per table
 //	POST /v1/profile           body: CSV        -> JSON column profiles
 //	GET  /healthz                               -> 200 once the model is ready
 //	GET  /statusz                               -> JSON request accounting
@@ -49,6 +50,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	maxInFlight := flag.Int("max-inflight", 64, "concurrent requests before load shedding with 429")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes (413 beyond)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long /v1/batch holds a batch open to coalesce concurrent requests (0 disables)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos-p fault injection")
 	chaosP := flag.Float64("chaos-p", 0, "per-request fault probability (0 disables injection)")
 	debugAddr := flag.String("debug-addr", "", "optional second listener for /metrics and /debug/pprof (e.g. 127.0.0.1:6060)")
@@ -69,6 +71,7 @@ func main() {
 		MaxInFlight:  *maxInFlight,
 		MaxBody:      *maxBody,
 		RetryAfter:   1,
+		BatchWindow:  *batchWindow,
 		Inject:       chaosInjector(*chaosSeed, *chaosP),
 		Logf:         log.Printf,
 		Obs:          reg,
@@ -173,6 +176,7 @@ func newHandler(model *unidetect.Model, cfg serverConfig) http.Handler {
 	})
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/v1/detect", s.protect(s.handleDetect))
+	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
 	mux.HandleFunc("/v1/profile", s.protect(s.handleProfile))
 	return mux
 }

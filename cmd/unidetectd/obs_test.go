@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/obs"
+	"github.com/unidetect/unidetect/internal/testkit"
+)
+
+// scrapeMetrics GETs /metrics off h and returns the parsed exposition,
+// failing the test if the body is not valid Prometheus text format.
+func scrapeMetrics(t *testing.T, h http.Handler) (map[string]*obs.PromFamily, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want text format 0.0.4", ct)
+	}
+	fams, err := obs.ParseProm(rec.Body.String())
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, rec.Body.String())
+	}
+	return fams, rec.Body.String()
+}
+
+// TestMetricsEndToEnd drives one registry through the daemon's whole
+// lifecycle — a checkpointed train that is killed and resumed, model
+// serving with shed and injected faults — and asserts the /metrics
+// exposition reflects every stage: mapreduce phase histograms, checkpoint
+// write/resume counters, per-detector predict latency, and the request
+// accounting the middleware keeps. The final scrape is shipped as a CI
+// artifact next to the chaos transcripts.
+func TestMetricsEndToEnd(t *testing.T) {
+	const seed = 1
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg, 256)
+	ctx := context.Background()
+
+	// Stage 1: kill a checkpointed training run mid-reduce, then resume
+	// it — the daemon restart story — with all metrics on the registry.
+	spec := datagen.Spec{Name: "obsbg", Profile: datagen.ProfileWeb,
+		NumTables: 120, AvgRows: 16, AvgCols: 4, Seed: 21}
+	bg := corpus.New(spec.Name, datagen.Generate(spec).Tables)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+
+	// Which reduce buckets a schedule kills is a pure hash of the site
+	// name, but how many *other* buckets finish (and checkpoint) before
+	// cancellation depends on goroutine interleaving and bucket iteration
+	// order. So "the killed run durably wrote something" is not a property
+	// of any single seed: sweep seeds with a sparse kill schedule until a
+	// run dies after at least one checkpointed bucket, asserting on
+	// counter deltas since the shared registry accumulates across tries.
+	written := func() float64 {
+		var sb strings.Builder
+		if err := reg.WritePromText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := obs.ParseProm(sb.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := obs.Sample(fams, "unidetect_train_checkpoint_buckets_written_total", nil)
+		return s.Value
+	}
+	var ckpt string
+	var killWritten float64
+	killed := false
+	for trainSeed := int64(seed); trainSeed < seed+10 && !killed; trainSeed++ {
+		ckpt = filepath.Join(t.TempDir(), "train.ckpt")
+		inj := faultinject.New(trainSeed, testkit.TrainKill(0.05)...)
+		testkit.DumpTranscriptOnFailure(t, trainSeed, inj)
+		base := written()
+		_, err := core.TrainWith(ctx, cfg, core.TrainOptions{
+			FT:             mapreduce.FT{Inject: inj, Seed: trainSeed, Obs: reg},
+			CheckpointPath: ckpt,
+		}, bg, dets)
+		switch {
+		case err == nil:
+			continue // schedule had no lethal hit this seed
+		case !errors.Is(err, faultinject.ErrInjected):
+			t.Fatalf("train failed outside the schedule: %v", err)
+		}
+		killWritten = written() - base
+		killed = killWritten > 0
+	}
+	if !killed {
+		t.Fatal("no seed produced a kill after at least one checkpointed bucket")
+	}
+	if _, err := core.TrainWith(ctx, cfg, core.TrainOptions{
+		FT:             mapreduce.FT{Obs: reg},
+		CheckpointPath: ckpt,
+	}, bg, dets); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+
+	// Stage 2: serve the shared test model on the same registry, with a
+	// chaos injector whose single fault must surface in the injected-
+	// faults counter, and one concurrency slot so overload sheds.
+	var buf bytes.Buffer
+	if err := testModel(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	model, err := unidetect.Load(&buf, &unidetect.Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := chaosConfig(t)
+	scfg.MaxInFlight = 1
+	scfg.Obs = reg
+	scfg.Tracer = tracer
+	scfg.ChaosSeed = seed
+	scfg.Inject = faultinject.New(seed, faultinject.Rule{
+		Site: "unidetectd/v1/detect", Hits: []int{1},
+		Fault: faultinject.Fault{Err: errors.New("chaos: request fault")},
+	}, faultinject.Rule{
+		Site: "unidetectd/v1/detect", Hits: []int{2},
+		Fault: faultinject.Fault{Delay: 500 * time.Millisecond},
+	})
+	h := newHandler(model, scfg)
+
+	post := func(path, body string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+		return rec.Code
+	}
+	if code := post("/v1/detect", typoCSV); code != http.StatusInternalServerError {
+		t.Fatalf("injected-fault request status = %d, want 500", code)
+	}
+	// Pin the only slot with the delayed second hit, then overload.
+	slowDone := make(chan int, 1)
+	go func() { slowDone <- post("/v1/detect", typoCSV) }()
+	waitInFlight(t, h, 1)
+	if code := post("/v1/detect", typoCSV); code != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", code)
+	}
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("delayed request status = %d, want 200", code)
+	}
+	if code := post("/v1/detect", typoCSV); code != http.StatusOK {
+		t.Fatalf("clean request status = %d, want 200", code)
+	}
+
+	// Stage 3: scrape and verify. The raw exposition ships as an artifact
+	// whether or not the test fails, so every CI run has a snapshot.
+	fams, raw := scrapeMetrics(t, h)
+	testkit.Artifact(t, "metrics.prom", raw)
+
+	count := func(name string, labels map[string]string) float64 {
+		t.Helper()
+		s, ok := obs.Sample(fams, name, labels)
+		if !ok {
+			t.Fatalf("metric %s%v missing from /metrics", name, labels)
+		}
+		return s.Value
+	}
+	// Training: both mapreduce phases ran (kill + resume), the killed run
+	// durably wrote buckets and the resume got exactly those back.
+	if n := count("unidetect_mapreduce_phase_seconds_count", map[string]string{"phase": "map"}); n < 2 {
+		t.Errorf("map phase histogram count = %v, want >= 2 (kill + resume)", n)
+	}
+	if resumed := count("unidetect_train_checkpoint_buckets_resumed_total", nil); resumed != killWritten {
+		t.Errorf("resumed %v buckets, killed run wrote %v", resumed, killWritten)
+	}
+	if n := count("unidetect_train_resumes_total", nil); n != 1 {
+		t.Errorf("train resumes = %v, want 1", n)
+	}
+	// Prediction: the detect requests exercised the spelling detector, so
+	// its latency histogram and the LR histogram must have observations.
+	if n := count("unidetect_predict_detector_seconds_count", map[string]string{"detector": "spelling"}); n == 0 {
+		t.Error("spelling detector latency histogram is empty after detect requests")
+	}
+	if n := count("unidetect_predict_lr_count", map[string]string{"detector": "spelling"}); n == 0 {
+		t.Error("spelling LR histogram is empty after detect requests")
+	}
+	// Serving: 4 protected requests — one injected 500, one shed 429, the
+	// delayed 200 and a clean 200 — all accounted, nothing in flight.
+	if n := count("unidetectd_requests_total", nil); n != 4 {
+		t.Errorf("requests = %v, want 4", n)
+	}
+	if n := count("unidetectd_shed_total", nil); n != 1 {
+		t.Errorf("shed = %v, want 1", n)
+	}
+	if n := count("unidetectd_inflight", nil); n != 0 {
+		t.Errorf("inflight = %v, want 0", n)
+	}
+	sum := count("unidetectd_responses_total", map[string]string{"class": "2xx"}) +
+		count("unidetectd_responses_total", map[string]string{"class": "4xx"}) +
+		count("unidetectd_responses_total", map[string]string{"class": "5xx"})
+	if sum != 4 {
+		t.Errorf("status classes sum to %v, want 4", sum)
+	}
+	if n := count("unidetectd_injected_faults_total", map[string]string{"site": "unidetectd/v1/detect"}); n != 2 {
+		t.Errorf("injected faults = %v, want 2 (error + delay)", n)
+	}
+	// /statusz must agree with /metrics — same collectors, same numbers.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	var status statuszResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Requests != 4 || status.Shed != 1 {
+		t.Errorf("/statusz diverges from /metrics: %+v", status)
+	}
+	// Spans: every protected request is one span tagged with the chaos
+	// seed and its final status.
+	spans, total := tracer.Finished()
+	if total != 4 {
+		t.Fatalf("finished spans = %d, want 4 (one per protected request)", total)
+	}
+	wantSeed := fmt.Sprintf("seed=%d", seed)
+	var statuses []string
+	for _, sp := range spans {
+		if sp.Name != "unidetectd/v1/detect" {
+			t.Errorf("span name = %q", sp.Name)
+		}
+		hasSeed := false
+		for _, tag := range sp.Tags {
+			if tag == wantSeed {
+				hasSeed = true
+			}
+			if strings.HasPrefix(tag, "status=") {
+				statuses = append(statuses, tag)
+			}
+		}
+		if !hasSeed {
+			t.Errorf("span %q lacks %q tag: %v", sp.Name, wantSeed, sp.Tags)
+		}
+	}
+	for _, want := range []string{"status=200", "status=429", "status=500"} {
+		n := 0
+		for _, s := range statuses {
+			if s == want {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Errorf("no span tagged %s; statuses seen: %v", want, statuses)
+		}
+	}
+}
+
+// TestDebugHandlerPprof is the -debug-addr smoke check: the second
+// listener's handler must serve both the pprof surface and /metrics.
+func TestDebugHandlerPprof(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("unidetectd_debug_smoke_total", "Smoke-test counter.").Inc()
+	h := debugHandler(reg)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	fams, err := obs.ParseProm(rec.Body.String())
+	if err != nil {
+		t.Fatalf("debug /metrics invalid: %v", err)
+	}
+	if s, ok := obs.Sample(fams, "unidetectd_debug_smoke_total", nil); !ok || s.Value != 1 {
+		t.Errorf("smoke counter = %+v, want 1", s)
+	}
+}

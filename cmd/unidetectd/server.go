@@ -35,6 +35,10 @@ type serverConfig struct {
 	// RetryAfter is the Retry-After header value (seconds) on shed
 	// responses.
 	RetryAfter int
+	// BatchWindow is how long a /v1/batch leader holds its batch open
+	// for concurrent requests to coalesce into; 0 disables coalescing
+	// across requests (each request scans alone).
+	BatchWindow time.Duration
 	// Inject, when non-nil, injects faults at "unidetectd<path>" sites —
 	// the serving half of the chaos harness.
 	Inject *faultinject.Injector
@@ -58,6 +62,7 @@ func defaultServerConfig() serverConfig {
 		MaxInFlight:  64,
 		MaxBody:      32 << 20,
 		RetryAfter:   1,
+		BatchWindow:  2 * time.Millisecond,
 	}
 }
 
@@ -77,6 +82,12 @@ type metrics struct {
 	panics    *obs.Counter
 	timeouts  *obs.Counter
 	injected  *obs.CounterVec
+
+	// /v1/batch coalescing accounting: executed batch scans, requests
+	// that rode another request's scan, and tables per executed scan.
+	batchGroups    *obs.Counter
+	batchCoalesced *obs.Counter
+	batchTables    *obs.Histogram
 }
 
 // newMetrics registers the daemon's metric families on r. Every
@@ -100,6 +111,13 @@ func newMetrics(r *obs.Registry) metrics {
 			"Requests whose per-request deadline expired."),
 		injected: r.CounterVec("unidetectd_injected_faults_total",
 			"Faults the chaos injector fired during request handling, by site.", "site"),
+		batchGroups: r.Counter("unidetectd_batch_groups_total",
+			"Coalesced DetectAll scans executed for /v1/batch."),
+		batchCoalesced: r.Counter("unidetectd_batch_coalesced_total",
+			"Batch requests that joined a scan led by a concurrent request."),
+		batchTables: r.Histogram("unidetectd_batch_tables",
+			"Tables per coalesced /v1/batch scan.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 	}
 }
 
@@ -146,6 +164,7 @@ type server struct {
 	reg   *obs.Registry
 	m     metrics
 	sem   chan struct{} // concurrency slots; len() is the inflight gauge
+	batch *coalescer    // /v1/batch group-commit state
 }
 
 func newServer(model *unidetect.Model, cfg serverConfig) *server {
@@ -168,6 +187,7 @@ func newServer(model *unidetect.Model, cfg serverConfig) *server {
 		m:     newMetrics(cfg.Obs),
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.batch = &coalescer{model: model, window: cfg.BatchWindow, m: &s.m}
 	// Count every fault the injector fires while serving; the transcript
 	// stays the source of truth, the counter is its live aggregate.
 	cfg.Inject.Observe(func(ev faultinject.Event) {

@@ -3,6 +3,7 @@ package core_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/unidetect/unidetect/internal/core"
@@ -183,6 +184,40 @@ func TestSortFindingsDeterministic(t *testing.T) {
 	}
 	if fs[1].Table != "c" || fs[2].Table != "a" || fs[3].Table != "b" {
 		t.Errorf("order: %v", fs)
+	}
+}
+
+// TestSortFindingsFullRowTieBreak is the regression test for the
+// shard-order bug: findings with equal LR, support, table, column and
+// *first* row — e.g. two duplicate groups both starting at row 0 —
+// compared "equal" under the old first-row tie-break, so sort.Slice
+// (unstable) ordered them by DetectAll worker arrival. The comparator
+// must order the full row sets (and then class), making every initial
+// permutation sort to the same sequence.
+func TestSortFindingsFullRowTieBreak(t *testing.T) {
+	base := func() []core.Finding {
+		return []core.Finding{
+			{LR: 0.2, Table: "t", Column: "c", Rows: []int{0, 7}, Class: core.ClassUniqueness},
+			{LR: 0.2, Table: "t", Column: "c", Rows: []int{0, 3}, Class: core.ClassUniqueness},
+			{LR: 0.2, Table: "t", Column: "c", Rows: []int{0, 3, 5}, Class: core.ClassUniqueness},
+			{LR: 0.2, Table: "t", Column: "c", Rows: []int{0, 3}, Class: core.ClassFD},
+			{LR: 0.2, Table: "t", Column: "c", Rows: []int{0}, Class: core.ClassUniqueness},
+		}
+	}
+	want := [][]int{{0}, {0, 3}, {0, 3}, {0, 3, 5}, {0, 7}}
+	wantClass := []core.Class{core.ClassUniqueness, core.ClassUniqueness, core.ClassFD,
+		core.ClassUniqueness, core.ClassUniqueness}
+	// Rotate through several initial permutations; each must converge.
+	for rot := 0; rot < 5; rot++ {
+		fs := base()
+		rotated := append(fs[rot:], fs[:rot]...)
+		core.SortFindings(rotated)
+		for i, f := range rotated {
+			if fmt.Sprint(f.Rows) != fmt.Sprint(want[i]) || f.Class != wantClass[i] {
+				t.Fatalf("rotation %d position %d: rows %v class %v, want rows %v class %v",
+					rot, i, f.Rows, f.Class, want[i], wantClass[i])
+			}
+		}
 	}
 }
 

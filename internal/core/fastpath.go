@@ -1,0 +1,386 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/unidetect/unidetect/internal/lrindex"
+	"github.com/unidetect/unidetect/internal/obs"
+	"github.com/unidetect/unidetect/internal/stats"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// This file implements the serving fast path: the compact LR index in
+// place of nested map lookups, column-granular work units in place of
+// table shards, per-worker scratch buffers, and the per-column
+// measurement cache. The reference path (predict.go) stays intact as
+// the oracle; Predictor.Reference selects it, and internal/difftest
+// holds the two paths to byte-identical findings.
+
+// BuildIndex compiles a trained model into the compact serving index
+// (internal/lrindex). The model's grids must already be finalized —
+// trained, merged and loaded models are; Build finalizes stragglers,
+// which is not safe against concurrent builders sharing the grids.
+func BuildIndex(m *Model) *lrindex.Index {
+	srcs := make([]lrindex.Source, 0, len(m.Classes))
+	for cls, cm := range m.Classes {
+		srcs = append(srcs, lrindex.Source{
+			Class:   int(cls),
+			Dirs:    cm.Dirs,
+			Buckets: cm.Buckets,
+			Global:  cm.Global,
+		})
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Class < srcs[j].Class })
+	return lrindex.Build(NumClasses, srcs, lrindex.Params{
+		MinBucketSupport: m.Config.MinBucketSupport,
+		NoFeaturize:      m.Config.NoFeaturize,
+		PointEstimates:   m.Config.PointEstimates,
+	})
+}
+
+// lrIndex compiles the model's bucket maps into the flat index once per
+// predictor; concurrent DetectAll workers share the compiled result.
+func (p *Predictor) lrIndex() *lrindex.Index {
+	p.indexOnce.Do(func() { p.index = BuildIndex(p.Model) })
+	return p.index
+}
+
+// measureCacheLazy resolves the per-column measurement cache once.
+// CacheSize 0 means the default budget; negative disables memoization.
+func (p *Predictor) measureCacheLazy() *measureCache {
+	p.cacheOnce.Do(func() {
+		size := p.CacheSize
+		if size == 0 {
+			size = defaultCacheSize
+		}
+		p.cache = newMeasureCache(size)
+	})
+	return p.cache
+}
+
+// getScratch hands out a worker scratch, reusing a pooled one when the
+// pool has any.
+func (p *Predictor) getScratch() *Scratch {
+	if v := p.scratches.Get(); v != nil {
+		p.metrics().scratchReuse.Inc()
+		return v.(*Scratch)
+	}
+	return NewScratch()
+}
+
+// scoreState accumulates one table's findings with the same
+// cross-candidate dedup the reference path applies: per (class, row
+// set), keep the most confident finding.
+type scoreState struct {
+	best  map[string]Finding
+	order []string
+}
+
+func newScoreState() *scoreState {
+	return &scoreState{best: map[string]Finding{}}
+}
+
+// add scores valid measurements of det against the compact index and
+// folds survivors into the dedup state. The filter, metrics and dedup
+// preference replicate the reference Detect loop exactly.
+func (p *Predictor) add(st *scoreState, t *table.Table, det Detector, ms []Measurement) {
+	if len(ms) == 0 {
+		return
+	}
+	pm := p.metrics()
+	ix := p.lrIndex()
+	cls := det.Class()
+	q := det.Quantizer()
+	alpha := p.Model.Config.Alpha
+	for _, meas := range ms {
+		if !meas.Valid {
+			continue
+		}
+		b1, b2 := q.Bin(meas.Theta1), q.Bin(meas.Theta2)
+		lr, support, oc := ix.LR(int(cls), meas.Key, b1, b2)
+		pm.ixLookups.With(oc.String()).Inc()
+		pm.lr.With(cls.String()).Observe(lr)
+		if lr > alpha {
+			continue
+		}
+		pm.findings.With(cls.String()).Inc()
+		f := Finding{
+			Class:   cls,
+			Table:   t.Name,
+			Column:  meas.Column,
+			Rows:    meas.Rows,
+			Values:  meas.Values,
+			LR:      lr,
+			Theta1:  meas.Theta1,
+			Theta2:  meas.Theta2,
+			Support: support,
+			Detail:  meas.Detail,
+		}
+		key := dedupKey(cls, meas.Rows)
+		prev, seen := st.best[key]
+		if !seen {
+			st.order = append(st.order, key)
+		}
+		if !seen || f.LR < prev.LR || (stats.SameFloat(f.LR, prev.LR) && f.Column < prev.Column) {
+			st.best[key] = f
+		}
+	}
+}
+
+// findings returns the deduplicated findings in first-seen order — the
+// same order the reference Detect emits.
+func (st *scoreState) findings() []Finding {
+	out := make([]Finding, 0, len(st.order))
+	for _, k := range st.order {
+		out = append(out, st.best[k])
+	}
+	return out
+}
+
+// measureColumn measures one column of a column-granular detector,
+// consulting the memoization cache first. Measurement counts are
+// reported here, once per column, whether served from cache or
+// computed — keeping the per-class totals identical to the reference
+// path's per-table counting.
+func (p *Predictor) measureColumn(cmr ColumnMeasurer, t *table.Table, pos int, sc *Scratch) []Measurement {
+	cls := cmr.Class()
+	c := t.Columns[pos]
+	cache := p.measureCacheLazy()
+	if ms, ok := cache.get(cls, pos, c); ok {
+		p.metrics().cacheOps.With("hit").Inc()
+		p.Env.CountMeasurements(cls, len(ms))
+		return ms
+	}
+	ms := cmr.MeasureColumn(t, pos, p.Env, sc)
+	if cache != nil {
+		cache.put(cls, pos, c, ms)
+		p.metrics().cacheOps.With("miss").Inc()
+	}
+	p.Env.CountMeasurements(cls, len(ms))
+	return ms
+}
+
+// measureTable measures one table-level (pair) detector, consulting the
+// memoization cache first. Unlike ColumnMeasurer.MeasureColumn, Measure
+// reports its own measurement count internally, so only the cache-hit
+// replay counts here — keeping per-class totals identical to the
+// reference path either way.
+func (p *Predictor) measureTable(det Detector, t *table.Table) []Measurement {
+	cls := det.Class()
+	cache := p.measureCacheLazy()
+	if ms, ok := cache.getTable(cls, t); ok {
+		p.metrics().cacheOps.With("hit").Inc()
+		p.Env.CountMeasurements(cls, len(ms))
+		return ms
+	}
+	ms := det.Measure(t, p.Env)
+	if cache != nil {
+		cache.putTable(cls, t, ms)
+		p.metrics().cacheOps.With("miss").Inc()
+	}
+	return ms
+}
+
+// detectFast scores one table through the compact index with a single
+// scratch — the fast counterpart of detectReference, used by Detect and
+// by the daemon's single-table endpoints.
+func (p *Predictor) detectFast(t *table.Table, sc *Scratch) []Finding {
+	pm := p.metrics()
+	pm.tables.Inc()
+	st := newScoreState()
+	for _, det := range p.Detectors {
+		detStart := p.Obs.Now()
+		if cmr, ok := det.(ColumnMeasurer); ok {
+			for pos := range t.Columns {
+				p.add(st, t, det, p.measureColumn(cmr, t, pos, sc))
+			}
+		} else {
+			p.add(st, t, det, p.measureTable(det, t))
+		}
+		pm.detSeconds.With(det.Class().String()).Observe((p.Obs.Now() - detStart).Seconds())
+	}
+	return st.findings()
+}
+
+// fastUnit is one schedulable measurement of the batched pipeline: a
+// single column of a column-granular detector, or a whole table for
+// pair detectors (col == -1).
+type fastUnit struct {
+	ti  int // table index
+	di  int // detector index
+	col int // column position, or -1 for a table-level unit
+}
+
+// admitTable runs the per-table chaos gate of the batch scan. It hits
+// the same injection site, with the same per-site ordinal, as the
+// reference detectShard, so a chaos schedule drops the same tables on
+// both paths.
+func (p *Predictor) admitTable(ctx context.Context, t *table.Table) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.logf("core: predict table %q panicked: %v; skipping", t.Name, r)
+			p.metrics().degraded.Inc()
+			ok = false
+		}
+	}()
+	if err := p.Inject.Hit(ctx, "core/predict/table="+t.Name); err != nil {
+		p.logf("core: predict table %q failed: %v; skipping", t.Name, err)
+		p.metrics().degraded.Inc()
+		return false
+	}
+	return true
+}
+
+// detectAllFast is the batched fast path: every admitted table of the
+// request is decomposed into column-granular units, a bounded worker
+// pool measures them with per-worker scratch (so one wide table spreads
+// across the pool, and /v1/batch requests coalesced into one call batch
+// columns across requests), and a sequential assembly pass scores the
+// results through the compact index in the reference path's exact
+// order. Findings are therefore byte-identical to the reference path
+// regardless of worker interleaving.
+func (p *Predictor) detectAllFast(ctx context.Context, tables []*table.Table) []Finding {
+	sp := obs.StartSpan(ctx, "core/detect_all")
+	sp.Tag("tables", len(tables))
+	sp.Tag("path", "indexed")
+	defer sp.End()
+	pm := p.metrics()
+
+	skip := make([]bool, len(tables))
+	if p.Inject != nil {
+		for i, t := range tables {
+			skip[i] = !p.admitTable(ctx, t)
+		}
+	}
+
+	// Units are laid out table-major, detectors in declared order,
+	// columns in position order — the measurement order of the reference
+	// path — so assembly is a single forward walk.
+	var units []fastUnit
+	for ti, t := range tables {
+		if skip[ti] {
+			continue
+		}
+		for di, det := range p.Detectors {
+			if _, ok := det.(ColumnMeasurer); ok {
+				for pos := range t.Columns {
+					units = append(units, fastUnit{ti: ti, di: di, col: pos})
+				}
+			} else {
+				units = append(units, fastUnit{ti: ti, di: di, col: -1})
+			}
+		}
+	}
+
+	workers := p.Model.Config.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	results := make([][]Measurement, len(units))
+	durs := make([]float64, len(units))
+	poisoned := make([]atomic.Bool, len(tables))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	// The feeder joins the same WaitGroup as the workers, so the fast
+	// path never returns with it live after a context cancellation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(next)
+		for i := range units {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := NewScratch()
+			first := true
+			for ui := range next {
+				if first {
+					first = false
+				} else {
+					pm.scratchReuse.Inc()
+				}
+				u := units[ui]
+				start := p.Obs.Now()
+				results[ui] = p.measureUnit(tables[u.ti], u, sc, &poisoned[u.ti])
+				durs[ui] = (p.Obs.Now() - start).Seconds()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Sequential assembly: walk the unit layout per table, score through
+	// the index, dedup exactly as the reference per-table loop does.
+	var out []Finding
+	ui := 0
+	for ti, t := range tables {
+		if skip[ti] {
+			continue
+		}
+		pm.tables.Inc()
+		bad := poisoned[ti].Load()
+		if bad {
+			pm.degraded.Inc()
+		}
+		st := newScoreState()
+		for _, det := range p.Detectors {
+			var sec float64
+			consume := func() {
+				if !bad {
+					p.add(st, t, det, results[ui])
+				}
+				sec += durs[ui]
+				ui++
+			}
+			if _, ok := det.(ColumnMeasurer); ok {
+				for range t.Columns {
+					consume()
+				}
+			} else {
+				consume()
+			}
+			if !bad {
+				pm.detSeconds.With(det.Class().String()).Observe(sec)
+			}
+		}
+		if !bad {
+			out = append(out, st.findings()...)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// measureUnit measures one unit, shielding the batch from detector
+// panics when chaos injection is live (the batch analogue of
+// detectShard's recover): the panicking table is poisoned and yields no
+// findings instead of crashing the scan.
+func (p *Predictor) measureUnit(t *table.Table, u fastUnit, sc *Scratch, poison *atomic.Bool) (ms []Measurement) {
+	if p.Inject != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				p.logf("core: predict table %q panicked: %v; skipping", t.Name, r)
+				poison.Store(true)
+				ms = nil
+			}
+		}()
+	}
+	det := p.Detectors[u.di]
+	if u.col < 0 {
+		return p.measureTable(det, t)
+	}
+	return p.measureColumn(det.(ColumnMeasurer), t, u.col, sc)
+}

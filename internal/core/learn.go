@@ -12,41 +12,23 @@ import (
 )
 
 // GlobalKey is the pseudo feature bucket holding whole-corpus statistics.
-var GlobalKey = feature.Key{Type: table.ValueType(0xFF)}
+var GlobalKey = feature.GlobalKey
 
-// WildRows and WildB mark wildcard buckets: statistics aggregated over
-// every value of the wildcarded dimension, with the rest of the key
-// intact. Sparse full buckets back off through a chain of these before
-// falling all the way to GlobalKey — so a 3000-row enterprise column
-// still benefits from type- and class-specific evidence even when the
-// training corpus has few tables that large, and the dimension that
-// matters most for a class is surrendered last.
+// WildRows and WildB mark wildcard buckets; see feature.WildRows. The
+// wildcard/backoff scheme lives in the feature package so the compact LR
+// index (internal/lrindex) can mirror the learner's bucket chain without
+// importing core; these aliases keep the historical core names working.
 const (
-	WildRows uint8 = 0xFE
-	WildB    uint8 = 0xFD
+	WildRows = feature.WildRows
+	WildB    = feature.WildB
 )
 
 // wildRowsKey returns key with its row bucket wildcarded.
-func wildRowsKey(k feature.Key) feature.Key {
-	k.Rows = WildRows
-	return k
-}
-
-// wildBKey returns key with its secondary class dimension wildcarded.
-func wildBKey(k feature.Key) feature.Key {
-	k.B = WildB
-	return k
-}
+func wildRowsKey(k feature.Key) feature.Key { return feature.WildRowsKey(k) }
 
 // backoffKeys returns the bucket lookup chain for a key, most specific
 // first (excluding the full key itself and the global grid).
-func backoffKeys(k feature.Key) []feature.Key {
-	return []feature.Key{
-		wildBKey(k),              // drop leftness first: least informative
-		wildRowsKey(k),           // then row count
-		wildBKey(wildRowsKey(k)), // then both
-	}
-}
+func backoffKeys(k feature.Key) [3]feature.Key { return feature.Backoff(k) }
 
 // bucketID identifies one reduce bucket of the learning job: an error
 // class plus a feature bucket (or a wildcard/global pseudo-bucket).

@@ -38,6 +38,13 @@ type predictMetrics struct {
 	detSeconds *obs.HistogramVec
 	lr         *obs.HistogramVec
 	findings   *obs.CounterVec
+	// Fast-path instrumentation. ixLookups is deterministic for a given
+	// corpus (one increment per scored measurement); cacheOps and
+	// scratchReuse depend on worker interleaving and are excluded from
+	// the benchmark baseline scrape.
+	ixLookups    *obs.CounterVec
+	cacheOps     *obs.CounterVec
+	scratchReuse *obs.Counter
 }
 
 // newPredictMetrics resolves the prediction metric children from r
@@ -57,6 +64,14 @@ func newPredictMetrics(r *obs.Registry) predictMetrics {
 		findings: r.CounterVec("unidetect_predict_findings_total",
 			"Findings emitted (before cross-candidate dedup) by detector.",
 			"detector"),
+		ixLookups: r.CounterVec("unidetect_predict_index_lookups_total",
+			"Compact-index LR lookups by which backoff layer answered.",
+			"outcome"),
+		cacheOps: r.CounterVec("unidetect_predict_measure_cache_total",
+			"Per-column measurement cache lookups by result.",
+			"result"),
+		scratchReuse: r.Counter("unidetect_predict_scratch_reuse_total",
+			"Measurement units served by a reused worker scratch buffer."),
 	}
 }
 

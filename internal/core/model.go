@@ -94,7 +94,13 @@ func (m *Model) LR(c Class, det Detector, meas Measurement) (lr float64, support
 }
 
 // SortFindings orders findings by ascending LR, breaking ties by larger
-// evidence support, then lexicographically for determinism.
+// evidence support, then lexicographically by (table, column, rows,
+// class). The row comparison is the *full* lexicographic order over the
+// row sets, not just the first row: equal-LR findings from different
+// DetectAll shards that agree on their first flagged row (e.g. two
+// duplicate groups both starting at row 0) would otherwise compare
+// "equal", and sort.Slice — which is unstable — would order them by
+// worker arrival, making batch output nondeterministic.
 func SortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -110,11 +116,35 @@ func SortFindings(fs []Finding) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		if len(a.Rows) > 0 && len(b.Rows) > 0 && a.Rows[0] != b.Rows[0] {
-			return a.Rows[0] < b.Rows[0]
+		if c := compareRows(a.Rows, b.Rows); c != 0 {
+			return c < 0
 		}
 		return a.Class < b.Class
 	})
+}
+
+// compareRows orders row sets lexicographically, shorter prefix first.
+func compareRows(a, b []int) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
 }
 
 // MergeModels combines the evidence of two models trained with the same

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/lrindex"
 	"github.com/unidetect/unidetect/internal/obs"
 	"github.com/unidetect/unidetect/internal/stats"
 	"github.com/unidetect/unidetect/internal/table"
@@ -28,11 +29,30 @@ type Predictor struct {
 	// Obs, when non-nil, receives prediction metrics: per-detector
 	// latency and LR histograms, finding and degraded-table counters.
 	Obs *obs.Registry
+	// Reference forces the original map-backed scoring and
+	// table-granular pipeline. It is the oracle of the differential
+	// harness (internal/difftest): the fast path — compact LR index,
+	// column-granular batching, scratch reuse, measurement memoization —
+	// must produce byte-identical findings to this path.
+	Reference bool
+	// CacheSize overrides the per-column measurement cache budget
+	// (total entries across shards): 0 means the default, negative
+	// disables memoization. Ignored on the reference path.
+	CacheSize int
 
 	metricsOnce sync.Once
 	// pm is built from Obs on first use; all children are no-ops when
 	// Obs is nil.
 	pm predictMetrics
+
+	indexOnce sync.Once
+	// index is compiled from Model on first fast-path use.
+	index     *lrindex.Index
+	cacheOnce sync.Once
+	// cache is resolved from CacheSize on first fast-path use.
+	cache *measureCache
+	// scratches pools per-call scratch buffers for single-table Detect.
+	scratches sync.Pool
 }
 
 // NewPredictor builds a predictor. env may carry a token index built over
@@ -50,7 +70,23 @@ func NewPredictor(m *Model, detectors []Detector, env *Env) *Predictor {
 // duplicated key value violates the candidate FD from the key to every
 // other column — so findings of the same class flagging the same row set
 // are deduplicated, keeping the most confident (smallest LR).
+//
+// By default Detect scores through the compact LR index with pooled
+// scratch buffers (fastpath.go); Reference selects the original
+// map-backed path below, which internal/difftest holds the fast path
+// byte-identical to.
 func (p *Predictor) Detect(t *table.Table) []Finding {
+	if p.Reference {
+		return p.detectReference(t)
+	}
+	sc := p.getScratch()
+	defer p.scratches.Put(sc)
+	return p.detectFast(t, sc)
+}
+
+// detectReference is the original measure → map-lookup → dedup loop,
+// kept verbatim as the differential oracle.
+func (p *Predictor) detectReference(t *table.Table) []Finding {
 	pm := p.metrics()
 	pm.tables.Inc()
 	best := map[string]Finding{}
@@ -127,8 +163,19 @@ func appendInt(b []byte, v int) []byte {
 }
 
 // DetectAll scores many tables concurrently and returns all findings
-// ranked by ascending LR.
+// ranked by ascending LR. The default pipeline batches column-granular
+// units across every table of the call through a bounded worker pool
+// (fastpath.go); Reference selects the original table-sharded pipeline.
 func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Finding {
+	if p.Reference {
+		return p.detectAllReference(ctx, tables)
+	}
+	return p.detectAllFast(ctx, tables)
+}
+
+// detectAllReference is the original table-granular worker pool, kept
+// as the differential oracle.
+func (p *Predictor) detectAllReference(ctx context.Context, tables []*table.Table) []Finding {
 	sp := obs.StartSpan(ctx, "core/detect_all")
 	sp.Tag("tables", len(tables))
 	defer sp.End()
@@ -180,7 +227,7 @@ func (p *Predictor) DetectAll(ctx context.Context, tables []*table.Table) []Find
 // degradation, the batch analogue of the daemon's panic middleware.
 func (p *Predictor) detectShard(ctx context.Context, t *table.Table) (fs []Finding) {
 	if p.Inject == nil {
-		return p.Detect(t)
+		return p.detectReference(t)
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -194,7 +241,7 @@ func (p *Predictor) detectShard(ctx context.Context, t *table.Table) (fs []Findi
 		p.metrics().degraded.Inc()
 		return nil
 	}
-	return p.Detect(t)
+	return p.detectReference(t)
 }
 
 // metrics resolves the predictor's metric children once; cheap and

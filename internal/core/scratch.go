@@ -1,0 +1,54 @@
+package core
+
+import (
+	"github.com/unidetect/unidetect/internal/strdist"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Scratch bundles the per-worker reusable buffers of the serving fast
+// path. One Scratch is owned by exactly one worker goroutine at a time;
+// reusing it across measurement units is what cuts the hot path's
+// allocations (the MPD rune conversions and DP rows dominate the
+// baseline's allocation profile).
+type Scratch struct {
+	// MPD holds the string-distance buffers of the spelling detector.
+	MPD *strdist.Scratch
+	// F64 is a general float64 buffer (the outlier detector's drop-one
+	// resample).
+	F64 []float64
+}
+
+// NewScratch returns a ready-to-use scratch.
+func NewScratch() *Scratch {
+	return &Scratch{MPD: &strdist.Scratch{}}
+}
+
+// Floats returns a zero-length float64 buffer with capacity >= n.
+func (s *Scratch) Floats(n int) []float64 {
+	if cap(s.F64) < n {
+		s.F64 = make([]float64, 0, n)
+	}
+	return s.F64[:0]
+}
+
+// ColumnMeasurer is the column-granular refinement of Detector: detectors
+// whose measurements are per-column (spelling, outlier, uniqueness — as
+// opposed to the column-pair FD detectors) expose each column as an
+// independently schedulable unit, so the batched prediction pipeline can
+// spread one wide table across its worker pool and memoize per-column
+// results across requests.
+//
+// MeasureColumn must be a pure function of (table, pos, env): the
+// measurement cache replays its results for identical column content.
+// sc may be nil (the reference path's Measure wrapper passes nil and
+// takes the allocating code paths). Implementations must NOT report
+// measurement counts to env — the caller counts once per unit, keeping
+// totals identical between the reference (per-table) and fast
+// (per-column) paths.
+type ColumnMeasurer interface {
+	Detector
+	// MeasureColumn computes the measurements of the single column at
+	// position pos, exactly the subsequence of Measure's output that this
+	// column contributes.
+	MeasureColumn(t *table.Table, pos int, env *Env, sc *Scratch) []Measurement
+}

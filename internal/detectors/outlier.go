@@ -83,45 +83,58 @@ func (d *Outlier) Directions() evidence.Directions { return evidence.OutlierDire
 // Measure implements core.Detector.
 func (d *Outlier) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
 	defer func() { env.CountMeasurements(core.ClassOutlier, len(out)) }()
-	for _, c := range t.Columns {
-		typ := c.Type()
-		if typ != table.TypeInt && typ != table.TypeFloat {
-			continue
-		}
-		vals, rows := table.Numbers(c)
-		if len(vals) < d.Cfg.MinRows || len(vals) < 8 {
-			continue
-		}
-		theta1, arg := d.maxScore(vals)
-		if arg < 0 {
-			continue
-		}
-		rest := make([]float64, 0, len(vals)-1)
-		rest = append(rest, vals[:arg]...)
-		rest = append(rest, vals[arg+1:]...)
-		theta2, _ := d.maxScore(rest)
-		key := feature.Key{
-			Type: typ,
-			Rows: feature.RowBucket(c.Len()),
-			A:    feature.Bool(stats.LogTransformFits(vals)),
-		}
-		// A candidate must actually look like an outlier: removing it
-		// must lower the dispersion score, and the score itself must be
-		// conventionally outlying (cfg.MinOutlierScore deviations).
-		valid := theta2 < theta1 && theta1 >= d.Cfg.MinOutlierScore
-		row := rows[arg]
-		out = append(out, core.Measurement{
-			Key:    key,
-			Theta1: theta1,
-			Theta2: theta2,
-			Valid:  valid,
-			Column: c.Name,
-			Rows:   []int{row},
-			Values: []string{c.Values[row]},
-			Detail: fmt.Sprintf("max dispersion score %.2f drops to %.2f without this value", theta1, theta2),
-		})
+	for pos := range t.Columns {
+		out = append(out, d.MeasureColumn(t, pos, env, nil)...)
 	}
 	return out
 }
 
-var _ core.Detector = (*Outlier)(nil)
+// MeasureColumn implements core.ColumnMeasurer: the single column's
+// share of Measure's output. A non-nil scratch supplies the buffer for
+// the drop-one resample.
+func (d *Outlier) MeasureColumn(t *table.Table, pos int, env *core.Env, sc *core.Scratch) []core.Measurement {
+	c := t.Columns[pos]
+	typ := c.Type()
+	if typ != table.TypeInt && typ != table.TypeFloat {
+		return nil
+	}
+	vals, rows := table.Numbers(c)
+	if len(vals) < d.Cfg.MinRows || len(vals) < 8 {
+		return nil
+	}
+	theta1, arg := d.maxScore(vals)
+	if arg < 0 {
+		return nil
+	}
+	var rest []float64
+	if sc != nil {
+		rest = sc.Floats(len(vals) - 1)
+	} else {
+		rest = make([]float64, 0, len(vals)-1)
+	}
+	rest = append(rest, vals[:arg]...)
+	rest = append(rest, vals[arg+1:]...)
+	theta2, _ := d.maxScore(rest)
+	key := feature.Key{
+		Type: typ,
+		Rows: feature.RowBucket(c.Len()),
+		A:    feature.Bool(stats.LogTransformFits(vals)),
+	}
+	// A candidate must actually look like an outlier: removing it
+	// must lower the dispersion score, and the score itself must be
+	// conventionally outlying (cfg.MinOutlierScore deviations).
+	valid := theta2 < theta1 && theta1 >= d.Cfg.MinOutlierScore
+	row := rows[arg]
+	return []core.Measurement{{
+		Key:    key,
+		Theta1: theta1,
+		Theta2: theta2,
+		Valid:  valid,
+		Column: c.Name,
+		Rows:   []int{row},
+		Values: []string{c.Values[row]},
+		Detail: fmt.Sprintf("max dispersion score %.2f drops to %.2f without this value", theta1, theta2),
+	}}
+}
+
+var _ core.ColumnMeasurer = (*Outlier)(nil)

@@ -36,67 +36,98 @@ func (d *Spelling) Directions() evidence.Directions { return evidence.SpellingDi
 // Measure implements core.Detector.
 func (d *Spelling) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
 	defer func() { env.CountMeasurements(core.ClassSpelling, len(out)) }()
-	for _, c := range t.Columns {
-		if c.Len() < d.Cfg.MinRows {
-			continue
-		}
-		typ := c.Type()
-		if typ == table.TypeInt || typ == table.TypeFloat || typ == table.TypeEmpty {
-			// Digit-edit "misspellings" of numbers are the outlier
-			// detector's jurisdiction.
-			continue
-		}
-		p, ok := strdist.MinPairDistCapped(c.Values, d.Cfg.MPDCap)
-		if !ok {
-			continue
-		}
-		theta1 := float64(p.Dist)
-		// The natural perturbation drops one value of the MPD pair;
-		// Equation 3 minimizes LR over O, and with the §3.2 orientation
-		// a larger θ2 always yields a smaller LR (Theorem 1), so we keep
-		// the drop that raises MPD the most.
-		q1, ok1 := strdist.SecondMinPairDistCapped(c.Values, p.I, d.Cfg.MPDCap)
-		q2, ok2 := strdist.SecondMinPairDistCapped(c.Values, p.J, d.Cfg.MPDCap)
-		var theta2 float64
-		switch {
-		case ok1 && ok2:
-			theta2 = float64(max(q1.Dist, q2.Dist))
-		case ok1:
-			theta2 = float64(q1.Dist)
-		case ok2:
-			theta2 = float64(q2.Dist)
-		default:
-			continue // fewer than 3 distinct values; no perturbed MPD
-		}
-		avgLen := strdist.AvgDifferingTokenLen(c.Values[p.I], c.Values[p.J])
-		key := feature.Key{
-			Type: typ,
-			Rows: feature.RowBucket(c.Len()),
-			A:    feature.TokenLenBucket(avgLen),
-		}
-		// A misspelling candidate must (a) be a close pair ("a small MPD
-		// indicates likely misspellings", §3.2) and (b) differ in
-		// letters: pairs differing only in digits are ID/numeric
-		// discrepancies, not spelling mistakes.
-		valid := (d.Cfg.MaxSpellingMPD <= 0 || p.Dist <= d.Cfg.MaxSpellingMPD) &&
-			lettersDiffer(c.Values[p.I], c.Values[p.J])
-		detail := fmt.Sprintf("closest pair at edit distance %d; next distance %.0f", p.Dist, theta2)
-		if d.Dict != nil && bothDictionaryWords(c.Values[p.I], c.Values[p.J], d.Dict) {
-			valid = false
-			detail += " (refuted: differing tokens are dictionary words)"
-		}
-		out = append(out, core.Measurement{
-			Key:    key,
-			Theta1: theta1,
-			Theta2: theta2,
-			Valid:  valid,
-			Column: c.Name,
-			Rows:   []int{p.I, p.J},
-			Values: []string{c.Values[p.I], c.Values[p.J]},
-			Detail: detail,
-		})
+	for pos := range t.Columns {
+		out = append(out, d.MeasureColumn(t, pos, env, nil)...)
 	}
 	return out
+}
+
+// MeasureColumn implements core.ColumnMeasurer: the single column's
+// share of Measure's output. A nil scratch takes the original
+// allocating MPD scans; a non-nil scratch reuses the worker's rune and
+// DP buffers — the scans themselves visit pairs in the same order
+// either way, so the measurements are identical.
+func (d *Spelling) MeasureColumn(t *table.Table, pos int, env *core.Env, sc *core.Scratch) []core.Measurement {
+	c := t.Columns[pos]
+	if c.Len() < d.Cfg.MinRows {
+		return nil
+	}
+	typ := c.Type()
+	if typ == table.TypeInt || typ == table.TypeFloat || typ == table.TypeEmpty {
+		// Digit-edit "misspellings" of numbers are the outlier
+		// detector's jurisdiction.
+		return nil
+	}
+	var mpd *strdist.Scratch
+	if sc != nil {
+		mpd = sc.MPD
+	}
+	p, ok := minPairDist(c.Values, d.Cfg.MPDCap, mpd)
+	if !ok {
+		return nil
+	}
+	theta1 := float64(p.Dist)
+	// The natural perturbation drops one value of the MPD pair;
+	// Equation 3 minimizes LR over O, and with the §3.2 orientation
+	// a larger θ2 always yields a smaller LR (Theorem 1), so we keep
+	// the drop that raises MPD the most.
+	q1, ok1 := secondMinPairDist(c.Values, p.I, d.Cfg.MPDCap, mpd)
+	q2, ok2 := secondMinPairDist(c.Values, p.J, d.Cfg.MPDCap, mpd)
+	var theta2 float64
+	switch {
+	case ok1 && ok2:
+		theta2 = float64(max(q1.Dist, q2.Dist))
+	case ok1:
+		theta2 = float64(q1.Dist)
+	case ok2:
+		theta2 = float64(q2.Dist)
+	default:
+		return nil // fewer than 3 distinct values; no perturbed MPD
+	}
+	avgLen := strdist.AvgDifferingTokenLen(c.Values[p.I], c.Values[p.J])
+	key := feature.Key{
+		Type: typ,
+		Rows: feature.RowBucket(c.Len()),
+		A:    feature.TokenLenBucket(avgLen),
+	}
+	// A misspelling candidate must (a) be a close pair ("a small MPD
+	// indicates likely misspellings", §3.2) and (b) differ in
+	// letters: pairs differing only in digits are ID/numeric
+	// discrepancies, not spelling mistakes.
+	valid := (d.Cfg.MaxSpellingMPD <= 0 || p.Dist <= d.Cfg.MaxSpellingMPD) &&
+		lettersDiffer(c.Values[p.I], c.Values[p.J])
+	detail := fmt.Sprintf("closest pair at edit distance %d; next distance %.0f", p.Dist, theta2)
+	if d.Dict != nil && bothDictionaryWords(c.Values[p.I], c.Values[p.J], d.Dict) {
+		valid = false
+		detail += " (refuted: differing tokens are dictionary words)"
+	}
+	return []core.Measurement{{
+		Key:    key,
+		Theta1: theta1,
+		Theta2: theta2,
+		Valid:  valid,
+		Column: c.Name,
+		Rows:   []int{p.I, p.J},
+		Values: []string{c.Values[p.I], c.Values[p.J]},
+		Detail: detail,
+	}}
+}
+
+// minPairDist routes the MPD scan through the scratch variant when a
+// scratch is available.
+func minPairDist(vals []string, cap int, sc *strdist.Scratch) (strdist.Pair, bool) {
+	if sc != nil {
+		return strdist.MinPairDistCappedScratch(vals, cap, sc)
+	}
+	return strdist.MinPairDistCapped(vals, cap)
+}
+
+// secondMinPairDist routes the perturbed-MPD scan likewise.
+func secondMinPairDist(vals []string, drop, cap int, sc *strdist.Scratch) (strdist.Pair, bool) {
+	if sc != nil {
+		return strdist.SecondMinPairDistCappedScratch(vals, drop, cap, sc)
+	}
+	return strdist.SecondMinPairDistCapped(vals, drop, cap)
 }
 
 // bothDictionaryWords reports whether every differing token of the pair is
@@ -143,4 +174,4 @@ func max(a, b int) int {
 	return b
 }
 
-var _ core.Detector = (*Spelling)(nil)
+var _ core.ColumnMeasurer = (*Spelling)(nil)

@@ -30,56 +30,64 @@ func (d *Uniqueness) Directions() evidence.Directions { return evidence.RatioDir
 // Measure implements core.Detector.
 func (d *Uniqueness) Measure(t *table.Table, env *core.Env) (out []core.Measurement) {
 	defer func() { env.CountMeasurements(core.ClassUniqueness, len(out)) }()
-	for pos, c := range t.Columns {
-		n := c.Len()
-		if n < d.Cfg.MinRows {
-			continue
-		}
-		typ := c.Type()
-		if typ == table.TypeEmpty {
-			continue
-		}
-		dup, dupGroups := duplicateRows(c.Values)
-		distinct := n - len(dup)
-		theta1 := float64(distinct) / float64(n)
-		eps := d.Cfg.Epsilon(n)
-
-		// The perturbation may drop at most ε rows (Definition 2). With
-		// k = min(|dup|, ε) redundant rows dropped the column keeps all
-		// its distinct values: UR' = distinct / (n - k).
-		k := len(dup)
-		valid := k > 0 && k <= eps
-		if k > eps {
-			k = eps
-		}
-		theta2 := float64(distinct) / float64(n-k)
-
-		key := feature.Key{
-			Type: typ,
-			Rows: feature.RowBucket(n),
-			A:    feature.RelPrevalenceBucket(prevalenceOf(env, c)),
-			B:    feature.LeftnessBucket(pos),
-		}
-		m := core.Measurement{
-			Key:    key,
-			Theta1: theta1,
-			Theta2: theta2,
-			Valid:  valid,
-			Column: c.Name,
-			Detail: fmt.Sprintf("%.4f unique; %d duplicate row(s)", theta1, len(dup)),
-		}
-		if valid {
-			// Report every row holding a duplicated value (both the
-			// original and the copy): the detection is "these rows
-			// collide"; which one is wrong is for the user to judge.
-			m.Rows = dupGroups
-			for _, r := range dupGroups {
-				m.Values = append(m.Values, c.Values[r])
-			}
-		}
-		out = append(out, m)
+	for pos := range t.Columns {
+		out = append(out, d.MeasureColumn(t, pos, env, nil)...)
 	}
 	return out
+}
+
+// MeasureColumn implements core.ColumnMeasurer: the single column's
+// share of Measure's output (the scratch is unused — the UR scan's
+// duplicate maps are value-count-shaped, not worth pooling).
+func (d *Uniqueness) MeasureColumn(t *table.Table, pos int, env *core.Env, _ *core.Scratch) []core.Measurement {
+	c := t.Columns[pos]
+	n := c.Len()
+	if n < d.Cfg.MinRows {
+		return nil
+	}
+	typ := c.Type()
+	if typ == table.TypeEmpty {
+		return nil
+	}
+	dup, dupGroups := duplicateRows(c.Values)
+	distinct := n - len(dup)
+	theta1 := float64(distinct) / float64(n)
+	eps := d.Cfg.Epsilon(n)
+
+	// The perturbation may drop at most ε rows (Definition 2). With
+	// k = min(|dup|, ε) redundant rows dropped the column keeps all
+	// its distinct values: UR' = distinct / (n - k).
+	k := len(dup)
+	valid := k > 0 && k <= eps
+	if k > eps {
+		k = eps
+	}
+	theta2 := float64(distinct) / float64(n-k)
+
+	key := feature.Key{
+		Type: typ,
+		Rows: feature.RowBucket(n),
+		A:    feature.RelPrevalenceBucket(prevalenceOf(env, c)),
+		B:    feature.LeftnessBucket(pos),
+	}
+	m := core.Measurement{
+		Key:    key,
+		Theta1: theta1,
+		Theta2: theta2,
+		Valid:  valid,
+		Column: c.Name,
+		Detail: fmt.Sprintf("%.4f unique; %d duplicate row(s)", theta1, len(dup)),
+	}
+	if valid {
+		// Report every row holding a duplicated value (both the
+		// original and the copy): the detection is "these rows
+		// collide"; which one is wrong is for the user to judge.
+		m.Rows = dupGroups
+		for _, r := range dupGroups {
+			m.Values = append(m.Values, c.Values[r])
+		}
+	}
+	return []core.Measurement{m}
 }
 
 // duplicateRows returns (a) the row indices of every value occurrence
@@ -115,4 +123,4 @@ func prevalenceOf(env *core.Env, c *table.Column) float64 {
 	return env.Index.RelPrevalence(c)
 }
 
-var _ core.Detector = (*Uniqueness)(nil)
+var _ core.ColumnMeasurer = (*Uniqueness)(nil)

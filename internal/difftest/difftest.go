@@ -1,0 +1,236 @@
+// Package difftest is the differential harness that proves the fast
+// prediction path — compact LR index (internal/lrindex), column-granular
+// batching, pooled scratch buffers, measurement memoization — produces
+// byte-identical findings to the original map-backed path, which stays
+// in the tree as the oracle behind core.Predictor.Reference.
+//
+// Equivalence here is exact, not approximate: every Finding field must
+// match, with float fields compared via math.Float64bits so that even a
+// last-ulp drift in LR or θ computation fails the harness. A run trains
+// a fresh model on a seeded synthetic corpus, scores an error-injected
+// eval set through both predictors, and diffs the ranked outputs; with a
+// chaos schedule configured, both sides carry same-seed fault injectors
+// so the degraded table set must agree too.
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/obs"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Config parameterizes one differential run. The zero value (plus a
+// Seed) is a sensible small sweep unit.
+type Config struct {
+	// Seed drives corpus generation; the eval set uses Seed+1 so test
+	// tables are disjoint from training tables.
+	Seed int64
+	// TrainTables is the training corpus size (default 100).
+	TrainTables int
+	// EvalTables is the error-injected eval set size (default 30).
+	EvalTables int
+	// ErrorRate is the eval injection rate (default 1.5 per table).
+	ErrorRate float64
+	// Extra tables are appended to the eval set — the hook for
+	// hand-built edge cases (empty columns, NaN numerics, ...).
+	Extra []*table.Table
+	// Chaos, when non-empty, arms both predictors with fault injectors
+	// built from the same ChaosSeed, asserting the fast path degrades
+	// on exactly the tables the reference path degrades on.
+	Chaos     []faultinject.Rule
+	ChaosSeed int64
+	// CacheSize is passed to the fast predictor (0 = default budget,
+	// negative disables the measurement cache).
+	CacheSize int
+	// Mutate, when non-nil, adjusts the training/scoring config before
+	// use — the hook for sweeping ablations (NoFeaturize,
+	// PointEstimates) through the harness.
+	Mutate func(*core.Config)
+}
+
+// Result reports what a successful (equivalent) run produced, so tests
+// can assert the comparison had power.
+type Result struct {
+	// Findings is the fast path's ranked output (== the reference's).
+	Findings []core.Finding
+	// Classes counts findings per error class.
+	Classes map[core.Class]int
+	// IndexLookups is how many measurements the fast path scored
+	// through the LR index — zero means the run proved nothing.
+	IndexLookups float64
+}
+
+// Run trains a model for cfg.Seed, scores the eval set through the
+// reference and fast paths, and fails t unless the outputs are
+// byte-identical. Without chaos it additionally diffs the single-table
+// Detect entry point per eval table (pre-sort dedup order included).
+func Run(t testing.TB, cfg Config) Result {
+	t.Helper()
+	if cfg.TrainTables == 0 {
+		cfg.TrainTables = 100
+	}
+	if cfg.EvalTables == 0 {
+		cfg.EvalTables = 30
+	}
+	if cfg.ErrorRate == 0 {
+		cfg.ErrorRate = 1.5
+	}
+	ctx := context.Background()
+
+	bg := corpus.New("difftest", datagen.Generate(datagen.Spec{
+		Name: "difftest", Profile: datagen.ProfileWeb, NumTables: cfg.TrainTables,
+		AvgRows: 16, AvgCols: 4, Seed: cfg.Seed,
+	}).Tables)
+	cc := core.DefaultConfig()
+	cc.Workers = 4 // exercise both worker pools even on 1-CPU machines
+	if cfg.Mutate != nil {
+		cfg.Mutate(&cc)
+	}
+	dets := detectors.All(cc, detectors.Options{})
+	model, err := core.Train(ctx, cc, bg, dets)
+	if err != nil {
+		t.Fatalf("difftest: train seed %d: %v", cfg.Seed, err)
+	}
+
+	eval := datagen.Generate(datagen.Spec{
+		Name: "difftest-eval", Profile: datagen.ProfileWeb, NumTables: cfg.EvalTables,
+		AvgRows: 20, AvgCols: 4, ErrorRate: cfg.ErrorRate, Seed: cfg.Seed + 1,
+	}).Tables
+	eval = append(eval, cfg.Extra...)
+
+	env := &core.Env{Index: bg.Index()}
+	ref := core.NewPredictor(model, dets, env)
+	ref.Reference = true
+	fast := core.NewPredictor(model, dets, env)
+	fast.CacheSize = cfg.CacheSize
+	fast.Obs = obs.NewRegistry()
+	if len(cfg.Chaos) > 0 {
+		ref.Inject = faultinject.New(cfg.ChaosSeed, cfg.Chaos...)
+		fast.Inject = faultinject.New(cfg.ChaosSeed, cfg.Chaos...)
+	}
+
+	want := ref.DetectAll(ctx, eval)
+	got := fast.DetectAll(ctx, eval)
+	diffFindings(t, fmt.Sprintf("seed %d DetectAll", cfg.Seed), want, got)
+
+	if len(cfg.Chaos) == 0 {
+		// The batch comparison alone would pass if both paths dropped
+		// everything; Detect has no degradation, so this also pins the
+		// per-table dedup order the batch assembly replays.
+		for _, tab := range eval {
+			diffFindings(t, fmt.Sprintf("seed %d Detect(%q)", cfg.Seed, tab.Name),
+				ref.Detect(tab), fast.Detect(tab))
+		}
+	}
+
+	res := Result{Findings: got, Classes: map[core.Class]int{}}
+	for _, f := range got {
+		res.Classes[f.Class]++
+	}
+	res.IndexLookups = counterTotal(t, fast.Obs, "unidetect_predict_index_lookups_total")
+	if res.IndexLookups == 0 {
+		t.Fatalf("difftest: seed %d: fast path scored nothing through the LR index; the comparison has no power", cfg.Seed)
+	}
+	return res
+}
+
+// diffFindings fails t with a field-precise message on the first
+// mismatch between the oracle's findings and the fast path's.
+func diffFindings(t testing.TB, what string, want, got []core.Finding) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("difftest: %s: reference produced %d findings, fast path %d", what, len(want), len(got))
+	}
+	for i := range want {
+		if d := findingDiff(want[i], got[i]); d != "" {
+			t.Fatalf("difftest: %s: finding %d differs: %s\nreference: %+v\nfast:      %+v",
+				what, i, d, want[i], got[i])
+		}
+	}
+}
+
+// findingDiff returns "" when a and b are byte-identical, else the name
+// of the first differing field. Floats compare by bits: NaN == NaN,
+// +0 != -0 — stricter than ==.
+func findingDiff(a, b core.Finding) string {
+	switch {
+	case a.Class != b.Class:
+		return "Class"
+	case a.Table != b.Table:
+		return "Table"
+	case a.Column != b.Column:
+		return "Column"
+	case !equalInts(a.Rows, b.Rows):
+		return "Rows"
+	case !equalStrings(a.Values, b.Values):
+		return "Values"
+	case math.Float64bits(a.LR) != math.Float64bits(b.LR):
+		return fmt.Sprintf("LR bits (%x vs %x)", math.Float64bits(a.LR), math.Float64bits(b.LR))
+	case math.Float64bits(a.Theta1) != math.Float64bits(b.Theta1):
+		return "Theta1 bits"
+	case math.Float64bits(a.Theta2) != math.Float64bits(b.Theta2):
+		return "Theta2 bits"
+	case a.Support != b.Support:
+		return "Support"
+	case a.Detail != b.Detail:
+		return "Detail"
+	}
+	return ""
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// counterTotal sums every sample of one counter family from the
+// registry's own text exposition, validating the format on the way.
+func counterTotal(t testing.TB, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePromText(&sb); err != nil {
+		t.Fatalf("difftest: write exposition: %v", err)
+	}
+	fams, err := obs.ParseProm(sb.String())
+	if err != nil {
+		t.Fatalf("difftest: invalid exposition: %v", err)
+	}
+	fam := fams[name]
+	if fam == nil {
+		return 0
+	}
+	var total float64
+	for _, s := range fam.Samples {
+		total += s.Value
+	}
+	return total
+}

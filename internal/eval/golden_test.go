@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/datagen"
+)
+
+// goldenCurve is the testdata/pr_curve.json schema: exact fractions, so
+// the comparison below is bit-exact rather than tolerance-based.
+type goldenCurve struct {
+	Ks        []int    `json:"ks"`
+	Precision [][2]int `json:"precision"`
+	Recall    [][2]int `json:"recall"`
+}
+
+// goldenLabels is the fixture's ground truth: five labeled cells across
+// two tables, spanning spelling, uniqueness, outlier and FD classes.
+func goldenLabels() *Labels {
+	return NewLabels([]datagen.Label{
+		{Table: "t1", Column: "name", Row: 2, Class: datagen.ClassSpelling},
+		{Table: "t1", Column: "name", Row: 5, Class: datagen.ClassSpelling},
+		{Table: "t1", Column: "id", Row: 0, Class: datagen.ClassUniqueness},
+		{Table: "t2", Column: "price", Row: 3, Class: datagen.ClassOutlier},
+		{Table: "t2", Column: "country", Row: 4, Class: datagen.ClassFD},
+	})
+}
+
+// goldenItems is the fixture's ranked prediction list. The hit pattern
+// is chosen to exercise every Matches edge the curve code leans on:
+// multi-row items, FD-arrow columns matching via their right side, a
+// duplicate hit (precision counts it, recall must not), and a lhs-only
+// column that must NOT match an rhs label.
+func goldenItems() []Item {
+	return []Item{
+		{Table: "t1", Column: "name", Rows: []int{2}},         // hit: name/2
+		{Table: "t1", Column: "id", Rows: []int{0, 7}},        // hit: id/0 via multi-row
+		{Table: "t2", Column: "price", Rows: []int{9}},        // miss: unlabeled row
+		{Table: "t2", Column: "city→country", Rows: []int{4}}, // hit: country/4 via FD rhs
+		{Table: "t1", Column: "name", Rows: []int{5}},         // hit: name/5
+		{Table: "t3", Column: "x", Rows: []int{1}},            // miss: unlabeled table
+		{Table: "t1", Column: "name", Rows: []int{2}},         // duplicate hit of name/2
+		{Table: "t2", Column: "price", Rows: []int{3}},        // hit: price/3
+		{Table: "t1", Column: "id", Rows: []int{9}},           // miss: unlabeled row
+		{Table: "t2", Column: "city", Rows: []int{4}},         // miss: label is on "country"
+	}
+}
+
+// TestPRCurveGolden pins the full precision/recall curve of the
+// hand-checked fixture to testdata/pr_curve.json. Every expected value
+// in the file was computed by hand from the comments above; a change in
+// Matches, PrecisionAtK or RecallAtK semantics shows up as a fraction
+// mismatch at a specific K.
+func TestPRCurveGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/pr_curve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want goldenCurve
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Ks) != len(want.Precision) || len(want.Ks) != len(want.Recall) {
+		t.Fatalf("malformed golden file: %d ks, %d precision, %d recall",
+			len(want.Ks), len(want.Precision), len(want.Recall))
+	}
+
+	labels := goldenLabels()
+	items := goldenItems()
+	if labels.Len() != 5 {
+		t.Fatalf("fixture labels = %d, want 5", labels.Len())
+	}
+
+	gotPrec := PrecisionAtK(items, labels, want.Ks)
+	for i, k := range want.Ks {
+		wantP := float64(want.Precision[i][0]) / float64(want.Precision[i][1])
+		if math.Float64bits(gotPrec[i]) != math.Float64bits(wantP) {
+			t.Errorf("precision@%d = %v, want %d/%d", k, gotPrec[i], want.Precision[i][0], want.Precision[i][1])
+		}
+		wantR := float64(want.Recall[i][0]) / float64(want.Recall[i][1])
+		gotR := RecallAtK(items, labels, k)
+		if math.Float64bits(gotR) != math.Float64bits(wantR) {
+			t.Errorf("recall@%d = %v, want %d/%d", k, gotR, want.Recall[i][0], want.Recall[i][1])
+		}
+	}
+}
+
+// TestPRCurveMonotoneRecall asserts the structural property the golden
+// values exhibit: recall never decreases with K, and precision at the
+// list's end equals total hits over list length.
+func TestPRCurveMonotoneRecall(t *testing.T) {
+	labels := goldenLabels()
+	items := goldenItems()
+	prev := 0.0
+	for k := 1; k <= len(items); k++ {
+		r := RecallAtK(items, labels, k)
+		if r < prev {
+			t.Fatalf("recall@%d = %v < recall@%d = %v", k, r, k-1, prev)
+		}
+		prev = r
+	}
+	hits := 0
+	for _, it := range items {
+		if labels.Matches(it) {
+			hits++
+		}
+	}
+	tail := PrecisionAtK(items, labels, []int{len(items)})[0]
+	if want := float64(hits) / float64(len(items)); tail != want {
+		t.Fatalf("precision@len = %v, want %v", tail, want)
+	}
+}

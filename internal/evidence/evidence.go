@@ -208,6 +208,17 @@ func (g *Grid) Finalize() {
 	g.finalized = true
 }
 
+// PrefixSums exposes the finalized (N+1)×(N+1) 2-D prefix-sum array,
+// row-major, finalizing the grid if needed. The compact LR index
+// (internal/lrindex) aliases this array instead of copying it; callers
+// must treat it as read-only.
+func (g *Grid) PrefixSums() []int64 {
+	if !g.finalized {
+		g.Finalize()
+	}
+	return g.pre
+}
+
 // rect returns the number of samples with θ1 bin in [l1, h1] and θ2 bin in
 // [l2, h2], inclusive.
 func (g *Grid) rect(l1, h1, l2, h2 int) int64 {

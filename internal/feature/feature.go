@@ -136,3 +136,56 @@ func Bool(b bool) uint8 {
 	}
 	return 0
 }
+
+// WildRows and WildB mark wildcard buckets: statistics aggregated over
+// every value of the wildcarded dimension, with the rest of the key
+// intact. Sparse full buckets back off through a chain of these before
+// falling all the way to the whole-corpus grid — so a 3000-row
+// enterprise column still benefits from type- and class-specific
+// evidence even when the training corpus has few tables that large, and
+// the dimension that matters most for a class is surrendered last.
+const (
+	WildRows uint8 = 0xFE
+	WildB    uint8 = 0xFD
+)
+
+// GlobalType is the pseudo value type of the whole-corpus bucket key.
+const GlobalType = table.ValueType(0xFF)
+
+// GlobalKey is the pseudo feature bucket holding whole-corpus statistics.
+var GlobalKey = Key{Type: GlobalType}
+
+// WildRowsKey returns key with its row bucket wildcarded.
+func WildRowsKey(k Key) Key {
+	k.Rows = WildRows
+	return k
+}
+
+// WildBKey returns key with its secondary class dimension wildcarded.
+func WildBKey(k Key) Key {
+	k.B = WildB
+	return k
+}
+
+// Backoff returns the bucket lookup chain for a key, most specific first
+// (excluding the full key itself and the global grid). It returns an
+// array, not a slice, so hot lookup paths pay no allocation.
+func Backoff(k Key) [3]Key {
+	return [3]Key{
+		WildBKey(k),              // drop leftness first: least informative
+		WildRowsKey(k),           // then row count
+		WildBKey(WildRowsKey(k)), // then both
+	}
+}
+
+// Pack encodes the key into a uint32 whose natural ordering equals the
+// lexicographic (Type, Rows, A, B) order — the layout the compact LR
+// index binary-searches over.
+func Pack(k Key) uint32 {
+	return uint32(k.Type)<<24 | uint32(k.Rows)<<16 | uint32(k.A)<<8 | uint32(k.B)
+}
+
+// Unpack inverts Pack.
+func Unpack(p uint32) Key {
+	return Key{Type: table.ValueType(p >> 24), Rows: uint8(p >> 16), A: uint8(p >> 8), B: uint8(p)}
+}

@@ -1,0 +1,99 @@
+package lrindex
+
+import (
+	"math"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// fuzzSources derives a small but structurally varied source set from a
+// seed: a random number of classes, each with a random bucket population
+// (including the wildcard variants the backoff chain walks) and an
+// occasionally-nil global grid.
+func fuzzSources(seed int64) []Source {
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	dirs := []evidence.Directions{evidence.SpellingDirections, evidence.RatioDirections}
+	classes := 1 + next(3)
+	srcs := make([]Source, 0, classes)
+	for c := 0; c < classes; c++ {
+		src := Source{
+			Class:   c,
+			Dirs:    dirs[next(len(dirs))],
+			Buckets: map[feature.Key]*evidence.Grid{},
+		}
+		for b := next(8); b > 0; b-- {
+			k := feature.Key{
+				Type: table.ValueType(next(table.NumValueTypes)),
+				Rows: uint8(next(4)),
+				A:    uint8(next(4)),
+				B:    uint8(next(4)),
+			}
+			src.Buckets[k] = buildGrid(8, int64(next(1000)))
+			// Half the time also seed a backoff layer for k, so the
+			// chain has somewhere to land.
+			if next(2) == 0 {
+				src.Buckets[feature.WildBKey(k)] = buildGrid(8, int64(next(1000)))
+			}
+		}
+		if next(5) != 0 {
+			src.Global = buildGrid(8, int64(next(1000)))
+		}
+		srcs = append(srcs, src)
+	}
+	return srcs
+}
+
+// FuzzLRIndexLookup cross-checks the compact index against the
+// map-backed reference lookup on arbitrary (model, params, query)
+// triples, comparing LR by float bits and support exactly. This is the
+// property the whole fast path rests on: whatever the bucket topology,
+// support threshold, backoff path or out-of-range bins, the index is
+// the map.
+func FuzzLRIndexLookup(f *testing.F) {
+	f.Add(int64(1), int64(30), byte(0), byte(2), byte(1), byte(2), byte(3), 4, 4)
+	f.Add(int64(7), int64(0), byte(1), byte(0), byte(0), byte(0), byte(0), 0, 0)
+	f.Add(int64(42), int64(100000), byte(2), byte(5), byte(3), byte(3), byte(3), -1, 8)
+	f.Add(int64(-3), int64(1), byte(3), byte(7), byte(9), byte(1), byte(2), 7, -2)
+	f.Fuzz(func(t *testing.T, seed, minSup int64, flags, kt, kr, ka, kb byte, b1, b2 int) {
+		if minSup < 0 {
+			minSup = -minSup
+		}
+		p := Params{
+			MinBucketSupport: minSup % 2000,
+			NoFeaturize:      flags&1 != 0,
+			PointEstimates:   flags&2 != 0,
+		}
+		srcs := fuzzSources(seed)
+		ix := Build(len(srcs)+2, srcs, p)
+		key := feature.Key{
+			Type: table.ValueType(int(kt) % table.NumValueTypes),
+			Rows: kr % 8,
+			A:    ka % 8,
+			B:    kb % 8,
+		}
+		if b1 < -2 || b1 > 10 {
+			b1 %= 10
+		}
+		if b2 < -2 || b2 > 10 {
+			b2 %= 10
+		}
+		for _, src := range srcs {
+			gotLR, gotSup, _ := ix.LR(src.Class, key, b1, b2)
+			wantLR, wantSup := referenceLR(src, key, b1, b2, p)
+			if math.Float64bits(gotLR) != math.Float64bits(wantLR) || gotSup != wantSup {
+				t.Fatalf("seed %d params %+v class %d key %v bins (%d,%d): index (%v,%d) != reference (%v,%d)",
+					seed, p, src.Class, key, b1, b2, gotLR, gotSup, wantLR, wantSup)
+			}
+		}
+		if lr, sup, oc := ix.LR(len(srcs), key, b1, b2); lr != 1 || sup != 0 || oc != OutcomeMiss {
+			t.Fatalf("class beyond sources: got (%v,%d,%v), want (1,0,miss)", lr, sup, oc)
+		}
+	})
+}

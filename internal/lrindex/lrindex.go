@@ -1,0 +1,274 @@
+// Package lrindex implements the serving fast path's compact likelihood-
+// ratio index: an immutable, cache-friendly projection of a trained
+// model's per-bucket evidence grids.
+//
+// The paper's whole point (§2.2.3) is that online prediction is metric
+// computation plus a constant-time lookup into offline-learned (θ1, θ2)
+// statistics. The reference implementation walks nested maps
+// (class → feature bucket → grid) with a per-miss backoff chain; correct,
+// but every lookup chases pointers through map buckets. This package
+// compiles the same statistics into sorted flat arrays:
+//
+//   - per class, one sorted []uint32 of packed feature keys (feature.Pack
+//     preserves the lexicographic key order) binary-searched per lookup;
+//   - parallel per-bucket grid views aliasing the grids' finalized 2-D
+//     prefix-sum arrays, so the directional range counts of Equation 12
+//     stay O(1) adds;
+//   - the whole-corpus grid per class as the final backoff.
+//
+// The index is a pure view: it copies no counts, holds no locks, and is
+// safe for unbounded concurrent readers. Its LR method is proven
+// bit-identical to the reference path (core.Model.LR) by the
+// internal/difftest harness and the FuzzLRIndexLookup fuzz target.
+package lrindex
+
+import (
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+)
+
+// Params carries the config scalars that shape lookups; they mirror the
+// same-named core.Config fields.
+type Params struct {
+	// MinBucketSupport is the minimum denominator mass before a bucket's
+	// grid is trusted for the query at hand.
+	MinBucketSupport int64
+	// NoFeaturize short-circuits every lookup to the whole-corpus grid
+	// (the §2.2.2 ablation).
+	NoFeaturize bool
+	// PointEstimates replaces the smoothed range predicates of
+	// Equation 12 with the exact point estimates of Equation 11.
+	PointEstimates bool
+}
+
+// Source is the evidence of one error class, as the trainer materializes
+// it. Build flattens each Source into a classIndex.
+type Source struct {
+	// Class is the class's dense id (core.Class); Build indexes classes
+	// by it, so ids must be < the numClasses passed to Build.
+	Class int
+	// Dirs orients the class's smoothed range predicates.
+	Dirs evidence.Directions
+	// Buckets are the per-feature-bucket grids (wildcard backoff buckets
+	// included, as the learner emits them).
+	Buckets map[feature.Key]*evidence.Grid
+	// Global is the whole-corpus grid (may be nil for merged models with
+	// no samples).
+	Global *evidence.Grid
+}
+
+// gridView is one bucket's finalized grid, reduced to what lookups need.
+type gridView struct {
+	pre []int64 // (n+1)×(n+1) row-major 2-D prefix sums (aliased, read-only)
+	n   int     // bins per axis
+}
+
+// rect mirrors evidence.Grid.rect on the aliased prefix sums: the number
+// of samples with θ1 bin in [l1, h1] and θ2 bin in [l2, h2], inclusive.
+// Bounds are clamped exactly as the reference does, so the returned
+// integers — and therefore the LR float bits — match it.
+func (g gridView) rect(l1, h1, l2, h2 int) int64 {
+	if l1 > h1 || l2 > h2 {
+		return 0
+	}
+	l1, h1 = clampBin(l1, g.n), clampBin(h1, g.n)
+	l2, h2 = clampBin(l2, g.n), clampBin(h2, g.n)
+	n := g.n + 1
+	return g.pre[(h1+1)*n+(h2+1)] - g.pre[l1*n+(h2+1)] - g.pre[(h1+1)*n+l2] + g.pre[l1*n+l2]
+}
+
+func clampBin(b, n int) int {
+	if b < 0 {
+		return 0
+	}
+	if b >= n {
+		return n - 1
+	}
+	return b
+}
+
+// numerator mirrors evidence.Grid.Numerator.
+func (g gridView) numerator(dirs evidence.Directions, b1, b2 int) int64 {
+	l1, h1 := 0, g.n-1
+	if dirs.T1LE {
+		h1 = b1
+	} else {
+		l1 = b1
+	}
+	l2, h2 := 0, g.n-1
+	if dirs.T2GE {
+		l2 = b2
+	} else {
+		h2 = b2
+	}
+	return g.rect(l1, h1, l2, h2)
+}
+
+// denominator mirrors evidence.Grid.Denominator.
+func (g gridView) denominator(dirs evidence.Directions, b2 int) int64 {
+	if dirs.DenGE {
+		return g.rect(b2, g.n-1, 0, g.n-1)
+	}
+	return g.rect(0, b2, 0, g.n-1)
+}
+
+// classIndex is the flattened evidence of one class.
+type classIndex struct {
+	dirs      evidence.Directions
+	keys      []uint32   // packed feature keys, ascending
+	grids     []gridView // parallel to keys
+	global    gridView
+	hasGlobal bool
+	present   bool // class existed in the model
+}
+
+// Outcome reports which layer of the backoff chain answered a lookup —
+// the label of the serving-path index-hit counters.
+type Outcome uint8
+
+// Lookup outcomes, from most to least specific.
+const (
+	// OutcomeBucket: the query's full feature bucket had enough support.
+	OutcomeBucket Outcome = iota
+	// OutcomeBackoff: a wildcard backoff bucket answered.
+	OutcomeBackoff
+	// OutcomeGlobal: the whole-corpus grid answered.
+	OutcomeGlobal
+	// OutcomeMiss: the class (or its global grid) is absent; LR is the
+	// uninformative 1.
+	OutcomeMiss
+	// NumOutcomes is the number of Outcome values.
+	NumOutcomes
+)
+
+// String names the outcome (Prometheus label values).
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBucket:
+		return "bucket"
+	case OutcomeBackoff:
+		return "backoff"
+	case OutcomeGlobal:
+		return "global"
+	default:
+		return "miss"
+	}
+}
+
+// Index is the compiled fast-path lookup structure. It is immutable
+// after Build and safe for concurrent use.
+type Index struct {
+	classes []classIndex
+	params  Params
+}
+
+// Build compiles class evidence into an Index. numClasses bounds the
+// dense class-id space; sources with out-of-range ids are ignored.
+// Grids are finalized (if they were not already) and their prefix-sum
+// arrays aliased, not copied.
+func Build(numClasses int, srcs []Source, p Params) *Index {
+	ix := &Index{classes: make([]classIndex, numClasses), params: p}
+	for _, src := range srcs {
+		if src.Class < 0 || src.Class >= numClasses {
+			continue
+		}
+		cx := classIndex{dirs: src.Dirs, present: true}
+		packed := make([]uint32, 0, len(src.Buckets))
+		for k := range src.Buckets {
+			packed = append(packed, feature.Pack(k))
+		}
+		sort.Slice(packed, func(i, j int) bool { return packed[i] < packed[j] })
+		cx.keys = packed
+		cx.grids = make([]gridView, len(packed))
+		for i, pk := range packed {
+			g := src.Buckets[feature.Unpack(pk)]
+			cx.grids[i] = gridView{pre: g.PrefixSums(), n: g.N}
+		}
+		if src.Global != nil {
+			cx.global = gridView{pre: src.Global.PrefixSums(), n: src.Global.N}
+			cx.hasGlobal = true
+		}
+		ix.classes[src.Class] = cx
+	}
+	return ix
+}
+
+// find binary-searches the packed key array; ok reports presence.
+func (cx *classIndex) find(pk uint32) (gridView, bool) {
+	keys := cx.keys
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < pk {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == pk {
+		return cx.grids[lo], true
+	}
+	return gridView{}, false
+}
+
+// LR scores one quantized measurement of the given class: the likelihood
+// ratio, the denominator support behind it, and which backoff layer
+// answered. The lookup chain, support gating, smoothing and point-
+// estimate semantics replicate core.(*Model).LR exactly — identical
+// integer counts, hence bit-identical float64 ratios.
+func (ix *Index) LR(class int, key feature.Key, b1, b2 int) (lr float64, support int64, o Outcome) {
+	if class < 0 || class >= len(ix.classes) {
+		return 1, 0, OutcomeMiss
+	}
+	cx := &ix.classes[class]
+	if !cx.present {
+		return 1, 0, OutcomeMiss
+	}
+	g, outcome, ok := cx.resolve(key, b2, ix.params)
+	if !ok {
+		return 1, 0, OutcomeMiss
+	}
+	if ix.params.PointEstimates {
+		num := g.rect(b1, b1, b2, b2)
+		den := g.rect(b2, b2, 0, g.n-1)
+		return float64(num+1) / float64(den+1), g.denominator(cx.dirs, b2), outcome
+	}
+	num := g.numerator(cx.dirs, b1, b2)
+	den := g.denominator(cx.dirs, b2)
+	return float64(num+1) / float64(den+1), den, outcome
+}
+
+// resolve walks the bucket → backoff chain → global lookup ladder,
+// gating each bucket on the query's denominator support, exactly as
+// core.(*ClassModel).lookup does.
+func (cx *classIndex) resolve(key feature.Key, b2 int, p Params) (gridView, Outcome, bool) {
+	if p.NoFeaturize {
+		if !cx.hasGlobal {
+			return gridView{}, OutcomeMiss, false
+		}
+		return cx.global, OutcomeGlobal, true
+	}
+	if g, ok := cx.find(feature.Pack(key)); ok && g.denominator(cx.dirs, b2) >= p.MinBucketSupport {
+		return g, OutcomeBucket, true
+	}
+	for _, k := range feature.Backoff(key) {
+		if g, ok := cx.find(feature.Pack(k)); ok && g.denominator(cx.dirs, b2) >= p.MinBucketSupport {
+			return g, OutcomeBackoff, true
+		}
+	}
+	if !cx.hasGlobal {
+		return gridView{}, OutcomeMiss, false
+	}
+	return cx.global, OutcomeGlobal, true
+}
+
+// Buckets reports the number of indexed feature buckets for a class, for
+// diagnostics and tests.
+func (ix *Index) Buckets(class int) int {
+	if class < 0 || class >= len(ix.classes) {
+		return 0
+	}
+	return len(ix.classes[class].keys)
+}

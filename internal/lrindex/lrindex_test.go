@@ -1,0 +1,182 @@
+package lrindex
+
+import (
+	"math"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// buildGrid fills an n×n grid with a deterministic sample pattern.
+func buildGrid(n int, seed int64) *evidence.Grid {
+	g := evidence.NewGrid(n)
+	state := uint64(seed)*2654435761 + 12345
+	samples := 40 + int(seed%7)*25
+	for i := 0; i < samples; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		b1 := int(state>>33) % n
+		state = state*6364136223846793005 + 1442695040888963407
+		b2 := int(state>>33) % n
+		g.Add(b1, b2)
+	}
+	g.Finalize()
+	return g
+}
+
+func testSources(n int) []Source {
+	full := feature.Key{Type: table.TypeString, Rows: 1, A: 2, B: 3}
+	srcs := []Source{
+		{
+			Class: 0,
+			Dirs:  evidence.SpellingDirections,
+			Buckets: map[feature.Key]*evidence.Grid{
+				full:                              buildGrid(n, 1),
+				feature.WildBKey(full):            buildGrid(n, 2),
+				feature.WildRowsKey(full):         buildGrid(n, 3),
+				{Type: table.TypeMixed}:           buildGrid(n, 4),
+				{Type: table.TypeString}:          buildGrid(n, 5),
+				{Type: table.TypeString, Rows: 2}: buildGrid(n, 6),
+			},
+			Global: buildGrid(n, 7),
+		},
+		{
+			Class:   2,
+			Dirs:    evidence.RatioDirections,
+			Buckets: map[feature.Key]*evidence.Grid{},
+			Global:  buildGrid(n, 8),
+		},
+	}
+	return srcs
+}
+
+// referenceLR mirrors core.(*Model).LR / (*ClassModel).lookup over the
+// raw source maps — the oracle the index is checked against.
+func referenceLR(src Source, key feature.Key, b1, b2 int, p Params) (float64, int64) {
+	var g *evidence.Grid
+	if p.NoFeaturize {
+		g = src.Global
+	} else if full, ok := src.Buckets[key]; ok && full.Denominator(src.Dirs, b2) >= p.MinBucketSupport {
+		g = full
+	} else {
+		for _, k := range feature.Backoff(key) {
+			if bg, ok := src.Buckets[k]; ok && bg.Denominator(src.Dirs, b2) >= p.MinBucketSupport {
+				g = bg
+				break
+			}
+		}
+		if g == nil {
+			g = src.Global
+		}
+	}
+	if g == nil {
+		return 1, 0
+	}
+	if p.PointEstimates {
+		return g.PointLR(b1, b2), g.Denominator(src.Dirs, b2)
+	}
+	return g.LR(src.Dirs, b1, b2), g.Denominator(src.Dirs, b2)
+}
+
+// TestIndexMatchesReference sweeps every bucket key (plus misses) and a
+// grid of bin pairs, across the config axes, asserting bit-identical LR
+// and support between the index and the map-backed reference.
+func TestIndexMatchesReference(t *testing.T) {
+	const n = 8
+	srcs := testSources(n)
+	queries := []feature.Key{
+		{Type: table.TypeString, Rows: 1, A: 2, B: 3}, // full bucket present
+		{Type: table.TypeString, Rows: 1, A: 2, B: 0}, // backoff via WildB
+		{Type: table.TypeString, Rows: 9, A: 2, B: 3}, // backoff via WildRows? absent → global
+		{Type: table.TypeMixed},                       // exact hit on sparse key
+		{Type: table.TypeInt, Rows: 5, A: 1, B: 1},    // nothing anywhere → global
+	}
+	params := []Params{
+		{MinBucketSupport: 0},
+		{MinBucketSupport: 30},
+		{MinBucketSupport: 10_000}, // nothing qualifies → always global
+		{MinBucketSupport: 30, NoFeaturize: true},
+		{MinBucketSupport: 30, PointEstimates: true},
+	}
+	for _, p := range params {
+		ix := Build(5, srcs, p)
+		for si, src := range srcs {
+			for _, key := range queries {
+				for b1 := -1; b1 <= n; b1 += 2 {
+					for b2 := -1; b2 <= n; b2 += 3 {
+						gotLR, gotSup, _ := ix.LR(src.Class, key, b1, b2)
+						wantLR, wantSup := referenceLR(src, key, b1, b2, p)
+						if math.Float64bits(gotLR) != math.Float64bits(wantLR) || gotSup != wantSup {
+							t.Fatalf("params %+v source %d key %v bins (%d,%d): index (%v,%d) != reference (%v,%d)",
+								p, si, key, b1, b2, gotLR, gotSup, wantLR, wantSup)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexMissingClass asserts the uninformative-LR contract for
+// classes the model has no evidence for.
+func TestIndexMissingClass(t *testing.T) {
+	ix := Build(5, testSources(8), Params{MinBucketSupport: 30})
+	for _, class := range []int{1, 3, 4, -1, 99} {
+		lr, sup, oc := ix.LR(class, feature.Key{}, 0, 0)
+		if lr != 1 || sup != 0 || oc != OutcomeMiss {
+			t.Fatalf("class %d: got (%v,%d,%v), want (1,0,miss)", class, lr, sup, oc)
+		}
+	}
+}
+
+// TestIndexNilGlobal asserts a class with no global grid misses instead
+// of crashing when every bucket is too sparse.
+func TestIndexNilGlobal(t *testing.T) {
+	srcs := []Source{{
+		Class:   0,
+		Dirs:    evidence.SpellingDirections,
+		Buckets: map[feature.Key]*evidence.Grid{{Type: table.TypeString}: buildGrid(8, 1)},
+		Global:  nil,
+	}}
+	ix := Build(1, srcs, Params{MinBucketSupport: 1 << 40})
+	lr, sup, oc := ix.LR(0, feature.Key{Type: table.TypeString}, 1, 1)
+	if lr != 1 || sup != 0 || oc != OutcomeMiss {
+		t.Fatalf("got (%v,%d,%v), want (1,0,miss)", lr, sup, oc)
+	}
+}
+
+// TestOutcomeLayers asserts the reported backoff layer matches where
+// the answer actually came from.
+func TestOutcomeLayers(t *testing.T) {
+	ix := Build(5, testSources(8), Params{MinBucketSupport: 1})
+	full := feature.Key{Type: table.TypeString, Rows: 1, A: 2, B: 3}
+	if _, _, oc := ix.LR(0, full, 4, 4); oc != OutcomeBucket {
+		t.Fatalf("full bucket query: outcome %v, want bucket", oc)
+	}
+	nearby := feature.Key{Type: table.TypeString, Rows: 1, A: 2, B: 0}
+	if _, _, oc := ix.LR(0, nearby, 4, 4); oc != OutcomeBackoff {
+		t.Fatalf("backoff query: outcome %v, want backoff", oc)
+	}
+	miss := feature.Key{Type: table.TypeInt, Rows: 5, A: 1, B: 1}
+	if _, _, oc := ix.LR(0, miss, 4, 4); oc != OutcomeGlobal {
+		t.Fatalf("global query: outcome %v, want global", oc)
+	}
+	if _, _, oc := ix.LR(2, miss, 4, 4); oc != OutcomeGlobal {
+		t.Fatalf("empty-bucket class: outcome %v, want global", oc)
+	}
+}
+
+// TestBuckets sanity-checks the diagnostic bucket counts.
+func TestBuckets(t *testing.T) {
+	ix := Build(5, testSources(8), Params{})
+	if got := ix.Buckets(0); got != 6 {
+		t.Fatalf("Buckets(0) = %d, want 6", got)
+	}
+	if got := ix.Buckets(2); got != 0 {
+		t.Fatalf("Buckets(2) = %d, want 0", got)
+	}
+	if got := ix.Buckets(99); got != 0 {
+		t.Fatalf("Buckets(99) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,322 @@
+package strdist
+
+import "sort"
+
+// Scratch holds reusable buffers for the hot MPD scans of the serving
+// fast path: per-row rune slices (converted once per column instead of
+// once per pair), the banded-DP rows, and the reverse-key cache of the
+// blocked scan. A Scratch is owned by one worker goroutine at a time and
+// must not be shared concurrently.
+//
+// Every *Scratch variant in this file replicates its allocation-heavy
+// counterpart in strdist.go/mpd.go pair for pair — same iteration order,
+// same bounds, same early exits — so the returned Pair is identical, not
+// merely an equally-minimal one. The internal/difftest harness holds the
+// two families to byte-identical findings.
+type Scratch struct {
+	prev, cur []int
+	runes     [][]rune
+	last      []string // the values runes currently decomposes (identity)
+	keys      []string // reversed strings for the blocked scan
+	kept      []int    // surviving row indices for the perturbed scans
+}
+
+// row returns a zeroable int buffer of length n, growing buf as needed.
+func scratchRow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// runesOf fills s.runes with the rune decomposition of each value,
+// reusing the outer slice across columns.
+func (s *Scratch) runesOf(vals []string) [][]rune {
+	if cap(s.runes) < len(vals) {
+		s.runes = make([][]rune, len(vals))
+	}
+	s.runes = s.runes[:len(vals)]
+	for i, v := range vals {
+		s.runes[i] = runes(v)
+	}
+	s.last = vals
+	return s.runes
+}
+
+// cached reports whether runes already decomposes exactly this value
+// slice (same backing array and length), so a follow-up scan can skip
+// the conversion.
+func (s *Scratch) cached(vals []string) bool {
+	if len(s.last) != len(vals) {
+		return false
+	}
+	return len(vals) == 0 || &s.last[0] == &vals[0]
+}
+
+// levBounded is LevenshteinBounded over pre-converted rune slices with
+// reused DP rows. The control flow is a line-for-line mirror; only the
+// rune conversion and the row allocations are hoisted out.
+func (s *Scratch) levBounded(ra, rb []rune, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return maxDist + 1, false
+	}
+	la, lb := len(ra), len(rb)
+	if abs(la-lb) > maxDist {
+		return maxDist + 1, false
+	}
+	if la == 0 {
+		return lb, true
+	}
+	if lb == 0 {
+		return la, true
+	}
+	const inf = 1 << 29
+	s.prev = scratchRow(s.prev, lb+1)
+	s.cur = scratchRow(s.cur, lb+1)
+	prev, cur := s.prev, s.cur
+	for j := 0; j <= lb; j++ {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > lb {
+			hi = lb
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		} else {
+			cur[0] = i
+		}
+		rowMin := inf
+		if lo == 1 {
+			rowMin = cur[0]
+		}
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if j > lo || lo == 1 {
+				if c := cur[j-1] + 1; c < v {
+					v = c
+				}
+			}
+			if p := prev[j] + 1; p < v {
+				v = p
+			}
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < lb {
+			cur[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return maxDist + 1, false
+		}
+		prev, cur = cur, prev
+	}
+	if prev[lb] > maxDist {
+		return maxDist + 1, false
+	}
+	return prev[lb], true
+}
+
+// minPairDistRunes is MinPairDist over pre-converted runes: same i<j scan,
+// same carried bound, same distance-1 early exit.
+func (s *Scratch) minPairDistRunes(vals []string, rs [][]rune) (p Pair, ok bool) {
+	best := -1
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[i] == vals[j] {
+				continue
+			}
+			bound := best - 1
+			if best < 0 {
+				bound = maxRuneLen(rs[i], rs[j])
+			}
+			d, within := s.levBounded(rs[i], rs[j], bound)
+			if !within {
+				continue
+			}
+			if best < 0 || d < best {
+				best = d
+				p = Pair{I: i, J: j, Dist: d}
+				if best == 1 {
+					return p, true
+				}
+			}
+		}
+	}
+	return p, best >= 0
+}
+
+// MinPairDistScratch is MinPairDist with sc's buffers.
+func MinPairDistScratch(vals []string, sc *Scratch) (Pair, bool) {
+	return sc.minPairDistRunes(vals, sc.runesOf(vals))
+}
+
+// secondMinPairDistRunes replicates SecondMinPairDist: MinPairDist over
+// the values with row `drop` removed. Skipping the dropped row in place
+// visits the surviving pairs in exactly the order the compacted copy
+// would, so the carried bound and early exit fire identically.
+func (s *Scratch) secondMinPairDistRunes(vals []string, rs [][]rune, drop int) (Pair, bool) {
+	if cap(s.kept) < len(vals) {
+		s.kept = make([]int, 0, len(vals))
+	}
+	kept := s.kept[:0]
+	for i := range vals {
+		if i != drop {
+			kept = append(kept, i)
+		}
+	}
+	best := -1
+	var p Pair
+	for a := 0; a < len(kept); a++ {
+		i := kept[a]
+		for b := a + 1; b < len(kept); b++ {
+			j := kept[b]
+			if vals[i] == vals[j] {
+				continue
+			}
+			bound := best - 1
+			if best < 0 {
+				bound = maxRuneLen(rs[i], rs[j])
+			}
+			d, within := s.levBounded(rs[i], rs[j], bound)
+			if !within {
+				continue
+			}
+			if best < 0 || d < best {
+				best = d
+				p = Pair{I: i, J: j, Dist: d}
+				if best == 1 {
+					return p, true
+				}
+			}
+		}
+	}
+	return p, best >= 0
+}
+
+// MinPairDistCappedScratch is MinPairDistCapped with sc's buffers.
+func MinPairDistCappedScratch(vals []string, cap int, sc *Scratch) (Pair, bool) {
+	if cap <= 0 {
+		cap = ExactMPDCap
+	}
+	rs := sc.runesOf(vals)
+	if len(vals) <= cap {
+		return sc.minPairDistRunes(vals, rs)
+	}
+	return sc.minPairDistBlocked(vals, rs, -1)
+}
+
+// SecondMinPairDistCappedScratch is SecondMinPairDistCapped with sc's
+// buffers. It assumes runesOf(vals) was just computed by the paired
+// MinPairDistCappedScratch call on the same values (the spelling
+// detector's access pattern) and recomputes it otherwise.
+func SecondMinPairDistCappedScratch(vals []string, drop, cap int, sc *Scratch) (Pair, bool) {
+	if cap <= 0 {
+		cap = ExactMPDCap
+	}
+	rs := sc.runes
+	if !sc.cached(vals) {
+		rs = sc.runesOf(vals)
+	}
+	if len(vals) <= cap+1 {
+		return sc.secondMinPairDistRunes(vals, rs, drop)
+	}
+	return sc.minPairDistBlocked(vals, rs, drop)
+}
+
+// minPairDistBlocked mirrors the package-level minPairDistBlocked over
+// the values with row `drop` removed (drop < 0 keeps all rows): sorted-
+// neighborhood blocking under the identity and reversed-string orders,
+// with the reverse keys computed once per value instead of O(n log n)
+// times inside the comparator. The entry list it sorts is built in the
+// same initial order as the reference's, and the comparators return the
+// same results, so sort.Slice yields the same permutation and the window
+// scans visit pairs identically.
+func (s *Scratch) minPairDistBlocked(vals []string, rs [][]rune, drop int) (Pair, bool) {
+	if cap(s.kept) < len(vals) {
+		s.kept = make([]int, 0, len(vals))
+	}
+	order := s.kept[:0]
+	for i := range vals {
+		if i != drop {
+			order = append(order, i)
+		}
+	}
+	best := -1
+	var bestPair Pair
+	scan := func(key func(int) string) {
+		sort.Slice(order, func(a, b int) bool {
+			return key(order[a]) < key(order[b])
+		})
+		for a := range order {
+			hi := a + blockWindow
+			if hi > len(order)-1 {
+				hi = len(order) - 1
+			}
+			for b := a + 1; b <= hi; b++ {
+				i, j := order[a], order[b]
+				if vals[i] == vals[j] {
+					continue
+				}
+				bound := best - 1
+				if best < 0 {
+					bound = maxRuneLen(rs[i], rs[j])
+				}
+				d, within := s.levBounded(rs[i], rs[j], bound)
+				if !within {
+					continue
+				}
+				if best < 0 || d < best {
+					best = d
+					bestPair = Pair{I: i, J: j, Dist: d}
+				}
+			}
+		}
+	}
+	// The reference compacts the kept values into a fresh slice, so its
+	// sort starts from ascending row order; order starts the same way.
+	scan(func(i int) string { return vals[i] })
+	if best != 1 {
+		if cap(s.keys) < len(vals) {
+			s.keys = make([]string, len(vals))
+		}
+		s.keys = s.keys[:len(vals)]
+		for _, i := range order {
+			s.keys[i] = reverseString(vals[i])
+		}
+		// Re-establish ascending row order first: the reference's second
+		// scan re-sorts the same entries slice the first scan left behind,
+		// so we must re-sort from the identical intermediate permutation.
+		// sort.Slice on the same input with a deterministic comparator is
+		// itself deterministic, and `order` already matches the
+		// reference's post-first-scan permutation, so sorting by the
+		// cached reverse keys lands in the reference's second order.
+		scan(func(i int) string { return s.keys[i] })
+	}
+	if bestPair.I > bestPair.J {
+		bestPair.I, bestPair.J = bestPair.J, bestPair.I
+	}
+	return bestPair, best >= 0
+}
+
+func maxRuneLen(a, b []rune) int {
+	if len(a) > len(b) {
+		return len(a)
+	}
+	return len(b)
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"github.com/unidetect/unidetect/internal/autodetect"
 	"github.com/unidetect/unidetect/internal/core"
@@ -243,6 +244,13 @@ type Model struct {
 	index    *corpus.TokenIndex
 	patterns *autodetect.Model
 	opts     *Options
+
+	predOnce sync.Once
+	// pred is the cached online predictor: building it compiles the
+	// compact LR index, and keeping it alive carries the measurement
+	// cache and scratch pools across Detect/DetectAll calls, so a
+	// serving process pays the setup once.
+	pred *core.Predictor
 }
 
 // Train learns a model from a background corpus of (mostly clean) tables,
@@ -270,12 +278,17 @@ func Train(ctx context.Context, background []*Table, opts *Options) (*Model, err
 // CorpusTables reports the size of the training corpus.
 func (m *Model) CorpusTables() int { return m.core.CorpusTables }
 
-// predictor builds the online predictor for the model's options.
+// predictor returns the model's online predictor, built once: the
+// compiled LR index, measurement cache and scratch pools all live on
+// the predictor and are reused across calls.
 func (m *Model) predictor() *core.Predictor {
-	dets := detectors.All(m.core.Config, m.opts.detectorOptions())
-	p := core.NewPredictor(m.core, dets, &core.Env{Index: m.index, Obs: m.opts.obs()})
-	p.Obs = m.opts.obs()
-	return p
+	m.predOnce.Do(func() {
+		dets := detectors.All(m.core.Config, m.opts.detectorOptions())
+		p := core.NewPredictor(m.core, dets, &core.Env{Index: m.index, Obs: m.opts.obs()})
+		p.Obs = m.opts.obs()
+		m.pred = p
+	})
+	return m.pred
 }
 
 // Detect scans one table and returns its findings ranked by Score.
