@@ -13,6 +13,7 @@
 #   make fuzz      — every fuzz target for FUZZTIME (default 10s) each
 #   make chaos     — fault-injection suite, three fixed seeds, -race
 #   make check     — everything CI runs
+#   make clean     — remove generated artifacts (bench candidates, SARIF, chaos transcripts)
 
 GO ?= go
 CHAOS_SEEDS ?= 1,7,42
@@ -33,7 +34,7 @@ FUZZ_TARGETS = \
 	./internal/lrindex=FuzzLRIndexLookup \
 	./cmd/unidetectd=FuzzReadTable
 
-.PHONY: all build lint lint-fix sarif vet test race bench bench-json bench-gate chaos fuzz check
+.PHONY: all build lint lint-fix sarif vet test race bench bench-json bench-gate chaos fuzz check clean
 
 all: build test
 
@@ -97,3 +98,10 @@ chaos:
 	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) $(GO) test -race -count=1 ./internal/faultinject/ ./internal/mapreduce/ ./internal/core/ ./cmd/unidetectd/
 
 check: build vet lint test race
+
+# Remove generated artifacts. BENCH_core.json is the committed baseline
+# and is deliberately left alone; bench-candidate.json is the scratch
+# report bench-gate regenerates every run.
+clean:
+	rm -f bench-candidate.json unilint.sarif
+	rm -rf $(CHAOS_ARTIFACT_DIR)

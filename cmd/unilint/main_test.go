@@ -42,11 +42,11 @@ func runSelf(t *testing.T, dir string, args ...string) (stdout, stderr string, e
 	return out.String(), errBuf.String(), cmd.ProcessState.ExitCode()
 }
 
-// copyFixture clones testdata/fixture into a temp dir so -fix can mutate
-// it freely.
-func copyFixture(t *testing.T) string {
+// copyFixture clones the named testdata module into a temp dir so -fix
+// can mutate it freely.
+func copyFixture(t *testing.T, name string) string {
 	t.Helper()
-	src, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	src, err := filepath.Abs(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func copyFixture(t *testing.T) string {
 }
 
 func TestSmokePlain(t *testing.T) {
-	dir := copyFixture(t)
+	dir := copyFixture(t, "fixture")
 	_, stderr, exit := runSelf(t, dir, "./...")
 	if exit != 1 {
 		t.Fatalf("plain mode exit = %d, want 1\nstderr:\n%s", exit, stderr)
@@ -87,7 +87,7 @@ func TestSmokePlain(t *testing.T) {
 }
 
 func TestSmokeJSON(t *testing.T) {
-	dir := copyFixture(t)
+	dir := copyFixture(t, "fixture")
 	stdout, stderr, exit := runSelf(t, dir, "-json", "./...")
 	if exit != 1 {
 		t.Fatalf("-json exit = %d, want 1\nstderr:\n%s", exit, stderr)
@@ -114,7 +114,7 @@ func splitPosnFile(posn string) string {
 }
 
 func TestSmokeSARIF(t *testing.T) {
-	dir := copyFixture(t)
+	dir := copyFixture(t, "fixture")
 	stdout, stderr, exit := runSelf(t, dir, "-sarif", "./...")
 	if exit != 1 {
 		t.Fatalf("-sarif exit = %d, want 1\nstderr:\n%s", exit, stderr)
@@ -140,7 +140,7 @@ func TestSmokeSARIF(t *testing.T) {
 }
 
 func TestSmokeFix(t *testing.T) {
-	dir := copyFixture(t)
+	dir := copyFixture(t, "fixture")
 	_, stderr, exit := runSelf(t, dir, "-fix", "./...")
 	if exit != 0 {
 		t.Fatalf("-fix exit = %d, want 0\nstderr:\n%s", exit, stderr)
@@ -156,5 +156,34 @@ func TestSmokeFix(t *testing.T) {
 	_, stderr, exit = runSelf(t, dir, "./...")
 	if exit != 0 {
 		t.Errorf("fixed fixture still fails lint (exit %d):\n%s", exit, stderr)
+	}
+}
+
+// TestSmokeHotallocBudget proves the enforced-budget path end to end
+// through the vettool protocol: pointing the hot-root set at the
+// hotfixture module (whose Serve carries an alloc-budget smaller than
+// its site count) must fail the build with the exceeded diagnostic.
+// The scoping flags travel unilint → go vet → vettool, so this also
+// exercises the flag handshake for the reachability analyzers.
+func TestSmokeHotallocBudget(t *testing.T) {
+	dir := copyFixture(t, "hotfixture")
+	_, stderr, exit := runSelf(t, dir,
+		"-hotalloc.mods=hotfixture", "-hotalloc.roots=hotfixture.Serve", "./...")
+	if exit == 0 {
+		t.Fatalf("budget violation did not fail the build\nstderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "alloc-budget on Serve exceeded: 2 allocation site(s), budget is 1") {
+		t.Errorf("stderr missing the exceeded-budget diagnostic:\n%s", stderr)
+	}
+}
+
+// TestSmokeHotallocDefaultScope proves the default module scoping keeps
+// the reachability analyzers quiet outside the unidetect module: the
+// same fixture lints clean when the mods gate is left at its default.
+func TestSmokeHotallocDefaultScope(t *testing.T) {
+	dir := copyFixture(t, "hotfixture")
+	_, stderr, exit := runSelf(t, dir, "./...")
+	if exit != 0 {
+		t.Errorf("out-of-module fixture should lint clean, got exit %d:\n%s", exit, stderr)
 	}
 }

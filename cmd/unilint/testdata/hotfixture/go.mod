@@ -1,0 +1,3 @@
+module hotfixture
+
+go 1.24

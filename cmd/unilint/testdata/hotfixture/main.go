@@ -1,0 +1,18 @@
+// The hot fixture trips exactly one hotalloc rule: Serve is declared a
+// hot root (via -hotalloc.roots) and carries an alloc-budget smaller
+// than its site count, so the enforced-budget path must fail the build.
+package main
+
+// Serve is the fixture's hot loop: two allocation sites under a budget
+// of one.
+//
+// alloc-budget: 1 the fixture pretends only one buffer is needed
+func Serve(n int) int {
+	a := make([]int, n)
+	b := make([]int, n)
+	return len(a) + len(b)
+}
+
+func main() {
+	_ = Serve(4)
+}

@@ -1,0 +1,36 @@
+// Package a exercises the callpath engine: direct calls, closures,
+// function and method values, interface dispatch, and cold code.
+package a
+
+// Handler is dispatched through an interface inside Serve; the engine
+// over-approximates the call with every in-package implementation.
+type Handler interface{ Handle() }
+
+type Server struct{}
+
+func (s *Server) Handle() { fromRootMethod() } // want `reachable: hot root Server.Handle`
+
+type Impl struct{}
+
+func (Impl) Handle() { viaIface() } // want `reachable: reachable from hot root Serve`
+
+func Serve(h Handler) int { // want `reachable: hot root Serve`
+	direct()
+	go func() { inClosure() }()
+	f := valueUsed
+	_ = f
+	h.Handle()
+	return 0
+}
+
+func direct() {} // want `reachable: reachable from hot root Serve`
+
+func inClosure() {} // want `reachable: reachable from hot root Serve`
+
+func valueUsed() {} // want `reachable: reachable from hot root Serve`
+
+func viaIface() {} // want `reachable: reachable from hot root Serve via Impl.Handle`
+
+func fromRootMethod() {} // want `reachable: reachable from hot root Server.Handle`
+
+func cold() { direct() }

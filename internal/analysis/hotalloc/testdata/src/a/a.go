@@ -1,0 +1,45 @@
+// Package a exercises every direct allocation construct hotalloc flags
+// on the hot path, plus reachability (helper) and cold-code silence.
+package a
+
+import "fmt"
+
+type payload struct{ n int }
+
+func (p *payload) method() int { return p.n }
+
+func Serve(vals []string, m map[string]int) int {
+	buf := make([]byte, 0, 8) // want `hot-path allocation: make in Serve, hot root Serve`
+	buf = append(buf, 'x')    // want `hot-path allocation: append growth in Serve`
+	s := string(buf)          // want `string conversion \(copies\) in Serve`
+	s = s + vals[0]           // want `string concatenation in Serve`
+	ids := []int{1, 2}        // want `slice literal in Serve`
+	lut := map[int]bool{}     // want `map literal in Serve`
+	lut[0] = true
+	p := &payload{n: 1} // want `heap-escaping composite literal \(&T\{\.\.\.\}\) in Serve`
+	fmt.Println(s)      // want `call to fmt\.Println, which allocates in Serve`
+	for k := range m {  // want `map-range iteration in Serve`
+		ids[0] += k
+	}
+	cl := func() int { return p.n } // want `function literal \(closure\) in Serve`
+	go worker()                     // want `goroutine launch \(go statement\) in Serve`
+	box(ids[0])                     // want `interface boxing of argument in Serve`
+	mv := p.method                  // want `method value \(closure over receiver\) in Serve`
+	_ = mv
+	return cl() + helper()
+}
+
+func box(v any) {}
+
+func worker() {}
+
+func helper() int {
+	x := new(payload) // want `hot-path allocation: new in helper, reachable from hot root Serve`
+	return x.n
+}
+
+// cold is unreachable from the root set: its allocations are silent
+// (but still export the allocates fact for cross-package callers).
+func cold() []int {
+	return []int{1}
+}

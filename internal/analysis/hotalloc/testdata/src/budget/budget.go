@@ -1,0 +1,40 @@
+// Package budget exercises the alloc-budget ratchet: covered budgets are
+// silent, exceeded/unused/overshooting/malformed ones are diagnostics.
+package budget
+
+// Covered declares exactly its two sites: silent.
+// alloc-budget: 2 result buffer make plus amortized append
+func Covered(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Exceeded regressed past its declared budget.
+// alloc-budget: 1 single result slice
+func Exceeded(n int) []int { // want `alloc-budget on Exceeded exceeded: 2 allocation site\(s\), budget is 1`
+	out := make([]int, 0, n)
+	out = append(out, n)
+	return out
+}
+
+// Unused is stale: the allocation it excused is gone.
+// alloc-budget: 1 leftover from an old implementation
+func Unused(a, b int) int { // want `unused alloc-budget on Unused`
+	return a + b
+}
+
+// Overshoot declares more sites than remain after a fix.
+// alloc-budget: 3 conservative guess
+func Overshoot(n int) []int { // want `alloc-budget on Overshoot overshoots: 1 allocation site\(s\), budget is 3; tighten to 1`
+	return make([]int, n)
+}
+
+// Malformed carries a count but no reason, so it does not excuse the
+// site below.
+// alloc-budget: 2
+func Malformed(n int) []int { // want `malformed alloc-budget on Malformed`
+	return make([]int, n) // want `hot-path allocation: make in Malformed, hot root Malformed`
+}

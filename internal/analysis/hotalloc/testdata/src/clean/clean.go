@@ -1,0 +1,17 @@
+// Package clean holds a hot root that is genuinely allocation-free, and
+// cold code whose allocations must stay silent.
+package clean
+
+func Serve(vals []int) int {
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return helper(sum)
+}
+
+func helper(n int) int { return n * 2 }
+
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,14 @@
+// Package fixable exercises the fmt.Sprintf → strconv.Itoa suggested
+// fix on a hot function.
+package fixable
+
+import (
+	"fmt"
+	"strconv"
+)
+
+var _ = strconv.Itoa
+
+func Render(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf, which allocates in Render, hot root Render`
+}

@@ -1,0 +1,18 @@
+// Package suppressedfix proves the suppression layer swallows a
+// diagnostic together with its SuggestedFix: the ignored Sprintf stays
+// untouched while the reported one is rewritten.
+package suppressedfix
+
+import (
+	"fmt"
+	"strconv"
+)
+
+var _ = strconv.Itoa
+
+func Render(n int) int {
+	//lint:ignore hotalloc formatting cost accepted on this branch
+	a := fmt.Sprintf("%d", n)
+	b := fmt.Sprintf("%d", n+1) // want `call to fmt\.Sprintf, which allocates in Render, hot root Render`
+	return len(a) + len(b)
+}

@@ -1,0 +1,14 @@
+// Package xdep is the dependency side of the cross-package fixture: its
+// unbudgeted allocation exports a fact; its budgeted one is absorbed.
+package xdep
+
+// Emit allocates and carries no budget: callers inherit the fact.
+func Emit() []int {
+	return []int{1, 2}
+}
+
+// Absorbed allocates under an explicit annotation: callers stay clean.
+// alloc-budget: 1 fixed-size result
+func Absorbed() []int {
+	return []int{1}
+}

@@ -1,0 +1,12 @@
+// Package xpkg is the dependent side of the cross-package fixture: the
+// hot root sees xdep's allocates fact at the call site, while the
+// budgeted callee passes silently.
+package xpkg
+
+import "xdep"
+
+func Probe() int {
+	a := xdep.Emit() // want `call to Emit, which allocates \(slice literal in Emit\) in Probe, hot root Probe`
+	b := xdep.Absorbed()
+	return len(a) + len(b)
+}

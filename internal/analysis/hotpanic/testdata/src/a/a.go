@@ -1,0 +1,40 @@
+// Package a exercises the three direct hazard classes: explicit panics,
+// single-form type asserts, and unguarded constant/len-arithmetic
+// indexing — plus the guards that silence each one.
+package a
+
+func Serve(vals []string, x interface{}) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	first := vals[0] // guarded: the len(vals) comparison above
+	s := x.(string)  // want `type assert without comma-ok in Serve, hot root Serve`
+	if s == "" {
+		panic("empty input") // want `explicit panic in Serve, hot root Serve`
+	}
+	guard()
+	return first + s + head(vals) + tail(vals) + okAssert(x)
+}
+
+func head(vals []string) string {
+	return vals[0] // want `unguarded index vals\[0\] \(no len\(vals\) comparison in the function\) in head, reachable from hot root Serve`
+}
+
+func tail(vals []string) string {
+	return vals[len(vals)-1] // want `unguarded index vals\[len\(vals\)-1\]`
+}
+
+// guard recovers, so its panic cannot escape: silent.
+func guard() {
+	defer func() { _ = recover() }()
+	panic("contained")
+}
+
+// okAssert uses the comma-ok form: silent.
+func okAssert(x interface{}) string {
+	v, ok := x.(string)
+	if !ok {
+		return ""
+	}
+	return v
+}

@@ -1,0 +1,18 @@
+// Package clean holds a hazard-free hot root and cold code whose panic
+// must stay silent (though it still exports the panics fact).
+package clean
+
+func Serve(vals []int) int {
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+func cold(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}

@@ -1,0 +1,8 @@
+// Package fixable exercises the comma-ok SuggestedFix on a single-
+// variable assignment assert.
+package fixable
+
+func Render(x interface{}) int {
+	v := x.(int) // want `type assert without comma-ok in Render, hot root Render`
+	return v
+}

@@ -1,0 +1,20 @@
+// Package xdep is the dependency side of the cross-package fixture: the
+// escaping panic exports a fact, the recovered one is absorbed.
+package xdep
+
+// MustPositive panics on bad input; callers inherit the fact.
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}
+
+// Tolerant recovers, so callers see it as safe.
+func Tolerant(n int) int {
+	defer func() { _ = recover() }()
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}

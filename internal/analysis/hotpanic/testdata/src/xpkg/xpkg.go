@@ -1,0 +1,11 @@
+// Package xpkg is the dependent side of the cross-package fixture: the
+// hot root sees xdep's panics fact at the call site.
+package xpkg
+
+import "xdep"
+
+func Probe(n int) int {
+	a := xdep.MustPositive(n) // want `call to MustPositive, which may panic \(explicit panic in MustPositive\) in Probe, hot root Probe`
+	b := xdep.Tolerant(n)
+	return a + b
+}

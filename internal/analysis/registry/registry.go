@@ -28,6 +28,8 @@ import (
 	"github.com/unidetect/unidetect/internal/analysis/deterministic"
 	"github.com/unidetect/unidetect/internal/analysis/floatcompare"
 	"github.com/unidetect/unidetect/internal/analysis/goroleak"
+	"github.com/unidetect/unidetect/internal/analysis/hotalloc"
+	"github.com/unidetect/unidetect/internal/analysis/hotpanic"
 	"github.com/unidetect/unidetect/internal/analysis/lockguard"
 	"github.com/unidetect/unidetect/internal/analysis/metricname"
 	"github.com/unidetect/unidetect/internal/analysis/nonnegcount"
@@ -43,6 +45,8 @@ var analyzers = []*analysis.Analyzer{
 	deterministic.Analyzer,
 	floatcompare.Analyzer,
 	goroleak.Analyzer,
+	hotalloc.Analyzer,
+	hotpanic.Analyzer,
 	lockguard.Analyzer,
 	metricname.Analyzer,
 	nonnegcount.Analyzer,

@@ -26,8 +26,8 @@ func TestAllRegistered(t *testing.T) {
 			continue
 		}
 		switch e.Name() {
-		case "analysistest", "registry", "testdata":
-			continue // infrastructure, not analyzers
+		case "analysistest", "callpath", "registry", "testdata":
+			continue // infrastructure (harness, reachability engine), not analyzers
 		}
 		dirs = append(dirs, e.Name())
 	}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+)
+
+// TestDetectAllocBudget is the runtime counterpart of the hotalloc
+// analyzer: the static pass proves every allocation site reachable from
+// detectFast is budgeted, and this test pins what those budgets cost on
+// a warm predictor. Warm means the LR index is compiled, the metric
+// children and measurement cache are resolved, the pooled scratch has
+// grown to the table's shape, and every column of the table is a cache
+// hit — the steady state of a daemon serving repeated column content.
+func TestDetectAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-detector instrumentation")
+	}
+	m, bg := trainSmall(t)
+	pred := core.NewPredictor(m, detectors.All(m.Config, detectors.Options{}), &core.Env{Index: bg.Index()})
+	spec := datagen.Spec{Name: "alloc", Profile: datagen.ProfileWeb, NumTables: 1,
+		AvgRows: 20, AvgCols: 4.6, ErrorRate: 0, Seed: 11}
+	tbl := datagen.Generate(spec).Tables[0]
+
+	for i := 0; i < 3; i++ {
+		pred.Detect(tbl)
+	}
+
+	// The budget covers the per-call remainder: the returned findings
+	// slice, re-interned dedup keys for any findings, and the occasional
+	// scratch the pool dropped across a GC cycle. Measured steady state
+	// is 1.0; the headroom absorbs pool churn, not regressions — lower
+	// the budget when the fast path sheds allocations, never raise it.
+	const budget = 4.0
+	avg := testing.AllocsPerRun(200, func() { pred.Detect(tbl) })
+	if avg > budget {
+		t.Errorf("warm Detect allocates %.1f per run, budget %.0f", avg, budget)
+	}
+	t.Logf("warm Detect: %.1f allocs/run (budget %.0f)", avg, budget)
+}

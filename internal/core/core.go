@@ -41,6 +41,8 @@ const (
 const NumClasses = int(numClasses)
 
 // String names the class.
+//
+// alloc-budget: 1 default branch formats unknown classes; named classes return constants
 func (c Class) String() string {
 	switch c {
 	case ClassSpelling:

@@ -23,6 +23,8 @@ import (
 // (internal/lrindex). The model's grids must already be finalized —
 // trained, merged and loaded models are; Build finalizes stragglers,
 // which is not safe against concurrent builders sharing the grids.
+//
+// alloc-budget: 6 one-time model compilation, once per predictor lifetime
 func BuildIndex(m *Model) *lrindex.Index {
 	srcs := make([]lrindex.Source, 0, len(m.Classes))
 	for cls, cm := range m.Classes {
@@ -42,21 +44,47 @@ func BuildIndex(m *Model) *lrindex.Index {
 }
 
 // lrIndex compiles the model's bucket maps into the flat index once per
-// predictor; concurrent DetectAll workers share the compiled result.
+// predictor; concurrent DetectAll workers share the compiled result
+// through the atomic pointer, so steady-state resolution is a single
+// load with no Once.Do closure.
 func (p *Predictor) lrIndex() *lrindex.Index {
-	p.indexOnce.Do(func() { p.index = BuildIndex(p.Model) })
-	return p.index
+	if ix := p.index.Load(); ix != nil {
+		return ix
+	}
+	return p.lrIndexInit()
+}
+
+// lrIndexInit performs the one-time compilation behind lrIndex.
+//
+// alloc-budget: 1 sync.Once closure, entered only until the index pointer is published
+func (p *Predictor) lrIndexInit() *lrindex.Index {
+	p.indexOnce.Do(func() { p.index.Store(BuildIndex(p.Model)) })
+	return p.index.Load()
 }
 
 // measureCacheLazy resolves the per-column measurement cache once.
-// CacheSize 0 means the default budget; negative disables memoization.
+// CacheSize 0 means the default budget; negative disables memoization
+// (the resolved cache is nil, which is why readiness is a separate flag
+// rather than a pointer test).
 func (p *Predictor) measureCacheLazy() *measureCache {
+	if p.cacheReady.Load() {
+		return p.cache
+	}
+	return p.measureCacheInit()
+}
+
+// measureCacheInit performs the one-time resolution behind
+// measureCacheLazy.
+//
+// alloc-budget: 1 sync.Once closure, entered only until the ready flag flips
+func (p *Predictor) measureCacheInit() *measureCache {
 	p.cacheOnce.Do(func() {
 		size := p.CacheSize
 		if size == 0 {
 			size = defaultCacheSize
 		}
 		p.cache = newMeasureCache(size)
+		p.cacheReady.Store(true)
 	})
 	return p.cache
 }
@@ -73,19 +101,32 @@ func (p *Predictor) getScratch() *Scratch {
 
 // scoreState accumulates one table's findings with the same
 // cross-candidate dedup the reference path applies: per (class, row
-// set), keep the most confident finding.
+// set), keep the most confident finding. The state lives inside a
+// Scratch (or on the batch assembler's stack) and is reset per table,
+// carrying its map buckets, key order and key buffer from table to
+// table.
 type scoreState struct {
-	best  map[string]Finding
-	order []string
+	best   map[string]Finding
+	order  []string
+	keyBuf []byte
 }
 
-func newScoreState() *scoreState {
-	return &scoreState{best: map[string]Finding{}}
+// reset prepares st for a new table.
+//
+// alloc-budget: 1 dedup map allocated on first use per scratch, then cleared and reused
+func (st *scoreState) reset() {
+	if st.best == nil {
+		st.best = make(map[string]Finding, 16)
+	}
+	clear(st.best)
+	st.order = st.order[:0]
 }
 
 // add scores valid measurements of det against the compact index and
 // folds survivors into the dedup state. The filter, metrics and dedup
 // preference replicate the reference Detect loop exactly.
+//
+// alloc-budget: 4 dedup keys intern on first sight or on a better finding; map probes convert without copying
 func (p *Predictor) add(st *scoreState, t *table.Table, det Detector, ms []Measurement) {
 	if len(ms) == 0 {
 		return
@@ -119,19 +160,23 @@ func (p *Predictor) add(st *scoreState, t *table.Table, det Detector, ms []Measu
 			Support: support,
 			Detail:  meas.Detail,
 		}
-		key := dedupKey(cls, meas.Rows)
-		prev, seen := st.best[key]
-		if !seen {
+		st.keyBuf = appendDedupKey(st.keyBuf[:0], cls, meas.Rows)
+		prev, seen := st.best[string(st.keyBuf)]
+		switch {
+		case !seen:
+			key := string(st.keyBuf)
 			st.order = append(st.order, key)
-		}
-		if !seen || f.LR < prev.LR || (stats.SameFloat(f.LR, prev.LR) && f.Column < prev.Column) {
 			st.best[key] = f
+		case f.LR < prev.LR || (stats.SameFloat(f.LR, prev.LR) && f.Column < prev.Column):
+			st.best[string(st.keyBuf)] = f
 		}
 	}
 }
 
 // findings returns the deduplicated findings in first-seen order — the
 // same order the reference Detect emits.
+//
+// alloc-budget: 2 result slice is returned to the caller and cannot be pooled
 func (st *scoreState) findings() []Finding {
 	out := make([]Finding, 0, len(st.order))
 	for _, k := range st.order {
@@ -190,7 +235,8 @@ func (p *Predictor) measureTable(det Detector, t *table.Table) []Measurement {
 func (p *Predictor) detectFast(t *table.Table, sc *Scratch) []Finding {
 	pm := p.metrics()
 	pm.tables.Inc()
-	st := newScoreState()
+	st := &sc.score
+	st.reset()
 	for _, det := range p.Detectors {
 		detStart := p.Obs.Now()
 		if cmr, ok := det.(ColumnMeasurer); ok {
@@ -218,6 +264,8 @@ type fastUnit struct {
 // the same injection site, with the same per-site ordinal, as the
 // reference detectShard, so a chaos schedule drops the same tables on
 // both paths.
+//
+// alloc-budget: 4 chaos admission gate: recover shield and degradation logging, called only under fault injection
 func (p *Predictor) admitTable(ctx context.Context, t *table.Table) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -242,6 +290,8 @@ func (p *Predictor) admitTable(ctx context.Context, t *table.Table) (ok bool) {
 // results through the compact index in the reference path's exact
 // order. Findings are therefore byte-identical to the reference path
 // regardless of worker interleaving.
+//
+// alloc-budget: 13 per-batch pipeline setup: unit layout, result buffers, worker pool and assembly output, amortized over every column of the call
 func (p *Predictor) detectAllFast(ctx context.Context, tables []*table.Table) []Finding {
 	sp := obs.StartSpan(ctx, "core/detect_all")
 	sp.Tag("tables", len(tables))
@@ -323,8 +373,10 @@ func (p *Predictor) detectAllFast(ctx context.Context, tables []*table.Table) []
 	wg.Wait()
 
 	// Sequential assembly: walk the unit layout per table, score through
-	// the index, dedup exactly as the reference per-table loop does.
+	// the index, dedup exactly as the reference per-table loop does. One
+	// score state serves every table of the batch, reset between them.
 	var out []Finding
+	var st scoreState
 	ui := 0
 	for ti, t := range tables {
 		if skip[ti] {
@@ -335,12 +387,12 @@ func (p *Predictor) detectAllFast(ctx context.Context, tables []*table.Table) []
 		if bad {
 			pm.degraded.Inc()
 		}
-		st := newScoreState()
+		st.reset()
 		for _, det := range p.Detectors {
 			var sec float64
 			consume := func() {
 				if !bad {
-					p.add(st, t, det, results[ui])
+					p.add(&st, t, det, results[ui])
 				}
 				sec += durs[ui]
 				ui++
@@ -368,6 +420,8 @@ func (p *Predictor) detectAllFast(ctx context.Context, tables []*table.Table) []
 // panics when chaos injection is live (the batch analogue of
 // detectShard's recover): the panicking table is poisoned and yields no
 // findings instead of crashing the scan.
+//
+// alloc-budget: 2 panic shield closure and its log boxing, armed only under fault injection
 func (p *Predictor) measureUnit(t *table.Table, u fastUnit, sc *Scratch, poison *atomic.Bool) (ms []Measurement) {
 	if p.Inject != nil {
 		defer func() {
@@ -382,5 +436,12 @@ func (p *Predictor) measureUnit(t *table.Table, u fastUnit, sc *Scratch, poison 
 	if u.col < 0 {
 		return p.measureTable(det, t)
 	}
-	return p.measureColumn(det.(ColumnMeasurer), t, u.col, sc)
+	cmr, ok := det.(ColumnMeasurer)
+	if !ok {
+		// Unreachable by construction — column units are laid out only
+		// for ColumnMeasurer detectors — but yielding no measurements
+		// keeps the assembly walk aligned rather than crashing the batch.
+		return nil
+	}
+	return p.measureColumn(cmr, t, u.col, sc)
 }

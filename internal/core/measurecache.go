@@ -118,6 +118,8 @@ type measureCache struct {
 
 // newMeasureCache builds a cache with the given total entry budget
 // (<= 0 returns nil: caching disabled).
+//
+// alloc-budget: 2 one-time cache construction: header and per-shard LRU state
 func newMeasureCache(total int) *measureCache {
 	if total <= 0 {
 		return nil
@@ -156,8 +158,12 @@ func (mc *measureCache) get(cls Class, pos int, c *table.Column) ([]Measurement,
 	if !ok {
 		return nil, false
 	}
+	ent, ok := el.Value.(*cacheEntry)
+	if !ok {
+		return nil, false
+	}
 	s.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).ms, true
+	return ent.ms, true
 }
 
 // getTable returns the memoized measurements of a table-level detector,
@@ -176,8 +182,12 @@ func (mc *measureCache) getTable(cls Class, t *table.Table) ([]Measurement, bool
 	if !ok {
 		return nil, false
 	}
+	ent, ok := el.Value.(*cacheEntry)
+	if !ok {
+		return nil, false
+	}
 	s.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).ms, true
+	return ent.ms, true
 }
 
 // putTable memoizes the measurements of a table-level detector.
@@ -201,6 +211,8 @@ func (mc *measureCache) put(cls Class, pos int, c *table.Column, ms []Measuremen
 
 // insert adds one entry under its shard's lock, evicting the least
 // recently used entries of the shard when over budget.
+//
+// alloc-budget: 1 one entry header per memoized column; residency bounded by the shard capacity
 func (mc *measureCache) insert(k cacheKey, ms []Measurement) {
 	s := mc.shard(k)
 	s.mu.Lock()
@@ -215,7 +227,9 @@ func (mc *measureCache) insert(k cacheKey, ms []Measurement) {
 	for s.ll.Len() > s.capacity {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
-		delete(s.items, oldest.Value.(*cacheEntry).key)
+		if ent, ok := oldest.Value.(*cacheEntry); ok {
+			delete(s.items, ent.key)
+		}
 	}
 }
 

@@ -101,6 +101,8 @@ func (m *Model) LR(c Class, det Detector, meas Measurement) (lr float64, support
 // duplicate groups both starting at row 0) would otherwise compare
 // "equal", and sort.Slice — which is unstable — would order them by
 // worker arrival, making batch output nondeterministic.
+//
+// alloc-budget: 2 sort.Slice boxing and comparator; the unstable sort's tie permutation is pinned by difftest
 func SortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"github.com/unidetect/unidetect/internal/faultinject"
 	"github.com/unidetect/unidetect/internal/lrindex"
@@ -41,14 +42,21 @@ type Predictor struct {
 	CacheSize int
 
 	metricsOnce sync.Once
+	// metricsReady flips once pm is built, so the hot-path metrics()
+	// never enters Once.Do (whose closure would allocate per call).
+	metricsReady atomic.Bool
 	// pm is built from Obs on first use; all children are no-ops when
 	// Obs is nil.
 	pm predictMetrics
 
 	indexOnce sync.Once
-	// index is compiled from Model on first fast-path use.
-	index     *lrindex.Index
+	// index is compiled from Model on first fast-path use and published
+	// through the atomic pointer for allocation-free resolution.
+	index     atomic.Pointer[lrindex.Index]
 	cacheOnce sync.Once
+	// cacheReady flips once cache is resolved (it may resolve to nil:
+	// negative CacheSize disables memoization).
+	cacheReady atomic.Bool
 	// cache is resolved from CacheSize on first fast-path use.
 	cache *measureCache
 	// scratches pools per-call scratch buffers for single-table Detect.
@@ -135,15 +143,24 @@ func (p *Predictor) detectReference(t *table.Table) []Finding {
 }
 
 func dedupKey(cls Class, rows []int) string {
-	var b []byte
+	return string(appendDedupKey(nil, cls, rows))
+}
+
+// appendDedupKey renders the (class, row set) dedup key into b, growing
+// it as needed. The fast path hands it a per-scratch buffer and interns
+// the result only when the key is first seen.
+//
+// alloc-budget: 2 appends extend the caller's reusable key buffer to steady state
+func appendDedupKey(b []byte, cls Class, rows []int) []byte {
 	b = append(b, byte(cls), ':')
 	for _, r := range rows {
 		b = appendInt(b, r)
 		b = append(b, ',')
 	}
-	return string(b)
+	return b
 }
 
+// alloc-budget: 2 appends spill into the caller's reusable key buffer; tmp stays on the stack
 func appendInt(b []byte, v int) []byte {
 	if v < 0 {
 		b = append(b, '-')
@@ -246,9 +263,23 @@ func (p *Predictor) detectShard(ctx context.Context, t *table.Table) (fs []Findi
 
 // metrics resolves the predictor's metric children once; cheap and
 // concurrency-safe thereafter (DetectAll shares one Predictor across
-// workers).
+// workers). The ready flag keeps the steady state allocation-free:
+// entering Once.Do would materialize its closure on every call.
 func (p *Predictor) metrics() *predictMetrics {
-	p.metricsOnce.Do(func() { p.pm = newPredictMetrics(p.Obs) })
+	if p.metricsReady.Load() {
+		return &p.pm
+	}
+	return p.metricsInit()
+}
+
+// metricsInit performs the one-time construction behind metrics.
+//
+// alloc-budget: 1 sync.Once closure, entered only until the ready flag flips
+func (p *Predictor) metricsInit() *predictMetrics {
+	p.metricsOnce.Do(func() {
+		p.pm = newPredictMetrics(p.Obs)
+		p.metricsReady.Store(true)
+	})
 	return &p.pm
 }
 

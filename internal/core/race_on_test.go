@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; its write barriers allocate, so allocation-budget assertions
+// are skipped under -race.
+const raceEnabled = true

@@ -16,9 +16,13 @@ type Scratch struct {
 	// F64 is a general float64 buffer (the outlier detector's drop-one
 	// resample).
 	F64 []float64
+	// score is the per-table dedup state of detectFast, reset per table.
+	score scoreState
 }
 
 // NewScratch returns a ready-to-use scratch.
+//
+// alloc-budget: 2 per-worker scratch construction, amortized over every unit the worker measures
 func NewScratch() *Scratch {
 	return &Scratch{MPD: &strdist.Scratch{}}
 }

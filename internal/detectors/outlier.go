@@ -57,6 +57,9 @@ func (d *Outlier) metric() Dispersion {
 	return d.Metric
 }
 
+// maxScore routes to the configured dispersion kernel.
+//
+// alloc-budget: 2 the IQR/MAD kernels sort a copy inside internal/stats; the kernels are shared with training
 func (d *Outlier) maxScore(vals []float64) (float64, int) {
 	switch d.metric() {
 	case DispersionSD:
@@ -92,6 +95,8 @@ func (d *Outlier) Measure(t *table.Table, env *core.Env) (out []core.Measurement
 // MeasureColumn implements core.ColumnMeasurer: the single column's
 // share of Measure's output. A non-nil scratch supplies the buffer for
 // the drop-one resample.
+//
+// alloc-budget: 10 numeric extraction, log-fit featurization and the returned measurement; the scratchless branch serves the reference oracle
 func (d *Outlier) MeasureColumn(t *table.Table, pos int, env *core.Env, sc *core.Scratch) []core.Measurement {
 	c := t.Columns[pos]
 	typ := c.Type()

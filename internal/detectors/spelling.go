@@ -47,6 +47,8 @@ func (d *Spelling) Measure(t *table.Table, env *core.Env) (out []core.Measuremen
 // allocating MPD scans; a non-nil scratch reuses the worker's rune and
 // DP buffers — the scans themselves visit pairs in the same order
 // either way, so the measurements are identical.
+//
+// alloc-budget: 5 token-length featurization, the detail string and the returned measurement
 func (d *Spelling) MeasureColumn(t *table.Table, pos int, env *core.Env, sc *core.Scratch) []core.Measurement {
 	c := t.Columns[pos]
 	if c.Len() < d.Cfg.MinRows {
@@ -115,6 +117,8 @@ func (d *Spelling) MeasureColumn(t *table.Table, pos int, env *core.Env, sc *cor
 
 // minPairDist routes the MPD scan through the scratch variant when a
 // scratch is available.
+//
+// alloc-budget: 1 only the scratchless reference-oracle branch allocates; the scratch scans budget their grow-once buffers at source
 func minPairDist(vals []string, cap int, sc *strdist.Scratch) (strdist.Pair, bool) {
 	if sc != nil {
 		return strdist.MinPairDistCappedScratch(vals, cap, sc)
@@ -123,6 +127,8 @@ func minPairDist(vals []string, cap int, sc *strdist.Scratch) (strdist.Pair, boo
 }
 
 // secondMinPairDist routes the perturbed-MPD scan likewise.
+//
+// alloc-budget: 1 only the scratchless reference-oracle branch allocates; the scratch scans budget their grow-once buffers at source
 func secondMinPairDist(vals []string, drop, cap int, sc *strdist.Scratch) (strdist.Pair, bool) {
 	if sc != nil {
 		return strdist.SecondMinPairDistCappedScratch(vals, drop, cap, sc)
@@ -132,6 +138,8 @@ func secondMinPairDist(vals []string, drop, cap int, sc *strdist.Scratch) (strdi
 
 // bothDictionaryWords reports whether every differing token of the pair is
 // a dictionary word on both sides.
+//
+// alloc-budget: 1 dictionary refutation tokenizes the differing pair; it runs once per candidate, not per pair scan
 func bothDictionaryWords(a, b string, dict *wordlist.Set) bool {
 	onlyA, onlyB := strdist.DifferingTokens(a, b)
 	if len(onlyA) == 0 && len(onlyB) == 0 {

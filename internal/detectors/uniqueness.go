@@ -39,6 +39,8 @@ func (d *Uniqueness) Measure(t *table.Table, env *core.Env) (out []core.Measurem
 // MeasureColumn implements core.ColumnMeasurer: the single column's
 // share of Measure's output (the scratch is unused — the UR scan's
 // duplicate maps are value-count-shaped, not worth pooling).
+//
+// alloc-budget: 3 the detail string, duplicate-value report and returned measurement
 func (d *Uniqueness) MeasureColumn(t *table.Table, pos int, env *core.Env, _ *core.Scratch) []core.Measurement {
 	c := t.Columns[pos]
 	n := c.Len()
@@ -93,6 +95,8 @@ func (d *Uniqueness) MeasureColumn(t *table.Table, pos int, env *core.Env, _ *co
 // duplicateRows returns (a) the row indices of every value occurrence
 // beyond the first — the natural O to drop — and (b) all rows holding a
 // duplicated value, for reporting.
+//
+// alloc-budget: 5 first-occurrence maps are value-count-shaped and the row lists are returned; neither pools usefully
 func duplicateRows(vals []string) (drop, groups []int) {
 	first := make(map[string]int, len(vals))
 	counted := make(map[string]bool)
@@ -116,6 +120,8 @@ func duplicateRows(vals []string) (drop, groups []int) {
 // prevalenceOf returns the column's relative token prevalence: the
 // average fraction of corpus tables its tokens occur in. Relative values
 // keep the featurization invariant to corpus size.
+//
+// alloc-budget: 1 corpus prevalence tokenizes the column against the shared index
 func prevalenceOf(env *core.Env, c *table.Column) float64 {
 	if env == nil || env.Index == nil {
 		return 0

@@ -107,6 +107,11 @@ func minPairDistBlocked(vals []string) (Pair, bool) {
 	return bestPair, best >= 0
 }
 
+// reverseString reverses s rune-wise for the blocked scan's suffix
+// order. The scratch path calls it once per value (the keys cache), not
+// once per comparison.
+//
+// alloc-budget: 2 rune buffer and result string, once per value in the scratch path
 func reverseString(s string) string {
 	r := []rune(s)
 	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {

@@ -13,6 +13,10 @@ import "sort"
 // same bounds, same early exits — so the returned Pair is identical, not
 // merely an equally-minimal one. The internal/difftest harness holds the
 // two families to byte-identical findings.
+//
+// The hotalloc budgets in this file cover exactly the grow-once buffer
+// allocations that remain: each fires until the worker's scratch reaches
+// the column/value extremes of its stream, then never again.
 type Scratch struct {
 	prev, cur []int
 	runes     [][]rune
@@ -22,6 +26,8 @@ type Scratch struct {
 }
 
 // row returns a zeroable int buffer of length n, growing buf as needed.
+//
+// alloc-budget: 1 DP row grows to the longest value seen by the worker, then reuses
 func scratchRow(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n)
@@ -31,6 +37,8 @@ func scratchRow(buf []int, n int) []int {
 
 // runesOf fills s.runes with the rune decomposition of each value,
 // reusing the outer slice across columns.
+//
+// alloc-budget: 1 the outer rune table grows to the tallest column seen by the worker, then reuses
 func (s *Scratch) runesOf(vals []string) [][]rune {
 	if cap(s.runes) < len(vals) {
 		s.runes = make([][]rune, len(vals))
@@ -93,10 +101,12 @@ func (s *Scratch) levBounded(ra, rb []rune, maxDist int) (int, bool) {
 		if lo > 1 {
 			cur[lo-1] = inf
 		} else {
+			//lint:ignore hotpanic cur is scratchRow(lb+1) with lb >= 1 (lb == 0 returns above)
 			cur[0] = i
 		}
 		rowMin := inf
 		if lo == 1 {
+			//lint:ignore hotpanic cur is scratchRow(lb+1) with lb >= 1 (lb == 0 returns above)
 			rowMin = cur[0]
 		}
 		for j := lo; j <= hi; j++ {
@@ -170,6 +180,8 @@ func MinPairDistScratch(vals []string, sc *Scratch) (Pair, bool) {
 // the values with row `drop` removed. Skipping the dropped row in place
 // visits the surviving pairs in exactly the order the compacted copy
 // would, so the carried bound and early exit fire identically.
+//
+// alloc-budget: 2 the kept-row index grows to the tallest column seen by the worker, then reuses
 func (s *Scratch) secondMinPairDistRunes(vals []string, rs [][]rune, drop int) (Pair, bool) {
 	if cap(s.kept) < len(vals) {
 		s.kept = make([]int, 0, len(vals))
@@ -247,6 +259,8 @@ func SecondMinPairDistCappedScratch(vals []string, drop, cap int, sc *Scratch) (
 // same initial order as the reference's, and the comparators return the
 // same results, so sort.Slice yields the same permutation and the window
 // scans visit pairs identically.
+//
+// alloc-budget: 8 sort.Slice boxing/comparators pin the reference permutation; the order and reverse-key tables grow once per worker
 func (s *Scratch) minPairDistBlocked(vals []string, rs [][]rune, drop int) (Pair, bool) {
 	if cap(s.kept) < len(vals) {
 		s.kept = make([]int, 0, len(vals))

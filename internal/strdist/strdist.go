@@ -251,6 +251,9 @@ func fields(s string) []string {
 	return out
 }
 
+// runes decomposes s into a fresh rune slice.
+//
+// alloc-budget: 2 per-value decomposition; the result is retained in the scratch rune table across both MPD scans
 func runes(s string) []rune {
 	// Fast path for ASCII.
 	ascii := true
