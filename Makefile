@@ -103,5 +103,5 @@ check: build vet lint test race
 # and is deliberately left alone; bench-candidate.json is the scratch
 # report bench-gate regenerates every run.
 clean:
-	rm -f bench-candidate.json unilint.sarif
+	rm -f bench-candidate.json unilint.sarif unilint-flow.sarif
 	rm -rf $(CHAOS_ARTIFACT_DIR)

@@ -72,6 +72,8 @@ type batchGroup struct {
 // (followers count toward the coalesced metric). A follower abandons
 // the wait when its own context dies; the leader always finishes the
 // scan — other requests' results ride on it.
+//
+// alloc-budget: 4 one group header + done channel per coalesced batch, the shared table append, and the DetectAll scan itself — all amortized across every rider
 func (c *coalescer) join(ctx context.Context, tables []*unidetect.Table) ([]unidetect.Finding, bool, error) {
 	c.mu.Lock()
 	g := c.pending

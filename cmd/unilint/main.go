@@ -44,15 +44,18 @@ func main() {
 // go command with ourselves as its vettool, and post-process the output.
 func drive(args []string) int {
 	var jsonMode, sarifMode, fixMode bool
+	var only, exclude string
 	rest := make([]string, 0, len(args))
 	for _, a := range args {
-		switch a {
-		case "-json", "--json":
+		switch {
+		case a == "-json" || a == "--json":
 			jsonMode = true
-		case "-sarif", "--sarif":
+		case a == "-sarif" || a == "--sarif":
 			sarifMode = true
-		case "-fix", "--fix":
+		case a == "-fix" || a == "--fix":
 			fixMode = true
+		case cutFlag(a, "only", &only):
+		case cutFlag(a, "exclude", &exclude):
 		default:
 			rest = append(rest, a)
 		}
@@ -60,6 +63,12 @@ func drive(args []string) int {
 	if len(rest) == 0 || strings.HasPrefix(rest[len(rest)-1], "-") {
 		rest = append(rest, "./...")
 	}
+	sel, err := selectAnalyzers(only, exclude)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unilint: %v\n", err)
+		return 2
+	}
+	rest = append(sel, rest...)
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -97,6 +106,76 @@ func drive(args []string) int {
 	default:
 		return emitJSON(os.Stdout, diags)
 	}
+}
+
+// cutFlag matches -name=value / --name=value and stores the value.
+func cutFlag(arg, name string, out *string) bool {
+	for _, prefix := range []string{"-" + name + "=", "--" + name + "="} {
+		if v, ok := strings.CutPrefix(arg, prefix); ok {
+			*out = v
+			return true
+		}
+	}
+	return false
+}
+
+// selectAnalyzers validates -only/-exclude against the registry and
+// renders the go vet analyzer-selection flags: when any -<analyzer>
+// boolean is passed, go vet runs exactly the named analyzers. An empty
+// result means the whole suite.
+func selectAnalyzers(only, exclude string) ([]string, error) {
+	if only != "" && exclude != "" {
+		return nil, fmt.Errorf("-only and -exclude are mutually exclusive")
+	}
+	split := func(flag, list string) ([]string, error) {
+		var names []string
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if registry.Lookup(n) == nil {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (the suite is listed in DESIGN.md §7)", flag, n)
+			}
+			names = append(names, n)
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("-%s selects no analyzers", flag)
+		}
+		return names, nil
+	}
+	switch {
+	case only != "":
+		names, err := split("only", only)
+		if err != nil {
+			return nil, err
+		}
+		flags := make([]string, len(names))
+		for i, n := range names {
+			flags[i] = "-" + n
+		}
+		return flags, nil
+	case exclude != "":
+		names, err := split("exclude", exclude)
+		if err != nil {
+			return nil, err
+		}
+		excluded := map[string]bool{}
+		for _, n := range names {
+			excluded[n] = true
+		}
+		var flags []string
+		for _, a := range registry.All() {
+			if !excluded[a.Name] {
+				flags = append(flags, "-"+a.Name)
+			}
+		}
+		if len(flags) == 0 {
+			return nil, fmt.Errorf("-exclude removes every analyzer")
+		}
+		return flags, nil
+	}
+	return nil, nil
 }
 
 // invokedAsVettool reports whether the go command is driving us: it calls

@@ -159,6 +159,76 @@ func TestSmokeFix(t *testing.T) {
 	}
 }
 
+// TestSmokeOnly proves -only restricts the run to the named analyzers:
+// the fixture's sole finding is floatcompare's, so selecting another
+// analyzer lints clean and selecting floatcompare still fails.
+func TestSmokeOnly(t *testing.T) {
+	dir := copyFixture(t, "fixture")
+	if _, stderr, exit := runSelf(t, dir, "-only=seededrand", "./..."); exit != 0 {
+		t.Errorf("-only=seededrand exit = %d, want 0:\n%s", exit, stderr)
+	}
+	_, stderr, exit := runSelf(t, dir, "-only=floatcompare,seededrand", "./...")
+	if exit != 1 {
+		t.Fatalf("-only=floatcompare,seededrand exit = %d, want 1:\n%s", exit, stderr)
+	}
+	if !strings.Contains(stderr, "floating-point comparison with ==") {
+		t.Errorf("-only run lost the floatcompare diagnostic:\n%s", stderr)
+	}
+}
+
+// TestSmokeExclude proves -exclude removes exactly the named analyzers.
+func TestSmokeExclude(t *testing.T) {
+	dir := copyFixture(t, "fixture")
+	if _, stderr, exit := runSelf(t, dir, "-exclude=floatcompare", "./..."); exit != 0 {
+		t.Errorf("-exclude=floatcompare exit = %d, want 0:\n%s", exit, stderr)
+	}
+	if _, stderr, exit := runSelf(t, dir, "-exclude=seededrand", "./..."); exit != 1 {
+		t.Errorf("-exclude=seededrand exit = %d, want 1 (floatcompare still on):\n%s", exit, stderr)
+	}
+}
+
+// TestSmokeSelectionErrors proves unknown names and contradictory
+// selections are usage errors, not silent no-ops.
+func TestSmokeSelectionErrors(t *testing.T) {
+	dir := copyFixture(t, "fixture")
+	for _, args := range [][]string{
+		{"-only=bogus", "./..."},
+		{"-exclude=bogus", "./..."},
+		{"-only=floatcompare", "-exclude=seededrand", "./..."},
+	} {
+		_, stderr, exit := runSelf(t, dir, args...)
+		if exit != 2 {
+			t.Errorf("%v exit = %d, want 2:\n%s", args, exit, stderr)
+		}
+		if !strings.Contains(stderr, "unilint:") {
+			t.Errorf("%v stderr missing the usage error:\n%s", args, stderr)
+		}
+	}
+}
+
+// TestSmokeLockorderCycle proves a lock-order cycle fails go vet end to
+// end through the vettool protocol: the lockfixture module acquires two
+// package-level mutexes in opposite orders, and the resulting
+// potential-deadlock diagnostic must be a build failure, witness chain
+// included.
+func TestSmokeLockorderCycle(t *testing.T) {
+	dir := copyFixture(t, "lockfixture")
+	_, stderr, exit := runSelf(t, dir, "-lockorder.mods=lockfixture", "./...")
+	if exit == 0 {
+		t.Fatalf("lock-order cycle did not fail the build\nstderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "potential deadlock: lock-order cycle:") {
+		t.Errorf("stderr missing the lockorder diagnostic:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "lockfixture.stateMu held at main.go:11 → acquires lockfixture.swapMu") {
+		t.Errorf("stderr missing the witness chain:\n%s", stderr)
+	}
+	// Out of the box the fixture is outside the module gate: clean.
+	if _, stderr, exit := runSelf(t, dir, "./..."); exit != 0 {
+		t.Errorf("out-of-module fixture should lint clean, got exit %d:\n%s", exit, stderr)
+	}
+}
+
 // TestSmokeHotallocBudget proves the enforced-budget path end to end
 // through the vettool protocol: pointing the hot-root set at the
 // hotfixture module (whose Serve carries an alloc-budget smaller than

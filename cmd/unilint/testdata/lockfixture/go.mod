@@ -1,0 +1,3 @@
+module lockfixture
+
+go 1.24

@@ -1,0 +1,27 @@
+// The fixture trips exactly one rule: two package-level mutexes are
+// acquired in opposite orders on two code paths, a lock-order cycle
+// lockorder must fail the build for.
+package main
+
+import "sync"
+
+var stateMu, swapMu sync.Mutex
+
+func readUnderSwap() {
+	stateMu.Lock()
+	defer stateMu.Unlock()
+	swapMu.Lock()
+	defer swapMu.Unlock()
+}
+
+func swapUnderState() {
+	swapMu.Lock()
+	defer swapMu.Unlock()
+	stateMu.Lock()
+	defer stateMu.Unlock()
+}
+
+func main() {
+	readUnderSwap()
+	swapUnderState()
+}

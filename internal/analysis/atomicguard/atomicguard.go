@@ -1,0 +1,650 @@
+// Package atomicguard defines an analyzer that enforces all-or-nothing
+// atomicity: a variable or struct field that is ever accessed through
+// sync/atomic — or declared as a typed atomic.* value — must be accessed
+// atomically everywhere it is reachable after initialization. A plain
+// load mixed with atomic stores is exactly the race the Go memory model
+// refuses to define, and it is invisible to the race detector unless
+// the schedule happens to interleave the two.
+//
+// ROADMAP item 1 (live model hot-swap) multiplies the atomic fast paths
+// PR 6 introduced (metricsReady, the lrindex atomic.Pointer, the
+// measurement-cache ready flag); this analyzer makes their access
+// discipline a compile-time contract, the same move hotalloc made for
+// allocations.
+//
+// An object becomes "atomic" three ways:
+//
+//   - its address is passed to a sync/atomic function
+//     (atomic.AddInt64(&c.hits, 1) marks c.hits);
+//   - its declared type is defined in sync/atomic (atomic.Bool,
+//     atomic.Pointer[T], ...), where the method set already forces
+//     atomic access and the remaining sin is copying the value;
+//   - a dependency exported an atomicUse fact for it: facts ride the
+//     .vetx files, so a package that plainly reads a field its
+//     dependency updates atomically is flagged at the offending site.
+//
+// Every other access to such an object is classified flow-sensitively
+// on the internal/analysis/flow CFG: a plain read, plain write, or
+// escaping address-of is a diagnostic unless the access happens in the
+// idiomatic lock-free window — inside init functions, or through a
+// function-local variable that has not yet been published (passed to a
+// call, stored to a non-local, captured by a closure, sent, or
+// returned) at that program point. Publication is computed by a forward
+// may-analysis, so construction before publication stays silent while
+// the access one line after `go func() { ... }()` captures the variable
+// is flagged.
+//
+// Where the fix is mechanical — a plain read of an integer field with
+// sync/atomic already imported — the diagnostic carries a SuggestedFix
+// wrapping the read in the matching atomic.Load.
+package atomicguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/unidetect/unidetect/internal/analysis/flow"
+)
+
+var (
+	modsFlag = "github.com/unidetect/unidetect"
+	allFlag  = false
+)
+
+// Analyzer enforces atomic-everywhere access for atomically-used objects.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicguard",
+	Doc:       "flag plain reads/writes of variables and fields that are elsewhere accessed via sync/atomic (mixed access is an undefined-behavior race); facts propagate the atomic set across packages",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(atomicUse)},
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&modsFlag, "mods", modsFlag,
+		"comma-separated module prefixes whose packages are analyzed")
+	Analyzer.Flags.BoolVar(&allFlag, "all", allFlag,
+		"analyze every package regardless of module prefix (testing)")
+}
+
+// atomicUse marks an object as atomically accessed; At is the first
+// observed sync/atomic site ("file.go:12"), quoted in diagnostics so a
+// cross-package reader can find the other half of the race.
+type atomicUse struct{ At string }
+
+func (*atomicUse) AFact()           {}
+func (f *atomicUse) String() string { return "atomicUse: " + f.At }
+
+// pkgCtx is the per-package atomic-object index shared by every
+// function unit.
+type pkgCtx struct {
+	pass *analysis.Pass
+	// observed maps objects whose address reached a sync/atomic call to
+	// that first call site.
+	observed map[*types.Var]string
+	// typed holds objects declared with a sync/atomic-defined type.
+	typed map[*types.Var]bool
+	// sanctioned holds the &x operands that are arguments of sync/atomic
+	// calls — the one place taking the address is the point.
+	sanctioned map[ast.Expr]bool
+	// imported caches cross-package fact lookups (miss = "" entry).
+	imported map[*types.Var]*string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ctx := &pkgCtx{
+		pass:       pass,
+		observed:   map[*types.Var]string{},
+		typed:      map[*types.Var]bool{},
+		sanctioned: map[ast.Expr]bool{},
+		imported:   map[*types.Var]*string{},
+	}
+	ctx.collect()
+
+	// Export the atomic set for dependents: only objects declared here
+	// (a fact on another package's object is not ours to write).
+	for v, site := range ctx.observed {
+		if v.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(v, &atomicUse{At: site})
+		}
+	}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue // the init window: publication has not happened yet
+			}
+			ctx.checkUnit(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// collect indexes the package's atomic objects: sync/atomic call
+// operands and typed atomic declarations.
+func (c *pkgCtx) collect() {
+	for _, file := range c.pass.Files {
+		if isTestFile(c.pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(c.pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			c.sanctioned[un] = true
+			if v := accessedVar(c.pass, ast.Unparen(un.X)); v != nil {
+				if _, seen := c.observed[v]; !seen {
+					p := c.pass.Fset.Position(un.X.Pos())
+					c.observed[v] = fmt.Sprintf("%s:%d", base(p.Filename), p.Line)
+				}
+			}
+			return true
+		})
+	}
+	for _, obj := range c.pass.TypesInfo.Defs {
+		if v, ok := obj.(*types.Var); ok && isAtomicType(v.Type()) {
+			c.typed[v] = true
+		}
+	}
+}
+
+// lookup resolves whether v is an atomic object, and how we know.
+func (c *pkgCtx) lookup(v *types.Var) (site string, typed, ok bool) {
+	if site, ok := c.observed[v]; ok {
+		return site, false, true
+	}
+	if c.typed[v] {
+		return "declared " + v.Type().String(), true, true
+	}
+	if v.Pkg() != nil && v.Pkg() != c.pass.Pkg {
+		if cached, hit := c.imported[v]; hit {
+			if *cached == "" {
+				return "", false, false
+			}
+			return *cached, false, true
+		}
+		var fact atomicUse
+		site := ""
+		if c.pass.ImportObjectFact(v, &fact) {
+			site = fact.At
+		}
+		c.imported[v] = &site
+		if site != "" {
+			return site, false, true
+		}
+	}
+	return "", false, false
+}
+
+// accessKind classifies one use of an atomic object.
+type accessKind int
+
+const (
+	accessOK accessKind = iota
+	accessRead
+	accessWrite
+	accessAddr
+)
+
+// checkUnit analyzes one function (or function-literal) body: a forward
+// publication analysis over the CFG, then per-program-point access
+// classification. Nested literals are their own units — a closure runs
+// on an unknown schedule, so captured variables count as published in
+// both the outer unit (from the capture point on) and the literal.
+func (c *pkgCtx) checkUnit(body *ast.BlockStmt) {
+	parents := buildParents(body)
+	lat := pubLattice{pass: c.pass, lo: body.Pos(), hi: body.End()}
+	g := flow.New(body)
+	st := flow.Solve[pubState](g, lat)
+	var lits []*ast.FuncLit
+	st.Walk(g, lat, func(_ *flow.Block, n ast.Node, atExit bool, before pubState) {
+		if atExit {
+			return // a replayed deferred call was classified at registration
+		}
+		for _, t := range flow.Targets(n) {
+			ast.Inspect(t, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.FuncLit); ok {
+					lits = append(lits, lit)
+					return false
+				}
+				c.candidate(m, parents, lat, before)
+				return true
+			})
+		}
+	})
+	for _, lit := range lits {
+		c.checkUnit(lit.Body)
+	}
+}
+
+// candidate reports m if it is a misused access of an atomic object.
+func (c *pkgCtx) candidate(m ast.Node, parents map[ast.Node]ast.Node, lat pubLattice, before pubState) {
+	var e ast.Expr
+	var id *ast.Ident
+	switch m := m.(type) {
+	case *ast.SelectorExpr:
+		e, id = m, m.Sel
+	case *ast.Ident:
+		// Selector .Sel idents are handled at the SelectorExpr; composite
+		// literal field keys name the field without accessing it.
+		if sel, ok := parents[m].(*ast.SelectorExpr); ok && sel.Sel == m {
+			return
+		}
+		if kv, ok := parents[m].(*ast.KeyValueExpr); ok && kv.Key == m {
+			if cl, ok := parents[kv].(*ast.CompositeLit); ok && isStructLit(c.pass, cl) {
+				return
+			}
+		}
+		e, id = m, m
+	default:
+		return
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		return
+	}
+	site, typed, ok := c.lookup(v)
+	if !ok {
+		return
+	}
+	kind := classify(e, parents, c.sanctioned, typed)
+	if kind == accessOK {
+		return
+	}
+	// The lock-free construction window: an access rooted at a local
+	// that nothing else can see yet.
+	if root := rootIdent(e); root != nil {
+		if lv := lat.localVar(root); lv != nil && !before[lv] {
+			return
+		}
+	}
+	c.report(e, v, site, typed, kind)
+}
+
+// classify walks e's parent chain to decide how the object is used.
+func classify(e ast.Expr, parents map[ast.Node]ast.Node, sanctioned map[ast.Expr]bool, typed bool) accessKind {
+	p := parents[e]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e, p = pe, parents[pe]
+	}
+	switch p := p.(type) {
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			if typed || sanctioned[p] {
+				return accessOK // &x feeding sync/atomic, or a *atomic.T pass
+			}
+			return accessAddr
+		}
+	case *ast.SelectorExpr:
+		if p.X == e && typed {
+			return accessOK // method access: g.flag.Store(true)
+		}
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == e {
+				return accessWrite
+			}
+		}
+	case *ast.IncDecStmt:
+		if p.X == e {
+			return accessWrite
+		}
+	case *ast.RangeStmt:
+		if p.Key == e || p.Value == e {
+			return accessWrite
+		}
+	}
+	return accessRead
+}
+
+// report emits the diagnostic for one misuse.
+func (c *pkgCtx) report(e ast.Expr, v *types.Var, site string, typed bool, kind accessKind) {
+	name := v.Name()
+	switch {
+	case typed && kind == accessWrite:
+		c.pass.Reportf(e.Pos(),
+			"%s is a sync/atomic value and must not be reassigned; use its Store method", name)
+	case typed:
+		c.pass.Reportf(e.Pos(),
+			"%s is a sync/atomic value; copying it races with its atomic users — operate through its methods", name)
+	case kind == accessAddr:
+		c.pass.Reportf(e.Pos(),
+			"address of %s escapes outside sync/atomic, but %s is accessed atomically (%s); every access must go through sync/atomic", name, name, site)
+	case kind == accessWrite:
+		c.pass.Reportf(e.Pos(),
+			"plain write to %s, which is accessed atomically (%s); use the matching atomic store", name, site)
+	default:
+		c.pass.Report(analysis.Diagnostic{
+			Pos: e.Pos(),
+			Message: fmt.Sprintf(
+				"plain read of %s, which is accessed atomically (%s); use the matching atomic load", name, site),
+			SuggestedFixes: c.loadFix(e),
+		})
+	}
+}
+
+// loadFix wraps a plain integer read in the matching atomic.Load call,
+// when the file already imports sync/atomic (a text edit cannot add
+// imports — the same gate floatcompare and hotalloc use).
+func (c *pkgCtx) loadFix(e ast.Expr) []analysis.SuggestedFix {
+	b, ok := c.pass.TypesInfo.TypeOf(e).Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	var fn string
+	switch b.Kind() {
+	case types.Int32:
+		fn = "LoadInt32"
+	case types.Int64:
+		fn = "LoadInt64"
+	case types.Uint32:
+		fn = "LoadUint32"
+	case types.Uint64:
+		fn = "LoadUint64"
+	case types.Uintptr:
+		fn = "LoadUintptr"
+	default:
+		return nil
+	}
+	q, ok := importQualifier(c.pass, e.Pos(), "sync/atomic")
+	if !ok {
+		return nil
+	}
+	return []analysis.SuggestedFix{{
+		Message: fmt.Sprintf("load atomically with %s.%s", q, fn),
+		TextEdits: []analysis.TextEdit{
+			{Pos: e.Pos(), End: e.Pos(), NewText: []byte(q + "." + fn + "(&")},
+			{Pos: e.End(), End: e.End(), NewText: []byte(")")},
+		},
+	}}
+}
+
+// --- publication dataflow -------------------------------------------------
+
+// pubState is the set of unit-local variables that have been published
+// (could be visible to another goroutine) at a program point. The
+// lattice is a may-analysis: join is union, so "published on some path"
+// means published.
+type pubState map[*types.Var]bool
+
+// pubLattice computes publication over one function unit. lo/hi bound
+// the unit's body: a variable declared inside is local, everything else
+// (receivers, parameters, package vars, captures from an enclosing
+// unit) is born published.
+type pubLattice struct {
+	pass   *analysis.Pass
+	lo, hi token.Pos
+}
+
+func (pubLattice) Entry() pubState { return pubState{} }
+
+func (pubLattice) Join(a, b pubState) pubState {
+	out := pubState{}
+	for v := range a {
+		out[v] = true
+	}
+	for v := range b {
+		out[v] = true
+	}
+	return out
+}
+
+func (pubLattice) Equal(a, b pubState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l pubLattice) Transfer(n ast.Node, atExit bool, s pubState) pubState {
+	if atExit {
+		return s
+	}
+	vars := l.pubEvents(n)
+	if len(vars) == 0 {
+		return s
+	}
+	out := pubState{}
+	for v := range s {
+		out[v] = true
+	}
+	for _, v := range vars {
+		out[v] = true
+	}
+	return out
+}
+
+// localVar resolves id to a variable declared inside the unit body.
+func (l pubLattice) localVar(id *ast.Ident) *types.Var {
+	obj := l.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = l.pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pos() < l.lo || v.Pos() >= l.hi {
+		return nil
+	}
+	return v
+}
+
+// pubEvents collects the unit-locals n publishes: passed to a call,
+// stored through a non-local left-hand side, captured by a function
+// literal, sent on a channel, or returned.
+func (l pubLattice) pubEvents(n ast.Node) []*types.Var {
+	var out []*types.Var
+	addAll := func(root ast.Node) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v := l.localVar(id); v != nil {
+					out = append(out, v)
+				}
+			}
+			return true
+		})
+	}
+	for _, t := range flow.Targets(n) {
+		ast.Inspect(t, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				addAll(m.Body) // capture is publication: the closure's schedule is unknown
+				return false
+			case *ast.CallExpr:
+				if isAtomicCall(l.pass, m) {
+					// The sanctioned access itself: &x does not outlive the call.
+					return false
+				}
+				addAll(m.Fun)
+				for _, a := range m.Args {
+					addAll(a)
+				}
+				return false
+			case *ast.AssignStmt:
+				nonlocal := false
+				for _, lhs := range m.Lhs {
+					root := rootIdent(lhs)
+					if root == nil {
+						nonlocal = true // deref/index through an unknown base
+						continue
+					}
+					if root.Name != "_" && l.localVar(root) == nil {
+						nonlocal = true
+					}
+				}
+				if nonlocal {
+					for _, r := range m.Rhs {
+						addAll(r)
+					}
+				}
+				return true
+			case *ast.SendStmt:
+				addAll(m.Value)
+				return true
+			case *ast.ReturnStmt:
+				for _, r := range m.Results {
+					addAll(r)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// buildParents maps every node under root to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// rootIdent unwraps parens, derefs, selectors and index expressions to
+// the base identifier, or nil for computed bases.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// accessedVar resolves the object an lvalue expression denotes.
+func accessedVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		v, _ := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := pass.TypesInfo.Uses[e].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// isAtomicType reports whether t is declared in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func isStructLit(pass *analysis.Pass, cl *ast.CompositeLit) bool {
+	t := pass.TypesInfo.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Struct)
+	return ok
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// importQualifier returns the local name under which the file containing
+// pos imports path.
+func importQualifier(pass *analysis.Pass, pos token.Pos, path string) (string, bool) {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) != path {
+					continue
+				}
+				if imp.Name != nil {
+					return imp.Name.Name, true
+				}
+				return path[strings.LastIndexByte(path, '/')+1:], true
+			}
+		}
+	}
+	return "", false
+}
+
+func base(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}
+
+func applies(pkgPath string) bool {
+	if allFlag {
+		return true
+	}
+	for _, prefix := range strings.Split(modsFlag, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix != "" && (pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/atomicguard"
+
+	// The registry's init instruments the analyzer with the //lint:ignore
+	// suppression layer exercised by the "suppressed" pattern.
+	_ "github.com/unidetect/unidetect/internal/analysis/registry"
+)
+
+// setFlags lifts the module scoping: testdata packages live outside the
+// unidetect module prefix.
+func setFlags(t *testing.T) {
+	t.Helper()
+	if err := atomicguard.Analyzer.Flags.Set("all", "true"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicguard(t *testing.T) {
+	setFlags(t)
+	analysistest.Run(t, analysistest.TestData(), atomicguard.Analyzer,
+		"a", "clean", "suppressed", "xapkg")
+}
+
+// TestAtomicguardFixes applies the plain-read → atomic.LoadInt64
+// SuggestedFix, compares the golden result, and proves the fixed source
+// re-lints clean.
+func TestAtomicguardFixes(t *testing.T) {
+	setFlags(t)
+	analysistest.RunWithFixes(t, analysistest.TestData(), atomicguard.Analyzer, "fixable")
+}

@@ -1,0 +1,63 @@
+// Package a exercises every atomicguard misuse class: plain reads and
+// writes of sync/atomic-observed fields and package vars, escaping
+// addresses, typed atomic copies, and the flow-sensitive publication
+// window on locals.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	cold int64 // never touched atomically: plain access stays silent
+}
+
+var total int64
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+func (c *counter) report() int64 {
+	n := c.hits // want `plain read of hits, which is accessed atomically \(a\.go:17\); use the matching atomic load`
+	c.hits = 0  // want `plain write to hits, which is accessed atomically \(a\.go:17\); use the matching atomic store`
+	total++     // want `plain write to total, which is accessed atomically \(a\.go:18\)`
+	p := &c.hits // want `address of hits escapes outside sync/atomic, but hits is accessed atomically \(a\.go:17\)`
+	_ = p
+	return n + c.cold
+}
+
+type gauge struct{ flag atomic.Bool }
+
+func (g *gauge) set() { g.flag.Store(true) }
+
+// snapshot copies the atomic value out of the struct.
+func (g *gauge) snapshot() atomic.Bool {
+	return g.flag // want `flag is a sync/atomic value; copying it races with its atomic users`
+}
+
+// fresh exercises the publication window: plain stores to a local that
+// nothing else can see are the idiomatic lock-free construction, but
+// the same store after register(c) has published it is a race.
+func fresh() *counter {
+	c := &counter{}
+	c.hits = 5 // unpublished local: silent
+	register(c)
+	c.hits = 6 // want `plain write to hits, which is accessed atomically \(a\.go:17\)`
+	return c
+}
+
+func register(*counter) {}
+
+// leak exercises goroutine capture: the closure publishes n, so the
+// outer plain accesses race with the atomic add inside it.
+func leak() int64 {
+	var n int64
+	go func() { atomic.AddInt64(&n, 1) }()
+	n++      // want `plain write to n, which is accessed atomically \(a\.go:56\)`
+	return n // want `plain read of n, which is accessed atomically \(a\.go:56\)`
+}
+
+func init() {
+	total = 7 // init runs before publication: silent
+}

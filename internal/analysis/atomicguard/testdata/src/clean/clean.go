@@ -1,0 +1,47 @@
+// Package clean holds the disciplined counterparts: consistent
+// sync/atomic access, typed atomics used through their methods, the
+// local construction window, and init-time stores.
+package clean
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	mode int // plain everywhere: never atomic, never flagged
+}
+
+var total int64
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+func (c *counter) report() int64 {
+	n := atomic.LoadInt64(&c.hits)
+	atomic.StoreInt64(&c.hits, 0)
+	c.mode = 2
+	return n + int64(c.mode) + atomic.LoadInt64(&total)
+}
+
+type gauge struct{ flag atomic.Bool }
+
+func (g *gauge) set() { g.flag.Store(true) }
+
+func (g *gauge) get() bool { return g.flag.Load() }
+
+// passByPointer hands the typed atomic on by pointer — no copy.
+func passByPointer(g *gauge) *atomic.Bool { return &g.flag }
+
+// construct fills an instance before anything can see it; the plain
+// stores are the idiomatic lock-free window.
+func construct() *counter {
+	c := &counter{}
+	c.hits = 3
+	c.hits++
+	return c
+}
+
+func init() {
+	total = 1
+}

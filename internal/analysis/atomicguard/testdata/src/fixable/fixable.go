@@ -1,0 +1,14 @@
+// Package fixable carries the mechanical-fix case: a plain read of an
+// atomically-updated int64 field in a file that already imports
+// sync/atomic, rewritten to the matching atomic.LoadInt64.
+package fixable
+
+import "sync/atomic"
+
+type box struct{ n int64 }
+
+func (b *box) inc() { atomic.AddInt64(&b.n, 1) }
+
+func (b *box) get() int64 {
+	return b.n // want `plain read of n, which is accessed atomically \(fixable\.go:10\); use the matching atomic load`
+}

@@ -1,0 +1,17 @@
+// Package suppressed proves //lint:ignore atomicguard swallows a
+// diagnostic (with its reason on record) while the unsuppressed sibling
+// still fires — and that the analyzer remains live in the package.
+package suppressed
+
+import "sync/atomic"
+
+var epoch int64
+
+func tick() { atomic.AddInt64(&epoch, 1) }
+
+func read() int64 {
+	//lint:ignore atomicguard read is reconciled by the snapshot barrier
+	a := epoch
+	b := epoch // want `plain read of epoch, which is accessed atomically \(suppressed\.go:10\)`
+	return a + b
+}

@@ -1,0 +1,10 @@
+// Package xadep is the dependency side of the cross-package fixture:
+// its atomic use of Stats.Hits exports an atomicUse fact, so dependents
+// that touch the field plainly are flagged at their own site.
+package xadep
+
+import "sync/atomic"
+
+type Stats struct{ Hits int64 }
+
+func (s *Stats) Bump() { atomic.AddInt64(&s.Hits, 1) }

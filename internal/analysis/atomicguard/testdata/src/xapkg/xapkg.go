@@ -1,0 +1,11 @@
+// Package xapkg is the dependent side of the cross-package fixture: it
+// never imports sync/atomic itself, yet the fact riding the dependency
+// marks Stats.Hits atomic and the plain read is flagged here.
+package xapkg
+
+import "xadep"
+
+func Read(s *xadep.Stats) int64 {
+	s.Bump()
+	return s.Hits // want `plain read of Hits, which is accessed atomically \(xadep\.go:10\)`
+}

@@ -46,7 +46,9 @@ import (
 // DefaultHotRoots is the serving hot-root set shared by the hotalloc and
 // hotpanic analyzers: the fast-path entry points of §2.2.3 serving
 // (predict, measure, index lookup, string-distance scans, measurement-
-// cache probes). README.md ("Development") documents how to extend it.
+// cache probes) plus the /v1/batch coalescer's leader path, which runs
+// once per coalesced group under request latency. README.md
+// ("Development") documents how to extend it.
 const DefaultHotRoots = "internal/core.Predictor.detectFast," +
 	"internal/core.Predictor.detectAllFast," +
 	"internal/core.Predictor.measureUnit," +
@@ -56,7 +58,8 @@ const DefaultHotRoots = "internal/core.Predictor.detectFast," +
 	"internal/strdist.MinPairDistScratch," +
 	"internal/strdist.MinPairDistCappedScratch," +
 	"internal/strdist.SecondMinPairDistCappedScratch," +
-	"internal/detectors.*.MeasureColumn"
+	"internal/detectors.*.MeasureColumn," +
+	"cmd/unidetectd.coalescer.join"
 
 // EdgeKind classifies how a call edge was resolved.
 type EdgeKind uint8

@@ -1,0 +1,483 @@
+// Package flow is the shared intraprocedural control-flow-graph and
+// forward-dataflow engine behind the flow-sensitive analyzers
+// (atomicguard, lockorder, wgbalance) — the flow-sensitive sibling of
+// internal/analysis/callpath, which answers *whether* a function is
+// reached while this package answers *in what order its statements
+// execute*.
+//
+// ROADMAP item 1 turns the mostly-sequential pipeline into cooperating
+// goroutines hot-swapping a shared index; the invariants that regime
+// depends on (atomics paired with their publication order, locks
+// acquired in one global order, WaitGroups balanced before Wait) are
+// inherently *path* properties: "the field is unpublished here",
+// "mu is still held there". A syntactic walk cannot see them; a CFG
+// with a join-until-fixpoint solver can.
+//
+// The engine gives an analyzer three reusable pieces:
+//
+//   - New: basic blocks over a function body's typed AST, with
+//     branch/loop/switch/select/goto/labeled-break handling. Blocks
+//     carry ast.Nodes rather than only statements: branch conditions,
+//     range operands and switch tags appear in the block that evaluates
+//     them, so transfer functions observe every effectful expression at
+//     its execution point.
+//
+//   - Deferred-call modeling: a *ast.DeferStmt appears in its
+//     registering block (argument evaluation happens there), and the
+//     deferred *ast.CallExpr additionally appears in the Exit block in
+//     reverse registration order (execution happens at function exit,
+//     whatever path reached it). The over-approximation — a defer
+//     registered on one path "runs" on all — biases clients toward
+//     silence: joining the paths loses the constant and an unknown
+//     state reports nothing.
+//
+//   - Solve: a generic forward lattice-join fixpoint solver with
+//     per-node program points (States.Walk replays the transfer through
+//     each reachable block, handing the client the state immediately
+//     before every node).
+//
+// The engine itself reports nothing; it is a library, not an analyzer,
+// and is exempt from the registry completeness check.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line sequence of
+// evaluation points with a single entry and a set of successors.
+type Block struct {
+	Index int
+	// Desc names the block's role for tests and debugging: "entry",
+	// "if.then", "for.cond", "range.body", "switch.case", "select.comm",
+	// "label.retry", "dead", "exit", ...
+	Desc string
+	// Nodes are the block's evaluation points in execution order:
+	// statements, plus the control expressions the block evaluates
+	// (an if/for condition, a range operand, a switch tag). In the exit
+	// block, bare *ast.CallExpr nodes are deferred calls executing.
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks holds every block in creation order (entry first, exit
+	// last). Blocks unreachable from Entry — code after an
+	// unconditional return, say — stay in the slice; Solve skips them.
+	Blocks []*Block
+	// Defers are the defer statements registered anywhere in the body,
+	// in source order. Their calls re-appear in Exit.Nodes reversed.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of one function body (use fd.Body; the engine is
+// agnostic to whether the function is a declaration or a literal).
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*labelTarget{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = &Block{Desc: "exit"} // indexed last, appended after build
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edgeFrom(b.cur, b.g.Exit)
+	// Resolve forward gotos.
+	for _, pg := range b.gotos {
+		if t, ok := b.labels[pg.label]; ok {
+			b.edgeFrom(pg.from, t.block)
+		}
+	}
+	// Deferred calls execute at exit, in reverse registration order.
+	for i := len(b.g.Defers) - 1; i >= 0; i-- {
+		b.g.Exit.Nodes = append(b.g.Exit.Nodes, b.g.Defers[i].Call)
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// Reachable returns the blocks reachable from Entry, in index order.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	var out []*Block
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// builder carries the construction state.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// loops is the stack of enclosing breakable/continuable constructs.
+	loops []loopCtx
+	// labels maps a label name to its target block (for goto) and, once
+	// the labeled construct is entered, its break/continue blocks.
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+	// pendingLabel is the label naming the *next* loop/switch/select
+	// statement, consumed by that construct to register labeled
+	// break/continue targets.
+	pendingLabel string
+}
+
+type loopCtx struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select (not continuable)
+}
+
+type labelTarget struct {
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock(desc string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Desc: desc}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edgeFrom(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an edge to target and leaves the
+// builder in a fresh (initially unreachable) block for any trailing
+// statements.
+func (b *builder) jump(target *Block) {
+	b.edgeFrom(b.cur, target)
+	b.cur = b.newBlock("dead")
+}
+
+// startBlock begins desc as a successor of the current block.
+func (b *builder) startBlock(desc string) *Block {
+	blk := b.newBlock(desc)
+	b.edgeFrom(b.cur, blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a breakable construct.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findLoop resolves a break/continue target: the innermost matching
+// construct, or the labeled one.
+func (b *builder) findLoop(label string, needContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if needContinue && lc.continueTo == nil {
+			continue
+		}
+		if label == "" || lc.label == label {
+			return lc
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is a goto target and may name the following
+		// loop/switch/select for labeled break/continue.
+		target := b.startBlock("label." + s.Label.Name)
+		b.labels[s.Label.Name] = &labelTarget{block: target}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock("if.done")
+		thenBlk := b.newBlock("if.then")
+		b.edgeFrom(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.edgeFrom(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock("if.else")
+			b.edgeFrom(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edgeFrom(b.cur, join)
+		} else {
+			b.edgeFrom(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock("for.cond")
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		join := b.newBlock("for.done")
+		body := b.newBlock("for.body")
+		b.edgeFrom(head, body)
+		if s.Cond != nil {
+			b.edgeFrom(head, join)
+		}
+		var post *Block
+		continueTo := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edgeFrom(post, head)
+			continueTo = post
+		}
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: join, continueTo: continueTo})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edgeFrom(b.cur, continueTo)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		// The range operand is evaluated once, before the loop.
+		b.add(s.X)
+		head := b.startBlock("range.loop")
+		// The RangeStmt node itself marks the per-iteration point: the
+		// key/value assignment (and, for channels, the receive).
+		head.Nodes = append(head.Nodes, s)
+		join := b.newBlock("range.done")
+		body := b.newBlock("range.body")
+		b.edgeFrom(head, body)
+		b.edgeFrom(head, join)
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: join, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edgeFrom(b.cur, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.switchBody(label, s.Body, true)
+
+	case *ast.BranchStmt:
+		labelName := ""
+		if s.Label != nil {
+			labelName = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if lc := b.findLoop(labelName, false); lc != nil {
+				b.jump(lc.breakTo)
+			}
+		case token.CONTINUE:
+			if lc := b.findLoop(labelName, true); lc != nil {
+				b.jump(lc.continueTo)
+			}
+		case token.GOTO:
+			if t, ok := b.labels[labelName]; ok {
+				b.jump(t.block)
+			} else {
+				from := b.cur
+				b.gotos = append(b.gotos, pendingGoto{from: from, label: labelName})
+				b.cur = b.newBlock("dead")
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody (the clause's last
+			// statement); nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.DeferStmt:
+		// Argument evaluation happens here; the call itself re-appears
+		// in the exit block.
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+		}
+
+	default:
+		// Assign, IncDec, Go, Send, Decl, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// switchBody builds the clauses of a switch/type-switch (fallthrough
+// allowed) or select (isSelect). The current block is the head; every
+// clause is its successor.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, isSelect bool) {
+	head := b.cur
+	join := b.newBlock("switch.done")
+	desc := "switch.case"
+	if isSelect {
+		desc = "select.comm"
+	}
+	// First pass: create one block per clause so fallthrough can target
+	// the next clause's block.
+	var clauses []*Block
+	for range body.List {
+		clauses = append(clauses, b.newBlock(desc))
+	}
+	hasDefault := false
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: join})
+	for i, cs := range body.List {
+		blk := clauses[i]
+		b.edgeFrom(head, blk)
+		b.cur = blk
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			// The clause node carries the guard expressions; clients
+			// can inspect cs.List at this point.
+			b.add(cs)
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				b.add(cs.Comm)
+			}
+			stmts = cs.Body
+		}
+		fell := false
+		for j, st := range stmts {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && j == len(stmts)-1 && i+1 < len(clauses) {
+				b.edgeFrom(b.cur, clauses[i+1])
+				b.cur = b.newBlock("dead")
+				fell = true
+				break
+			}
+			b.stmt(st)
+		}
+		if !fell {
+			b.edgeFrom(b.cur, join)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	// A switch without a default can skip every clause; a select
+	// without a default blocks until some clause runs.
+	if !hasDefault && !isSelect {
+		b.edgeFrom(head, join)
+	}
+	if len(body.List) == 0 {
+		// `select {}` blocks forever; `switch {}` falls through.
+		if isSelect {
+			// No edge: join is unreachable through the select.
+		} else {
+			b.edgeFrom(head, join)
+		}
+	}
+	b.cur = join
+}
+
+// Targets narrows a block node to the subtrees the block actually
+// evaluates, for clients walking node subtrees. The builder stores a
+// whole *ast.RangeStmt in the loop-head block (its operand and body
+// live in other blocks) and whole *ast.CaseClause nodes (their body
+// statements are re-added individually), so walking those naively would
+// visit the same expressions twice.
+func Targets(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		var out []ast.Node
+		if n.Key != nil {
+			out = append(out, n.Key)
+		}
+		if n.Value != nil {
+			out = append(out, n.Value)
+		}
+		return out
+	case *ast.CaseClause:
+		var out []ast.Node
+		for _, e := range n.List {
+			out = append(out, e)
+		}
+		return out
+	}
+	return []ast.Node{n}
+}
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

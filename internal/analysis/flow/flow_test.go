@@ -1,0 +1,359 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses a function body and returns its graph.
+func buildCFG(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// render prints the reachable subgraph as "desc#i -> succ,succ" lines,
+// in block index order, successors in edge order. Dead blocks (created
+// after a jump, never reached) are elided, mirroring what Solve visits.
+func render(g *Graph) string {
+	reach := map[*Block]bool{}
+	for _, b := range g.Reachable() {
+		reach[b] = true
+	}
+	name := func(b *Block) string { return fmt.Sprintf("%s#%d", b.Desc, b.Index) }
+	var lines []string
+	for _, b := range g.Blocks {
+		if !reach[b] || b == g.Exit {
+			// The exit block never has successors; edge lists elide it.
+			continue
+		}
+		var succs []string
+		for _, s := range b.Succs {
+			if reach[s] {
+				succs = append(succs, name(s))
+			}
+		}
+		lines = append(lines, name(b)+" -> "+strings.Join(succs, ","))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestCFGShapes pins the block/edge structure the builder produces for
+// each control construct, independent of any analyzer.
+func TestCFGShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "straightline",
+			body: "x := 1; _ = x",
+			want: "entry#0 -> exit#1",
+		},
+		{
+			name: "if",
+			body: "if c() {\n a()\n}\nb()",
+			want: `entry#0 -> if.then#2,if.done#1
+if.done#1 -> exit#3
+if.then#2 -> if.done#1`,
+		},
+		{
+			name: "ifelse",
+			body: "if c() {\n a()\n} else {\n b()\n}",
+			want: `entry#0 -> if.then#2,if.else#3
+if.done#1 -> exit#4
+if.then#2 -> if.done#1
+if.else#3 -> if.done#1`,
+		},
+		{
+			name: "for",
+			body: "for i := 0; i < 3; i++ {\n a()\n}\nb()",
+			want: `entry#0 -> for.cond#1
+for.cond#1 -> for.body#3,for.done#2
+for.done#2 -> exit#5
+for.body#3 -> for.post#4
+for.post#4 -> for.cond#1`,
+		},
+		{
+			name: "forever-with-break",
+			body: "for {\n if c() {\n  break\n }\n}\nb()",
+			want: `entry#0 -> for.cond#1
+for.cond#1 -> for.body#3
+for.done#2 -> exit#7
+for.body#3 -> if.then#5,if.done#4
+if.done#4 -> for.cond#1
+if.then#5 -> for.done#2`,
+		},
+		{
+			name: "range",
+			body: "for _, v := range xs {\n use(v)\n}\ndone()",
+			want: `entry#0 -> range.loop#1
+range.loop#1 -> range.body#3,range.done#2
+range.done#2 -> exit#4
+range.body#3 -> range.loop#1`,
+		},
+		{
+			name: "range-continue",
+			body: "for _, v := range xs {\n if skip(v) {\n  continue\n }\n use(v)\n}",
+			want: `entry#0 -> range.loop#1
+range.loop#1 -> range.body#3,range.done#2
+range.done#2 -> exit#7
+range.body#3 -> if.then#5,if.done#4
+if.done#4 -> range.loop#1
+if.then#5 -> range.loop#1`,
+		},
+		{
+			name: "switch",
+			body: "switch tag() {\ncase 1:\n a()\ncase 2:\n b()\n}\ndone()",
+			want: `entry#0 -> switch.case#2,switch.case#3,switch.done#1
+switch.done#1 -> exit#4
+switch.case#2 -> switch.done#1
+switch.case#3 -> switch.done#1`,
+		},
+		{
+			name: "switch-default-fallthrough",
+			body: "switch {\ncase c():\n a()\n fallthrough\ndefault:\n b()\n}",
+			want: `entry#0 -> switch.case#2,switch.case#3
+switch.done#1 -> exit#5
+switch.case#2 -> switch.case#3
+switch.case#3 -> switch.done#1`,
+		},
+		{
+			name: "typeswitch",
+			body: "switch v.(type) {\ncase int:\n a()\ndefault:\n b()\n}",
+			want: `entry#0 -> switch.case#2,switch.case#3
+switch.done#1 -> exit#4
+switch.case#2 -> switch.done#1
+switch.case#3 -> switch.done#1`,
+		},
+		{
+			name: "select",
+			body: "select {\ncase <-ch:\n a()\ncase ch2 <- 1:\n b()\n}",
+			want: `entry#0 -> select.comm#2,select.comm#3
+switch.done#1 -> exit#4
+select.comm#2 -> switch.done#1
+select.comm#3 -> switch.done#1`,
+		},
+		{
+			name: "return-midway",
+			body: "if c() {\n return\n}\nb()",
+			want: `entry#0 -> if.then#2,if.done#1
+if.done#1 -> exit#4
+if.then#2 -> exit#4`,
+		},
+		{
+			name: "panic-terminates",
+			body: "if c() {\n panic(\"x\")\n}\nb()",
+			want: `entry#0 -> if.then#2,if.done#1
+if.done#1 -> exit#4
+if.then#2 -> exit#4`,
+		},
+		{
+			name: "goto-backward",
+			body: "retry:\n if c() {\n  goto retry\n }",
+			want: `entry#0 -> label.retry#1
+label.retry#1 -> if.then#3,if.done#2
+if.done#2 -> exit#5
+if.then#3 -> label.retry#1`,
+		},
+		{
+			name: "goto-forward",
+			body: "if c() {\n goto out\n}\na()\nout:\nb()",
+			want: `entry#0 -> if.then#2,if.done#1
+if.done#1 -> label.out#4
+if.then#2 -> label.out#4
+label.out#4 -> exit#5`,
+		},
+		{
+			name: "labeled-break",
+			body: "outer:\nfor {\n for {\n  break outer\n }\n}\ndone()",
+			want: `entry#0 -> label.outer#1
+label.outer#1 -> for.cond#2
+for.cond#2 -> for.body#4
+for.done#3 -> exit#9
+for.body#4 -> for.cond#5
+for.cond#5 -> for.body#7
+for.body#7 -> for.done#3`,
+		},
+		{
+			name: "labeled-continue",
+			body: "outer:\nfor i := 0; i < 2; i++ {\n for {\n  continue outer\n }\n}",
+			want: `entry#0 -> label.outer#1
+label.outer#1 -> for.cond#2
+for.cond#2 -> for.body#4,for.done#3
+for.done#3 -> exit#10
+for.body#4 -> for.cond#6
+for.post#5 -> for.cond#2
+for.cond#6 -> for.body#8
+for.body#8 -> for.post#5`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildCFG(t, tt.body)
+			got := render(g)
+			want := normalize(tt.want)
+			if got != want {
+				t.Errorf("CFG mismatch\n-- got --\n%s\n-- want --\n%s", got, want)
+			}
+		})
+	}
+}
+
+func normalize(s string) string {
+	var lines []string
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestCFGDefers pins the defer model: registration stays in its block,
+// and the calls replay in the exit block in reverse order.
+func TestCFGDefers(t *testing.T) {
+	g := buildCFG(t, "defer a()\ndefer b()\nc()")
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	var calls []string
+	for _, n := range g.Exit.Nodes {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			t.Fatalf("exit node %T, want *ast.CallExpr", n)
+		}
+		calls = append(calls, call.Fun.(*ast.Ident).Name)
+	}
+	if got := strings.Join(calls, ","); got != "b,a" {
+		t.Errorf("exit replays defers as %s, want b,a (reverse registration order)", got)
+	}
+}
+
+// assignLattice tracks the set of identifiers assigned so far — a toy
+// may-analysis exercising Solve's join and Walk's program points.
+type assignLattice struct{}
+
+type assignState map[string]bool
+
+func (assignLattice) Entry() assignState { return assignState{} }
+
+func (assignLattice) Join(a, b assignState) assignState {
+	out := assignState{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (assignLattice) Equal(a, b assignState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (assignLattice) Transfer(n ast.Node, atExit bool, s assignState) assignState {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return s
+	}
+	out := assignState{}
+	for k := range s {
+		out[k] = true
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func keys(s assignState) string {
+	var ks []string
+	for k := range s {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+// TestSolveJoin proves the fixpoint joins branch states: after an
+// if/else assigning different variables, both are "may-assigned", and
+// the loop back edge folds the body's assignment into the loop head.
+func TestSolveJoin(t *testing.T) {
+	g := buildCFG(t, `
+x := 1
+if c() {
+	y := 2
+	_ = y
+} else {
+	z := 3
+	_ = z
+}
+done := true
+_ = done
+for c() {
+	w := 4
+	_ = w
+}
+`)
+	st := Solve[assignState](g, assignLattice{})
+
+	// State before each node, keyed by the node's rendering position.
+	var atDone, atExit assignState
+	st.Walk(g, assignLattice{}, func(b *Block, n ast.Node, exit bool, before assignState) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "done" {
+				atDone = before
+			}
+		}
+		if b == g.Exit {
+			atExit = before
+		}
+	})
+	if got := keys(atDone); got != "x,y,z" {
+		t.Errorf("state before `done := true` = {%s}, want {x,y,z} (join of both branches)", got)
+	}
+	exitIn := st.In[g.Exit]
+	if got := keys(exitIn); got != "done,w,x,y,z" {
+		t.Errorf("exit in-state = {%s}, want {done,w,x,y,z} (loop body folded in)", got)
+	}
+	_ = atExit
+}
+
+// TestSolveSkipsUnreachable proves blocks after an unconditional
+// return never reach the solver or Walk.
+func TestSolveSkipsUnreachable(t *testing.T) {
+	g := buildCFG(t, "return\nx := 1\n_ = x")
+	st := Solve[assignState](g, assignLattice{})
+	st.Walk(g, assignLattice{}, func(b *Block, n ast.Node, exit bool, before assignState) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			t.Errorf("walked unreachable assignment %v", as.Lhs)
+		}
+	})
+	if got := keys(st.In[g.Exit]); got != "" {
+		t.Errorf("exit in-state = {%s}, want empty", got)
+	}
+}

@@ -1,0 +1,97 @@
+package flow
+
+import "go/ast"
+
+// Lattice describes one forward dataflow problem over states of type S.
+// States are treated as immutable values: Transfer and Join must return
+// fresh (or unaliased) states rather than mutating their arguments, and
+// the lattice must have finite height — joining two different states
+// must converge (the usual move is an "unknown" top element) or Solve
+// will not terminate.
+type Lattice[S any] interface {
+	// Entry is the state on function entry.
+	Entry() S
+	// Join merges the states of two predecessors at a block boundary.
+	Join(a, b S) S
+	// Equal reports whether two states are indistinguishable; the
+	// fixpoint stops refining a block when its input state is Equal to
+	// the previous round's.
+	Equal(a, b S) bool
+	// Transfer applies one evaluation point to the state. atExit is
+	// true when n is a deferred *ast.CallExpr replayed in the exit
+	// block (execution), as opposed to its *ast.DeferStmt registration
+	// point.
+	Transfer(n ast.Node, atExit bool, s S) S
+}
+
+// States is the solver's result: the input state of every reachable
+// block.
+type States[S any] struct {
+	// In maps each reachable block to the join of its predecessors'
+	// output states (Entry() for the entry block). Unreachable blocks
+	// are absent.
+	In map[*Block]S
+}
+
+// Solve runs the forward fixpoint over g's reachable blocks.
+func Solve[S any](g *Graph, lat Lattice[S]) *States[S] {
+	in := map[*Block]S{g.Entry: lat.Entry()}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := transferBlock(g, lat, blk, in[blk])
+		for _, succ := range blk.Succs {
+			next := out
+			if prev, ok := in[succ]; ok {
+				next = lat.Join(prev, out)
+				if lat.Equal(prev, next) {
+					continue
+				}
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return &States[S]{In: in}
+}
+
+// Walk replays the transfer function through every reachable block in
+// index order, calling visit with the state immediately *before* each
+// node — the per-node program points clients report diagnostics from.
+// atExit mirrors Lattice.Transfer's flag.
+func (st *States[S]) Walk(g *Graph, lat Lattice[S], visit func(b *Block, n ast.Node, atExit bool, before S)) {
+	for _, blk := range g.Blocks {
+		s, ok := st.In[blk]
+		if !ok {
+			continue // unreachable
+		}
+		exit := blk == g.Exit
+		for _, n := range blk.Nodes {
+			visit(blk, n, exit && isDeferredCall(n), s)
+			s = lat.Transfer(n, exit && isDeferredCall(n), s)
+		}
+	}
+}
+
+// transferBlock folds the block's nodes through the transfer function.
+func transferBlock[S any](g *Graph, lat Lattice[S], blk *Block, s S) S {
+	exit := blk == g.Exit
+	for _, n := range blk.Nodes {
+		s = lat.Transfer(n, exit && isDeferredCall(n), s)
+	}
+	return s
+}
+
+// isDeferredCall reports whether an exit-block node is a replayed
+// deferred call (a bare *ast.CallExpr; every other node kind a block
+// carries is a statement or control expression).
+func isDeferredCall(n ast.Node) bool {
+	_, ok := n.(*ast.CallExpr)
+	return ok
+}

@@ -1,0 +1,764 @@
+// Package lockorder defines an analyzer that derives a module-global
+// lock-acquisition graph and reports every cycle in it as a potential
+// deadlock, with the full witness chain ("A held at x.go:12 → acquires
+// B via f→g").
+//
+// lockguard proves each guarded field is accessed under its mutex;
+// lockorder proves the mutexes themselves are acquired in one global
+// order. The two compose: a tree can be perfectly guarded and still
+// deadlock the moment two goroutines take the same pair of locks in
+// opposite orders — exactly the regime ROADMAP item 1 (multi-worker
+// merge plus live hot-swap) creates.
+//
+// Held-lock sets are computed flow-sensitively on the
+// internal/analysis/flow CFG: Lock/RLock acquire, Unlock/RUnlock
+// release, and a deferred unlock keeps the lock held to function exit
+// because the CFG replays deferred calls in the exit block. The join is
+// intersection (a lock is "held" at a point only if held on every path
+// into it), which biases the analysis toward silence on unbalanced
+// branches. Locks are identified at class level — pkgpath.Struct.field
+// for mutex fields, pkgpath.var for package-level mutexes — so two
+// instances of the same struct contribute to one order; locks held
+// through local variables with no class (a locally-declared mutex)
+// still participate in self-deadlock detection via their spelled
+// expression but never create graph edges.
+//
+// Calls propagate acquisitions: an intra-package fixpoint over the
+// callpath graph (static edges only — a closure or interface
+// over-approximation would fabricate orderings) computes which lock
+// classes each function may acquire and through which chain, and the
+// result rides .vetx as lockAcquires object facts, so holding A while
+// calling a dependency that locks B creates the A→B edge with the
+// "via f→g" chain intact. Methods following the *Locked suffix
+// convention start with the guarding mutex of every `// guarded by`
+// field they touch already held.
+//
+// Each package unions its own edges with every dependency's lockGraph
+// package fact, re-exports the merge, and reports a cycle if one of its
+// own edges closes it — so the diagnostic appears exactly once, in the
+// package that completes the cycle, at the acquisition site that
+// closes it.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/unidetect/unidetect/internal/analysis/callpath"
+	"github.com/unidetect/unidetect/internal/analysis/flow"
+)
+
+var (
+	modsFlag = "github.com/unidetect/unidetect"
+	allFlag  = false
+)
+
+// Analyzer reports lock-order cycles as potential deadlocks.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "derive the module-global lock-acquisition graph (flow-sensitive held sets, call propagation via facts) and report any cycle as a potential deadlock with its witness chain",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(lockAcquires), new(lockGraph)},
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&modsFlag, "mods", modsFlag,
+		"comma-separated module prefixes whose packages are analyzed")
+	Analyzer.Flags.BoolVar(&allFlag, "all", allFlag,
+		"analyze every package regardless of module prefix (testing)")
+}
+
+// LockAcq is one lock class a function may acquire, with the call chain
+// that reaches the acquisition ("Outer→lockNu").
+type LockAcq struct {
+	Class string
+	Chain string
+}
+
+// lockAcquires is the object fact carrying a function's may-acquire set.
+type lockAcquires struct{ Acqs []LockAcq }
+
+func (*lockAcquires) AFact() {}
+func (f *lockAcquires) String() string {
+	var cs []string
+	for _, a := range f.Acqs {
+		cs = append(cs, a.Class)
+	}
+	return "acquires: " + strings.Join(cs, ",")
+}
+
+// LockEdge is one acquisition-order edge in the module-global graph.
+type LockEdge struct {
+	From, To string
+	// At is the position of the acquisition (or call) that created the
+	// edge, as "file.go:12" — positions do not survive package boundaries.
+	At string
+	// Desc is the human witness: "a.mu held at a.go:11 → acquires a.nu".
+	Desc string
+}
+
+// lockGraph is the package fact accumulating the module-global graph:
+// each package exports the union of its own edges and its dependencies'.
+type lockGraph struct{ Edges []LockEdge }
+
+func (*lockGraph) AFact()           {}
+func (f *lockGraph) String() string { return fmt.Sprintf("lockGraph: %d edges", len(f.Edges)) }
+
+// heldLock is one lock in the flow state.
+type heldLock struct {
+	class string // "" for unclassed locals
+	at    string // acquisition position, for witness chains
+	rlock bool
+}
+
+// lockState maps a lock's spelled expression ("c.mu") to how it is held.
+type lockState map[string]heldLock
+
+// ownEdge is a LockEdge created in this package, with a reportable
+// position.
+type ownEdge struct {
+	LockEdge
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	a := &analyzer{
+		pass:     pass,
+		acquires: map[*types.Func]map[string]string{},
+		imported: map[*types.Func]map[string]string{},
+		guards:   collectGuards(pass),
+	}
+	g := callpath.Build(pass, callpath.Options{})
+	a.solveAcquires(g)
+
+	for _, n := range g.Nodes {
+		entry := a.entryHeld(n.Decl)
+		a.checkUnit(n.Decl.Body, entry)
+		// Function literals are separate units: their lock operations are
+		// excluded from the enclosing sequential flow (a goroutine body
+		// interleaves on its own schedule) but still ordered internally.
+		for _, lit := range n.Lits {
+			a.checkUnit(lit.Body, lockState{})
+		}
+	}
+
+	// Merge the module-global graph: own edges plus every dependency's,
+	// deduplicated, re-exported for our dependents.
+	seen := map[string]bool{}
+	var merged []LockEdge
+	add := func(e LockEdge) {
+		k := e.From + "|" + e.To + "|" + e.At + "|" + e.Desc
+		if !seen[k] {
+			seen[k] = true
+			merged = append(merged, e)
+		}
+	}
+	for _, e := range a.own {
+		add(e.LockEdge)
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		if g, ok := pf.Fact.(*lockGraph); ok {
+			for _, e := range g.Edges {
+				add(e)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.At < b.At
+	})
+	pass.ExportPackageFact(&lockGraph{Edges: merged})
+
+	a.reportCycles(merged)
+	return nil, nil
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+	// acquires is the intra-package may-acquire fixpoint: function →
+	// lock class → shortest witness chain.
+	acquires map[*types.Func]map[string]string
+	// imported caches cross-package lockAcquires fact lookups.
+	imported map[*types.Func]map[string]string
+	guards   map[*types.Var]guard
+	own      []ownEdge
+}
+
+// solveAcquires computes each function's may-acquire set: direct
+// Lock/RLock calls (function literals excluded — their schedule is not
+// the caller's) plus, transitively, every static callee's set.
+func (a *analyzer) solveAcquires(g *callpath.Graph) {
+	for _, n := range g.Nodes {
+		direct := map[string]string{}
+		name := callpath.FuncName(n.Obj)
+		for _, ev := range lockEvents(a.pass, n.Decl.Body) {
+			if ev.kind == evAcquire && !ev.try && ev.class != "" {
+				if _, ok := direct[ev.class]; !ok {
+					direct[ev.class] = name
+				}
+			}
+		}
+		a.acquires[n.Obj] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			mine := a.acquires[n.Obj]
+			name := callpath.FuncName(n.Obj)
+			for _, e := range g.Callees(n.Obj) {
+				if e.Kind != callpath.EdgeStatic {
+					continue
+				}
+				for class, chain := range a.calleeAcquires(g, e.Callee) {
+					if _, ok := mine[class]; !ok {
+						mine[class] = name + "→" + chain
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		set := a.acquires[n.Obj]
+		if len(set) == 0 {
+			continue
+		}
+		fact := &lockAcquires{}
+		for class, chain := range set {
+			fact.Acqs = append(fact.Acqs, LockAcq{Class: class, Chain: chain})
+		}
+		sort.Slice(fact.Acqs, func(i, j int) bool { return fact.Acqs[i].Class < fact.Acqs[j].Class })
+		a.pass.ExportObjectFact(n.Obj, fact)
+	}
+}
+
+// calleeAcquires resolves a callee's may-acquire set: the in-package
+// fixpoint if it is ours, the imported fact otherwise.
+func (a *analyzer) calleeAcquires(g *callpath.Graph, fn *types.Func) map[string]string {
+	if g != nil && g.Node(fn) != nil {
+		return a.acquires[fn]
+	}
+	if set, ok := a.imported[fn]; ok {
+		return set
+	}
+	set := map[string]string{}
+	var fact lockAcquires
+	if a.pass.ImportObjectFact(fn, &fact) {
+		for _, acq := range fact.Acqs {
+			set[acq.Class] = acq.Chain
+		}
+	}
+	a.imported[fn] = set
+	return set
+}
+
+// checkUnit runs the held-set dataflow over one function body and
+// records edges and self-deadlocks at each program point.
+func (a *analyzer) checkUnit(body *ast.BlockStmt, entry lockState) {
+	lat := lockLattice{pass: a.pass, entry: entry}
+	g := flow.New(body)
+	st := flow.Solve[lockState](g, lat)
+	st.Walk(g, lat, func(_ *flow.Block, n ast.Node, atExit bool, before lockState) {
+		s := before
+		for _, ev := range nodeEvents(a.pass, n, atExit) {
+			a.observe(s, ev)
+			s = apply(s, ev)
+		}
+	})
+}
+
+// observe records diagnostics and graph edges for one event against the
+// current held set.
+func (a *analyzer) observe(s lockState, ev lockEvent) {
+	switch ev.kind {
+	case evAcquire:
+		if h, dup := s[ev.key]; dup {
+			// Try variants never block, and a second RLock under an RLock
+			// is legal; everything else re-acquiring the same lock is a
+			// guaranteed self-deadlock.
+			if !ev.try && !(ev.rlock && h.rlock) {
+				a.pass.Reportf(ev.pos,
+					"%s is locked again while already held (acquired at %s): guaranteed self-deadlock",
+					ev.key, h.at)
+			}
+			return
+		}
+		if ev.try || ev.class == "" {
+			return // non-blocking or unclassed: no ordering constraint
+		}
+		for _, h := range s {
+			if h.class == "" || h.class == ev.class {
+				continue
+			}
+			a.addEdge(h, ev.class, ev.pos, "")
+		}
+	case evCall:
+		for class, chain := range a.callAcqs(ev) {
+			for _, h := range s {
+				if h.class == "" || h.class == class {
+					continue
+				}
+				a.addEdge(h, class, ev.pos, chain)
+			}
+		}
+	}
+}
+
+// callAcqs resolves the acquire set of a call event's callee.
+func (a *analyzer) callAcqs(ev lockEvent) map[string]string {
+	if set, ok := a.acquires[ev.fn]; ok {
+		return set
+	}
+	return a.calleeAcquires(nil, ev.fn)
+}
+
+func (a *analyzer) addEdge(h heldLock, to string, pos token.Pos, chain string) {
+	desc := fmt.Sprintf("%s held at %s → acquires %s", h.class, h.at, to)
+	if chain != "" {
+		desc += " via " + chain
+	}
+	a.own = append(a.own, ownEdge{
+		LockEdge: LockEdge{From: h.class, To: to, At: a.posn(pos), Desc: desc},
+		pos:      pos,
+	})
+}
+
+// reportCycles reports each distinct cycle once, at the earliest own
+// edge that closes it.
+func (a *analyzer) reportCycles(merged []LockEdge) {
+	adj := map[string][]LockEdge{}
+	for _, e := range merged {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	sort.Slice(a.own, func(i, j int) bool { return a.own[i].pos < a.own[j].pos })
+	reported := map[string]bool{}
+	for _, e := range a.own {
+		path := findPath(adj, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		set := map[string]bool{e.From: true, e.To: true}
+		var descs []string
+		for _, pe := range path {
+			set[pe.To] = true
+			descs = append(descs, pe.Desc)
+		}
+		classes := make([]string, 0, len(set))
+		for c := range set {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		sig := strings.Join(classes, "|")
+		if reported[sig] {
+			continue
+		}
+		reported[sig] = true
+		a.pass.Reportf(e.pos, "potential deadlock: lock-order cycle: %s; %s",
+			e.Desc, strings.Join(descs, "; "))
+	}
+}
+
+// findPath returns the edges of a shortest path from class `from` to
+// class `to` in deterministic order, or nil.
+func findPath(adj map[string][]LockEdge, from, to string) []LockEdge {
+	type visit struct {
+		class string
+		via   *visit
+		edge  LockEdge
+	}
+	queue := []*visit{{class: from}}
+	seen := map[string]bool{from: true}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v.class == to {
+			var path []LockEdge
+			for w := v; w.via != nil; w = w.via {
+				path = append([]LockEdge{w.edge}, path...)
+			}
+			return path
+		}
+		for _, e := range adj[v.class] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, &visit{class: e.To, via: v, edge: e})
+			}
+		}
+	}
+	return nil
+}
+
+// --- event extraction -----------------------------------------------------
+
+type eventKind int
+
+const (
+	evAcquire eventKind = iota
+	evRelease
+	evCall
+)
+
+// lockEvent is one lock operation or propagating call.
+type lockEvent struct {
+	kind  eventKind
+	key   string // spelled lock expression, e.g. "c.mu"
+	class string
+	pos   token.Pos
+	at    string // rendered position, carried into held state
+	rlock bool
+	try   bool
+	fn    *types.Func // evCall callee
+}
+
+// nodeEvents extracts the events of one CFG block node. Deferred
+// statements produce no events at registration; their calls replay in
+// the exit block (atExit), which is what keeps a deferred Unlock "held"
+// through the whole body.
+func nodeEvents(pass *analysis.Pass, n ast.Node, atExit bool) []lockEvent {
+	if _, ok := n.(*ast.DeferStmt); ok && !atExit {
+		return nil
+	}
+	return lockEvents(pass, n)
+}
+
+// lockEvents walks a subtree (function literals and nested defers
+// excluded) for lock operations and statically-resolved calls, in
+// pre-order.
+func lockEvents(pass *analysis.Pass, n ast.Node) []lockEvent {
+	var out []lockEvent
+	for _, t := range flow.Targets(n) {
+		ast.Inspect(t, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if ev, ok := lockCallEvent(pass, m); ok {
+					out = append(out, ev)
+					return true
+				}
+				if fn := staticCallee(pass, m); fn != nil {
+					out = append(out, lockEvent{kind: evCall, pos: m.Pos(), fn: fn})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockCallEvent classifies call as a sync.Mutex/RWMutex operation.
+func lockCallEvent(pass *analysis.Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	p := pass.Fset.Position(call.Pos())
+	ev := lockEvent{
+		key:   types.ExprString(sel.X),
+		class: classOf(pass, sel.X),
+		pos:   call.Pos(),
+		at:    fmt.Sprintf("%s:%d", base(p.Filename), p.Line),
+	}
+	switch fn.Name() {
+	case "Lock":
+		ev.kind = evAcquire
+	case "RLock":
+		ev.kind, ev.rlock = evAcquire, true
+	case "TryLock":
+		ev.kind, ev.try = evAcquire, true
+	case "TryRLock":
+		ev.kind, ev.rlock, ev.try = evAcquire, true, true
+	case "Unlock", "RUnlock":
+		ev.kind = evRelease
+	default:
+		return lockEvent{}, false
+	}
+	return ev, true
+}
+
+// staticCallee resolves call to a declared function or method, or nil.
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// classOf renders the module-global identity of a lock expression:
+// pkgpath.Struct.field for a mutex field, pkgpath.var for a
+// package-level mutex, "" for locals (no global order to violate).
+func classOf(pass *analysis.Pass, x ast.Expr) string {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.IsField() {
+			base := pass.TypesInfo.TypeOf(x.X)
+			if base == nil {
+				return ""
+			}
+			if p, ok := base.(*types.Pointer); ok {
+				base = p.Elem()
+			}
+			named, ok := base.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return ""
+			}
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name()
+		}
+		return packageVarClass(v)
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		return packageVarClass(v)
+	}
+	return ""
+}
+
+func packageVarClass(v *types.Var) string {
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Pkg().Path() + "." + v.Name()
+}
+
+// --- held-set dataflow ----------------------------------------------------
+
+// lockLattice is the must-held analysis: join is intersection, so a
+// lock is held at a point only if it is held on every path into it.
+type lockLattice struct {
+	pass  *analysis.Pass
+	entry lockState
+}
+
+func (l lockLattice) Entry() lockState {
+	out := lockState{}
+	for k, v := range l.entry {
+		out[k] = v
+	}
+	return out
+}
+
+func (lockLattice) Join(a, b lockState) lockState {
+	out := lockState{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb.at < va.at {
+				va = vb // deterministic witness on diverging paths
+			}
+			out[k] = va
+		}
+	}
+	return out
+}
+
+func (lockLattice) Equal(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func (l lockLattice) Transfer(n ast.Node, atExit bool, s lockState) lockState {
+	evs := nodeEvents(l.pass, n, atExit)
+	for _, ev := range evs {
+		s = apply(s, ev)
+	}
+	return s
+}
+
+// apply folds one event into the held set.
+func apply(s lockState, ev lockEvent) lockState {
+	switch ev.kind {
+	case evAcquire:
+		if _, dup := s[ev.key]; dup {
+			return s
+		}
+		out := lockState{}
+		for k, v := range s {
+			out[k] = v
+		}
+		out[ev.key] = heldLock{class: ev.class, at: ev.at, rlock: ev.rlock}
+		return out
+	case evRelease:
+		if _, held := s[ev.key]; !held {
+			return s
+		}
+		out := lockState{}
+		for k, v := range s {
+			if k != ev.key {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	return s
+}
+
+// --- entry state for *Locked methods --------------------------------------
+
+// guardRE and guard mirror lockguard's annotation intake: the same
+// `// guarded by mu` contract names the mutex a *Locked method assumes.
+var guardRE = regexp.MustCompile(`(?i)\b(?:guarded|protected) by (\w+)`)
+
+type guard struct {
+	structName string
+	mutex      string
+	mutexVar   *types.Var
+}
+
+// collectGuards maps annotated field objects to their guard contract.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := map[*types.Var]guard{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := map[string]*types.Var{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						siblings[name.Name] = v
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				mutex := guardComment(f)
+				if mutex == "" || siblings[mutex] == nil {
+					continue // lockguard reports the stale annotation
+				}
+				for _, name := range f.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[obj] = guard{structName: ts.Name.Name, mutex: mutex, mutexVar: siblings[mutex]}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardComment(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// entryHeld derives the held set a *Locked method may assume: for every
+// `guarded by mu` field it touches through its receiver, the caller
+// holds mu.
+func (a *analyzer) entryHeld(fd *ast.FuncDecl) lockState {
+	held := lockState{}
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || fd.Recv == nil || len(a.guards) == 0 {
+		return held
+	}
+	recv := ""
+	if names := fd.Recv.List[0].Names; len(names) > 0 {
+		recv = names[0].Name
+	}
+	if recv == "" {
+		return held
+	}
+	at := a.posn(fd.Name.Pos()) + " (held on entry)"
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := a.guards[v]
+		if !guarded {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || id.Name != recv {
+			return true
+		}
+		class := ""
+		if g.mutexVar.Pkg() != nil {
+			class = g.mutexVar.Pkg().Path() + "." + g.structName + "." + g.mutex
+		}
+		held[recv+"."+g.mutex] = heldLock{class: class, at: at}
+		return true
+	})
+	return held
+}
+
+// --- misc -----------------------------------------------------------------
+
+func (a *analyzer) posn(pos token.Pos) string {
+	p := a.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", base(p.Filename), p.Line)
+}
+
+func base(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}
+
+func applies(pkgPath string) bool {
+	if allFlag {
+		return true
+	}
+	for _, prefix := range strings.Split(modsFlag, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix != "" && (pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Package a exercises lockorder true positives: a package-level lock
+// cycle, a struct-field cycle closed through a helper call, and a
+// guaranteed self-deadlock.
+package a
+
+import "sync"
+
+var mu, nu sync.Mutex
+
+func AB() {
+	mu.Lock()
+	defer mu.Unlock()
+	nu.Lock() // want `potential deadlock: lock-order cycle: a\.mu held at a\.go:11 → acquires a\.nu; a\.nu held at a\.go:18 → acquires a\.mu`
+	nu.Unlock()
+}
+
+func BA() { // the same cycle is reported once, at its first edge in AB
+	nu.Lock()
+	defer nu.Unlock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+type S struct {
+	mu sync.Mutex
+	nu sync.Mutex
+}
+
+func (s *S) lockNu() {
+	s.nu.Lock()
+	s.nu.Unlock()
+}
+
+func (s *S) Outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockNu() // want `potential deadlock: lock-order cycle: a\.S\.mu held at a\.go:35 → acquires a\.S\.nu via S\.lockNu; a\.S\.nu held at a\.go:41 → acquires a\.S\.mu`
+}
+
+func (s *S) Rev() { // closes the S.mu/S.nu cycle; reported at Outer
+	s.nu.Lock()
+	defer s.nu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func Double() {
+	mu.Lock()
+	mu.Lock() // want `mu is locked again while already held \(acquired at a\.go:48\): guaranteed self-deadlock`
+	mu.Unlock()
+	mu.Unlock()
+}

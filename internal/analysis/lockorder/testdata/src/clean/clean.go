@@ -1,0 +1,82 @@
+// Package clean exercises lockorder negatives: a consistent global
+// order, entry-held *Locked methods, try-locks, read-locks, goroutine
+// bodies on their own schedule, and unclassed local mutexes.
+package clean
+
+import "sync"
+
+var mu, nu sync.Mutex
+
+func AB() {
+	mu.Lock()
+	defer mu.Unlock()
+	nu.Lock()
+	nu.Unlock()
+}
+
+func ABAgain() { // same direction as AB: an edge, not a cycle
+	mu.Lock()
+	nu.Lock()
+	nu.Unlock()
+	mu.Unlock()
+}
+
+type pair struct {
+	mu sync.Mutex
+	// items is guarded by mu.
+	items []int
+	aux   sync.Mutex
+}
+
+// addLocked runs with p.mu held by the caller (derived from the
+// guarded-by annotation on items); acquiring p.aux under it matches the
+// order add establishes directly.
+func (p *pair) addLocked(v int) {
+	p.items = append(p.items, v)
+	p.aux.Lock()
+	p.aux.Unlock()
+}
+
+func (p *pair) add(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aux.Lock()
+	p.aux.Unlock()
+	p.addLocked(v)
+}
+
+var rw sync.RWMutex
+
+func readTwice() { // RLock under RLock is not a self-deadlock
+	rw.RLock()
+	defer rw.RUnlock()
+	rw.RLock()
+	rw.RUnlock()
+}
+
+func opportunistic() bool { // TryLock never blocks: no ordering edge
+	nu.Lock()
+	defer nu.Unlock()
+	if mu.TryLock() {
+		mu.Unlock()
+		return true
+	}
+	return false
+}
+
+func spawn() { // the goroutine body interleaves on its own schedule
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {
+		nu.Lock()
+		nu.Unlock()
+	}()
+}
+
+func local() { // a local mutex has no module-global identity
+	var m sync.Mutex
+	m.Lock()
+	nu.Lock()
+	nu.Unlock()
+	m.Unlock()
+}

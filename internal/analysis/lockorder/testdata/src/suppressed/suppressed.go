@@ -1,0 +1,29 @@
+// Package suppressed proves //lint:ignore swallows a lockorder cycle
+// report while the analyzer stays live for other diagnostics.
+package suppressed
+
+import "sync"
+
+var a, b sync.Mutex
+
+func AB() {
+	a.Lock()
+	defer a.Unlock()
+	//lint:ignore lockorder the b-then-a path runs only during init, before workers start
+	b.Lock()
+	b.Unlock()
+}
+
+func BA() {
+	b.Lock()
+	defer b.Unlock()
+	a.Lock()
+	a.Unlock()
+}
+
+func double() {
+	a.Lock()
+	a.Lock() // want `a is locked again while already held \(acquired at suppressed\.go:25\): guaranteed self-deadlock`
+	a.Unlock()
+	a.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package xldep establishes the lock order A → B and exports helpers
+// that acquire A for the caller; its lockGraph and lockAcquires facts
+// let a dependent package close the cycle.
+package xldep
+
+import "sync"
+
+var A, B sync.Mutex
+
+// AthenB establishes the xldep-internal order A → B.
+func AthenB() {
+	A.Lock()
+	defer A.Unlock()
+	B.Lock()
+	B.Unlock()
+}
+
+// LockA acquires A on the caller's behalf.
+func LockA() {
+	A.Lock()
+}
+
+// UnlockA releases A.
+func UnlockA() {
+	A.Unlock()
+}

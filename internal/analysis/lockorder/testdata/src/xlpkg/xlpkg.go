@@ -1,0 +1,13 @@
+// Package xlpkg closes a cross-package lock cycle: it holds xldep.B
+// while calling a helper whose exported fact says it acquires xldep.A,
+// reversing the A → B order xldep's own lockGraph fact carries.
+package xlpkg
+
+import "xldep"
+
+func Rev() {
+	xldep.B.Lock()
+	defer xldep.B.Unlock()
+	xldep.LockA() // want `potential deadlock: lock-order cycle: xldep\.B held at xlpkg\.go:9 → acquires xldep\.A via LockA; xldep\.A held at xldep\.go:12 → acquires xldep\.B`
+	xldep.UnlockA()
+}

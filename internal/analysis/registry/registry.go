@@ -24,6 +24,7 @@ import (
 
 	"golang.org/x/tools/go/analysis"
 
+	"github.com/unidetect/unidetect/internal/analysis/atomicguard"
 	"github.com/unidetect/unidetect/internal/analysis/ctxpropagate"
 	"github.com/unidetect/unidetect/internal/analysis/deterministic"
 	"github.com/unidetect/unidetect/internal/analysis/floatcompare"
@@ -31,16 +32,19 @@ import (
 	"github.com/unidetect/unidetect/internal/analysis/hotalloc"
 	"github.com/unidetect/unidetect/internal/analysis/hotpanic"
 	"github.com/unidetect/unidetect/internal/analysis/lockguard"
+	"github.com/unidetect/unidetect/internal/analysis/lockorder"
 	"github.com/unidetect/unidetect/internal/analysis/metricname"
 	"github.com/unidetect/unidetect/internal/analysis/nonnegcount"
 	"github.com/unidetect/unidetect/internal/analysis/seededrand"
 	"github.com/unidetect/unidetect/internal/analysis/uncheckederr"
+	"github.com/unidetect/unidetect/internal/analysis/wgbalance"
 )
 
 // analyzers is the full suite, kept in name order. Add new analyzers
 // here; the registry test fails if a package under internal/analysis is
 // missing from this list.
 var analyzers = []*analysis.Analyzer{
+	atomicguard.Analyzer,
 	ctxpropagate.Analyzer,
 	deterministic.Analyzer,
 	floatcompare.Analyzer,
@@ -48,10 +52,12 @@ var analyzers = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	hotpanic.Analyzer,
 	lockguard.Analyzer,
+	lockorder.Analyzer,
 	metricname.Analyzer,
 	nonnegcount.Analyzer,
 	seededrand.Analyzer,
 	uncheckederr.Analyzer,
+	wgbalance.Analyzer,
 }
 
 func init() {

@@ -26,8 +26,8 @@ func TestAllRegistered(t *testing.T) {
 			continue
 		}
 		switch e.Name() {
-		case "analysistest", "callpath", "registry", "testdata":
-			continue // infrastructure (harness, reachability engine), not analyzers
+		case "analysistest", "callpath", "flow", "registry", "testdata":
+			continue // infrastructure (harness, reachability, dataflow engines), not analyzers
 		}
 		dirs = append(dirs, e.Name())
 	}
@@ -38,6 +38,58 @@ func TestAllRegistered(t *testing.T) {
 	}
 	if got, want := len(All()), len(dirs); got != want {
 		t.Errorf("registry has %d analyzers, internal/analysis has %d analyzer packages", got, want)
+	}
+	// The suite is complete at fourteen: eleven syntactic/reachability
+	// analyzers plus the three flow-sensitive concurrency ones
+	// (atomicguard, lockorder, wgbalance). Update this alongside the
+	// DESIGN.md §7 inventory when the suite grows.
+	if got := len(All()); got != 14 {
+		t.Errorf("registry has %d analyzers, want 14", got)
+	}
+}
+
+// TestDesignInventoryMatchesRegistry parses the DESIGN.md §7 analyzer
+// inventory table and fails unless it lists exactly the registered
+// suite — the documented inventory cannot drift from the code.
+func TestDesignInventoryMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile("../../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "| analyzer |") {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatal("DESIGN.md §7 analyzer inventory table (header `| analyzer |`) not found")
+	}
+	listed := map[string]bool{}
+	for _, l := range lines[start+2:] { // skip header and separator rows
+		l = strings.TrimSpace(l)
+		if !strings.HasPrefix(l, "|") {
+			break
+		}
+		cells := strings.Split(l, "|")
+		if len(cells) < 3 {
+			break
+		}
+		name := strings.TrimSpace(cells[1])
+		if name != "" {
+			listed[name] = true
+		}
+	}
+	for _, a := range All() {
+		if !listed[a.Name] {
+			t.Errorf("registered analyzer %s is missing from the DESIGN.md §7 inventory table", a.Name)
+		}
+		delete(listed, a.Name)
+	}
+	for name := range listed {
+		t.Errorf("DESIGN.md §7 inventory lists %s, which is not in the registry", name)
 	}
 }
 

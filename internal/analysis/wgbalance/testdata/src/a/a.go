@@ -1,0 +1,44 @@
+// Package a exercises wgbalance true positives.
+package a
+
+import "sync"
+
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want `wg\.Done without a matching Add`
+}
+
+func addAfterWait() {
+	var wg sync.WaitGroup
+	wg.Wait()
+	wg.Add(1) // want `wg\.Add after Wait on the same WaitGroup: reuse races with the returning Wait`
+	wg.Done()
+}
+
+func addInGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `wg\.Add inside a spawned goroutine races with Wait: call Add before starting the goroutine`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func escapes() {
+	var wg sync.WaitGroup
+	spawnUnannotated(&wg) // want `&wg escapes to spawnUnannotated without a wgdelta annotation: its Add/Done balance is unverifiable`
+	wg.Wait()
+}
+
+func spawnUnannotated(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+}
+
+// wgdelta: 2 claims two workers but only registers one
+func spawnTwo(wg *sync.WaitGroup) { // want `spawnTwo declares wgdelta: 2 but its computed Add/Done balance on wg is 1`
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+}

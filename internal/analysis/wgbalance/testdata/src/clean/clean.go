@@ -1,0 +1,51 @@
+// Package clean exercises wgbalance negatives: the canonical fan-out
+// loop, a checked wgdelta helper, deferred Done via replay, and
+// branch-dependent balances that go unknown instead of misfiring.
+package clean
+
+import "sync"
+
+func fanout(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// wgdelta: 1 registers one background worker for the caller's group
+func spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+}
+
+func useHelper() {
+	var wg sync.WaitGroup
+	spawn(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done() // a parameter's baseline is the caller's: no report
+}
+
+func branchy(b bool) {
+	var wg sync.WaitGroup
+	if b {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait() // joined balance is unknown: silent
+}
+
+func reuseAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+	helper := func() {}
+	helper()
+}

@@ -1,0 +1,23 @@
+// Package suppressed proves //lint:ignore swallows a wgbalance escape
+// report while the analyzer stays live for other diagnostics.
+package suppressed
+
+import "sync"
+
+func borrowed() {
+	var wg sync.WaitGroup
+	//lint:ignore wgbalance observe only inspects the group; it never calls Add or Done
+	observe(&wg)
+	wg.Wait()
+}
+
+func observe(wg *sync.WaitGroup) {
+	_ = wg
+}
+
+func unbalanced() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want `wg\.Done without a matching Add`
+}

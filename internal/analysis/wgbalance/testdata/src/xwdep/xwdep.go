@@ -1,0 +1,16 @@
+// Package xwdep exports one annotated WaitGroup helper (its wgdelta
+// rides .vetx as a fact) and one unannotated one.
+package xwdep
+
+import "sync"
+
+// wgdelta: 1 registers one background worker for the caller's group
+func Spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+}
+
+// Leak takes a group but declares nothing about it.
+func Leak(wg *sync.WaitGroup) {
+	_ = wg
+}

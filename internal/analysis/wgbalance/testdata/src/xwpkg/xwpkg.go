@@ -1,0 +1,22 @@
+// Package xwpkg consumes xwdep's WaitGroup helpers: the annotated one
+// is applied through its imported fact, the unannotated one is an
+// unverifiable escape.
+package xwpkg
+
+import (
+	"sync"
+
+	"xwdep"
+)
+
+func Good() {
+	var wg sync.WaitGroup
+	xwdep.Spawn(&wg)
+	wg.Wait()
+}
+
+func Bad() {
+	var wg sync.WaitGroup
+	xwdep.Leak(&wg) // want `&wg escapes to Leak without a wgdelta annotation: its Add/Done balance is unverifiable`
+	wg.Wait()
+}

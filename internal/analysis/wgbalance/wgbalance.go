@@ -1,0 +1,616 @@
+// Package wgbalance defines an analyzer that checks sync.WaitGroup
+// Add/Done/Wait balance flow-sensitively.
+//
+// The WaitGroup contract has three rules the type system cannot see:
+// Add must happen-before the Wait it gates (an Add racing a returning
+// Wait panics or, worse, lets Wait return early), the counter must
+// never go negative, and a group must not be reused until the previous
+// Wait has returned. wgbalance checks all three on the
+// internal/analysis/flow CFG:
+//
+//   - a Done that drives a locally-declared group's known balance
+//     negative is reported (Done without a matching Add);
+//   - an Add after a Wait on the same group is reported (reuse races
+//     with the returning Wait);
+//   - an Add inside a go-spawned function literal on a captured group
+//     is reported (it races with the parent's Wait — Add before the
+//     goroutine starts instead).
+//
+// Goroutine bodies are excluded from the sequential flow — their Done
+// calls land on the goroutine's schedule, not the spawner's — which is
+// exactly why the canonical `wg.Add(1); go func() { defer wg.Done() }()`
+// loop stays silent: the loop join makes the balance unknown, and
+// unknown suppresses every delta diagnostic (the analysis is biased
+// toward silence).
+//
+// Handing &wg to a helper transfers part of the protocol out of the
+// function, so the helper must declare its contribution:
+//
+//	// wgdelta: 1 registers one background worker
+//	func Spawn(wg *sync.WaitGroup) { ... }
+//
+// The declared delta is checked against the helper's own computed exit
+// balance, exported as a fact, and applied at every call site —
+// cross-package too, since facts ride .vetx. Passing a group to a
+// helper with no annotation (and no fact) is itself the diagnostic:
+// an unverifiable escape.
+package wgbalance
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"github.com/unidetect/unidetect/internal/analysis/callpath"
+	"github.com/unidetect/unidetect/internal/analysis/flow"
+)
+
+var (
+	modsFlag = "github.com/unidetect/unidetect"
+	allFlag  = false
+)
+
+// Analyzer reports WaitGroup protocol violations.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wgbalance",
+	Doc:       "check sync.WaitGroup Add/Done/Wait balance flow-sensitively; helpers receiving a group must declare their delta with a // wgdelta: annotation (exported as a fact)",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(wgDelta)},
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&modsFlag, "mods", modsFlag,
+		"comma-separated module prefixes whose packages are analyzed")
+	Analyzer.Flags.BoolVar(&allFlag, "all", allFlag,
+		"analyze every package regardless of module prefix (testing)")
+}
+
+// wgDelta is the object fact carrying a helper's declared WaitGroup
+// contribution: calling it changes the caller's counter by Delta.
+type wgDelta struct{ Delta int }
+
+func (*wgDelta) AFact()           {}
+func (f *wgDelta) String() string { return fmt.Sprintf("wgdelta: %d", f.Delta) }
+
+// wgdeltaRE matches the annotation line: a signed delta plus a
+// mandatory reason.
+var wgdeltaRE = regexp.MustCompile(`(?m)^\s*wgdelta:\s*(-?\d+)\s+\S`)
+
+// wgState is one group's flow state.
+type wgState struct {
+	delta   int
+	unknown bool
+	waited  bool
+}
+
+// groupStates maps a group's spelled expression ("wg", "c.wg") to its
+// state. Absent keys are the zero state.
+type groupStates map[string]wgState
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	a := &analyzer{
+		pass:      pass,
+		annotated: map[*types.Func]int{},
+		imported:  map[*types.Func]*int{},
+	}
+	g := callpath.Build(pass, callpath.Options{})
+	a.collectAnnotations(g)
+
+	for _, n := range g.Nodes {
+		a.checkGoroutineAdds(n.Decl.Body)
+		a.checkUnit(n.Decl, n.Decl.Body)
+		for _, lit := range n.Lits {
+			a.checkUnit(nil, lit.Body)
+		}
+	}
+	return nil, nil
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+	// annotated maps own functions with a // wgdelta: doc line to the
+	// declared delta.
+	annotated map[*types.Func]int
+	// imported caches cross-package wgDelta fact lookups (nil = absent).
+	imported map[*types.Func]*int
+}
+
+// collectAnnotations parses // wgdelta: doc lines and exports them as
+// facts so call sites in dependent packages can apply them.
+func (a *analyzer) collectAnnotations(g *callpath.Graph) {
+	for _, n := range g.Nodes {
+		if n.Decl.Doc == nil {
+			continue
+		}
+		m := wgdeltaRE.FindStringSubmatch(n.Decl.Doc.Text())
+		if m == nil {
+			continue
+		}
+		delta, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if wgParamKey(a.pass, n.Decl) == "" {
+			a.pass.Reportf(n.Decl.Name.Pos(),
+				"%s has a // wgdelta: annotation but no *sync.WaitGroup parameter",
+				callpath.FuncName(n.Obj))
+			continue
+		}
+		a.annotated[n.Obj] = delta
+		a.pass.ExportObjectFact(n.Obj, &wgDelta{Delta: delta})
+	}
+}
+
+// calleeDelta resolves a callee's declared delta: own annotation or
+// imported fact. ok is false when the callee declares nothing.
+func (a *analyzer) calleeDelta(fn *types.Func) (int, bool) {
+	if d, ok := a.annotated[fn]; ok {
+		return d, true
+	}
+	if fn.Pkg() == a.pass.Pkg {
+		return 0, false // own function, no annotation
+	}
+	if d, ok := a.imported[fn]; ok {
+		if d == nil {
+			return 0, false
+		}
+		return *d, true
+	}
+	var fact wgDelta
+	if a.pass.ImportObjectFact(fn, &fact) {
+		d := fact.Delta
+		a.imported[fn] = &d
+		return d, true
+	}
+	a.imported[fn] = nil
+	return 0, false
+}
+
+// checkUnit runs the balance dataflow over one function body. decl is
+// nil for function literals (no annotation contract to verify).
+func (a *analyzer) checkUnit(decl *ast.FuncDecl, body *ast.BlockStmt) {
+	lat := wgLattice{a: a, locals: localWaitGroups(a.pass, body)}
+	g := flow.New(body)
+	st := flow.Solve[groupStates](g, lat)
+	st.Walk(g, lat, func(_ *flow.Block, n ast.Node, atExit bool, before groupStates) {
+		s := before
+		for _, ev := range a.nodeEvents(n, atExit) {
+			a.observe(lat, s, ev)
+			s = lat.apply(s, ev)
+		}
+	})
+
+	// An annotated function's computed exit balance on its WaitGroup
+	// parameter must match what it declares — the annotation is a
+	// checked contract, not a comment.
+	if decl == nil {
+		return
+	}
+	fn, _ := a.pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	declared, ok := a.annotated[fn]
+	if !ok {
+		return
+	}
+	key := wgParamKey(a.pass, decl)
+	exit, reachable := st.In[g.Exit]
+	if !reachable {
+		return
+	}
+	for _, n := range g.Exit.Nodes {
+		exit = lat.Transfer(n, true, exit)
+	}
+	got := exit[key]
+	if !got.unknown && got.delta != declared {
+		a.pass.Reportf(decl.Name.Pos(),
+			"%s declares wgdelta: %d but its computed Add/Done balance on %s is %d",
+			callpath.FuncName(fn), declared, key, got.delta)
+	}
+}
+
+// observe reports protocol violations for one event against the
+// current state.
+func (a *analyzer) observe(lat wgLattice, s groupStates, ev wgEvent) {
+	st := s[ev.key]
+	switch ev.kind {
+	case evAdd:
+		if st.waited && lat.locals[ev.key] {
+			a.pass.Reportf(ev.pos,
+				"%s.Add after Wait on the same WaitGroup: reuse races with the returning Wait",
+				ev.key)
+		}
+	case evDone:
+		if !st.unknown && lat.locals[ev.key] && st.delta-1 < 0 {
+			a.pass.Reportf(ev.pos, "%s.Done without a matching Add", ev.key)
+		}
+	case evEscape:
+		if ev.fn == nil {
+			return // untracked escape: state goes unknown, silently
+		}
+		if _, ok := a.calleeDelta(ev.fn); !ok {
+			a.pass.Reportf(ev.pos,
+				"&%s escapes to %s without a wgdelta annotation: its Add/Done balance is unverifiable",
+				ev.key, callpath.FuncName(ev.fn))
+		}
+	}
+}
+
+// checkGoroutineAdds reports Add calls on a captured group inside
+// go-spawned function literals: they race with the parent's Wait.
+func (a *analyzer) checkGoroutineAdds(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, key, _, isWG := wgCall(a.pass, call)
+			if !isWG || kind != evAdd {
+				return true
+			}
+			sel := ast.Unparen(call.Fun).(*ast.SelectorExpr) // wgCall proved the shape
+			if root := rootVar(a.pass, sel.X); root != nil &&
+				lit.Body.Pos() <= root.Pos() && root.Pos() < lit.Body.End() {
+				return true // the goroutine's own group
+			}
+			a.pass.Reportf(call.Pos(),
+				"%s.Add inside a spawned goroutine races with Wait: call Add before starting the goroutine",
+				key)
+			return true
+		})
+		return true
+	})
+}
+
+// --- events ---------------------------------------------------------------
+
+type eventKind int
+
+const (
+	evAdd eventKind = iota
+	evDone
+	evWait
+	evEscape
+)
+
+// wgEvent is one WaitGroup operation or escape.
+type wgEvent struct {
+	kind eventKind
+	key  string
+	// n is the Add amount; nOK is false for non-constant arguments.
+	n   int
+	nOK bool
+	pos token.Pos
+	// fn is the escape's statically-resolved callee (nil when the group
+	// escapes somewhere calls cannot follow: stored, sent, closured).
+	fn *types.Func
+}
+
+// nodeEvents extracts one CFG node's events. Deferred statements emit
+// nothing at registration; their calls replay at exit.
+func (a *analyzer) nodeEvents(n ast.Node, atExit bool) []wgEvent {
+	if _, ok := n.(*ast.DeferStmt); ok && !atExit {
+		return nil
+	}
+	var out []wgEvent
+	for _, t := range flow.Targets(n) {
+		ast.Inspect(t, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if kind, key, nArg, ok := wgCall(a.pass, m); ok {
+					ev := wgEvent{kind: kind, key: key, pos: m.Pos()}
+					if kind == evAdd {
+						ev.n, ev.nOK = constInt(a.pass, nArg)
+					}
+					out = append(out, ev)
+					return true
+				}
+				fn := staticCallee(a.pass, m)
+				for _, arg := range m.Args {
+					if key, ok := wgArgKey(a.pass, arg); ok {
+						out = append(out, wgEvent{kind: evEscape, key: key, pos: arg.Pos(), fn: fn})
+					}
+				}
+			case *ast.UnaryExpr:
+				// &wg outside a call argument (handled above): the group
+				// escapes somewhere flow cannot follow.
+				if m.Op == token.AND && isWaitGroup(a.pass.TypesInfo.TypeOf(m.X)) {
+					if !underCallArgs(t, m) {
+						out = append(out, wgEvent{kind: evEscape, key: types.ExprString(m.X), pos: m.Pos()})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// underCallArgs reports whether expr appears as (part of) an argument
+// of some call within root — those escapes are classified by the
+// CallExpr case instead.
+func underCallArgs(root ast.Node, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if arg == expr {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// wgCall classifies call as a sync.WaitGroup method call.
+func wgCall(pass *analysis.Pass, call *ast.CallExpr) (kind eventKind, key string, nArg ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return 0, "", nil, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0, "", nil, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil || !isWaitGroup(sig.Recv().Type()) {
+		return 0, "", nil, false
+	}
+	key = types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Add":
+		if len(call.Args) != 1 {
+			return 0, "", nil, false
+		}
+		return evAdd, key, call.Args[0], true
+	case "Done":
+		return evDone, key, nil, true
+	case "Wait":
+		return evWait, key, nil, true
+	}
+	return 0, "", nil, false
+}
+
+// wgArgKey reports whether arg hands a tracked WaitGroup to the callee
+// (&wg, or an existing *sync.WaitGroup value) and under which key.
+func wgArgKey(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	arg = ast.Unparen(arg)
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		if isWaitGroup(pass.TypesInfo.TypeOf(u.X)) {
+			return types.ExprString(u.X), true
+		}
+		return "", false
+	}
+	if t := pass.TypesInfo.TypeOf(arg); t != nil {
+		if p, ok := t.(*types.Pointer); ok && isWaitGroup(p.Elem()) {
+			return types.ExprString(arg), true
+		}
+	}
+	return "", false
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (through one pointer).
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// wgParamKey returns the name of decl's first *sync.WaitGroup
+// parameter, or "".
+func wgParamKey(pass *analysis.Pass, decl *ast.FuncDecl) string {
+	for _, f := range decl.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		p, ok := t.(*types.Pointer)
+		if !ok || !isWaitGroup(p.Elem()) {
+			continue
+		}
+		if len(f.Names) > 0 && f.Names[0].Name != "_" {
+			return f.Names[0].Name
+		}
+	}
+	return ""
+}
+
+// constInt evaluates an Add argument to a constant int.
+func constInt(pass *analysis.Pass, e ast.Expr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	n, err := strconv.Atoi(tv.Value.ExactString())
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// staticCallee resolves call to a declared function or method, or nil.
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// rootVar resolves the base identifier of a selector chain to its
+// variable, or nil.
+func rootVar(pass *analysis.Pass, x ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[e].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// localWaitGroups collects the keys of WaitGroups declared inside body
+// (not in nested function literals): the groups whose whole protocol
+// this function owns, where a negative balance is provably a bug.
+func localWaitGroups(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	locals := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if isWaitGroup(v.Type()) {
+			locals[id.Name] = true
+		}
+		return true
+	})
+	return locals
+}
+
+// --- dataflow -------------------------------------------------------------
+
+// wgLattice tracks per-group balance. Join on a diverging balance goes
+// to unknown, which suppresses delta diagnostics — the analysis only
+// speaks when every path agrees.
+type wgLattice struct {
+	a      *analyzer
+	locals map[string]bool
+}
+
+func (wgLattice) Entry() groupStates { return groupStates{} }
+
+func (wgLattice) Join(a, b groupStates) groupStates {
+	out := groupStates{}
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		va, vb := a[k], b[k] // absent = zero state
+		v := wgState{
+			delta:   va.delta,
+			unknown: va.unknown || vb.unknown || va.delta != vb.delta,
+			waited:  va.waited || vb.waited,
+		}
+		if v != (wgState{}) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (wgLattice) Equal(a, b groupStates) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func (l wgLattice) Transfer(n ast.Node, atExit bool, s groupStates) groupStates {
+	for _, ev := range l.a.nodeEvents(n, atExit) {
+		s = l.apply(s, ev)
+	}
+	return s
+}
+
+// apply folds one event into the state.
+func (l wgLattice) apply(s groupStates, ev wgEvent) groupStates {
+	st := s[ev.key]
+	switch ev.kind {
+	case evAdd:
+		if ev.nOK {
+			st.delta += ev.n
+		} else {
+			st.unknown = true
+		}
+	case evDone:
+		st.delta--
+	case evWait:
+		st.waited = true
+		st.delta = 0
+		st.unknown = false
+	case evEscape:
+		if ev.fn != nil {
+			if d, ok := l.a.calleeDelta(ev.fn); ok {
+				st.delta += d
+				break
+			}
+		}
+		st.unknown = true
+	}
+	out := groupStates{}
+	for k, v := range s {
+		if k != ev.key {
+			out[k] = v
+		}
+	}
+	if st != (wgState{}) {
+		out[ev.key] = st
+	}
+	return out
+}
+
+// --- misc -----------------------------------------------------------------
+
+func applies(pkgPath string) bool {
+	if allFlag {
+		return true
+	}
+	for _, prefix := range strings.Split(modsFlag, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix != "" && (pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")) {
+			return true
+		}
+	}
+	return false
+}

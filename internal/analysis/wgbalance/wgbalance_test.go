@@ -1,0 +1,27 @@
+package wgbalance_test
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/analysis/analysistest"
+	"github.com/unidetect/unidetect/internal/analysis/wgbalance"
+
+	// The registry's init instruments the analyzer with the //lint:ignore
+	// suppression layer exercised by the "suppressed" pattern.
+	_ "github.com/unidetect/unidetect/internal/analysis/registry"
+)
+
+// setFlags lifts the module scoping: testdata packages live outside the
+// unidetect module prefix.
+func setFlags(t *testing.T) {
+	t.Helper()
+	if err := wgbalance.Analyzer.Flags.Set("all", "true"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWgbalance(t *testing.T) {
+	setFlags(t)
+	analysistest.Run(t, analysistest.TestData(), wgbalance.Analyzer,
+		"a", "clean", "suppressed", "xwpkg")
+}
