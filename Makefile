@@ -31,6 +31,7 @@ FUZZ_TARGETS = \
 	./internal/table=FuzzInferType \
 	./internal/core=FuzzCheckpointLoad \
 	./internal/core=FuzzCheckpointRoundTrip \
+	./internal/core=FuzzModelMerge \
 	./internal/lrindex=FuzzLRIndexLookup \
 	./cmd/unidetectd=FuzzReadTable
 

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/unidetect/unidetect"
@@ -48,8 +49,11 @@ type batchResponse struct {
 }
 
 // coalescer groups concurrent batch submissions into one DetectAll.
+// It reads the server's model handle once per executed scan, so every
+// table in one coalesced batch is scored by the same model version even
+// if a /v1/reload swap lands mid-window.
 type coalescer struct {
-	model  *unidetect.Model
+	handle *atomic.Pointer[modelHandle]
 	window time.Duration
 	m      *metrics
 
@@ -111,7 +115,7 @@ func (c *coalescer) join(ctx context.Context, tables []*unidetect.Table) ([]unid
 	c.mu.Unlock()
 	c.m.batchGroups.Inc()
 	c.m.batchTables.Observe(float64(len(tabs)))
-	g.findings = c.model.DetectAll(ctx, tabs)
+	g.findings = c.handle.Load().model.DetectAll(ctx, tabs)
 	close(g.done)
 	return g.findings, true, nil
 }

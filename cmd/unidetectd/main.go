@@ -10,6 +10,7 @@
 //	POST /v1/detect?repair=1   body: CSV        -> JSON findings
 //	POST /v1/batch             body: JSON batch -> JSON findings per table
 //	POST /v1/profile           body: CSV        -> JSON column profiles
+//	POST /v1/reload            body: JSON spec  -> swap in a new model without downtime
 //	GET  /healthz                               -> 200 once the model is ready
 //	GET  /statusz                               -> JSON request accounting
 //	GET  /metrics                               -> Prometheus text exposition
@@ -66,17 +67,18 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := serverConfig{
-		ReqTimeout:   *reqTimeout,
-		DrainTimeout: *drain,
-		MaxInFlight:  *maxInFlight,
-		MaxBody:      *maxBody,
-		RetryAfter:   1,
-		BatchWindow:  *batchWindow,
-		Inject:       chaosInjector(*chaosSeed, *chaosP),
-		Logf:         log.Printf,
-		Obs:          reg,
-		Tracer:       tracer,
-		ChaosSeed:    *chaosSeed,
+		ReqTimeout:      *reqTimeout,
+		DrainTimeout:    *drain,
+		MaxInFlight:     *maxInFlight,
+		MaxBody:         *maxBody,
+		RetryAfter:      1,
+		BatchWindow:     *batchWindow,
+		SyntheticTables: *tables,
+		Inject:          chaosInjector(*chaosSeed, *chaosP),
+		Logf:            log.Printf,
+		Obs:             reg,
+		Tracer:          tracer,
+		ChaosSeed:       *chaosSeed,
 	}
 	srv := &http.Server{
 		Handler:           newHandler(model, cfg),
@@ -178,6 +180,7 @@ func newHandler(model *unidetect.Model, cfg serverConfig) http.Handler {
 	mux.HandleFunc("/v1/detect", s.protect(s.handleDetect))
 	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
 	mux.HandleFunc("/v1/profile", s.protect(s.handleProfile))
+	mux.HandleFunc("/v1/reload", s.protect(s.handleReload))
 	return mux
 }
 
@@ -186,7 +189,7 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	findings := s.model.Detect(r.Context(), tbl)
+	findings := s.currentModel().Detect(r.Context(), tbl)
 	resp := detectResponse{Table: tbl.Name, Findings: []findingJSON{}}
 	withRepairs := r.URL.Query().Get("repair") != ""
 	for _, f := range findings {

@@ -1,0 +1,146 @@
+package main
+
+// reload.go implements POST /v1/reload: atomic model hot-swap. The new
+// model is built (loaded from disk, merged from several shard files, or
+// trained on a fresh synthetic corpus) entirely off the request path —
+// only after it is fully built and warmed does a single atomic pointer
+// store make it the serving model. Requests in flight at that instant
+// finish on the model they started with (they loaded the old handle at
+// entry); every later request sees the new one. The daemon never serves
+// a half-built model and never blocks detection on a reload.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"github.com/unidetect/unidetect"
+)
+
+// reloadRequest selects the replacement model. With Model/Models set,
+// the named files are loaded (and merged, when several); otherwise a
+// synthetic corpus of Tables tables (default: the daemon's -tables) is
+// trained with Seed. An empty body is valid and means "retrain the
+// default synthetic model".
+type reloadRequest struct {
+	// Model is one trained model file to load.
+	Model string `json:"model,omitempty"`
+	// Models are several partial-model files to load and merge — the
+	// serving end of sharded training (core.TrainSharded writes the
+	// shards, this folds them).
+	Models []string `json:"models,omitempty"`
+	// Tables is the synthetic corpus size when no files are named.
+	Tables int `json:"tables,omitempty"`
+	// Seed drives synthetic corpus generation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// reloadResponse reports the swap the daemon performed.
+type reloadResponse struct {
+	ModelVersion int64 `json:"model_version"`
+	CorpusTables int   `json:"corpus_tables"`
+}
+
+// handleReload serves POST /v1/reload. Concurrent reloads do not queue:
+// the second one is refused with 409 while the first is still building,
+// so a retry storm cannot stack unbounded model builds.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON reload spec", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.reloadMu.TryLock() {
+		http.Error(w, "a reload is already in progress", http.StatusConflict)
+		return
+	}
+	defer s.reloadMu.Unlock()
+
+	var req reloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, "bad reload spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	model, err := s.buildModel(r.Context(), req)
+	if err != nil {
+		s.logf("unidetectd: reload failed: %v", err)
+		http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Warm the fast-path index and caches now, off the detect path, so
+	// the first request on the new model pays no lazy-build latency.
+	model.Warm()
+
+	old := s.handle.Load()
+	next := &modelHandle{model: model, version: old.version + 1}
+	s.handle.Store(next)
+	s.m.reloads.Inc()
+	s.m.modelVersion.Set(next.version)
+	s.logf("unidetectd: model v%d serving (corpus of %d tables); v%d retired",
+		next.version, model.CorpusTables(), old.version)
+	s.writeJSON(w, reloadResponse{
+		ModelVersion: next.version,
+		CorpusTables: model.CorpusTables(),
+	})
+}
+
+// buildModel constructs the replacement model a reload request asks
+// for. All returned models carry the server's registry, so prediction
+// metrics keep flowing across swaps.
+func (s *server) buildModel(ctx context.Context, req reloadRequest) (*unidetect.Model, error) {
+	opts := &unidetect.Options{Obs: s.reg}
+	paths := req.Models
+	if req.Model != "" {
+		paths = append([]string{req.Model}, paths...)
+	}
+	if len(paths) > 0 {
+		var merged *unidetect.Model
+		for _, path := range paths {
+			m, err := loadModelFile(path, opts)
+			if err != nil {
+				return nil, err
+			}
+			if merged == nil {
+				merged = m
+				continue
+			}
+			if merged, err = unidetect.Merge(merged, m); err != nil {
+				return nil, fmt.Errorf("merge %s: %w", path, err)
+			}
+		}
+		return merged, nil
+	}
+	tables := req.Tables
+	if tables <= 0 {
+		tables = s.cfg.SyntheticTables
+	}
+	if tables <= 0 {
+		tables = 2000
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s.logf("unidetectd: reload training synthetic model on %d tables (seed %d)...", tables, seed)
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, tables, seed)
+	return unidetect.Train(ctx, bg, opts)
+}
+
+// loadModelFile reads one serialized model from disk.
+func loadModelFile(path string, opts *unidetect.Options) (*unidetect.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := unidetect.Load(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return m, nil
+}

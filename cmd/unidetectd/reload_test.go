@@ -1,0 +1,264 @@
+package main
+
+// reload_test.go is the black-box hot-swap acceptance test: a real
+// HTTP server under concurrent detect load while models are swapped
+// through /v1/reload. Zero requests may fail, the advertised model
+// version must climb monotonically in the /metrics exposition, and
+// after the last swap the served findings must match what the new
+// model produces when queried directly.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/obs"
+)
+
+// scrapeGauge fetches ts's /metrics exposition and returns one gauge's
+// value, validating the text format on the way.
+func scrapeGauge(t *testing.T, client *http.Client, url, name string) float64 {
+	t.Helper()
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseProm(string(body))
+	if err != nil {
+		t.Fatalf("invalid /metrics exposition: %v", err)
+	}
+	s, ok := obs.Sample(fams, name, nil)
+	if !ok {
+		t.Fatalf("metric %s missing from /metrics", name)
+	}
+	return s.Value
+}
+
+func TestReloadHotSwap(t *testing.T) {
+	cfg := defaultServerConfig()
+	cfg.MaxInFlight = 256
+	cfg.SyntheticTables = 120
+	ts := httptest.NewServer(newHandler(testModel(t), cfg))
+	defer ts.Close()
+	client := ts.Client()
+
+	// Concurrent detect load for the whole swap sequence. Every request
+	// must succeed: a swap may never surface as an error, a dropped
+	// request, or a torn response.
+	var (
+		stop     = make(chan struct{})
+		served   atomic.Int64
+		non2xx   atomic.Int64
+		badBody  atomic.Int64
+		wg       sync.WaitGroup
+		loadErrs = make(chan error, 4)
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(ts.URL+"/v1/detect", "text/csv", strings.NewReader(typoCSV))
+				if err != nil {
+					select {
+					case loadErrs <- err:
+					default:
+					}
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				served.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					non2xx.Add(1)
+					continue
+				}
+				var dr detectResponse
+				if err != nil || json.Unmarshal(body, &dr) != nil {
+					badBody.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Drive the swaps: each reload retrains a small synthetic model with
+	// a distinct seed, and the exposed version must tick up by exactly
+	// one per swap.
+	const swaps = 3
+	lastSeed := int64(0)
+	for i := 1; i <= swaps; i++ {
+		lastSeed = int64(100 + i)
+		spec := fmt.Sprintf(`{"tables": 120, "seed": %d}`, lastSeed)
+		resp, err := client.Post(ts.URL+"/v1/reload", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var rr reloadResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatalf("reload %d: bad response %q: %v", i, body, err)
+		}
+		wantVersion := int64(1 + i)
+		if rr.ModelVersion != wantVersion {
+			t.Fatalf("reload %d: response version %d, want %d", i, rr.ModelVersion, wantVersion)
+		}
+		if rr.CorpusTables != 120 {
+			t.Errorf("reload %d: corpus tables %d, want 120", i, rr.CorpusTables)
+		}
+		if v := scrapeGauge(t, client, ts.URL, "unidetectd_model_version"); v != float64(wantVersion) {
+			t.Fatalf("reload %d: /metrics model version %v, want %d (must be monotone)", i, v, wantVersion)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-loadErrs:
+		t.Fatalf("detect load hit a transport error during swaps: %v", err)
+	default:
+	}
+	if served.Load() == 0 {
+		t.Fatal("no detect requests completed during the swap sequence; test has no power")
+	}
+	if n := non2xx.Load(); n != 0 {
+		t.Fatalf("%d of %d detect requests failed during hot swaps; swaps must be invisible to clients", n, served.Load())
+	}
+	if n := badBody.Load(); n != 0 {
+		t.Fatalf("%d detect responses were torn or unparseable", n)
+	}
+	if v := scrapeGauge(t, client, ts.URL, "unidetectd_reloads_total"); v != swaps {
+		t.Errorf("reloads counter = %v, want %d", v, swaps)
+	}
+
+	// The served model must now be the last swapped-in one: train its
+	// twin locally from the same spec and require identical findings.
+	// JSON round-trips float64 exactly, so scores compare exactly.
+	twin, err := unidetect.Train(context.Background(),
+		unidetect.SyntheticCorpus(unidetect.WebProfile, 120, lastSeed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := unidetect.ReadCSV("upload", strings.NewReader(typoCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := twin.Detect(context.Background(), tbl)
+
+	resp, err := client.Post(ts.URL+"/v1/detect", "text/csv", strings.NewReader(typoCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got detectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Findings) != len(want) {
+		t.Fatalf("served %d findings, new model produces %d", len(got.Findings), len(want))
+	}
+	for i, w := range want {
+		g := got.Findings[i]
+		if g.Class != w.Class.String() || g.Column != w.Column || g.Score != w.Score || g.Detail != w.Detail {
+			t.Fatalf("finding %d: served %+v, new model %+v", i, g, w)
+		}
+	}
+}
+
+// TestReloadFromFiles exercises the file path: save two shard models,
+// reload from both, and require the served model to be their merge.
+func TestReloadFromFiles(t *testing.T) {
+	ctx := context.Background()
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, 160, 7)
+	trainOn := func(tabs []*unidetect.Table) *unidetect.Model {
+		t.Helper()
+		m, err := unidetect.Train(ctx, tabs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	saveTo := func(m *unidetect.Model, name string) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		path := t.TempDir() + "/" + name
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := trainOn(bg[:80])
+	b := trainOn(bg[80:])
+	pa, pb := saveTo(a, "a.model"), saveTo(b, "b.model")
+
+	ts := httptest.NewServer(newHandler(testModel(t), defaultServerConfig()))
+	defer ts.Close()
+	spec := fmt.Sprintf(`{"models": [%q, %q]}`, pa, pb)
+	resp, err := ts.Client().Post(ts.URL+"/v1/reload", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d: %s", resp.StatusCode, body)
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.CorpusTables != 160 {
+		t.Errorf("merged corpus tables = %d, want 160 (sum of both shards)", rr.CorpusTables)
+	}
+	if rr.ModelVersion != 2 {
+		t.Errorf("model version = %d, want 2", rr.ModelVersion)
+	}
+}
+
+// TestReloadRejectsBadRequests pins the endpoint's failure modes.
+func TestReloadRejectsBadRequests(t *testing.T) {
+	h := newHandler(testModel(t), defaultServerConfig())
+	get := httptest.NewRequest(http.MethodGet, "/v1/reload", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, get)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", rec.Code)
+	}
+	bad := httptest.NewRequest(http.MethodPost, "/v1/reload", strings.NewReader("{not json"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, bad)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d, want 400", rec.Code)
+	}
+	missing := httptest.NewRequest(http.MethodPost, "/v1/reload", strings.NewReader(`{"model": "/nonexistent/model.bin"}`))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, missing)
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("missing file status = %d, want 500", rec.Code)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/unidetect/unidetect"
@@ -39,6 +41,10 @@ type serverConfig struct {
 	// for concurrent requests to coalesce into; 0 disables coalescing
 	// across requests (each request scans alone).
 	BatchWindow time.Duration
+	// SyntheticTables is the corpus size /v1/reload trains on when the
+	// reload request names no model files and no table count (0 falls
+	// back to a built-in default).
+	SyntheticTables int
 	// Inject, when non-nil, injects faults at "unidetectd<path>" sites —
 	// the serving half of the chaos harness.
 	Inject *faultinject.Injector
@@ -88,6 +94,11 @@ type metrics struct {
 	batchGroups    *obs.Counter
 	batchCoalesced *obs.Counter
 	batchTables    *obs.Histogram
+
+	// Hot-swap accounting: the version of the model currently serving
+	// and how many successful /v1/reload swaps the process has done.
+	modelVersion *obs.Gauge
+	reloads      *obs.Counter
 }
 
 // newMetrics registers the daemon's metric families on r. Every
@@ -118,31 +129,39 @@ func newMetrics(r *obs.Registry) metrics {
 		batchTables: r.Histogram("unidetectd_batch_tables",
 			"Tables per coalesced /v1/batch scan.",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		modelVersion: r.Gauge("unidetectd_model_version",
+			"Version of the model currently serving; increments on each successful /v1/reload."),
+		reloads: r.Counter("unidetectd_reloads_total",
+			"Successful /v1/reload model swaps."),
 	}
 }
 
 // statuszResponse is the /statusz reply.
 type statuszResponse struct {
-	Requests  int64 `json:"requests"`
-	InFlight  int64 `json:"in_flight"`
-	Status2xx int64 `json:"status_2xx"`
-	Status4xx int64 `json:"status_4xx"`
-	Status5xx int64 `json:"status_5xx"`
-	Shed      int64 `json:"shed"`
-	Panics    int64 `json:"panics"`
-	Timeouts  int64 `json:"timeouts"`
+	Requests     int64 `json:"requests"`
+	InFlight     int64 `json:"in_flight"`
+	Status2xx    int64 `json:"status_2xx"`
+	Status4xx    int64 `json:"status_4xx"`
+	Status5xx    int64 `json:"status_5xx"`
+	Shed         int64 `json:"shed"`
+	Panics       int64 `json:"panics"`
+	Timeouts     int64 `json:"timeouts"`
+	ModelVersion int64 `json:"model_version"`
+	Reloads      int64 `json:"reloads"`
 }
 
 func (m *metrics) snapshot() statuszResponse {
 	return statuszResponse{
-		Requests:  m.requests.Value(),
-		InFlight:  m.inflight.Value(),
-		Status2xx: m.status2xx.Value(),
-		Status4xx: m.status4xx.Value(),
-		Status5xx: m.status5xx.Value(),
-		Shed:      m.shed.Value(),
-		Panics:    m.panics.Value(),
-		Timeouts:  m.timeouts.Value(),
+		Requests:     m.requests.Value(),
+		InFlight:     m.inflight.Value(),
+		Status2xx:    m.status2xx.Value(),
+		Status4xx:    m.status4xx.Value(),
+		Status5xx:    m.status5xx.Value(),
+		Shed:         m.shed.Value(),
+		Panics:       m.panics.Value(),
+		Timeouts:     m.timeouts.Value(),
+		ModelVersion: m.modelVersion.Value(),
+		Reloads:      m.reloads.Value(),
 	}
 }
 
@@ -157,14 +176,37 @@ func (m *metrics) count(status int) {
 	}
 }
 
+// modelHandle is one immutable (model, version) pair. The serving path
+// loads the current handle once per request and uses that model for the
+// request's whole lifetime, so a concurrent /v1/reload swap never
+// changes a request's model mid-flight: in-flight requests finish on
+// the handle they started with while new arrivals pick up the new one.
+type modelHandle struct {
+	model   *unidetect.Model
+	version int64
+}
+
 // server wires the model's endpoints behind the protection middleware.
 type server struct {
-	model *unidetect.Model
-	cfg   serverConfig
-	reg   *obs.Registry
-	m     metrics
-	sem   chan struct{} // concurrency slots; len() is the inflight gauge
-	batch *coalescer    // /v1/batch group-commit state
+	handle atomic.Pointer[modelHandle] // current (model, version); swapped by /v1/reload
+	cfg    serverConfig
+	reg    *obs.Registry
+	m      metrics
+	sem    chan struct{} // concurrency slots; len() is the inflight gauge
+	batch  *coalescer    // /v1/batch group-commit state
+
+	// reloadMu serializes /v1/reload builds: a second reload arriving
+	// while one is training/loading gets 409 instead of queueing an
+	// unbounded pile of model builds. It is never taken on the request
+	// path.
+	reloadMu sync.Mutex
+}
+
+// currentModel returns the model serving this instant. Callers use the
+// returned model for at most one request, so a swap takes effect on the
+// next request boundary.
+func (s *server) currentModel() *unidetect.Model {
+	return s.handle.Load().model
 }
 
 func newServer(model *unidetect.Model, cfg serverConfig) *server {
@@ -181,13 +223,14 @@ func newServer(model *unidetect.Model, cfg serverConfig) *server {
 		cfg.Obs = obs.NewRegistry()
 	}
 	s := &server{
-		model: model,
-		cfg:   cfg,
-		reg:   cfg.Obs,
-		m:     newMetrics(cfg.Obs),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
+		cfg: cfg,
+		reg: cfg.Obs,
+		m:   newMetrics(cfg.Obs),
+		sem: make(chan struct{}, cfg.MaxInFlight),
 	}
-	s.batch = &coalescer{model: model, window: cfg.BatchWindow, m: &s.m}
+	s.handle.Store(&modelHandle{model: model, version: 1})
+	s.m.modelVersion.Set(1)
+	s.batch = &coalescer{handle: &s.handle, window: cfg.BatchWindow, m: &s.m}
 	// Count every fault the injector fires while serving; the transcript
 	// stays the source of truth, the counter is its live aggregate.
 	cfg.Inject.Observe(func(ev faultinject.Event) {

@@ -43,6 +43,16 @@ func BuildIndex(m *Model) *lrindex.Index {
 	})
 }
 
+// Warm forces the predictor's one-time lazy setup — the compiled LR
+// index, the measurement cache and the metric children — so a serving
+// process can ready a freshly loaded model off the request path and then
+// swap it in atomically without the first request paying compilation.
+func (p *Predictor) Warm() {
+	p.lrIndex()
+	p.measureCacheLazy()
+	p.metrics()
+}
+
 // lrIndex compiles the model's bucket maps into the flat index once per
 // predictor; concurrent DetectAll workers share the compiled result
 // through the atomic pointer, so steady-state resolution is a single

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/feature"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// fuzzMergeModel deterministically expands fuzz bytes into a small model:
+// two classes, a handful of feature buckets, counts derived from the
+// data. Different salts shape different-but-mergeable models, so the
+// bucket sets overlap partially and the merge exercises both the
+// summed-cell and the one-sided-bucket paths.
+func fuzzMergeModel(data []byte, salt byte) *Model {
+	m := &Model{
+		Classes:       map[Class]*ClassModel{},
+		Config:        DefaultConfig(),
+		CorpusTables:  int(salt) + len(data)%97,
+		CorpusColumns: 3 * (int(salt) + len(data)%97),
+	}
+	for ci, cls := range []Class{ClassOutlier, ClassUniqueness} {
+		cm := &ClassModel{
+			Dirs:    evidence.Directions{T1LE: true, T2GE: true},
+			Buckets: map[feature.Key]*evidence.Grid{},
+			Global:  evidence.NewGrid(4),
+		}
+		for i, b := range data {
+			v := b ^ salt ^ byte(ci*31)
+			cm.Global.Add(int(v)%4, int(v>>2)%4)
+			key := feature.Key{Type: table.ValueType(v % 3), Rows: v % 5, A: (v >> 3) % 2}
+			g := cm.Buckets[key]
+			if g == nil {
+				g = evidence.NewGrid(4)
+				cm.Buckets[key] = g
+			}
+			g.Add(int(v>>1)%4, (i+int(salt))%4)
+		}
+		m.Classes[cls] = cm
+	}
+	return m
+}
+
+// fuzzGridSum checks got holds exactly a's counts plus b's (either side
+// may be nil).
+func fuzzGridSum(t *testing.T, what string, got, a, b *evidence.Grid) {
+	t.Helper()
+	cell := func(g *evidence.Grid, i int) int64 {
+		if g == nil {
+			return 0
+		}
+		return g.Counts[i]
+	}
+	total := func(g *evidence.Grid) int64 {
+		if g == nil {
+			return 0
+		}
+		return g.Total
+	}
+	if got == nil {
+		t.Fatalf("%s: merged grid missing", what)
+	}
+	for i := range got.Counts {
+		if want := cell(a, i) + cell(b, i); got.Counts[i] != want {
+			t.Fatalf("%s cell %d: merged %d, direct sum %d", what, i, got.Counts[i], want)
+		}
+	}
+	if want := total(a) + total(b); got.Total != want {
+		t.Fatalf("%s: merged total %d, direct sum %d", what, got.Total, want)
+	}
+}
+
+// FuzzModelMerge holds Merge to its defining algebra on arbitrary
+// models: every merged cell equals the direct sum of the input cells,
+// and merging survives a serialize→load round trip byte-identically —
+// so shard models shipped through files merge exactly like in-memory
+// ones.
+func FuzzModelMerge(f *testing.F) {
+	f.Add([]byte("unidetect"))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xff, 0x7f, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := fuzzMergeModel(data, 0)
+		b := fuzzMergeModel(data, 0xA5)
+		merged, err := Merge(a, b)
+		if err != nil {
+			t.Fatalf("merge of same-shape models failed: %v", err)
+		}
+		if merged.CorpusTables != a.CorpusTables+b.CorpusTables {
+			t.Fatalf("CorpusTables %d, want %d", merged.CorpusTables, a.CorpusTables+b.CorpusTables)
+		}
+		for cls, cm := range merged.Classes {
+			am, bm := a.Classes[cls], b.Classes[cls]
+			fuzzGridSum(t, cls.String()+" global", cm.Global, am.Global, bm.Global)
+			union := map[feature.Key]bool{}
+			for k := range am.Buckets {
+				union[k] = true
+			}
+			for k := range bm.Buckets {
+				union[k] = true
+			}
+			if len(cm.Buckets) != len(union) {
+				t.Fatalf("class %v: merged has %d buckets, union has %d", cls, len(cm.Buckets), len(union))
+			}
+			for k := range union {
+				fuzzGridSum(t, cls.String()+" bucket "+k.String(), cm.Buckets[k], am.Buckets[k], bm.Buckets[k])
+			}
+		}
+
+		// Serialize → load → merge → serialize must land on the same
+		// bytes as merging the in-memory models.
+		var bufA, bufB bytes.Buffer
+		if err := a.Save(&bufA); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Save(&bufB); err != nil {
+			t.Fatal(err)
+		}
+		la, err := LoadModel(&bufA)
+		if err != nil {
+			t.Fatalf("load a: %v", err)
+		}
+		lb, err := LoadModel(&bufB)
+		if err != nil {
+			t.Fatalf("load b: %v", err)
+		}
+		remerged, err := Merge(la, lb)
+		if err != nil {
+			t.Fatalf("merge of loaded models failed: %v", err)
+		}
+		var direct, roundTrip bytes.Buffer
+		if err := merged.Save(&direct); err != nil {
+			t.Fatal(err)
+		}
+		if err := remerged.Save(&roundTrip); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(direct.Bytes(), roundTrip.Bytes()) {
+			t.Fatal("merge after a serialize→load round trip produced different bytes")
+		}
+	})
+}

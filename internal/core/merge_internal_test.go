@@ -1,0 +1,28 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadShardModelRejectsForeign(t *testing.T) {
+	m := fuzzMergeModel([]byte("shard-model"), 0)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard.model")
+	if err := saveShardModel(path, 42, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loadShardModel(path, 42, nil); !ok {
+		t.Error("round-trip load of a matching shard model failed")
+	}
+	if _, ok := loadShardModel(path, 43, nil); ok {
+		t.Error("shard model with a foreign fingerprint was accepted")
+	}
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loadShardModel(path, 42, nil); ok {
+		t.Error("garbage shard model was accepted")
+	}
+}

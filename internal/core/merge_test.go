@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/evidence"
+	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+)
+
+func mergeCorpus(seed int64, n int) *corpus.Corpus {
+	spec := datagen.Spec{Name: "merge", Profile: datagen.ProfileWeb, NumTables: n,
+		AvgRows: 14, AvgCols: 4, Seed: seed}
+	return corpus.New(spec.Name, datagen.Generate(spec).Tables)
+}
+
+func mergeModelBytes(t *testing.T, m *core.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeRejectsMismatches(t *testing.T) {
+	cfg := core.DefaultConfig()
+	bg := mergeCorpus(1, 30)
+	dets := detectors.All(cfg, detectors.Options{})
+	m, err := core.Train(context.Background(), cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := core.Merge(); err == nil {
+		t.Error("Merge() of zero models succeeded")
+	}
+
+	other := core.NewEmptyModel(cfg, dets)
+	other.Config.Alpha = 0.5
+	if _, err := core.Merge(m, other); err == nil {
+		t.Error("Merge across configs succeeded; it must refuse models from different jobs")
+	}
+
+	missing := core.NewEmptyModel(cfg, dets[:len(dets)-1])
+	if _, err := core.Merge(m, missing); err == nil {
+		t.Error("Merge across class sets succeeded")
+	}
+
+	bad := core.NewEmptyModel(cfg, dets)
+	for cls := range bad.Classes {
+		bad.Classes[cls].Global = evidence.NewGrid(3) // wrong bin count
+	}
+	if _, err := core.Merge(m, bad); err == nil {
+		t.Error("Merge across grid shapes succeeded")
+	}
+}
+
+func TestMergeIdentityAndSelf(t *testing.T) {
+	cfg := core.DefaultConfig()
+	bg := mergeCorpus(2, 40)
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+	m, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mergeModelBytes(t, m)
+
+	empty := core.NewEmptyModel(cfg, dets)
+	for _, ms := range [][]*core.Model{{m, empty}, {empty, m}, {m}} {
+		got, err := core.Merge(ms...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mergeModelBytes(t, got), want) {
+			t.Errorf("Merge with identity (order %d models) changed the model bytes", len(ms))
+		}
+	}
+
+	double, err := core.Merge(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cls, cm := range m.Classes {
+		dm := double.Classes[cls]
+		if dm.Global.Total != 2*cm.Global.Total {
+			t.Errorf("class %v: self-merge global total %d, want %d", cls, dm.Global.Total, 2*cm.Global.Total)
+		}
+		for k, g := range cm.Buckets {
+			dg := dm.Buckets[k]
+			if dg == nil || dg.Total != 2*g.Total {
+				t.Fatalf("class %v bucket %v: self-merge did not double counts", cls, k)
+			}
+			for i, c := range g.Counts {
+				if dg.Counts[i] != 2*c {
+					t.Fatalf("class %v bucket %v cell %d: %d, want %d", cls, k, i, dg.Counts[i], 2*c)
+				}
+			}
+		}
+	}
+	if double.CorpusTables != 2*m.CorpusTables {
+		t.Errorf("self-merge CorpusTables = %d, want %d", double.CorpusTables, 2*m.CorpusTables)
+	}
+}
+
+func TestTrainShardedMatchesMonolithic(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	bg := mergeCorpus(3, 45)
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+	mono, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mergeModelBytes(t, mono)
+	for _, k := range []int{1, 3, 100} { // 100 clamps to the table count
+		sharded, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{Shards: k}, bg, dets)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if !bytes.Equal(mergeModelBytes(t, sharded), want) {
+			t.Errorf("shards=%d: sharded model differs from monolithic train", k)
+		}
+	}
+}
+
+func TestTrainShardedResumesPersistedShards(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	bg := mergeCorpus(4, 30)
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+	clean, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{Shards: 3}, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mergeModelBytes(t, clean)
+
+	// Kill the run during the second shard's map phase: shard 0 must have
+	// been persisted, and the rerun must restore it instead of retraining.
+	dir := t.TempDir()
+	inj := faultinject.New(1, faultinject.Rule{
+		Site: "mapreduce/map/shard=2", Hits: []int{2},
+		Fault: faultinject.Fault{Err: errors.New("chaos: dead map")},
+	})
+	_, err = core.TrainSharded(ctx, cfg, core.ShardedOptions{
+		TrainOptions: core.TrainOptions{FT: mapreduce.FT{Inject: inj, Seed: 1}},
+		Shards:       3, Dir: dir,
+	}, bg, dets)
+	if err == nil {
+		t.Fatal("lethal schedule did not kill the sharded run")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("run died of %v, not an injected fault", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-0-of-3.model")); err != nil {
+		t.Fatalf("completed shard 0 was not persisted: %v", err)
+	}
+
+	resumed, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{Shards: 3, Dir: dir}, bg, dets)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !bytes.Equal(mergeModelBytes(t, resumed), want) {
+		t.Error("resumed sharded model differs from the uninterrupted run")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("shard files left behind after a successful merge: %v", entries)
+	}
+}
+
+func TestTrainIncrementalEqualsScratch(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+	all := mergeCorpus(5, 50)
+	ix := all.Index()
+	baseC := corpus.WithSharedIndex("merge/base", all.Tables[:35], ix)
+	deltaC := corpus.WithSharedIndex("merge/delta", all.Tables[35:], ix)
+
+	scratch, err := core.Train(ctx, cfg, all, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Train(ctx, cfg, baseC, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := core.TrainIncremental(ctx, cfg, core.TrainOptions{}, base, deltaC, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergeModelBytes(t, incr), mergeModelBytes(t, scratch)) {
+		t.Error("incremental retrain differs from retraining from scratch under the shared index")
+	}
+	if incr.CorpusTables != all.NumTables() {
+		t.Errorf("incremental CorpusTables = %d, want %d", incr.CorpusTables, all.NumTables())
+	}
+}

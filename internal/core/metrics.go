@@ -7,11 +7,14 @@ import (
 // trainMetrics bundles the offline-pass metric children. Fields are nil
 // (no-op) without a registry.
 type trainMetrics struct {
-	runs     *obs.Counter
-	resumes  *obs.Counter
-	seconds  *obs.Histogram
-	ckWrites *obs.Counter
-	ckResume *obs.Counter
+	runs         *obs.Counter
+	resumes      *obs.Counter
+	seconds      *obs.Histogram
+	ckWrites     *obs.Counter
+	ckResume     *obs.Counter
+	shardRuns    *obs.Counter
+	shardResumes *obs.Counter
+	merges       *obs.Counter
 }
 
 // newTrainMetrics resolves the training metric children from r (nil-safe).
@@ -28,6 +31,12 @@ func newTrainMetrics(r *obs.Registry) trainMetrics {
 			"Reduce buckets durably appended to the checkpoint."),
 		ckResume: r.Counter("unidetect_train_checkpoint_buckets_resumed_total",
 			"Reduce buckets restored from a checkpoint instead of recomputed."),
+		shardRuns: r.Counter("unidetect_train_shards_total",
+			"Corpus shards trained to completion by sharded learning passes."),
+		shardResumes: r.Counter("unidetect_train_shard_models_resumed_total",
+			"Completed shard models restored from disk instead of retrained."),
+		merges: r.Counter("unidetect_train_merges_total",
+			"Partial-model merges folding shard or incremental models."),
 	}
 }
 

@@ -149,74 +149,6 @@ func compareRows(a, b []int) int {
 	}
 }
 
-// MergeModels combines the evidence of two models trained with the same
-// configuration and detector set — the reduce step for shard-trained or
-// incrementally grown corpora. Evidence counts are additive across
-// tables, so the merged model equals one trained on the concatenated
-// corpora up to featurization drift (each shard bucketed token prevalence
-// against its own index).
-func MergeModels(a, b *Model) (*Model, error) {
-	if len(a.Classes) != len(b.Classes) {
-		return nil, fmt.Errorf("core: merging models with different class sets (%d vs %d)", len(a.Classes), len(b.Classes))
-	}
-	out := &Model{
-		Classes:       make(map[Class]*ClassModel, len(a.Classes)),
-		Config:        a.Config,
-		CorpusTables:  a.CorpusTables + b.CorpusTables,
-		CorpusColumns: a.CorpusColumns + b.CorpusColumns,
-	}
-	for cls, ca := range a.Classes {
-		cb, ok := b.Classes[cls]
-		if !ok {
-			return nil, fmt.Errorf("core: class %v missing from second model", cls)
-		}
-		if ca.Dirs != cb.Dirs {
-			return nil, fmt.Errorf("core: class %v direction mismatch", cls)
-		}
-		merged := &ClassModel{
-			Dirs:    ca.Dirs,
-			Buckets: make(map[feature.Key]*evidence.Grid, len(ca.Buckets)+len(cb.Buckets)),
-			Global:  sumGrids(ca.Global, cb.Global),
-		}
-		for k, g := range ca.Buckets {
-			merged.Buckets[k] = sumGrids(g, cb.Buckets[k])
-		}
-		for k, g := range cb.Buckets {
-			if _, seen := ca.Buckets[k]; !seen {
-				merged.Buckets[k] = sumGrids(g, nil)
-			}
-		}
-		merged.finalize()
-		out.Classes[cls] = merged
-	}
-	return out, nil
-}
-
-// sumGrids returns a fresh, finalizable grid holding a's counts plus b's
-// (either may be nil).
-func sumGrids(a, b *evidence.Grid) *evidence.Grid {
-	var n int
-	switch {
-	case a != nil:
-		n = a.N
-	case b != nil:
-		n = b.N
-	default:
-		return nil
-	}
-	out := evidence.NewGrid(n)
-	for _, g := range []*evidence.Grid{a, b} {
-		if g == nil {
-			continue
-		}
-		for i, c := range g.Counts {
-			out.Counts[i] += c
-		}
-		out.Total += g.Total
-	}
-	return out
-}
-
 // modelWire is the gob wire format of a Model. evidence.Grid's exported
 // fields carry all persistent state; derived prefix sums are rebuilt on
 // load. Classes and buckets are sorted slices, not maps: gob encodes

@@ -1,0 +1,39 @@
+package corpus
+
+import (
+	"fmt"
+
+	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// WithSharedIndex wraps tables into a Corpus whose token-prevalence
+// index is ix instead of one built over tables alone. This is how a
+// corpus partition keeps the parent's featurization: Prev(C) (§3.3) is a
+// whole-corpus statistic, so shard-trained models are byte-equivalent to
+// a monolithic pass only when every shard buckets prevalence against the
+// same full-corpus index.
+func WithSharedIndex(name string, tables []*table.Table, ix *TokenIndex) *Corpus {
+	c := New(name, tables)
+	c.idx = ix
+	c.idxOnce.Do(func() {}) // burn the once so Index() returns ix as-is
+	return c
+}
+
+// Partition splits the corpus into k contiguous, balanced shards for
+// independent training (core.TrainSharded). Every shard shares the
+// parent's full-corpus token index — built here if not already — so
+// featurization, and hence the learned evidence, is identical to a
+// monolithic pass over the whole corpus. k is clamped as in
+// mapreduce.Partition: at least 1, at most the table count.
+func (c *Corpus) Partition(k int) []*Corpus {
+	ix := c.Index()
+	ranges := mapreduce.Partition(len(c.Tables), k)
+	out := make([]*Corpus, len(ranges))
+	for i, r := range ranges {
+		out[i] = WithSharedIndex(
+			fmt.Sprintf("%s/shard-%d-of-%d", c.Name, i, len(ranges)),
+			c.Tables[r.Lo:r.Hi], ix)
+	}
+	return out
+}

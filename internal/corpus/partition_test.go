@@ -1,0 +1,56 @@
+package corpus
+
+import (
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func partitionTables(t *testing.T, n int) []*table.Table {
+	t.Helper()
+	out := make([]*table.Table, n)
+	for i := range out {
+		tbl, err := table.New("t"+string(rune('a'+i)),
+			table.NewColumn("city", []string{"berlin", "paris", "tokyo"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = tbl
+	}
+	return out
+}
+
+func TestPartitionSharesIndex(t *testing.T) {
+	c := New("bg", partitionTables(t, 7))
+	parts := c.Partition(3)
+	if len(parts) != 3 {
+		t.Fatalf("Partition(3) returned %d shards", len(parts))
+	}
+	total := 0
+	for i, p := range parts {
+		if p.Index() != c.Index() {
+			t.Errorf("shard %d has its own index; featurization would drift from the monolithic pass", i)
+		}
+		total += p.NumTables()
+	}
+	if total != c.NumTables() {
+		t.Errorf("shards cover %d tables, corpus has %d", total, c.NumTables())
+	}
+	// The shared index must describe the whole corpus, not the shard.
+	if got := parts[0].Index().NumTables(); got != c.NumTables() {
+		t.Errorf("shard index spans %d tables, want %d", got, c.NumTables())
+	}
+}
+
+func TestWithSharedIndex(t *testing.T) {
+	tabs := partitionTables(t, 4)
+	parent := New("bg", tabs)
+	ix := parent.Index()
+	child := WithSharedIndex("bg/shard", tabs[:2], ix)
+	if child.Index() != ix {
+		t.Fatal("WithSharedIndex did not pin the provided index")
+	}
+	if child.NumTables() != 2 {
+		t.Fatalf("child has %d tables, want 2", child.NumTables())
+	}
+}

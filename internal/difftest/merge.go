@@ -1,0 +1,165 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+)
+
+// MergeConfig parameterizes one merge-equivalence run: train a
+// monolithic model, retrain the same corpus split into each shard
+// count, and require the merged shard models to serialize to the exact
+// bytes of the monolith.
+type MergeConfig struct {
+	// Seed drives corpus generation.
+	Seed int64
+	// TrainTables is the training corpus size (default 60).
+	TrainTables int
+	// Shards is the list of shard counts to sweep (default 1, 2, 4, 7).
+	Shards []int
+	// Chaos, when non-empty, arms every sharded run with a fault
+	// injector built from ChaosSeed — the equivalence must hold through
+	// retried transient faults, not just on the happy path.
+	Chaos     []faultinject.Rule
+	ChaosSeed int64
+	// Retry is the retry policy for chaos runs (required when Chaos is
+	// set, so injected faults are absorbed rather than fatal).
+	Retry mapreduce.RetryPolicy
+	// Mutate, when non-nil, adjusts the training config before use.
+	Mutate func(*core.Config)
+}
+
+// MergeResult reports what a successful merge-equivalence run proved,
+// so sweeps can assert the comparison had power.
+type MergeResult struct {
+	// ModelBytes is the serialized size of the monolithic model.
+	ModelBytes int
+	// Buckets is the total bucket count across classes — zero buckets
+	// would make byte-equality vacuous.
+	Buckets int
+	// Fires is how many faults the chaos schedule actually injected
+	// across the sharded runs (0 without chaos).
+	Fires int
+}
+
+// RunMerge is the merge tier's sweep unit: it proves that
+// Merge(train(P1), ..., train(Pk)) is byte-identical to a monolithic
+// TrainWith over the whole corpus, for every shard count in the sweep.
+func RunMerge(t testing.TB, cfg MergeConfig) MergeResult {
+	t.Helper()
+	if cfg.TrainTables == 0 {
+		cfg.TrainTables = 60
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 2, 4, 7}
+	}
+	ctx := context.Background()
+
+	bg := corpus.New("difftest-merge", datagen.Generate(datagen.Spec{
+		Name: "difftest-merge", Profile: datagen.ProfileWeb, NumTables: cfg.TrainTables,
+		AvgRows: 16, AvgCols: 4, Seed: cfg.Seed,
+	}).Tables)
+	cc := core.DefaultConfig()
+	cc.Workers = 4
+	if cfg.Mutate != nil {
+		cfg.Mutate(&cc)
+	}
+	dets := detectors.All(cc, detectors.Options{})
+
+	mono, err := core.Train(ctx, cc, bg, dets)
+	if err != nil {
+		t.Fatalf("difftest: merge seed %d: monolithic train: %v", cfg.Seed, err)
+	}
+	want := modelBytes(t, mono)
+	res := MergeResult{ModelBytes: len(want)}
+	for _, cm := range mono.Classes {
+		res.Buckets += len(cm.Buckets)
+	}
+	if res.Buckets == 0 {
+		t.Fatalf("difftest: merge seed %d: monolithic model has no buckets; byte-equality would be vacuous", cfg.Seed)
+	}
+
+	for _, k := range cfg.Shards {
+		opts := core.ShardedOptions{Shards: k}
+		var inj *faultinject.Injector
+		if len(cfg.Chaos) > 0 {
+			inj = faultinject.New(cfg.ChaosSeed, cfg.Chaos...)
+			opts.FT = mapreduce.FT{Inject: inj, Seed: cfg.ChaosSeed, Retry: cfg.Retry}
+		}
+		sharded, err := core.TrainSharded(ctx, cc, opts, bg, dets)
+		if err != nil {
+			t.Fatalf("difftest: merge seed %d shards=%d: %v", cfg.Seed, k, err)
+		}
+		if !bytes.Equal(modelBytes(t, sharded), want) {
+			t.Fatalf("difftest: merge seed %d shards=%d: merged shard models differ from the monolithic model", cfg.Seed, k)
+		}
+		if inj != nil {
+			res.Fires += inj.Fires()
+		}
+	}
+	if len(cfg.Chaos) > 0 && res.Fires == 0 {
+		t.Fatalf("difftest: merge seed %d: chaos schedule never fired; the fault-tolerant equivalence has no power", cfg.Seed)
+	}
+	return res
+}
+
+// RunIncremental proves core.TrainIncremental's contract: folding a
+// delta partition into a base model lands on the exact bytes of
+// retraining from scratch, provided base and delta share one frozen
+// token index spanning the union.
+func RunIncremental(t testing.TB, seed int64, totalTables, baseTables int) {
+	t.Helper()
+	if totalTables == 0 {
+		totalTables = 60
+	}
+	if baseTables == 0 || baseTables >= totalTables {
+		baseTables = totalTables * 2 / 3
+	}
+	ctx := context.Background()
+
+	all := corpus.New("difftest-incr", datagen.Generate(datagen.Spec{
+		Name: "difftest-incr", Profile: datagen.ProfileWeb, NumTables: totalTables,
+		AvgRows: 16, AvgCols: 4, Seed: seed,
+	}).Tables)
+	ix := all.Index()
+	baseC := corpus.WithSharedIndex("difftest-incr/base", all.Tables[:baseTables], ix)
+	deltaC := corpus.WithSharedIndex("difftest-incr/delta", all.Tables[baseTables:], ix)
+
+	cc := core.DefaultConfig()
+	cc.Workers = 4
+	dets := detectors.All(cc, detectors.Options{})
+
+	scratch, err := core.Train(ctx, cc, all, dets)
+	if err != nil {
+		t.Fatalf("difftest: incr seed %d: scratch train: %v", seed, err)
+	}
+	base, err := core.Train(ctx, cc, baseC, dets)
+	if err != nil {
+		t.Fatalf("difftest: incr seed %d: base train: %v", seed, err)
+	}
+	incr, err := core.TrainIncremental(ctx, cc, core.TrainOptions{}, base, deltaC, dets)
+	if err != nil {
+		t.Fatalf("difftest: incr seed %d: incremental train: %v", seed, err)
+	}
+	if !bytes.Equal(modelBytes(t, incr), modelBytes(t, scratch)) {
+		t.Fatalf("difftest: incr seed %d: incremental retrain differs from retraining from scratch", seed)
+	}
+}
+
+// modelBytes serializes m through its canonical wire format — the
+// medium the merge tier's equality claims are stated in.
+func modelBytes(t testing.TB, m *core.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("difftest: serialize model: %v", err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,131 @@
+package difftest_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/core"
+	"github.com/unidetect/unidetect/internal/corpus"
+	"github.com/unidetect/unidetect/internal/datagen"
+	"github.com/unidetect/unidetect/internal/detectors"
+	"github.com/unidetect/unidetect/internal/difftest"
+	"github.com/unidetect/unidetect/internal/mapreduce"
+	"github.com/unidetect/unidetect/internal/testkit"
+)
+
+// TestMergeEquivalence is the merge tier's core claim: for every seed
+// in the sweep and every shard count, merging independently trained
+// partition models is byte-identical to one monolithic training pass.
+func TestMergeEquivalence(t *testing.T) {
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res := difftest.RunMerge(t, difftest.MergeConfig{Seed: seed})
+			if res.ModelBytes == 0 {
+				t.Fatal("merge sweep compared empty serializations")
+			}
+		})
+	}
+}
+
+// TestMergeEquivalenceChaos re-proves the equivalence with a transient
+// fault schedule armed on every sharded run: retries must absorb the
+// faults and the merged bytes must still match the clean monolith.
+func TestMergeEquivalenceChaos(t *testing.T) {
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res := difftest.RunMerge(t, difftest.MergeConfig{
+				Seed:      seed,
+				Shards:    []int{2, 4, 7},
+				Chaos:     testkit.TrainChaos(0.04),
+				ChaosSeed: seed,
+				Retry: mapreduce.RetryPolicy{
+					MaxAttempts: 6, BaseDelay: time.Millisecond,
+					MaxDelay: 8 * time.Millisecond, Jitter: 0.5,
+				},
+			})
+			if res.Fires == 0 {
+				t.Fatal("chaos sweep fired no faults")
+			}
+		})
+	}
+}
+
+// TestMergeAlgebra pins the algebraic laws core.Merge's contract
+// promises: associativity, commutativity, and NewEmptyModel as the
+// identity element — all stated in serialized bytes, the same medium
+// the equivalence tier uses.
+func TestMergeAlgebra(t *testing.T) {
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ctx := context.Background()
+			bg := corpus.New("merge-algebra", datagen.Generate(datagen.Spec{
+				Name: "merge-algebra", Profile: datagen.ProfileWeb, NumTables: 36,
+				AvgRows: 16, AvgCols: 4, Seed: seed,
+			}).Tables)
+			cc := core.DefaultConfig()
+			cc.Workers = 4
+			dets := detectors.All(cc, detectors.Options{})
+			parts := bg.Partition(3)
+			models := make([]*core.Model, len(parts))
+			for i, p := range parts {
+				m, err := core.Train(ctx, cc, p, dets)
+				if err != nil {
+					t.Fatalf("train partition %d: %v", i, err)
+				}
+				models[i] = m
+			}
+			a, b, c := models[0], models[1], models[2]
+			save := func(m *core.Model, err error) []byte {
+				t.Helper()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := m.Save(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			merge2 := func(x, y *core.Model) *core.Model {
+				t.Helper()
+				m, err := core.Merge(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+
+			leftAssoc := save(core.Merge(merge2(a, b), c))
+			rightAssoc := save(core.Merge(a, merge2(b, c)))
+			if !bytes.Equal(leftAssoc, rightAssoc) {
+				t.Error("Merge is not associative: (a+b)+c != a+(b+c)")
+			}
+			flat := save(core.Merge(a, b, c))
+			if !bytes.Equal(flat, leftAssoc) {
+				t.Error("variadic Merge(a, b, c) differs from pairwise folding")
+			}
+			reordered := save(core.Merge(c, a, b))
+			if !bytes.Equal(reordered, flat) {
+				t.Error("Merge is not commutative: (c+a+b) != (a+b+c)")
+			}
+			empty := core.NewEmptyModel(cc, dets)
+			withIdentity := save(core.Merge(a, empty, b, empty, c))
+			if !bytes.Equal(withIdentity, flat) {
+				t.Error("NewEmptyModel is not a Merge identity")
+			}
+		})
+	}
+}
+
+// TestIncrementalEqualsScratch sweeps TrainIncremental's scratch
+// equivalence across the chaos seed set.
+func TestIncrementalEqualsScratch(t *testing.T) {
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			difftest.RunIncremental(t, seed, 60, 42)
+		})
+	}
+}

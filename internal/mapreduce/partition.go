@@ -1,0 +1,40 @@
+package mapreduce
+
+// Range is one contiguous partition of an input slice: the half-open
+// index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of inputs in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Partition splits n inputs into k contiguous, balanced ranges — the
+// input-partitioning step of a multi-job training pass, where each range
+// becomes one independently trained corpus shard. Ranges cover [0, n)
+// exactly once, in order, and their sizes differ by at most one (the
+// first n%k ranges carry the extra input). k below 1 is clamped to 1;
+// when n is positive, k is clamped to n so no range is empty.
+func Partition(n, k int) []Range {
+	if k < 1 || n <= 0 {
+		k = 1
+	}
+	if n > 0 && k > n {
+		k = n
+	}
+	out := make([]Range, k)
+	base, extra := 0, 0
+	if k > 0 {
+		base, extra = n/k, n%k
+	}
+	lo := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package mapreduce
+
+import "testing"
+
+func TestPartitionCoversContiguously(t *testing.T) {
+	for n := 0; n <= 25; n++ {
+		for k := 1; k <= 9; k++ {
+			ranges := Partition(n, k)
+			if n > 0 && k > n && len(ranges) != n {
+				t.Fatalf("Partition(%d, %d): %d ranges, want clamp to %d", n, k, len(ranges), n)
+			}
+			lo := 0
+			for i, r := range ranges {
+				if r.Lo != lo {
+					t.Fatalf("Partition(%d, %d): range %d starts at %d, want %d", n, k, i, r.Lo, lo)
+				}
+				if n > 0 && r.Len() == 0 {
+					t.Fatalf("Partition(%d, %d): range %d is empty", n, k, i)
+				}
+				lo = r.Hi
+			}
+			if lo != n {
+				t.Fatalf("Partition(%d, %d): ranges end at %d, want %d", n, k, lo, n)
+			}
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {7, 7}, {100, 6}, {5, 2}} {
+		min, max := tc.n, 0
+		for _, r := range Partition(tc.n, tc.k) {
+			if l := r.Len(); l < min {
+				min = l
+			} else if l > max {
+				max = l
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("Partition(%d, %d): sizes span [%d, %d], want within 1", tc.n, tc.k, min, max)
+		}
+	}
+}
+
+func TestPartitionClamps(t *testing.T) {
+	if got := Partition(4, 0); len(got) != 1 || got[0] != (Range{0, 4}) {
+		t.Errorf("Partition(4, 0) = %v, want one full range", got)
+	}
+	if got := Partition(0, 3); len(got) != 1 || got[0].Len() != 0 {
+		t.Errorf("Partition(0, 3) = %v, want one empty range", got)
+	}
+	if got := Partition(2, 5); len(got) != 2 {
+		t.Errorf("Partition(2, 5) = %v, want 2 ranges", got)
+	}
+}

@@ -216,6 +216,127 @@ func TestChaosResumeEqualsRestart(t *testing.T) {
 	}
 }
 
+// TestChaosShardKillResumeMerge extends the resume property to
+// partitioned training: kill a sharded run under each seed's lethal
+// schedule, resume it against the same shard directory, and require the
+// merged model to be byte-identical to an uninterrupted run. Completed
+// shards must come back from their persisted models (counted against
+// the .model files the killed run left behind), not from retraining.
+func TestChaosShardKillResumeMerge(t *testing.T) {
+	bg := chaosCorpus(21)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	dets := detectors.All(cfg, detectors.Options{})
+	ctx := context.Background()
+	const shards = 3
+
+	clean, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{Shards: shards}, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBytes := saveBytes(t, clean)
+	mono, err := core.Train(ctx, cfg, bg, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cleanBytes, saveBytes(t, mono)) {
+		t.Fatal("sharded training differs from monolithic before any chaos; merge tier broken")
+	}
+
+	countShardModels := func(dir string) int {
+		t.Helper()
+		models, err := filepath.Glob(filepath.Join(dir, "shard-*.model"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(models)
+	}
+
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := faultinject.New(seed, testkit.TrainKill(0.5)...)
+			testkit.DumpTranscriptOnFailure(t, seed, inj)
+			reg := obs.NewRegistry()
+			dir := t.TempDir()
+			_, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{
+				TrainOptions: core.TrainOptions{FT: mapreduce.FT{
+					Inject: inj, Seed: seed, Logf: t.Logf, Obs: reg,
+				}},
+				Shards: shards, Dir: dir,
+			}, bg, dets)
+			if err == nil {
+				t.Fatal("lethal schedule did not kill the sharded run")
+			}
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("run died of %v, not an injected fault", err)
+			}
+			persisted := countShardModels(dir)
+
+			resumed, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{
+				TrainOptions: core.TrainOptions{FT: mapreduce.FT{Logf: t.Logf, Obs: reg}},
+				Shards:       shards, Dir: dir,
+			}, bg, dets)
+			if err != nil {
+				t.Fatalf("resume failed: %v", err)
+			}
+			if !bytes.Equal(saveBytes(t, resumed), cleanBytes) {
+				t.Error("resumed sharded model differs from the uninterrupted run")
+			}
+			if countShardModels(dir) != 0 {
+				t.Error("shard models left behind after a successful merge")
+			}
+			// Exactly the shards the killed run persisted come back from
+			// disk; the rest train, and exactly one merge folds them.
+			fams := parseRegistry(t, reg)
+			if s, _ := obs.Sample(fams, "unidetect_train_shard_models_resumed_total", nil); int(s.Value) != persisted {
+				t.Errorf("shard models resumed = %v, but the killed run persisted %d", s.Value, persisted)
+			}
+			if s, _ := obs.Sample(fams, "unidetect_train_merges_total", nil); s.Value != 1 {
+				t.Errorf("merges = %v, want 1 (only the resumed run merges)", s.Value)
+			}
+			if s, _ := obs.Sample(fams, "unidetect_train_shards_total", nil); int(s.Value) < shards {
+				t.Errorf("shards trained = %v across kill+resume, want >= %d", s.Value, shards)
+			}
+		})
+	}
+
+	// A fixed schedule that kills exactly the second shard job's map
+	// phase: shard 0 completes and must resume from its persisted model.
+	t.Run("dead-second-shard", func(t *testing.T) {
+		inj := faultinject.New(1, faultinject.Rule{
+			Site: "mapreduce/map/shard=2", Hits: []int{2},
+			Fault: faultinject.Fault{Err: errors.New("chaos: dead map")},
+		})
+		testkit.DumpTranscriptOnFailure(t, 1, inj)
+		reg := obs.NewRegistry()
+		dir := t.TempDir()
+		_, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{
+			TrainOptions: core.TrainOptions{FT: mapreduce.FT{Inject: inj, Seed: 1, Obs: reg}},
+			Shards:       shards, Dir: dir,
+		}, bg, dets)
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("want an injected death, got %v", err)
+		}
+		if got := countShardModels(dir); got != 1 {
+			t.Fatalf("killed run persisted %d shard models, want exactly shard 0", got)
+		}
+		resumed, err := core.TrainSharded(ctx, cfg, core.ShardedOptions{
+			TrainOptions: core.TrainOptions{FT: mapreduce.FT{Obs: reg}},
+			Shards:       shards, Dir: dir,
+		}, bg, dets)
+		if err != nil {
+			t.Fatalf("resume failed: %v", err)
+		}
+		if !bytes.Equal(saveBytes(t, resumed), cleanBytes) {
+			t.Error("resumed sharded model differs from the uninterrupted run")
+		}
+		fams := parseRegistry(t, reg)
+		if s, _ := obs.Sample(fams, "unidetect_train_shard_models_resumed_total", nil); s.Value != 1 {
+			t.Errorf("shard models resumed = %v, want exactly 1 (shard 0)", s.Value)
+		}
+	})
+}
+
 // TestChaosLossBudget exercises graceful degradation end to end: a
 // permanently dead shard under skip-and-log yields a model that still
 // detects errors, and the loss is visible in Stats rather than silent.

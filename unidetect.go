@@ -291,6 +291,13 @@ func (m *Model) predictor() *core.Predictor {
 	return m.pred
 }
 
+// Warm builds the model's online predictor eagerly: the compact LR
+// index is compiled and the caches are allocated now rather than on the
+// first Detect. A serving process hot-swapping models calls this off the
+// request path, so the swapped-in model answers its first request at
+// steady-state speed.
+func (m *Model) Warm() { m.predictor().Warm() }
+
 // Detect scans one table and returns its findings ranked by Score.
 func (m *Model) Detect(ctx context.Context, t *Table) []Finding {
 	return m.DetectAll(ctx, []*Table{t})
