@@ -33,6 +33,8 @@ FUZZ_TARGETS = \
 	./internal/core=FuzzCheckpointRoundTrip \
 	./internal/core=FuzzModelMerge \
 	./internal/lrindex=FuzzLRIndexLookup \
+	./internal/colstore=FuzzUcolRead \
+	./internal/colstore=FuzzCSVChunks \
 	./cmd/unidetectd=FuzzReadTable
 
 .PHONY: all build lint lint-fix sarif vet test race bench bench-json bench-gate chaos fuzz check clean
@@ -76,7 +78,7 @@ bench-json:
 # baseline — timings are machine-relative.
 bench-gate:
 	$(GO) run ./cmd/benchjson -out bench-candidate.json
-	$(GO) run ./cmd/benchgate -baseline BENCH_core.json -candidate bench-candidate.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_core.json -candidate bench-candidate.json -pattern Detect,Ingest
 
 # Coverage-guided fuzzing, one target at a time (go test accepts a
 # single -fuzz pattern per invocation).

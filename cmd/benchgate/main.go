@@ -6,7 +6,7 @@
 // should not merge silently.
 //
 //	benchgate -baseline BENCH_core.json -candidate /tmp/bench.json
-//	benchgate -pattern Detect -max-regress 0.20 ...
+//	benchgate -pattern Detect,Ingest -max-regress 0.20 ...
 //
 // Only ns/op gates (timings compare within one host, which is how CI
 // runs it; the threshold absorbs scheduler noise). Alloc counts are
@@ -54,7 +54,7 @@ func load(path string) (map[string]benchmark, error) {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_core.json", "committed baseline report")
 	candidatePath := flag.String("candidate", "", "fresh report to gate (required)")
-	pattern := flag.String("pattern", "Detect", "gate benchmarks whose name contains this substring")
+	pattern := flag.String("pattern", "Detect", "gate benchmarks whose name contains any of these comma-separated substrings")
 	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
 	maxAllocsRegress := flag.Float64("max-allocs-regress", 0.20, "maximum tolerated allocs/op regression")
 	flag.Parse()
@@ -71,9 +71,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	pats := strings.Split(*pattern, ",")
+	match := func(name string) bool {
+		for _, p := range pats {
+			if p != "" && strings.Contains(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+
 	gated, failed := 0, 0
 	for name, base := range baseline {
-		if !strings.Contains(name, *pattern) {
+		if !match(name) {
 			continue
 		}
 		cand, ok := candidate[name]

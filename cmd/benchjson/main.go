@@ -14,10 +14,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -26,6 +28,7 @@ import (
 	"testing"
 
 	"github.com/unidetect/unidetect"
+	"github.com/unidetect/unidetect/internal/colstore"
 	"github.com/unidetect/unidetect/internal/datagen"
 	"github.com/unidetect/unidetect/internal/obs"
 )
@@ -36,6 +39,11 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Ingestion-only derived figures (rows are the natural unit of a
+	// streaming scan, not ops): rows decoded per second and heap
+	// allocations per row on the chunked CSV→arena path.
+	RowsPerSec   float64 `json:"rows_per_sec,omitempty"`
+	AllocsPerRow float64 `json:"allocs_per_row,omitempty"`
 }
 
 type report struct {
@@ -82,6 +90,44 @@ func main() {
 		}
 	})
 
+	// Ingestion throughput: chunked CSV decode into the columnar arena,
+	// one op = the whole payload streamed chunk by chunk (default chunk
+	// budget) and every chunk drained without detection.
+	const ingestRows = 4096
+	var csvBuf bytes.Buffer
+	csvBuf.WriteString("city,pop,id,note\n")
+	for i := 0; i < ingestRows; i++ {
+		fmt.Fprintf(&csvBuf, "city-%d,%d,id-%06d,row %d\n", i%97, 1000+i*37, i, i)
+	}
+	ingestData := csvBuf.Bytes()
+	ingestRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(ingestData)))
+		for i := 0; i < b.N; i++ {
+			src, err := colstore.NewCSVSource("ingest", bytes.NewReader(ingestData), colstore.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := 0
+			for {
+				c, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows += c.Rows()
+			}
+			if rows != ingestRows {
+				b.Fatalf("ingest decoded %d rows, want %d", rows, ingestRows)
+			}
+		}
+	})
+	ingest := result(fmt.Sprintf("IngestCSV%d", ingestRows), ingestRes)
+	ingest.RowsPerSec = float64(ingestRows) / (ingest.NsPerOp / 1e9)
+	ingest.AllocsPerRow = float64(ingestRes.AllocsPerOp()) / float64(ingestRows)
+
 	rep := report{
 		Go:           runtime.Version(),
 		GOOS:         runtime.GOOS,
@@ -91,6 +137,7 @@ func main() {
 		Benchmarks: []benchResult{
 			result(fmt.Sprintf("TrainSynthetic%d", *tables), trainRes),
 			result(fmt.Sprintf("DetectAll%d", len(evals.Tables)), predictRes),
+			ingest,
 		},
 	}
 	// The benchmark registry accumulates across b.N iterations, and b.N is

@@ -1,12 +1,16 @@
 // Command unidetect trains Uni-Detect models and detects errors in CSV
 // tables.
 //
-//	unidetect train  -out model.bin [-tables 20000] [-profile web] [-csv dir]
-//	unidetect detect -model model.bin [-alpha 0.05] [-dict] file.csv...
-//	unidetect scan   [-tables 8000] file.csv...     (train-and-detect in one shot)
+//	unidetect train   -out model.bin [-tables 20000] [-profile web] [-csv dir]
+//	unidetect detect  -model model.bin [-alpha 0.05] [-dict] file.csv...
+//	unidetect scan    [-tables 8000] file.csv...     (train-and-detect in one shot)
+//	unidetect convert -out data.ucol file.csv        (re-encode as columnar .ucol)
 //
 // Training uses the built-in synthetic background corpus unless -csv
-// points at a directory of CSV files to use as the corpus.
+// points at a directory of CSV files to use as the corpus. Inputs may be
+// CSV, NDJSON (.ndjson/.jsonl), Excel (.xlsx), or columnar (.ucol);
+// detect/scan with -chunk N stream each file chunk by chunk instead of
+// loading it whole, so files larger than RAM can be scanned.
 package main
 
 import (
@@ -35,6 +39,8 @@ func main() {
 		err = runDetect(os.Args[2:])
 	case "scan":
 		err = runScan(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
 	case "profile":
@@ -54,11 +60,15 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  unidetect train  -out model.bin [-tables N] [-profile web|wiki|enterprise] [-csv dir] [-dict]
-  unidetect detect -model model.bin [-alpha A] [-fdr Q] [-dict] [-repair] [-rules] [-json] file.csv|file.xlsx...
-  unidetect scan   [-tables N] [-dict] [-repair] [-rules] file.csv|file.xlsx...
-  unidetect info   -model model.bin
-  unidetect profile file.csv...`)
+  unidetect train   -out model.bin [-tables N] [-profile web|wiki|enterprise] [-csv dir] [-dict]
+  unidetect detect  -model model.bin [-alpha A] [-fdr Q] [-dict] [-repair] [-rules] [-json] [-chunk N] file.csv|file.ndjson|file.ucol|file.xlsx...
+  unidetect scan    [-tables N] [-dict] [-repair] [-rules] [-chunk N] file.csv|file.ndjson|file.ucol|file.xlsx...
+  unidetect convert -out file.ucol [-chunk N] file.csv|file.ndjson
+  unidetect info    -model model.bin
+  unidetect profile file.csv...
+
+-chunk N streams each input N rows at a time through the columnar scan
+driver (constant memory; incompatible with -repair/-rules/.xlsx).`)
 }
 
 func runProfile(args []string) error {
@@ -183,6 +193,7 @@ func runDetect(args []string) error {
 	repairs := fs.Bool("repair", false, "print repair suggestions under each finding")
 	rules := fs.Bool("rules", false, "also run the curated Excel-style rules")
 	asJSON := fs.Bool("json", false, "emit findings as JSON lines")
+	chunk := fs.Int("chunk", 0, "stream each file this many rows at a time (0 loads whole files)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -195,11 +206,12 @@ func runDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	return detectFiles(m, fs.Args(), options{repairs: *repairs, rules: *rules, json: *asJSON})
+	return detectFiles(m, fs.Args(), options{repairs: *repairs, rules: *rules, json: *asJSON, chunk: *chunk})
 }
 
 type options struct {
 	repairs, rules, json bool
+	chunk                int // >0 streams via DetectSource instead of loading whole tables
 }
 
 func runScan(args []string) error {
@@ -208,6 +220,7 @@ func runScan(args []string) error {
 	dict := fs.Bool("dict", false, "enable the dictionary spelling refinement")
 	repairs := fs.Bool("repair", false, "print repair suggestions under each finding")
 	rules := fs.Bool("rules", false, "also run the curated Excel-style rules")
+	chunk := fs.Int("chunk", 0, "stream each file this many rows at a time (0 loads whole files)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -217,7 +230,43 @@ func runScan(args []string) error {
 	if err != nil {
 		return err
 	}
-	return detectFiles(m, fs.Args(), options{repairs: *repairs, rules: *rules})
+	return detectFiles(m, fs.Args(), options{repairs: *repairs, rules: *rules, chunk: *chunk})
+}
+
+// runConvert re-encodes a CSV or NDJSON file into the `.ucol` columnar
+// format, streaming chunk by chunk so the input never has to fit in RAM.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	out := fs.String("out", "", "output .ucol path (required)")
+	chunk := fs.Int("chunk", 0, "rows per stored chunk (0 = default budget)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("convert: -out is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("convert: exactly one input file expected")
+	}
+	in := fs.Arg(0)
+	switch strings.ToLower(filepath.Ext(in)) {
+	case ".ucol", ".xlsx":
+		return fmt.Errorf("convert: input must be CSV or NDJSON, got %s", in)
+	}
+	src, err := openSource(in, *chunk)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := unidetect.WriteUcolSource(src, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // jsonFinding is the -json wire shape for one finding.
@@ -233,25 +282,104 @@ type jsonFinding struct {
 	Repairs []unidetect.Repair `json:"repairs,omitempty"`
 }
 
+// openSource opens one input file as a streaming chunked source,
+// dispatching on extension (CSV is the default).
+func openSource(p string, chunkRows int) (unidetect.Source, error) {
+	switch strings.ToLower(filepath.Ext(p)) {
+	case ".ucol":
+		return unidetect.OpenUcolSource(p)
+	case ".ndjson", ".jsonl":
+		return unidetect.OpenNDJSONSource(p, chunkRows)
+	case ".xlsx":
+		return nil, fmt.Errorf("%s: xlsx workbooks cannot stream; omit -chunk to load them in memory", p)
+	default:
+		return unidetect.OpenCSVSource(p, chunkRows)
+	}
+}
+
+// detectStreams runs the chunk-at-a-time scan over each file: one chunk
+// resident per column at a time, so inputs larger than RAM still scan.
+func detectStreams(m *unidetect.Model, paths []string, opts options) error {
+	if opts.repairs || opts.rules {
+		return fmt.Errorf("-repair and -rules need whole tables in memory; drop them or drop -chunk")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	n := 0
+	for _, p := range paths {
+		src, err := openSource(p, opts.chunk)
+		if err != nil {
+			return err
+		}
+		findings, err := m.DetectSource(context.Background(), src)
+		if cerr := src.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		for _, f := range findings {
+			if opts.json {
+				if err := enc.Encode(jsonFinding{
+					Kind: "finding", Class: f.Class.String(), Table: f.Table,
+					Column: f.Column, Rows: f.Rows, Values: f.Values,
+					Score: f.Score, Detail: f.Detail,
+				}); err != nil {
+					return err
+				}
+				continue
+			}
+			n++
+			fmt.Printf("%3d. %s\n", n, f)
+		}
+	}
+	if n == 0 && !opts.json {
+		fmt.Println("no errors detected")
+	}
+	return nil
+}
+
 func detectFiles(m *unidetect.Model, paths []string, opts options) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no input files")
 	}
+	if opts.chunk > 0 {
+		return detectStreams(m, paths, opts)
+	}
 	ts := make([]*unidetect.Table, 0, len(paths))
 	for _, p := range paths {
-		if strings.EqualFold(filepath.Ext(p), ".xlsx") {
+		switch strings.ToLower(filepath.Ext(p)) {
+		case ".xlsx":
 			sheets, err := unidetect.ReadXLSXFile(p)
 			if err != nil {
 				return err
 			}
 			ts = append(ts, sheets...)
-			continue
+		case ".ndjson", ".jsonl":
+			t, err := unidetect.ReadNDJSONFile(p)
+			if err != nil {
+				return err
+			}
+			ts = append(ts, t)
+		case ".ucol":
+			src, err := unidetect.OpenUcolSource(p)
+			if err != nil {
+				return err
+			}
+			t, err := unidetect.ReadSource(src)
+			if cerr := src.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			ts = append(ts, t)
+		default:
+			t, err := unidetect.ReadCSVFile(p)
+			if err != nil {
+				return err
+			}
+			ts = append(ts, t)
 		}
-		t, err := unidetect.ReadCSVFile(p)
-		if err != nil {
-			return err
-		}
-		ts = append(ts, t)
 	}
 	byName := map[string]*unidetect.Table{}
 	for _, t := range ts {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/unidetect/unidetect"
@@ -68,5 +69,89 @@ func TestTrainDetectRoundTripViaFiles(t *testing.T) {
 	// Detect with no inputs must error.
 	if err := runDetect([]string{"-model", modelPath}); err == nil {
 		t.Error("no inputs should error")
+	}
+
+	// Convert the CSV to columnar form and check the round trip is exact.
+	ucolPath := filepath.Join(dir, "data.ucol")
+	if err := runConvert([]string{"-out", ucolPath, "-chunk", "2", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := unidetect.ReadCSVFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := unidetect.OpenUcolSource(ucolPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unidetect.ReadSource(src)
+	if cerr := src.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCols() != want.NumCols() || got.NumRows() != want.NumRows() {
+		t.Fatalf("ucol round trip is %dx%d, want %dx%d", got.NumCols(), got.NumRows(), want.NumCols(), want.NumRows())
+	}
+	for j := range want.Columns {
+		for i, v := range want.Columns[j].Values {
+			if got.Columns[j].Values[i] != v {
+				t.Fatalf("ucol cell [%d][%d] = %q, want %q", j, i, got.Columns[j].Values[i], v)
+			}
+		}
+	}
+
+	// Streaming detect over the CSV and over the converted .ucol; an
+	// NDJSON input goes through both the whole-file and chunked paths too.
+	ndjsonPath := filepath.Join(dir, "data.ndjson")
+	ndjson := `{"Name":"Kevin Doeling"}` + "\n" + `{"Name":"Kevin Dowling"}` + "\n" +
+		`{"Name":"Alan Myerson"}` + "\n" + `{"Name":"Rob Morrow"}` + "\n"
+	if err := os.WriteFile(ndjsonPath, []byte(ndjson), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-model", modelPath, "-chunk", "2", csvPath},
+		{"-model", modelPath, "-chunk", "3", "-json", ucolPath},
+		{"-model", modelPath, ndjsonPath},
+		{"-model", modelPath, "-chunk", "2", ndjsonPath},
+	} {
+		if err := runDetect(args); err != nil {
+			t.Fatalf("runDetect(%v): %v", args, err)
+		}
+	}
+}
+
+func TestStreamingRejectsInMemoryOnlyFlags(t *testing.T) {
+	err := detectStreams(nil, nil, options{repairs: true, chunk: 4})
+	if err == nil || !strings.Contains(err.Error(), "-repair") {
+		t.Errorf("streaming with -repair: err = %v, want a -repair/-rules error", err)
+	}
+	if err := detectStreams(nil, nil, options{rules: true, chunk: 4}); err == nil {
+		t.Error("streaming with -rules should error")
+	}
+}
+
+func TestOpenSourceDispatch(t *testing.T) {
+	if _, err := openSource("book.xlsx", 4); err == nil {
+		t.Error("xlsx cannot stream; openSource should error")
+	}
+	if _, err := openSource(filepath.Join(t.TempDir(), "missing.csv"), 4); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestConvertFlagValidation(t *testing.T) {
+	if err := runConvert([]string{"in.csv"}); err == nil {
+		t.Error("convert without -out should error")
+	}
+	if err := runConvert([]string{"-out", "x.ucol"}); err == nil {
+		t.Error("convert without an input should error")
+	}
+	if err := runConvert([]string{"-out", "x.ucol", "a.csv", "b.csv"}); err == nil {
+		t.Error("convert with two inputs should error")
+	}
+	if err := runConvert([]string{"-out", "x.ucol", "in.ucol"}); err == nil {
+		t.Error("convert from .ucol should error")
 	}
 }

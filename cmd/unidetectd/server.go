@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -340,26 +341,37 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// readTable parses the request body as CSV; the table name comes from the
-// ?name= query parameter (default "upload"). Oversized bodies (past
-// cfg.MaxBody) get 413, malformed CSV gets 400.
+// readTable parses the request body as a table; the table name comes
+// from the ?name= query parameter (default "upload"). The body is CSV
+// unless Content-Type says application/x-ndjson (or application/jsonl),
+// in which case it is newline-delimited JSON — both go through the same
+// streaming columnar readers the CLI uses. Oversized bodies (past
+// cfg.MaxBody) get 413, malformed input gets 400.
 func (s *server) readTable(w http.ResponseWriter, r *http.Request) (*unidetect.Table, bool) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a CSV body", http.StatusMethodNotAllowed)
+		http.Error(w, "POST a CSV or NDJSON body", http.StatusMethodNotAllowed)
 		return nil, false
 	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		name = "upload"
 	}
-	tbl, err := unidetect.ReadCSV(name, http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	format := "csv"
+	read := unidetect.ReadCSV
+	ct := r.Header.Get("Content-Type")
+	if mt, _, _ := strings.Cut(ct, ";"); strings.TrimSpace(mt) == "application/x-ndjson" || strings.TrimSpace(mt) == "application/jsonl" {
+		format = "ndjson"
+		read = unidetect.ReadNDJSON
+	}
+	tbl, err := read(name, body)
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), http.StatusRequestEntityTooLarge)
 			return nil, false
 		}
-		http.Error(w, "bad csv: "+err.Error(), http.StatusBadRequest)
+		http.Error(w, "bad "+format+": "+err.Error(), http.StatusBadRequest)
 		return nil, false
 	}
 	if tbl.NumCols() == 0 {

@@ -39,6 +39,32 @@ func TestOversizedBodyGets413(t *testing.T) {
 	}
 }
 
+// TestNDJSONUpload: a body with an NDJSON Content-Type goes through the
+// NDJSON reader (same streaming columnar path as CSV), and malformed
+// NDJSON reports its own format in the 400.
+func TestNDJSONUpload(t *testing.T) {
+	h := newHandler(testModel(t), chaosConfig(t))
+	body := `{"director":"Kevin Doeling"}` + "\n" + `{"director":"Kevin Dowling"}` + "\n"
+	req := httptest.NewRequest(http.MethodPost, "/v1/detect?name=cast", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ndjson upload status = %d, want 200: %s", rec.Code, rec.Body)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader("{broken"))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed ndjson status = %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "bad ndjson") {
+		t.Errorf("400 body %q should name the ndjson format", rec.Body.String())
+	}
+}
+
 // TestInjectedPanicIsA500NotACrash is the core serving guarantee: a
 // panicking handler answers 500 and the daemon keeps serving.
 func TestInjectedPanicIsA500NotACrash(t *testing.T) {

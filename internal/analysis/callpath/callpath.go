@@ -46,9 +46,11 @@ import (
 // DefaultHotRoots is the serving hot-root set shared by the hotalloc and
 // hotpanic analyzers: the fast-path entry points of §2.2.3 serving
 // (predict, measure, index lookup, string-distance scans, measurement-
-// cache probes) plus the /v1/batch coalescer's leader path, which runs
-// once per coalesced group under request latency. README.md
-// ("Development") documents how to extend it.
+// cache probes), the /v1/batch coalescer's leader path, which runs
+// once per coalesced group under request latency, and the streaming
+// scan path (the per-chunk driver loop plus every colstore decoder's
+// Next, which runs once per chunk of an arbitrarily long stream).
+// README.md ("Development") documents how to extend it.
 const DefaultHotRoots = "internal/core.Predictor.detectFast," +
 	"internal/core.Predictor.detectAllFast," +
 	"internal/core.Predictor.measureUnit," +
@@ -59,6 +61,8 @@ const DefaultHotRoots = "internal/core.Predictor.detectFast," +
 	"internal/strdist.MinPairDistCappedScratch," +
 	"internal/strdist.SecondMinPairDistCappedScratch," +
 	"internal/detectors.*.MeasureColumn," +
+	"internal/core.Predictor.scanChunks," +
+	"internal/colstore.*.Next," +
 	"cmd/unidetectd.coalescer.join"
 
 // EdgeKind classifies how a call edge was resolved.

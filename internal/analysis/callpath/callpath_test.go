@@ -58,7 +58,7 @@ func TestDefaultHotRootsParse(t *testing.T) {
 	if _, err := callpath.ParseRoots(callpath.DefaultHotRoots); err != nil {
 		t.Fatalf("DefaultHotRoots does not parse: %v", err)
 	}
-	for _, want := range []string{"detectFast", "detectAllFast", "measureUnit", "Index.LR", "MeasureColumn"} {
+	for _, want := range []string{"detectFast", "detectAllFast", "measureUnit", "Index.LR", "MeasureColumn", "scanChunks", "colstore.*.Next"} {
 		if !strings.Contains(callpath.DefaultHotRoots, want) {
 			t.Errorf("DefaultHotRoots is missing %s", want)
 		}

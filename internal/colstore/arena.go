@@ -1,0 +1,156 @@
+// Package colstore is the chunked columnar table backend: flat per-column
+// cell arenas exposed as immutable ColumnViews, fixed-row-count Chunks
+// that internal/table can wrap, and streaming ingestion readers (CSV,
+// NDJSON, the .ucol binary format, and database/sql results) that yield
+// chunks without ever materializing the whole table. It is the storage
+// layer behind core.Predictor.DetectSource, the scan driver for tables
+// larger than RAM.
+//
+// Layout: each column of a chunk is one contiguous byte arena plus an
+// offsets slice (rows+1 entries); cell i is arena[offs[i]:offs[i+1]].
+// The arena is converted to an immutable string once per column per
+// chunk, so reading a cell is an allocation-free substring and every
+// cell of the column shares a single backing allocation. Callers that
+// retain a cell past the chunk's lifetime must strings.Clone it, or they
+// pin the whole column block.
+package colstore
+
+import "fmt"
+
+// arenaBuilder accumulates one column's cells into a flat byte arena.
+// Builders are reused across chunks by the streaming sources (sealing
+// hands the bytes to an immutable string, so only the offsets slice and
+// the byte buffer's capacity survive a reset).
+type arenaBuilder struct {
+	buf  []byte
+	offs []uint32
+}
+
+// reset prepares the builder for a new chunk.
+//
+// alloc-budget: 1 offsets slice allocated on first use, then its capacity is recycled chunk to chunk
+func (a *arenaBuilder) reset() {
+	a.buf = a.buf[:0]
+	a.offs = append(a.offs[:0], 0)
+}
+
+// append adds one cell.
+//
+// alloc-budget: 2 arena and offset growth amortize to steady-state capacity after the first chunks
+func (a *arenaBuilder) append(cell string) {
+	a.buf = append(a.buf, cell...)
+	a.offs = append(a.offs, uint32(len(a.buf)))
+}
+
+// appendBytes adds one cell from a byte slice (the database/sql scan
+// path hands out driver-owned buffers that must be copied immediately).
+//
+// alloc-budget: 2 arena and offset growth amortize to steady-state capacity after the first chunks
+func (a *arenaBuilder) appendBytes(cell []byte) {
+	a.buf = append(a.buf, cell...)
+	a.offs = append(a.offs, uint32(len(a.buf)))
+}
+
+// seal freezes the builder into an immutable ColumnView. The offsets are
+// copied (the builder's slice is about to be reset); the cell bytes are
+// copied once by the string conversion.
+//
+// alloc-budget: 2 the column's single backing string and its offsets copy — the per-chunk payload itself
+func (a *arenaBuilder) seal(name string) ColumnView {
+	return ColumnView{
+		name: name,
+		data: string(a.buf),
+		offs: append([]uint32(nil), a.offs...),
+	}
+}
+
+// ColumnView is an immutable view of one column of one chunk: a flat
+// cell arena plus offsets. The zero value is an empty column.
+type ColumnView struct {
+	name string
+	data string
+	offs []uint32 // len = rows+1; offs[0] == 0, offs[rows] == len(data)
+}
+
+// NewColumnView builds a view from materialized cell values (the
+// in-memory SliceSource and tests use this; streaming sources build
+// through the arena).
+func NewColumnView(name string, values []string) ColumnView {
+	var a arenaBuilder
+	a.reset()
+	for _, v := range values {
+		a.append(v)
+	}
+	return a.seal(name)
+}
+
+// Name returns the column name.
+func (v *ColumnView) Name() string { return v.name }
+
+// Len returns the number of cells.
+func (v *ColumnView) Len() int {
+	if len(v.offs) == 0 {
+		return 0
+	}
+	return len(v.offs) - 1
+}
+
+// Bytes returns the arena size in bytes (cell payload only).
+func (v *ColumnView) Bytes() int { return len(v.data) }
+
+// Value returns cell i as an allocation-free substring of the arena.
+func (v *ColumnView) Value(i int) string {
+	return v.data[v.offs[i]:v.offs[i+1]]
+}
+
+// AppendValues appends every cell to dst and returns it — the bridge to
+// []string consumers. The appended strings alias the arena.
+//
+// alloc-budget: 1 dst grows to the column's row count once per chunk table
+func (v *ColumnView) AppendValues(dst []string) []string {
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		dst = append(dst, v.Value(i))
+	}
+	return dst
+}
+
+// Fingerprint returns the 128-bit FNV-1a content fingerprint over the
+// column name and cells with length framing — the same function the
+// measurement-memoization cache applies to a materialized column, so a
+// stored .ucol fingerprint equals the cache key of the chunk's column.
+func (v *ColumnView) Fingerprint() (h1, h2 uint64) {
+	h1, h2 = NewHash()
+	h1, h2 = HashString(h1, h2, v.name)
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		h1, h2 = HashString(h1, h2, v.Value(i))
+	}
+	return h1, h2
+}
+
+// validate checks the structural invariants of a view deserialized from
+// untrusted bytes: monotone offsets starting at 0 and ending at the
+// arena length.
+//
+// alloc-budget: 4 corruption error construction only; the accept path is allocation-free
+func (v *ColumnView) validate() error {
+	if len(v.offs) == 0 {
+		if len(v.data) != 0 {
+			return fmt.Errorf("colstore: column %q: data without offsets", v.name)
+		}
+		return nil
+	}
+	if v.offs[0] != 0 {
+		return fmt.Errorf("colstore: column %q: offsets start at %d", v.name, v.offs[0])
+	}
+	for i := 1; i < len(v.offs); i++ {
+		if v.offs[i] < v.offs[i-1] {
+			return fmt.Errorf("colstore: column %q: offsets not monotone at %d", v.name, i)
+		}
+	}
+	if got, want := v.offs[len(v.offs)-1], uint32(len(v.data)); got != want {
+		return fmt.Errorf("colstore: column %q: offsets end at %d, arena has %d bytes", v.name, got, want)
+	}
+	return nil
+}

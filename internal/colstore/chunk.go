@@ -1,0 +1,65 @@
+package colstore
+
+import (
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// Chunk is a fixed-row-count horizontal slice of a table in columnar
+// form: every column holds the same row range [Base, Base+Rows()).
+// Chunks returned by a Source are valid until released (or until the
+// next Next call for sources without chunk recycling); consumers that
+// retain cell strings past that point must clone them.
+type Chunk struct {
+	// Index is the chunk ordinal within its source, starting at 0.
+	Index int
+	// Base is the global row offset of the chunk's first row.
+	Base int
+	cols []ColumnView
+}
+
+// NewChunk builds a chunk from sealed column views (tests and the
+// in-memory SliceSource).
+//
+// alloc-budget: 1 one chunk header per chunk
+func NewChunk(index, base int, cols []ColumnView) *Chunk {
+	return &Chunk{Index: index, Base: base, cols: cols}
+}
+
+// NumCols returns the column count.
+func (c *Chunk) NumCols() int { return len(c.cols) }
+
+// Col returns column j's view.
+func (c *Chunk) Col(j int) *ColumnView { return &c.cols[j] }
+
+// Rows returns the chunk's row count (0 for a chunk with no columns).
+func (c *Chunk) Rows() int {
+	if len(c.cols) == 0 {
+		return 0
+	}
+	return c.cols[0].Len()
+}
+
+// Bytes returns the total cell payload across columns — the unit of the
+// scan driver's bytes-streamed accounting.
+func (c *Chunk) Bytes() int {
+	n := 0
+	for j := range c.cols {
+		n += c.cols[j].Bytes()
+	}
+	return n
+}
+
+// Table wraps the chunk as an internal/table table so existing detectors
+// run on it unchanged. Cell strings alias the chunk's arenas (one backing
+// allocation per column), so the returned table must not outlive the
+// chunk.
+//
+// alloc-budget: 4 chunk-table assembly: table header, column headers and the per-column value slices
+func (c *Chunk) Table(name string) *table.Table {
+	cols := make([]*table.Column, len(c.cols))
+	for j := range c.cols {
+		v := &c.cols[j]
+		cols[j] = table.NewColumn(v.Name(), v.AppendValues(make([]string, 0, v.Len())))
+	}
+	return &table.Table{Name: name, Columns: cols}
+}

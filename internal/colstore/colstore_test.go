@@ -1,0 +1,409 @@
+package colstore
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func mustTable(t *testing.T, name string, cols ...*table.Column) *table.Table {
+	t.Helper()
+	tb, err := table.New(name, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// sameTable asserts two tables agree on name, schema and every cell.
+func sameTable(t *testing.T, got, want *table.Table) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("name = %q, want %q", got.Name, want.Name)
+	}
+	if got.NumCols() != want.NumCols() {
+		t.Fatalf("cols = %d, want %d", got.NumCols(), want.NumCols())
+	}
+	for j := range want.Columns {
+		g, w := got.Columns[j], want.Columns[j]
+		if g.Name != w.Name {
+			t.Fatalf("col %d name = %q, want %q", j, g.Name, w.Name)
+		}
+		if g.Len() != w.Len() {
+			t.Fatalf("col %q rows = %d, want %d", w.Name, g.Len(), w.Len())
+		}
+		for i := range w.Values {
+			if g.Values[i] != w.Values[i] {
+				t.Fatalf("col %q row %d = %q, want %q", w.Name, i, g.Values[i], w.Values[i])
+			}
+		}
+	}
+}
+
+func TestColumnViewRoundTrip(t *testing.T) {
+	vals := []string{"a", "", "longer value", "8,011", ""}
+	v := NewColumnView("price", vals)
+	if v.Name() != "price" {
+		t.Fatalf("name = %q", v.Name())
+	}
+	if v.Len() != len(vals) {
+		t.Fatalf("len = %d, want %d", v.Len(), len(vals))
+	}
+	for i, want := range vals {
+		if got := v.Value(i); got != want {
+			t.Fatalf("value %d = %q, want %q", i, got, want)
+		}
+	}
+	got := v.AppendValues(nil)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("AppendValues[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+	if v.Bytes() != len("a")+len("longer value")+len("8,011") {
+		t.Fatalf("bytes = %d", v.Bytes())
+	}
+	if err := v.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestFingerprintFraming(t *testing.T) {
+	// Cell boundaries must shift the fingerprint: ["ab","c"] != ["a","bc"].
+	a := NewColumnView("x", []string{"ab", "c"})
+	b := NewColumnView("x", []string{"a", "bc"})
+	a1, a2 := a.Fingerprint()
+	b1, b2 := b.Fingerprint()
+	if a1 == b1 && a2 == b2 {
+		t.Fatal("boundary shift did not change fingerprint")
+	}
+	// The column name is part of the content identity.
+	c := NewColumnView("y", []string{"ab", "c"})
+	c1, c2 := c.Fingerprint()
+	if a1 == c1 && a2 == c2 {
+		t.Fatal("name change did not change fingerprint")
+	}
+	// Same content fingerprints identically.
+	d := NewColumnView("x", []string{"ab", "c"})
+	d1, d2 := d.Fingerprint()
+	if a1 != d1 || a2 != d2 {
+		t.Fatal("identical content fingerprints differ")
+	}
+}
+
+func TestSliceSourceChunking(t *testing.T) {
+	tb := mustTable(t, "t",
+		table.NewColumn("a", []string{"0", "1", "2", "3", "4", "5", "6"}),
+		table.NewColumn("b", []string{"x0", "x1", "x2", "x3", "x4", "x5", "x6"}),
+	)
+	src := NewSliceSource(tb, Options{ChunkRows: 3})
+	var bases, rows []int
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, c.Base)
+		rows = append(rows, c.Rows())
+		if c.NumCols() != 2 {
+			t.Fatalf("chunk cols = %d", c.NumCols())
+		}
+		// Chunk cells line up with the source rows.
+		for i := 0; i < c.Rows(); i++ {
+			if got, want := c.Col(0).Value(i), fmt.Sprint(c.Base+i); got != want {
+				t.Fatalf("cell = %q, want %q", got, want)
+			}
+		}
+	}
+	if fmt.Sprint(bases) != "[0 3 6]" || fmt.Sprint(rows) != "[3 3 1]" {
+		t.Fatalf("bases %v rows %v", bases, rows)
+	}
+	// Drained source keeps returning EOF.
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next = %v", err)
+	}
+
+	// ReadAll round-trips through a fresh source.
+	got, err := ReadAll(NewSliceSource(tb, Options{ChunkRows: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTable(t, got, tb)
+}
+
+func TestSliceSourceWholeTable(t *testing.T) {
+	tb := mustTable(t, "t", table.NewColumn("a", []string{"1", "2"}))
+	src := NewSliceSource(tb, Options{ChunkRows: WholeTable})
+	c, err := src.Next()
+	if err != nil || c.Rows() != 2 || c.Base != 0 {
+		t.Fatalf("chunk = %+v, err %v", c, err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("second Next = %v", err)
+	}
+
+	// A whole-table source over a zero-row table still emits one chunk so
+	// the schema flows through.
+	empty := mustTable(t, "e", table.NewColumn("a", nil))
+	src = NewSliceSource(empty, Options{ChunkRows: WholeTable})
+	c, err = src.Next()
+	if err != nil || c.Rows() != 0 || c.NumCols() != 1 {
+		t.Fatalf("empty chunk = %+v, err %v", c, err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("second Next = %v", err)
+	}
+
+	// A sized source over a zero-row table emits no chunks; ReadAll
+	// recovers the schema from ColumnNames.
+	got, err := ReadAll(NewSliceSource(empty, Options{ChunkRows: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTable(t, got, empty)
+}
+
+func TestCSVWholeFileSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		csv   string
+		want  []*table.Column
+		ncols int
+	}{
+		{
+			name: "plain",
+			csv:  "a,b\n1,x\n2,y\n",
+			want: []*table.Column{
+				table.NewColumn("a", []string{"1", "2"}),
+				table.NewColumn("b", []string{"x", "y"}),
+			},
+		},
+		{
+			name: "ragged short rows pad empty",
+			csv:  "a,b,c\n1\n2,y\n",
+			want: []*table.Column{
+				table.NewColumn("a", []string{"1", "2"}),
+				table.NewColumn("b", []string{"", "y"}),
+				table.NewColumn("c", []string{"", ""}),
+			},
+		},
+		{
+			name: "ragged wide rows widen with positional names",
+			csv:  "a\n1,x\n2,y,z\n",
+			want: []*table.Column{
+				table.NewColumn("a", []string{"1", "2"}),
+				table.NewColumn("col2", []string{"x", "y"}),
+				table.NewColumn("col3", []string{"", "z"}),
+			},
+		},
+		{
+			name: "blank headers get positional names",
+			csv:  " , b \n1,2\n",
+			want: []*table.Column{
+				table.NewColumn("col1", []string{"1"}),
+				table.NewColumn("b", []string{"2"}),
+			},
+		},
+		{
+			name: "duplicate headers stay positional",
+			csv:  "a,a\n1,2\n",
+			want: []*table.Column{
+				table.NewColumn("a", []string{"1"}),
+				table.NewColumn("a", []string{"2"}),
+			},
+		},
+		{
+			name: "header only",
+			csv:  "a,b\n",
+			want: []*table.Column{
+				table.NewColumn("a", []string{}),
+				table.NewColumn("b", []string{}),
+			},
+		},
+		{
+			name: "empty input",
+			csv:  "",
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ReadCSVAll("t", strings.NewReader(tc.csv))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := &table.Table{Name: "t", Columns: tc.want}
+			sameTable(t, got, want)
+		})
+	}
+}
+
+func TestCSVChunkedMatchesWhole(t *testing.T) {
+	// Widening happens in a late chunk: chunk sizes must not change the
+	// materialized table.
+	doc := "a,b\n" + strings.Repeat("1,x\n", 10) + "2,y,z,w\n" + strings.Repeat("3,q\n", 5)
+	want, err := ReadCSVAll("t", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{1, 2, 3, 7, 64, WholeTable} {
+		src, err := NewCSVSource("t", strings.NewReader(doc), Options{ChunkRows: rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(src)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", rows, err)
+		}
+		sameTable(t, got, want)
+	}
+}
+
+func TestCSVSourceStreams(t *testing.T) {
+	doc := "a,b\n1,x\n2,y\n3,z\n"
+	src, err := NewCSVSource("t", strings.NewReader(doc), Options{ChunkRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := src.ColumnNames(); fmt.Sprint(got) != "[a b]" {
+		t.Fatalf("names = %v", got)
+	}
+	c1, err := src.Next()
+	if err != nil || c1.Rows() != 2 || c1.Base != 0 || c1.Index != 0 {
+		t.Fatalf("chunk1 = %+v err %v", c1, err)
+	}
+	c2, err := src.Next()
+	if err != nil || c2.Rows() != 1 || c2.Base != 2 || c2.Index != 1 {
+		t.Fatalf("chunk2 = %+v err %v", c2, err)
+	}
+	// The earlier chunk's arenas are immutable: still readable after
+	// later Next calls.
+	if c1.Col(1).Value(0) != "x" || c2.Col(1).Value(0) != "z" {
+		t.Fatal("chunk cells corrupted by later reads")
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next = %v, want EOF", err)
+	}
+}
+
+func TestCSVMalformed(t *testing.T) {
+	// A bare quote is a CSV syntax error; the streaming reader must
+	// surface it, not panic or silently truncate.
+	doc := "a,b\n1,\"x\n"
+	src, err := NewCSVSource("t", strings.NewReader(doc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err == nil || err == io.EOF {
+		t.Fatalf("Next = %v, want parse error", err)
+	}
+}
+
+func TestNDJSONWholeFile(t *testing.T) {
+	doc := `{"b":"x","a":1}
+{"a":2.5,"c":true}
+{"b":null,"d":{"k":[1,"s"]}}
+`
+	got, err := ReadNDJSONAll("t", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustTable(t, "t",
+		// Schema: sorted keys of the first object, then later keys in
+		// order of appearance.
+		table.NewColumn("a", []string{"1", "2.5", ""}),
+		table.NewColumn("b", []string{"x", "", ""}),
+		table.NewColumn("c", []string{"", "true", ""}),
+		table.NewColumn("d", []string{"", "", `{"k":[1,"s"]}`}),
+	)
+	sameTable(t, got, want)
+}
+
+func TestNDJSONChunkedMatchesWhole(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, `{"a":%d,"k%d":"v"}`+"\n", i, i%5)
+	}
+	doc := b.String()
+	want, err := ReadNDJSONAll("t", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{1, 3, 7, WholeTable} {
+		src, err := NewNDJSONSource("t", strings.NewReader(doc), Options{ChunkRows: rows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(src)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", rows, err)
+		}
+		sameTable(t, got, want)
+	}
+}
+
+func TestNDJSONEmptyAndMalformed(t *testing.T) {
+	got, err := ReadNDJSONAll("t", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCols() != 0 {
+		t.Fatalf("cols = %d", got.NumCols())
+	}
+	if _, err := NewNDJSONSource("t", strings.NewReader("[1,2]\n"), Options{}); err == nil {
+		t.Fatal("array record accepted")
+	}
+	src, err := NewNDJSONSource("t", strings.NewReader(`{"a":1}`+"\n{broken"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(src); err == nil {
+		t.Fatal("malformed tail accepted")
+	}
+}
+
+// TestEdgeChunkColumnTypes is the regression suite for defined column
+// types on degenerate shapes: zero-row chunks, one-row chunks and
+// all-empty cells must produce a defined table.Column.Type (TypeEmpty
+// unless a non-empty cell says otherwise) rather than depending on what
+// a first-cell sniff would have seen.
+func TestEdgeChunkColumnTypes(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []string
+		want table.ValueType
+	}{
+		{"zero rows", nil, table.TypeEmpty},
+		{"one empty cell", []string{""}, table.TypeEmpty},
+		{"all empty cells", []string{"", "", ""}, table.TypeEmpty},
+		{"whitespace only", []string{"  ", "\t"}, table.TypeEmpty},
+		{"one string cell", []string{"paris"}, table.TypeString},
+		{"one int cell", []string{"42"}, table.TypeInt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ch := NewChunk(0, 0, []ColumnView{NewColumnView("c", tc.vals)})
+			tb := ch.Table("t")
+			if got := tb.Columns[0].Type(); got != tc.want {
+				t.Fatalf("Type = %v, want %v", got, tc.want)
+			}
+		})
+	}
+
+	// A header-only CSV materializes zero-row columns with a defined type.
+	tb, err := ReadCSVAll("t", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tb.Columns {
+		if got := c.Type(); got != table.TypeEmpty {
+			t.Fatalf("column %q Type = %v, want TypeEmpty", c.Name, got)
+		}
+	}
+}

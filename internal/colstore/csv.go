@@ -1,0 +1,192 @@
+package colstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// CSVSource streams a CSV document chunk by chunk. The first record is
+// the header; blank or missing header cells get positional names
+// (col1, col2, …), records wider than the schema widen it in place
+// (backfilling the current chunk with empty cells), and short records
+// are padded — the exact semantics of the legacy whole-file reader, so
+// ReadCSVAll over a stream reproduces it byte for byte.
+type CSVSource struct {
+	name      string
+	r         *csv.Reader
+	closer    io.Closer
+	chunkRows int
+
+	names    []string
+	header   []string
+	builders []arenaBuilder
+	index    int
+	base     int
+	err      error // sticky: io.EOF after the last chunk, or the first read error
+}
+
+// NewCSVSource starts streaming CSV from r. The header record is read
+// eagerly so ColumnNames is available immediately; an input with no
+// records at all yields a source with no columns and no chunks.
+func NewCSVSource(name string, r io.Reader, opts Options) (*CSVSource, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // tolerate ragged rows
+	// Records are copied into the arena before the next Read, so the
+	// reader can safely reuse its record buffer.
+	cr.ReuseRecord = true
+	s := &CSVSource{name: name, r: cr, chunkRows: opts.chunkRows()}
+	hdr, err := cr.Read()
+	if err == io.EOF {
+		s.err = io.EOF
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("read csv %q: %w", name, err)
+	}
+	s.header = append([]string(nil), hdr...)
+	s.widen(len(s.header), 0)
+	return s, nil
+}
+
+// positionalName names column j (0-based): the trimmed header cell if
+// it exists and is non-blank, else col<j+1>.
+//
+// alloc-budget: 1 fallback name formatting, once per headerless column per source
+func positionalName(header []string, j int) string {
+	if j < len(header) {
+		if n := strings.TrimSpace(header[j]); n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("col%d", j+1)
+}
+
+// widen grows the schema to w columns, backfilling rowsInChunk empty
+// cells in each new builder so every column of the chunk stays aligned.
+//
+// alloc-budget: 2 schema growth happens only when a record is wider than every record before it
+func (s *CSVSource) widen(w, rowsInChunk int) {
+	for j := len(s.names); j < w; j++ {
+		s.names = append(s.names, positionalName(s.header, j))
+		s.builders = append(s.builders, arenaBuilder{})
+		b := &s.builders[j]
+		b.reset()
+		for i := 0; i < rowsInChunk; i++ {
+			b.append("")
+		}
+	}
+}
+
+// Name returns the table name.
+func (s *CSVSource) Name() string { return s.name }
+
+// ColumnNames returns the schema discovered so far.
+func (s *CSVSource) ColumnNames() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Next reads up to the chunk budget of records and seals them into a
+// chunk. It returns io.EOF after the last record has been delivered.
+//
+// alloc-budget: 2 read-error wrapping plus the per-chunk column header slice
+func (s *CSVSource) Next() (*Chunk, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for j := range s.builders {
+		s.builders[j].reset()
+	}
+	rows := 0
+	for rows < s.chunkRows {
+		rec, err := s.r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.err = fmt.Errorf("read csv %q: %w", s.name, err)
+			return nil, s.err
+		}
+		if len(rec) > len(s.builders) {
+			s.widen(len(rec), rows)
+		}
+		for j := range s.builders {
+			if j < len(rec) {
+				s.builders[j].append(rec[j])
+			} else {
+				s.builders[j].append("")
+			}
+		}
+		rows++
+	}
+	if rows == 0 {
+		s.err = io.EOF
+		return nil, io.EOF
+	}
+	cols := make([]ColumnView, len(s.builders))
+	for j := range s.builders {
+		cols[j] = s.builders[j].seal(s.names[j])
+	}
+	ch := NewChunk(s.index, s.base, cols)
+	s.index++
+	s.base += rows
+	return ch, nil
+}
+
+// Close closes the underlying file, if the source owns one.
+func (s *CSVSource) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// ReadCSVAll parses a whole CSV document through the streaming reader.
+// It replaces the legacy table.ReadCSV with identical semantics.
+func ReadCSVAll(name string, r io.Reader) (*table.Table, error) {
+	src, err := NewCSVSource(name, r, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return ReadAll(src)
+}
+
+// OpenCSVFile opens a CSV file as a streaming source; the table name is
+// the file's base name without extension. The source owns the file
+// handle and closes it on Close.
+func OpenCSVFile(path string, opts Options) (*CSVSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := NewCSVSource(tableName(path), f, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src.closer = f
+	return src, nil
+}
+
+// ReadCSVFile loads a whole table from a CSV file; the table name is the
+// file's base name without extension.
+func ReadCSVFile(path string) (*table.Table, error) {
+	src, err := OpenCSVFile(path, Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return ReadAll(src)
+}
+
+// tableName derives a table name from a file path: the base name with
+// the extension stripped.
+func tableName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}

@@ -1,0 +1,97 @@
+package colstore
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// FuzzUcolRead feeds arbitrary bytes (seeded with valid files and their
+// torn-tail truncations) to the .ucol reader: it must never panic, and
+// every chunk it does deliver must be structurally valid and pass its
+// fingerprint check.
+func FuzzUcolRead(f *testing.F) {
+	tb := table.MustNew("t",
+		table.NewColumn("a", []string{"x", "8,011", ""}),
+		table.NewColumn("b", []string{"1", "2", "3"}),
+	)
+	var buf bytes.Buffer
+	if err := WriteUcol(&buf, NewSliceSource(tb, Options{ChunkRows: 2})); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add(valid[:len(ucolMagic)+2])
+	f.Add([]byte("UNIDETECT-UCOL\x01"))
+	f.Add([]byte{})
+	f.Add([]byte("UNIDETECT-CKPT\x01")) // the sibling format's magic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, err := NewUcolSource(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		width := len(src.ColumnNames())
+		for {
+			c, err := src.Next()
+			if err != nil {
+				if err != io.EOF {
+					return // hard corruption error is a valid outcome
+				}
+				break
+			}
+			if c.NumCols() != width {
+				t.Fatalf("chunk width %d != schema width %d", c.NumCols(), width)
+			}
+			for j := 0; j < c.NumCols(); j++ {
+				if err := c.Col(j).validate(); err != nil {
+					t.Fatalf("delivered invalid column: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCSVChunks asserts the chunked CSV reader is equivalent to the
+// whole-file read at every chunk size: same table or same failure, so
+// chunk geometry can never change what gets scanned.
+func FuzzCSVChunks(f *testing.F) {
+	f.Add([]byte("a,b\n1,x\n2,y\n"), byte(1))
+	f.Add([]byte("a\n1,x\n2,y,z\n"), byte(2)) // widening rows
+	f.Add([]byte(" ,b\n1\n"), byte(3))        // blank header + short row
+	f.Add([]byte("a,b\n"), byte(1))           // header only
+	f.Add([]byte(""), byte(5))
+	f.Add([]byte("a,b\n1,\"x\n"), byte(2)) // bare quote: parse error
+	f.Fuzz(func(t *testing.T, data []byte, chunk byte) {
+		rows := int(chunk%7) + 1
+		whole, wErr := ReadCSVAll("t", bytes.NewReader(data))
+		var chunked *table.Table
+		src, cErr := NewCSVSource("t", bytes.NewReader(data), Options{ChunkRows: rows})
+		if cErr == nil {
+			chunked, cErr = ReadAll(src)
+		}
+		if (wErr == nil) != (cErr == nil) {
+			t.Fatalf("whole err = %v, chunked(%d) err = %v", wErr, rows, cErr)
+		}
+		if wErr != nil {
+			return
+		}
+		if whole.NumCols() != chunked.NumCols() || whole.NumRows() != chunked.NumRows() {
+			t.Fatalf("shape %dx%d != chunked %dx%d",
+				whole.NumCols(), whole.NumRows(), chunked.NumCols(), chunked.NumRows())
+		}
+		for j := range whole.Columns {
+			w, c := whole.Columns[j], chunked.Columns[j]
+			if w.Name != c.Name {
+				t.Fatalf("col %d name %q != %q", j, w.Name, c.Name)
+			}
+			for i := range w.Values {
+				if w.Values[i] != c.Values[i] {
+					t.Fatalf("col %q row %d diverges at chunk size %d", w.Name, i, rows)
+				}
+			}
+		}
+	})
+}

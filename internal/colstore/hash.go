@@ -1,0 +1,45 @@
+package colstore
+
+// 128-bit FNV-1a content fingerprints. This is the single definition of
+// the fingerprint algorithm shared by the measurement-memoization cache
+// (internal/core) and the .ucol chunk frames: a chunk fingerprint written
+// by the columnar writer is bit-for-bit the key the serving cache would
+// compute for the same column content, so integrity checking and
+// memoization agree by construction rather than by convention.
+//
+// The fingerprint is two independent 64-bit FNV-1a accumulators seeded
+// with different offsets; accidental collisions (which would silently
+// replay the wrong measurements or accept a corrupt chunk) are a ~2^-128
+// event per pair.
+
+// FNVOffset64 and FNVPrime64 are the standard FNV-1a parameters;
+// AltOffset64 seeds the second accumulator of the 128-bit fingerprint
+// (any odd constant different from the standard offset works — the two
+// hashes just need to disagree on collisions).
+const (
+	FNVOffset64 = 14695981039346656037
+	FNVPrime64  = 1099511628211
+	AltOffset64 = 0x9e3779b97f4a7c15
+)
+
+// NewHash returns the seeded accumulator pair.
+func NewHash() (h1, h2 uint64) { return FNVOffset64, AltOffset64 }
+
+// HashString folds one string into the accumulators with length framing,
+// so ("ab","c") and ("a","bc") fingerprint differently.
+func HashString(h1, h2 uint64, s string) (uint64, uint64) {
+	// Frame with the length so value boundaries shift the hash.
+	n := len(s)
+	for ; n > 0; n >>= 8 {
+		b := byte(n)
+		h1 = (h1 ^ uint64(b)) * FNVPrime64
+		h2 = (h2 ^ uint64(b)) * FNVPrime64
+	}
+	h1 = (h1 ^ 0xff) * FNVPrime64
+	h2 = (h2 ^ 0xff) * FNVPrime64
+	for i := 0; i < len(s); i++ {
+		h1 = (h1 ^ uint64(s[i])) * FNVPrime64
+		h2 = (h2 ^ uint64(s[i])) * FNVPrime64
+	}
+	return h1, h2
+}

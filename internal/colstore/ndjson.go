@@ -1,0 +1,237 @@
+package colstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// NDJSONSource streams newline-delimited JSON objects (one record per
+// line) chunk by chunk. The schema is the sorted key set of the first
+// object; later objects may introduce new keys, which widen the schema
+// (new keys of one record are appended in sorted order, and earlier
+// rows of the chunk are backfilled with empty cells). Cell rendering is
+// deterministic: strings verbatim, numbers as their source literal
+// (json.Number), booleans as "true"/"false", null and missing keys as
+// "", and nested arrays/objects re-marshaled compactly (object keys
+// sorted by encoding/json).
+type NDJSONSource struct {
+	name      string
+	dec       *json.Decoder
+	closer    io.Closer
+	chunkRows int
+
+	names    []string
+	seen     map[string]bool
+	builders []arenaBuilder
+	pending  map[string]any // first object, decoded eagerly for the schema
+	index    int
+	base     int
+	err      error
+}
+
+// NewNDJSONSource starts streaming NDJSON from r. The first object is
+// decoded eagerly so ColumnNames is available immediately; empty input
+// yields a source with no columns and no chunks.
+func NewNDJSONSource(name string, r io.Reader, opts Options) (*NDJSONSource, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	s := &NDJSONSource{name: name, dec: dec, chunkRows: opts.chunkRows(), seen: map[string]bool{}}
+	obj, err := s.decode()
+	if err == io.EOF {
+		s.err = io.EOF
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.pending = obj
+	s.widenFor(obj, 0)
+	return s, nil
+}
+
+// decode reads one record, rejecting non-object values.
+//
+// alloc-budget: 2 read-error wrapping and the empty-object placeholder for a JSON null record
+func (s *NDJSONSource) decode() (map[string]any, error) {
+	var obj map[string]any
+	if err := s.dec.Decode(&obj); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("read ndjson %q: %w", s.name, err)
+	}
+	if obj == nil {
+		return map[string]any{}, nil
+	}
+	return obj, nil
+}
+
+// widenFor adds any keys of obj missing from the schema, in sorted
+// order, backfilling rowsInChunk empty cells in each new builder.
+//
+// alloc-budget: 4 key scan and schema growth, entered only when a record introduces new keys
+func (s *NDJSONSource) widenFor(obj map[string]any, rowsInChunk int) {
+	var fresh []string
+	for k := range obj {
+		if !s.seen[k] {
+			fresh = append(fresh, k)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	sort.Strings(fresh)
+	for _, k := range fresh {
+		s.seen[k] = true
+		s.names = append(s.names, k)
+		var b arenaBuilder
+		b.reset()
+		for i := 0; i < rowsInChunk; i++ {
+			b.append("")
+		}
+		s.builders = append(s.builders, b)
+	}
+}
+
+// cellString renders one JSON value as a cell.
+//
+// alloc-budget: 1 nested arrays/objects re-marshal to a fresh string; scalar cells convert free
+func cellString(v any) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "", nil
+	case string:
+		return x, nil
+	case json.Number:
+		return x.String(), nil
+	case bool:
+		if x {
+			return "true", nil
+		}
+		return "false", nil
+	default:
+		// Nested arrays/objects: compact deterministic re-marshal
+		// (encoding/json sorts object keys).
+		b, err := json.Marshal(x)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+}
+
+// Name returns the table name.
+func (s *NDJSONSource) Name() string { return s.name }
+
+// ColumnNames returns the schema discovered so far.
+func (s *NDJSONSource) ColumnNames() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Next decodes up to the chunk budget of records and seals them into a
+// chunk. It returns io.EOF after the last record has been delivered.
+//
+// alloc-budget: 2 render-error wrapping plus the per-chunk column header slice
+func (s *NDJSONSource) Next() (*Chunk, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for j := range s.builders {
+		s.builders[j].reset()
+	}
+	rows := 0
+	for rows < s.chunkRows {
+		var obj map[string]any
+		if s.pending != nil {
+			obj, s.pending = s.pending, nil
+		} else {
+			var err error
+			obj, err = s.decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				s.err = err
+				return nil, s.err
+			}
+			s.widenFor(obj, rows)
+		}
+		for j := range s.builders {
+			cell, ok := obj[s.names[j]]
+			if !ok {
+				s.builders[j].append("")
+				continue
+			}
+			str, err := cellString(cell)
+			if err != nil {
+				s.err = fmt.Errorf("read ndjson %q: %w", s.name, err)
+				return nil, s.err
+			}
+			s.builders[j].append(str)
+		}
+		rows++
+	}
+	if rows == 0 {
+		s.err = io.EOF
+		return nil, io.EOF
+	}
+	cols := make([]ColumnView, len(s.builders))
+	for j := range s.builders {
+		cols[j] = s.builders[j].seal(s.names[j])
+	}
+	ch := NewChunk(s.index, s.base, cols)
+	s.index++
+	s.base += rows
+	return ch, nil
+}
+
+// Close closes the underlying file, if the source owns one.
+func (s *NDJSONSource) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// ReadNDJSONAll parses a whole NDJSON document through the streaming
+// reader.
+func ReadNDJSONAll(name string, r io.Reader) (*table.Table, error) {
+	src, err := NewNDJSONSource(name, r, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return ReadAll(src)
+}
+
+// OpenNDJSONFile opens an NDJSON file as a streaming source; the table
+// name is the file's base name without extension. The source owns the
+// file handle and closes it on Close.
+func OpenNDJSONFile(path string, opts Options) (*NDJSONSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := NewNDJSONSource(tableName(path), f, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src.closer = f
+	return src, nil
+}
+
+// ReadNDJSONFile loads a whole table from an NDJSON file; the table name
+// is the file's base name without extension.
+func ReadNDJSONFile(path string) (*table.Table, error) {
+	src, err := OpenNDJSONFile(path, Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return ReadAll(src)
+}

@@ -1,0 +1,185 @@
+package colstore
+
+import (
+	"io"
+	"math"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+// DefaultChunkRows is the chunk row budget used when Options.ChunkRows
+// is zero. It is small enough that a chunk of a wide table stays cache-
+// friendly and large enough to amortize per-chunk overhead.
+const DefaultChunkRows = 256
+
+// WholeTable is an Options.ChunkRows sentinel that disables chunking:
+// the source yields the entire table as a single chunk (the ∞ point of
+// the difftest chunk-size sweep).
+const WholeTable = -1
+
+// Options configures a streaming source.
+type Options struct {
+	// ChunkRows is the row budget per chunk: 0 means DefaultChunkRows,
+	// negative (WholeTable) means a single chunk with every row.
+	ChunkRows int
+}
+
+func (o Options) chunkRows() int {
+	switch {
+	case o.ChunkRows == 0:
+		return DefaultChunkRows
+	case o.ChunkRows < 0:
+		return math.MaxInt
+	default:
+		return o.ChunkRows
+	}
+}
+
+// Source is a streaming chunked table: a fixed (or monotonically
+// widening, for ragged CSV/NDJSON input) column schema plus a sequence
+// of row chunks. Column j of every chunk is the same logical column;
+// sources that discover new columns mid-stream append them, backfilling
+// earlier rows of the current chunk with empty cells — rows of chunks
+// already emitted are implicitly empty in the new column.
+//
+// Next returns io.EOF after the last chunk. Sources emit only chunks
+// with at least one row, except a whole-table source over a zero-row
+// table, which emits one empty chunk so the schema still flows through.
+// A chunk stays valid after subsequent Next calls (its arenas are
+// immutable), but the scan driver releases each chunk before pulling
+// the next so only one is resident per column at a time.
+type Source interface {
+	// Name is the table name.
+	Name() string
+	// ColumnNames returns the schema discovered so far (complete once
+	// Next has returned io.EOF). The slice must not be mutated.
+	ColumnNames() []string
+	// Next returns the next chunk, or io.EOF at end of stream.
+	Next() (*Chunk, error)
+	// Close releases underlying resources (files, SQL cursors).
+	Close() error
+}
+
+// Releaser is an optional Source extension. The scan driver calls
+// Release as soon as it is done with a chunk — before pulling the next
+// one — letting instrumented sources verify residency (at most one
+// outstanding chunk) and recycling sources reclaim buffers.
+type Releaser interface {
+	Release(*Chunk)
+}
+
+// SliceSource streams an in-memory table chunk by chunk — the bridge
+// that lets difftest run the chunked driver and the in-memory reference
+// over identical data, and the backing source for `.ucol` conversion of
+// already-loaded tables.
+type SliceSource struct {
+	tab       *table.Table
+	chunkRows int
+	row       int
+	index     int
+	done      bool
+}
+
+// NewSliceSource wraps a table. The table must not be mutated while the
+// source is draining.
+func NewSliceSource(t *table.Table, opts Options) *SliceSource {
+	return &SliceSource{tab: t, chunkRows: opts.chunkRows()}
+}
+
+// Name returns the wrapped table's name.
+func (s *SliceSource) Name() string { return s.tab.Name }
+
+// ColumnNames returns the wrapped table's column names.
+func (s *SliceSource) ColumnNames() []string {
+	names := make([]string, len(s.tab.Columns))
+	for j, c := range s.tab.Columns {
+		names[j] = c.Name
+	}
+	return names
+}
+
+// Next returns the next chunk of rows.
+//
+// alloc-budget: 1 per-chunk column view slice; the views alias the table's existing cell strings
+func (s *SliceSource) Next() (*Chunk, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	rows := s.tab.NumRows()
+	if s.row >= rows {
+		// A whole-table source over an empty (but non-degenerate) table
+		// still emits one zero-row chunk so consumers see the schema.
+		if !(s.row == 0 && s.chunkRows == math.MaxInt && s.tab.NumCols() > 0) {
+			s.done = true
+			return nil, io.EOF
+		}
+	}
+	n := rows - s.row
+	if n > s.chunkRows {
+		n = s.chunkRows
+	}
+	cols := make([]ColumnView, len(s.tab.Columns))
+	for j, c := range s.tab.Columns {
+		cols[j] = NewColumnView(c.Name, c.Values[s.row:s.row+n])
+	}
+	ch := NewChunk(s.index, s.row, cols)
+	s.index++
+	s.row += n
+	if s.row >= rows {
+		s.done = true
+	}
+	return ch, nil
+}
+
+// Close is a no-op.
+func (s *SliceSource) Close() error { return nil }
+
+// ReadAll drains a source into a fully materialized table: the inverse
+// of NewSliceSource, and the common loader behind the CLI/daemon file
+// readers. Columns are unioned by position (sources only ever widen),
+// with rows that predate a column's first appearance padded with empty
+// cells — the same padding the legacy whole-file CSV reader applied to
+// ragged records.
+func ReadAll(src Source) (*table.Table, error) {
+	var (
+		names []string
+		vals  [][]string
+		total int
+	)
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < c.NumCols(); j++ {
+			v := c.Col(j)
+			if j == len(names) {
+				names = append(names, v.Name())
+				vals = append(vals, make([]string, total, total+v.Len()))
+			}
+			vals[j] = v.AppendValues(vals[j])
+		}
+		total += c.Rows()
+		for j := range vals {
+			for len(vals[j]) < total {
+				vals[j] = append(vals[j], "")
+			}
+		}
+	}
+	if names == nil {
+		// No chunks (e.g. a header-only CSV): the schema still defines
+		// empty columns.
+		for _, n := range src.ColumnNames() {
+			names = append(names, n)
+			vals = append(vals, make([]string, 0))
+		}
+	}
+	cols := make([]*table.Column, len(names))
+	for j := range names {
+		cols[j] = table.NewColumn(names[j], vals[j])
+	}
+	return table.New(src.Name(), cols...)
+}

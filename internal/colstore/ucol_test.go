@@ -1,0 +1,168 @@
+package colstore
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/unidetect/unidetect/internal/table"
+)
+
+func ucolBytes(t *testing.T, tb *table.Table, chunkRows int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteUcol(&buf, NewSliceSource(tb, Options{ChunkRows: chunkRows})); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testUcolTable(t *testing.T) *table.Table {
+	return mustTable(t, "cities",
+		table.NewColumn("city", []string{"paris", "london", "berlin", "rome", "madrid"}),
+		table.NewColumn("pop", []string{"2,140", "8,982", "3,769", "", "3,223"}),
+	)
+}
+
+func TestUcolRoundTrip(t *testing.T) {
+	tb := testUcolTable(t)
+	for _, rows := range []int{1, 2, WholeTable} {
+		src, err := NewUcolSource(bytes.NewReader(ucolBytes(t, tb, rows)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Name() != "cities" {
+			t.Fatalf("name = %q", src.Name())
+		}
+		got, err := ReadAll(src)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", rows, err)
+		}
+		sameTable(t, got, tb)
+		if src.Torn() {
+			t.Fatal("clean file reported torn")
+		}
+	}
+}
+
+func TestUcolZeroRowRoundTrip(t *testing.T) {
+	tb := mustTable(t, "e", table.NewColumn("a", nil))
+	src, err := NewUcolSource(bytes.NewReader(ucolBytes(t, tb, WholeTable)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTable(t, got, tb)
+}
+
+// TestUcolTornTail truncates a valid file at every byte offset: the
+// reader must never panic, must deliver a verified prefix of the chunk
+// stream, and must flag mid-frame truncation as torn.
+func TestUcolTornTail(t *testing.T) {
+	tb := testUcolTable(t)
+	full := ucolBytes(t, tb, 2) // 3 chunk frames
+	var wholeChunks int
+	{
+		src, err := NewUcolSource(bytes.NewReader(full))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := src.Next(); err != nil {
+				break
+			}
+			wholeChunks++
+		}
+	}
+	if wholeChunks != 3 {
+		t.Fatalf("whole file has %d chunks, want 3", wholeChunks)
+	}
+	// A cut exactly at a frame boundary is indistinguishable from a
+	// shorter valid file, so only mid-frame cuts must read as torn.
+	boundary := map[int]bool{}
+	{
+		off := len(ucolMagic)
+		for off+4 <= len(full) {
+			n := int(full[off])<<24 | int(full[off+1])<<16 | int(full[off+2])<<8 | int(full[off+3])
+			off += 4 + n
+			boundary[off] = true
+		}
+	}
+	for cut := 0; cut < len(full); cut++ {
+		src, err := NewUcolSource(bytes.NewReader(full[:cut]))
+		if err != nil {
+			// Truncated inside magic or header: rejection is the right
+			// outcome — there is no schema to stream into.
+			continue
+		}
+		n := 0
+		for {
+			c, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: hard error %v (truncation must read as torn)", cut, err)
+			}
+			// Delivered chunks are complete and verified.
+			if c.NumCols() != 2 {
+				t.Fatalf("cut %d: chunk cols = %d", cut, c.NumCols())
+			}
+			n++
+		}
+		if n > wholeChunks {
+			t.Fatalf("cut %d: %d chunks from a prefix", cut, n)
+		}
+		if n < wholeChunks && !src.Torn() && !boundary[cut] {
+			t.Fatalf("cut %d: lost chunks but not torn", cut)
+		}
+	}
+}
+
+// TestUcolCorruptCell flips one byte inside a cell's arena bytes: the
+// frame is complete, so the fingerprint check must fail hard rather
+// than deliver silently wrong data.
+func TestUcolCorruptCell(t *testing.T) {
+	tb := testUcolTable(t)
+	full := ucolBytes(t, tb, WholeTable)
+	i := bytes.Index(full, []byte("berlin"))
+	if i < 0 {
+		t.Fatal("cell bytes not found in encoding")
+	}
+	full[i] ^= 0x01
+	src, err := NewUcolSource(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = src.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("Next = %v, want fingerprint error", err)
+	}
+}
+
+func TestUcolBadMagic(t *testing.T) {
+	if _, err := NewUcolSource(bytes.NewReader([]byte("not a ucol file at all"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewUcolSource(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// TestUcolFingerprintMatchesCacheKey pins the contract that a stored
+// chunk fingerprint is the same 128-bit FNV the measurement cache
+// computes: the reference implementation here is written out longhand.
+func TestUcolFingerprintMatchesCacheKey(t *testing.T) {
+	v := NewColumnView("pop", []string{"8,011", "", "42"})
+	h1, h2 := v.Fingerprint()
+	r1, r2 := NewHash()
+	for _, s := range []string{"pop", "8,011", "", "42"} {
+		r1, r2 = HashString(r1, r2, s)
+	}
+	if h1 != r1 || h2 != r2 {
+		t.Fatalf("fingerprint (%x,%x) != reference (%x,%x)", h1, h2, r1, r2)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"github.com/unidetect/unidetect/internal/colstore"
 	"github.com/unidetect/unidetect/internal/table"
 )
 
@@ -27,16 +28,6 @@ const cacheShards = 16
 // defaultCacheSize is the default total entry budget across shards.
 const defaultCacheSize = 16384
 
-// fnvOffset64/fnvPrime64 are the standard FNV-1a parameters; altOffset64
-// seeds the second accumulator of the 128-bit fingerprint (any odd
-// constant different from the standard offset works — the two hashes
-// just need to disagree on collisions).
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-	altOffset64 = 0x9e3779b97f4a7c15
-)
-
 // cacheKey identifies one (detector class, column position, column
 // content) memoization slot. The two independent 64-bit FNV-1a hashes
 // make accidental collisions (which would silently replay the wrong
@@ -48,12 +39,15 @@ type cacheKey struct {
 }
 
 // fingerprintColumn hashes the column's name and values with length
-// framing, so ("ab","c") and ("a","bc") fingerprint differently.
+// framing, so ("ab","c") and ("a","bc") fingerprint differently. The
+// hash is internal/colstore's exported FNV-128 — the same fingerprint
+// colstore.ColumnView computes and `.ucol` files store per chunk, so a
+// stored chunk fingerprint is directly a cache key component.
 func fingerprintColumn(c *table.Column) (h1, h2 uint64) {
-	h1, h2 = fnvOffset64, altOffset64
-	h1, h2 = hashString(h1, h2, c.Name)
+	h1, h2 = colstore.NewHash()
+	h1, h2 = colstore.HashString(h1, h2, c.Name)
 	for _, v := range c.Values {
-		h1, h2 = hashString(h1, h2, v)
+		h1, h2 = colstore.HashString(h1, h2, v)
 	}
 	return h1, h2
 }
@@ -66,29 +60,12 @@ func fingerprintColumn(c *table.Column) (h1, h2 uint64) {
 // The pos = -1 sentinel in the cache key keeps table entries disjoint
 // from column entries.
 func fingerprintTable(t *table.Table) (h1, h2 uint64) {
-	h1, h2 = fnvOffset64, altOffset64
+	h1, h2 = colstore.NewHash()
 	for _, c := range t.Columns {
-		h1, h2 = hashString(h1, h2, c.Name)
+		h1, h2 = colstore.HashString(h1, h2, c.Name)
 		for _, v := range c.Values {
-			h1, h2 = hashString(h1, h2, v)
+			h1, h2 = colstore.HashString(h1, h2, v)
 		}
-	}
-	return h1, h2
-}
-
-func hashString(h1, h2 uint64, s string) (uint64, uint64) {
-	// Frame with the length so value boundaries shift the hash.
-	n := len(s)
-	for ; n > 0; n >>= 8 {
-		b := byte(n)
-		h1 = (h1 ^ uint64(b)) * fnvPrime64
-		h2 = (h2 ^ uint64(b)) * fnvPrime64
-	}
-	h1 = (h1 ^ 0xff) * fnvPrime64
-	h2 = (h2 ^ 0xff) * fnvPrime64
-	for i := 0; i < len(s); i++ {
-		h1 = (h1 ^ uint64(s[i])) * fnvPrime64
-		h2 = (h2 ^ uint64(s[i])) * fnvPrime64
 	}
 	return h1, h2
 }

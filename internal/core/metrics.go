@@ -54,6 +54,13 @@ type predictMetrics struct {
 	ixLookups    *obs.CounterVec
 	cacheOps     *obs.CounterVec
 	scratchReuse *obs.Counter
+	// Streaming-scan instrumentation (DetectSource). Chunk and byte
+	// counters are deterministic for a given source; the latency
+	// histogram is wall-clock and excluded from baselines.
+	scanChunks       *obs.Counter
+	scanBytes        *obs.Counter
+	scanDegraded     *obs.Counter
+	scanChunkSeconds *obs.Histogram
 }
 
 // newPredictMetrics resolves the prediction metric children from r
@@ -81,6 +88,14 @@ func newPredictMetrics(r *obs.Registry) predictMetrics {
 			"result"),
 		scratchReuse: r.Counter("unidetect_predict_scratch_reuse_total",
 			"Measurement units served by a reused worker scratch buffer."),
+		scanChunks: r.Counter("unidetect_scan_chunks_total",
+			"Chunks pulled from streaming sources by DetectSource."),
+		scanBytes: r.Counter("unidetect_scan_bytes_total",
+			"Cell payload bytes streamed out of chunked sources."),
+		scanDegraded: r.Counter("unidetect_scan_degraded_chunks_total",
+			"Chunks dropped by graceful degradation during streaming scans."),
+		scanChunkSeconds: r.Histogram("unidetect_scan_chunk_seconds",
+			"Per-chunk streaming scan latency (measure plus scoring).", nil),
 	}
 }
 

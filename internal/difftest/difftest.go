@@ -20,6 +20,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/unidetect/unidetect/internal/colstore"
 	"github.com/unidetect/unidetect/internal/core"
 	"github.com/unidetect/unidetect/internal/corpus"
 	"github.com/unidetect/unidetect/internal/datagen"
@@ -76,6 +77,39 @@ type Result struct {
 // Detect entry point per eval table (pre-sort dedup order included).
 func Run(t testing.TB, cfg Config) Result {
 	t.Helper()
+	ctx := context.Background()
+	ref, fast, eval := setup(t, &cfg)
+
+	want := ref.DetectAll(ctx, eval)
+	got := fast.DetectAll(ctx, eval)
+	diffFindings(t, fmt.Sprintf("seed %d DetectAll", cfg.Seed), want, got)
+
+	if len(cfg.Chaos) == 0 {
+		// The batch comparison alone would pass if both paths dropped
+		// everything; Detect has no degradation, so this also pins the
+		// per-table dedup order the batch assembly replays.
+		for _, tab := range eval {
+			diffFindings(t, fmt.Sprintf("seed %d Detect(%q)", cfg.Seed, tab.Name),
+				ref.Detect(tab), fast.Detect(tab))
+		}
+	}
+
+	res := Result{Findings: got, Classes: map[core.Class]int{}}
+	for _, f := range got {
+		res.Classes[f.Class]++
+	}
+	res.IndexLookups = counterTotal(t, fast.Obs, "unidetect_predict_index_lookups_total")
+	if res.IndexLookups == 0 {
+		t.Fatalf("difftest: seed %d: fast path scored nothing through the LR index; the comparison has no power", cfg.Seed)
+	}
+	return res
+}
+
+// setup applies Config defaults, trains the shared model and builds the
+// reference and fast predictors plus the eval set — the common front
+// half of Run and RunSource.
+func setup(t testing.TB, cfg *Config) (ref, fast *core.Predictor, eval []*table.Table) {
+	t.Helper()
 	if cfg.TrainTables == 0 {
 		cfg.TrainTables = 100
 	}
@@ -102,44 +136,82 @@ func Run(t testing.TB, cfg Config) Result {
 		t.Fatalf("difftest: train seed %d: %v", cfg.Seed, err)
 	}
 
-	eval := datagen.Generate(datagen.Spec{
+	eval = datagen.Generate(datagen.Spec{
 		Name: "difftest-eval", Profile: datagen.ProfileWeb, NumTables: cfg.EvalTables,
 		AvgRows: 20, AvgCols: 4, ErrorRate: cfg.ErrorRate, Seed: cfg.Seed + 1,
 	}).Tables
 	eval = append(eval, cfg.Extra...)
 
 	env := &core.Env{Index: bg.Index()}
-	ref := core.NewPredictor(model, dets, env)
+	ref = core.NewPredictor(model, dets, env)
 	ref.Reference = true
-	fast := core.NewPredictor(model, dets, env)
+	fast = core.NewPredictor(model, dets, env)
 	fast.CacheSize = cfg.CacheSize
 	fast.Obs = obs.NewRegistry()
 	if len(cfg.Chaos) > 0 {
 		ref.Inject = faultinject.New(cfg.ChaosSeed, cfg.Chaos...)
 		fast.Inject = faultinject.New(cfg.ChaosSeed, cfg.Chaos...)
 	}
+	return ref, fast, eval
+}
 
-	want := ref.DetectAll(ctx, eval)
-	got := fast.DetectAll(ctx, eval)
-	diffFindings(t, fmt.Sprintf("seed %d DetectAll", cfg.Seed), want, got)
+// ChunkSizes is the streaming sweep RunSource drives each eval table
+// through: row-at-a-time, a prime stride, a coarse chunk, and the whole
+// table as a single chunk (the in-memory anchor).
+var ChunkSizes = []int{1, 7, 64, colstore.WholeTable}
 
-	if len(cfg.Chaos) == 0 {
-		// The batch comparison alone would pass if both paths dropped
-		// everything; Detect has no degradation, so this also pins the
-		// per-table dedup order the batch assembly replays.
-		for _, tab := range eval {
-			diffFindings(t, fmt.Sprintf("seed %d Detect(%q)", cfg.Seed, tab.Name),
-				ref.Detect(tab), fast.Detect(tab))
+// RunSource proves the chunked streaming scan: every eval table is
+// streamed through core.Predictor.DetectSource on both the reference
+// and the fast path at each ChunkSizes entry, and the two paths must
+// agree byte-for-byte at every size. Without chaos, the whole-table
+// stream must additionally be byte-identical to the in-memory Detect on
+// both paths — pinning that the driver degenerates to the ordinary scan
+// when chunking is off. With a chaos schedule, same-seed injectors gate
+// every chunk on both paths, which must degrade the same chunks (the
+// sweep still runs; per-size outputs then legitimately differ, path
+// equivalence must not).
+func RunSource(t testing.TB, cfg Config) Result {
+	t.Helper()
+	ctx := context.Background()
+	ref, fast, eval := setup(t, &cfg)
+
+	res := Result{Classes: map[core.Class]int{}}
+	for _, tab := range eval {
+		for _, rows := range ChunkSizes {
+			what := fmt.Sprintf("seed %d DetectSource(%q, chunk=%d)", cfg.Seed, tab.Name, rows)
+			want, err := ref.DetectSource(ctx, colstore.NewSliceSource(tab, colstore.Options{ChunkRows: rows}))
+			if err != nil {
+				t.Fatalf("difftest: %s: reference: %v", what, err)
+			}
+			got, err := fast.DetectSource(ctx, colstore.NewSliceSource(tab, colstore.Options{ChunkRows: rows}))
+			if err != nil {
+				t.Fatalf("difftest: %s: fast: %v", what, err)
+			}
+			diffFindings(t, what, want, got)
+			if rows == colstore.WholeTable {
+				if len(cfg.Chaos) == 0 {
+					diffFindings(t, what+" vs reference Detect", ref.Detect(tab), want)
+					diffFindings(t, what+" vs fast Detect", fast.Detect(tab), got)
+				}
+				res.Findings = append(res.Findings, got...)
+				for _, f := range got {
+					res.Classes[f.Class]++
+				}
+			}
 		}
 	}
 
-	res := Result{Findings: got, Classes: map[core.Class]int{}}
-	for _, f := range got {
-		res.Classes[f.Class]++
-	}
 	res.IndexLookups = counterTotal(t, fast.Obs, "unidetect_predict_index_lookups_total")
 	if res.IndexLookups == 0 {
-		t.Fatalf("difftest: seed %d: fast path scored nothing through the LR index; the comparison has no power", cfg.Seed)
+		t.Fatalf("difftest: seed %d: streaming fast path scored nothing through the LR index; the comparison has no power", cfg.Seed)
+	}
+	if chunks := counterTotal(t, fast.Obs, "unidetect_scan_chunks_total"); chunks == 0 {
+		t.Fatalf("difftest: seed %d: no chunks streamed", cfg.Seed)
+	}
+	if len(cfg.Chaos) > 0 {
+		if degraded := counterTotal(t, fast.Obs, "unidetect_scan_degraded_chunks_total"); degraded == 0 {
+			t.Fatalf("difftest: seed %d: chaos schedule degraded no chunks; the chaos sweep has no power", cfg.Seed)
+		}
 	}
 	return res
 }

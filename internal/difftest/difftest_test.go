@@ -100,6 +100,71 @@ func TestEdgeTables(t *testing.T) {
 	}
 }
 
+// TestSourceSweep drives the streaming-scan sweep: per eval table and
+// chunk size, the chunked fast driver must match the chunked reference
+// driver byte-for-byte, and the whole-table stream must match the
+// in-memory Detect — with several error classes exercised so all
+// detector kinds (per-chunk column scoring and the end-of-stream sketch
+// pass) contribute evidence.
+func TestSourceSweep(t *testing.T) {
+	classes := map[core.Class]bool{}
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res := difftest.RunSource(t, difftest.Config{Seed: seed})
+			if len(res.Findings) == 0 {
+				t.Fatalf("seed %d: no streaming findings; the equivalence check has no power", seed)
+			}
+			for cls := range res.Classes {
+				classes[cls] = true
+			}
+		})
+	}
+	if len(classes) < 3 {
+		t.Fatalf("source sweep exercised only %d error classes (%v); want >= 3", len(classes), classes)
+	}
+}
+
+// TestSourceEdgeTables streams the degenerate tables of TestEdgeTables
+// through the chunk sweep: zero-row, single-row and empty-cell tables
+// are exactly where a chunked driver could mishandle schema-only
+// streams or row rebasing.
+func TestSourceEdgeTables(t *testing.T) {
+	mk := func(name string, cols ...*table.Column) *table.Table {
+		tab, err := table.New(name, cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	extra := []*table.Table{
+		mk("edge/empty-values",
+			table.NewColumn("a", []string{"", "", "", "", "", "", "", ""}),
+			table.NewColumn("b", []string{"x", "", "y", "", "z", "", "w", ""})),
+		mk("edge/zero-rows", table.NewColumn("empty", nil)),
+		mk("edge/single-row", table.NewColumn("only", []string{"v"})),
+		mk("edge/near-duplicates",
+			table.NewColumn("s", []string{"alpha", "alpha", "alpah", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"})),
+	}
+	difftest.RunSource(t, difftest.Config{Seed: 3, EvalTables: 8, Extra: extra})
+}
+
+// TestSourceChaos replays a transient scan chaos schedule through
+// same-seed injectors on both streaming paths: the fast driver must
+// degrade exactly the chunks the reference driver degrades, at every
+// chunk size, and score the surviving chunks identically.
+func TestSourceChaos(t *testing.T) {
+	for _, seed := range testkit.Seeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			difftest.RunSource(t, difftest.Config{
+				Seed:       21,
+				EvalTables: 10,
+				Chaos:      testkit.ScanChaos(0.2),
+				ChaosSeed:  seed,
+			})
+		})
+	}
+}
+
 // TestChaosSchedule replays the predict chaos schedule through
 // same-seed injectors on both paths: the fast pipeline must degrade on
 // exactly the tables the reference pipeline degrades on, and score the

@@ -4,36 +4,12 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"strings"
 )
 
-// ReadCSV parses a table from CSV data. The first record is treated as the
-// header row; missing trailing cells are padded with empty strings so that
-// slightly ragged real-world files still load.
-func ReadCSV(name string, r io.Reader) (*Table, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // tolerate ragged rows
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("read csv %q: %w", name, err)
-	}
-	return fromRecords(name, records)
-}
-
-// ReadCSVFile loads a table from a CSV file; the table name is the file's
-// base name without extension.
-func ReadCSVFile(path string) (*Table, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	base := filepath.Base(path)
-	name := strings.TrimSuffix(base, filepath.Ext(base))
-	return ReadCSV(name, f)
-}
+// CSV parsing lives in internal/colstore (the streaming chunked reader);
+// this file keeps only the writer and the records-to-table assembly the
+// TSV/markdown/xlsx readers share.
 
 // WriteCSV writes the table as CSV with a header row.
 func WriteCSV(t *Table, w io.Writer) error {

@@ -51,7 +51,15 @@ func classifyCell(v string) cellKind {
 // "8,011"-style values, Figure 4(e)) does not flip the column to string.
 // A column with both letter-bearing and digit-bearing values, or with
 // mixed-alphanumeric cells, is TypeMixed (ID/code-like).
+//
+// A nil or zero-length slice, and a slice whose cells are all blank, are
+// guaranteed to be TypeEmpty — columns materialized from streaming
+// sources (schema-only chunks, columns widened after their rows passed)
+// rely on this never classifying as string or numeric.
 func InferType(values []string) ValueType {
+	if len(values) == 0 {
+		return TypeEmpty
+	}
 	var nEmpty, nInt, nFloat, nString, nMixed int
 	for _, v := range values {
 		switch classifyCell(v) {

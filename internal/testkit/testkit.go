@@ -100,6 +100,17 @@ func PredictChaos(p float64) []faultinject.Rule {
 	}
 }
 
+// ScanChaos is a fault schedule for the streaming scan path: chunks
+// fail or panic with probability p and p/2. Like PredictChaos it has no
+// delay-only rule, so every transcript event is exactly one gracefully
+// degraded chunk of a DetectSource stream.
+func ScanChaos(p float64) []faultinject.Rule {
+	return []faultinject.Rule{
+		{Site: "core/scan/*", P: p, Fault: faultinject.Fault{Err: ErrTransient}},
+		{Site: "core/scan/*", P: p / 2, Fault: faultinject.Fault{Panic: "chaos: injected scan panic"}},
+	}
+}
+
 // ServeChaos is a fault schedule for the serving path: requests are
 // delayed, failed, or panicked with probability p each. Sites follow the
 // daemon's "unidetectd<path>" convention.

@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"github.com/unidetect/unidetect/internal/autodetect"
+	"github.com/unidetect/unidetect/internal/colstore"
 	"github.com/unidetect/unidetect/internal/core"
 	"github.com/unidetect/unidetect/internal/corpus"
 	"github.com/unidetect/unidetect/internal/detectors"
@@ -65,10 +66,68 @@ func NewColumn(name string, values []string) *Column {
 }
 
 // ReadCSV parses a table from CSV data; the first record is the header.
-func ReadCSV(name string, r io.Reader) (*Table, error) { return table.ReadCSV(name, r) }
+// Parsing goes through the streaming columnar reader, so whole-file and
+// chunked loads of the same bytes are identical by construction.
+func ReadCSV(name string, r io.Reader) (*Table, error) { return colstore.ReadCSVAll(name, r) }
 
 // ReadCSVFile loads a table from a CSV file.
-func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
+func ReadCSVFile(path string) (*Table, error) { return colstore.ReadCSVFile(path) }
+
+// ReadNDJSON parses newline-delimited JSON (one object per row; the
+// column schema is the union of keys, sorted on first appearance).
+func ReadNDJSON(name string, r io.Reader) (*Table, error) { return colstore.ReadNDJSONAll(name, r) }
+
+// Source is a streaming chunked table: a column schema plus a sequence
+// of fixed-row-budget chunks, pulled one at a time so tables larger than
+// RAM can be scanned. Obtain one from OpenCSVSource/OpenUcolSource (or
+// NewTableSource over an in-memory table) and feed it to
+// Model.DetectSource; callers own Close.
+type Source = colstore.Source
+
+// NewTableSource streams an in-memory table chunk by chunk. chunkRows 0
+// selects the default budget; negative streams the whole table as one
+// chunk.
+func NewTableSource(t *Table, chunkRows int) Source {
+	return colstore.NewSliceSource(t, colstore.Options{ChunkRows: chunkRows})
+}
+
+// OpenCSVSource opens a CSV file as a streaming source with the given
+// chunk row budget (0 = default). The source owns the file handle.
+func OpenCSVSource(path string, chunkRows int) (Source, error) {
+	return colstore.OpenCSVFile(path, colstore.Options{ChunkRows: chunkRows})
+}
+
+// OpenNDJSONSource opens a newline-delimited JSON file as a streaming
+// source with the given chunk row budget (0 = default). The source owns
+// the file handle.
+func OpenNDJSONSource(path string, chunkRows int) (Source, error) {
+	return colstore.OpenNDJSONFile(path, colstore.Options{ChunkRows: chunkRows})
+}
+
+// ReadNDJSONFile loads a whole table from an NDJSON file.
+func ReadNDJSONFile(path string) (*Table, error) { return colstore.ReadNDJSONFile(path) }
+
+// ReadSource drains a streaming source into an in-memory table,
+// applying the same widening and padding the chunked scan sees.
+func ReadSource(src Source) (*Table, error) { return colstore.ReadAll(src) }
+
+// OpenUcolSource opens a `.ucol` columnar file (written by WriteUcol) as
+// a streaming source; chunking follows the file's own frame layout, and
+// every chunk is verified against its stored fingerprint.
+func OpenUcolSource(path string) (Source, error) { return colstore.OpenUcolFile(path) }
+
+// WriteUcol writes a table in the length-prefixed binary columnar format
+// `.ucol`: fingerprinted chunks of chunkRows rows (0 = default budget)
+// that stream back through OpenUcolSource without rematerializing the
+// whole table.
+func WriteUcol(t *Table, w io.Writer, chunkRows int) error {
+	return colstore.WriteUcol(w, colstore.NewSliceSource(t, colstore.Options{ChunkRows: chunkRows}))
+}
+
+// WriteUcolSource streams src straight into the `.ucol` format, one
+// chunk resident at a time — the conversion path for files larger than
+// RAM (`unidetect convert`).
+func WriteUcolSource(src Source, w io.Writer) error { return colstore.WriteUcol(w, src) }
 
 // ReadTSV parses a tab-separated table; the first line is the header.
 func ReadTSV(name string, r io.Reader) (*Table, error) { return table.ReadTSV(name, r) }
@@ -301,6 +360,38 @@ func (m *Model) Warm() { m.predictor().Warm() }
 // Detect scans one table and returns its findings ranked by Score.
 func (m *Model) Detect(ctx context.Context, t *Table) []Finding {
 	return m.DetectAll(ctx, []*Table{t})
+}
+
+// DetectSource scans a streaming chunked source and returns its findings
+// ranked by Score. Column-granular detectors score each chunk as it
+// streams (a windowed approximation of their whole-column statistics
+// when chunking is on; identical when the source yields one chunk),
+// while FD detectors run exact over a dictionary-compressed sketch at
+// end of stream — so memory stays one chunk plus the distinct-value
+// dictionaries. The Auto-Detect pattern model (Options.WithPatterns)
+// needs whole columns and does not run on streams.
+func (m *Model) DetectSource(ctx context.Context, src Source) ([]Finding, error) {
+	fs, err := m.predictor().DetectSource(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	core.SortFindings(fs)
+	if m.opts != nil && m.opts.FDR > 0 {
+		fs = core.FDRFilter(fs, m.opts.FDR)
+	}
+	out := make([]Finding, len(fs))
+	for i, f := range fs {
+		out[i] = Finding{
+			Class:  publicClass(f.Class),
+			Table:  f.Table,
+			Column: f.Column,
+			Rows:   f.Rows,
+			Values: f.Values,
+			Score:  f.LR,
+			Detail: f.Detail,
+		}
+	}
+	return out, nil
 }
 
 // DetectAll scans many tables concurrently and returns all findings
