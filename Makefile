@@ -9,9 +9,11 @@
 #   make race      — full test suite under the race detector
 #   make bench     — benchmarks (no tests)
 #   make bench-json — train/predict baseline + registry counters → BENCH_core.json
-#   make bench-gate — regenerate the report, fail on >20% detect regression
+#   make bench-serving — serving-tier latency/throughput baseline → BENCH_serving.json
+#   make bench-gate — regenerate both reports, fail on regression
 #   make fuzz      — every fuzz target for FUZZTIME (default 10s) each
 #   make chaos     — fault-injection suite, three fixed seeds, -race
+#   make cover     — per-package coverage; jobstore/tenants must stay >= 85%
 #   make check     — everything CI runs
 #   make clean     — remove generated artifacts (bench candidates, SARIF, chaos transcripts)
 
@@ -35,9 +37,11 @@ FUZZ_TARGETS = \
 	./internal/lrindex=FuzzLRIndexLookup \
 	./internal/colstore=FuzzUcolRead \
 	./internal/colstore=FuzzCSVChunks \
-	./cmd/unidetectd=FuzzReadTable
+	./internal/serving=FuzzReadTable \
+	./internal/serving=FuzzJobRequest \
+	./internal/tenants=FuzzTenantRegistryLoad
 
-.PHONY: all build lint lint-fix sarif vet test race bench bench-json bench-gate chaos fuzz check clean
+.PHONY: all build lint lint-fix sarif vet test race bench bench-json bench-serving bench-gate chaos cover fuzz check clean
 
 all: build test
 
@@ -72,6 +76,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_core.json
 
+# Serving-tier baseline: p50/p99 detect latency, request throughput and
+# async job throughput through a real listener. Same caveats as the
+# core report — timings are machine-relative.
+bench-serving:
+	$(GO) run ./cmd/benchjson -serving -out BENCH_serving.json
+
 # Regression gate: regenerate the report into a scratch file and compare
 # the detect-path benchmarks against the committed baseline; >20% ns/op
 # (or allocs/op) regression fails. Run on the same host class as the
@@ -79,6 +89,8 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/benchjson -out bench-candidate.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_core.json -candidate bench-candidate.json -pattern Detect,Ingest
+	$(GO) run ./cmd/benchjson -serving -out bench-serving-candidate.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_serving.json -candidate bench-serving-candidate.json -pattern Serving -max-regress 0.50
 
 # Coverage-guided fuzzing, one target at a time (go test accepts a
 # single -fuzz pattern per invocation).
@@ -98,7 +110,21 @@ fuzz:
 chaos:
 	mkdir -p $(CHAOS_ARTIFACT_DIR)
 	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) $(GO) test -race -count=1 ./internal/testkit/ -chaos.seeds=$(CHAOS_SEEDS)
-	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) $(GO) test -race -count=1 ./internal/faultinject/ ./internal/mapreduce/ ./internal/core/ ./cmd/unidetectd/
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) $(GO) test -race -count=1 ./internal/e2e/ -chaos.seeds=$(CHAOS_SEEDS)
+	CHAOS_ARTIFACT_DIR=$(CHAOS_ARTIFACT_DIR) $(GO) test -race -count=1 ./internal/faultinject/ ./internal/mapreduce/ ./internal/core/ ./internal/serving/ ./internal/jobstore/
+
+# Per-package coverage with floors on the new serving-tier packages:
+# the async job store and the tenant registry carry the crash-safety
+# and isolation guarantees, so they must stay well covered.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/jobstore,./internal/tenants,./internal/serving ./internal/jobstore/ ./internal/tenants/ ./internal/serving/
+	@$(GO) tool cover -func=cover.out | tail -1
+	@for pkg in internal/jobstore internal/tenants; do \
+		pct=$$($(GO) tool cover -func=cover.out | awk -v p="$$pkg/" '$$1 ~ p {split($$NF,a,"%"); sum+=a[1]; n++} END {if (n) printf "%.1f", sum/n; else print "0"}'); \
+		echo "coverage $$pkg: $$pct% (floor 85%)"; \
+		ok=$$(awk -v v="$$pct" 'BEGIN {print (v+0 >= 85) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "FAIL: $$pkg coverage $$pct% is below the 85% floor"; exit 1; fi; \
+	done
 
 check: build vet lint test race
 
@@ -106,5 +132,5 @@ check: build vet lint test race
 # and is deliberately left alone; bench-candidate.json is the scratch
 # report bench-gate regenerates every run.
 clean:
-	rm -f bench-candidate.json unilint.sarif unilint-flow.sarif
+	rm -f bench-candidate.json bench-serving-candidate.json cover.out unilint.sarif unilint-flow.sarif
 	rm -rf $(CHAOS_ARTIFACT_DIR)

@@ -21,16 +21,22 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/unidetect/unidetect"
 	"github.com/unidetect/unidetect/internal/colstore"
 	"github.com/unidetect/unidetect/internal/datagen"
 	"github.com/unidetect/unidetect/internal/obs"
+	"github.com/unidetect/unidetect/internal/serving"
 )
 
 type benchResult struct {
@@ -44,6 +50,12 @@ type benchResult struct {
 	// allocations per row on the chunked CSV→arena path.
 	RowsPerSec   float64 `json:"rows_per_sec,omitempty"`
 	AllocsPerRow float64 `json:"allocs_per_row,omitempty"`
+	// Serving-only derived figures (-serving): for request benchmarks
+	// NsPerOp is the p50 latency and P99NsPerOp the tail; throughput is
+	// reported in requests (sync) or finished jobs (async) per second.
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
+	ReqsPerSec float64 `json:"reqs_per_sec,omitempty"`
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
 }
 
 type report struct {
@@ -61,7 +73,13 @@ func main() {
 	tables := flag.Int("tables", 800, "synthetic background corpus size")
 	evalN := flag.Int("eval", 64, "error-injected tables the predict benchmark scans")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
+	serving := flag.Bool("serving", false, "benchmark the HTTP serving tier instead of the core pipeline (BENCH_serving.json)")
 	flag.Parse()
+
+	if *serving {
+		servingReport(*out, *tables, *seed)
+		return
+	}
 
 	reg := obs.NewRegistry()
 	opts := &unidetect.Options{Obs: reg}
@@ -155,7 +173,13 @@ func main() {
 	}
 	rep.Counters = counters
 
-	f, err := os.Create(*out)
+	writeReport(*out, rep)
+	log.Printf("benchjson: wrote %s (train %v/op, predict %v/op)",
+		*out, trainRes.NsPerOp(), predictRes.NsPerOp())
+}
+
+func writeReport(path string, rep report) {
+	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -167,8 +191,6 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("benchjson: wrote %s (train %v/op, predict %v/op)",
-		*out, trainRes.NsPerOp(), predictRes.NsPerOp())
 }
 
 func result(name string, r testing.BenchmarkResult) benchResult {
@@ -233,4 +255,193 @@ func flatten(s obs.PromSample) string {
 		parts[i] = k + "=" + s.Labels[k]
 	}
 	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// servingReport benchmarks the HTTP tier end to end — a real handler
+// behind a real listener — and writes the BENCH_serving.json baseline:
+// sync detect latency (p50 in ns_per_op, p99 alongside) and request
+// throughput under fixed concurrency, plus async job throughput
+// through the spool/scan/checkpoint path. Timings are machine-relative
+// like the core report; the request counts are exact by construction.
+func servingReport(out string, tables int, seed int64) {
+	ctx := context.Background()
+	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, tables, seed)
+	model, err := unidetect.Train(ctx, bg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobsDir, err := os.MkdirTemp("", "benchjson-jobs-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(jobsDir)
+	cfg := serving.DefaultConfig()
+	cfg.JobsDir = jobsDir
+	s, err := serving.New(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// The detect payload: one table shaped like the datagen web profile,
+	// big enough that the scan dominates the HTTP overhead.
+	payload := servingCSV(seed, 256)
+	post := func(path, body string) (int, error) {
+		resp, err := client.Post(ts.URL+path, "text/csv", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Sync latency/throughput: fixed request count under fixed
+	// concurrency, per-request latencies collected for the quantiles.
+	const (
+		syncTotal   = 400
+		syncWorkers = 8
+	)
+	for i := 0; i < 16; i++ { // warmup: caches, listener, GC steady state
+		if _, err := post("/v1/detect", payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+	latencies := make([]float64, syncTotal)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	syncStart := time.Now()
+	for w := 0; w < syncWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= syncTotal {
+					return
+				}
+				t0 := time.Now()
+				code, err := post("/v1/detect", payload)
+				if err != nil || code != http.StatusOK {
+					log.Fatalf("benchjson: detect request %d: code %d err %v", i, code, err)
+				}
+				latencies[i] = float64(time.Since(t0).Nanoseconds())
+			}
+		}()
+	}
+	wg.Wait()
+	syncElapsed := time.Since(syncStart)
+	sort.Float64s(latencies)
+	quantile := func(q float64) float64 {
+		i := int(q * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	detect := benchResult{
+		Name:       fmt.Sprintf("ServingDetectC%d", syncWorkers),
+		N:          syncTotal,
+		NsPerOp:    quantile(0.50),
+		P99NsPerOp: quantile(0.99),
+		ReqsPerSec: float64(syncTotal) / syncElapsed.Seconds(),
+	}
+
+	// Async throughput: a batch of jobs through spool + worker scan +
+	// checkpointing, wall-clocked from first submit to last terminal
+	// state (polled the way a client would).
+	const jobTotal = 12
+	jobPayload := servingCSV(seed+1, 2048)
+	ids := make([]string, 0, jobTotal)
+	jobStart := time.Now()
+	for i := 0; i < jobTotal; i++ {
+		resp, err := client.Post(ts.URL+"/v1/jobs?name=bench", "text/csv", strings.NewReader(jobPayload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			log.Fatalf("benchjson: job submit: %d %s", resp.StatusCode, body)
+		}
+		var status struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &status); err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, status.ID)
+	}
+	for _, id := range ids {
+		for {
+			resp, err := client.Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+			var status struct {
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal([]byte(lines[len(lines)-1]), &status); err != nil {
+				log.Fatal(err)
+			}
+			if status.State == "failed" {
+				log.Fatalf("benchjson: job %s failed", id)
+			}
+			if status.State == "done" || status.State == "degraded" {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	jobElapsed := time.Since(jobStart)
+	jobs := benchResult{
+		Name:       "ServingJobsAsync",
+		N:          jobTotal,
+		NsPerOp:    float64(jobElapsed.Nanoseconds()) / float64(jobTotal),
+		JobsPerSec: float64(jobTotal) / jobElapsed.Seconds(),
+	}
+
+	rep := report{
+		Go:           runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CorpusTables: tables,
+		Benchmarks:   []benchResult{detect, jobs},
+	}
+	writeReport(out, rep)
+	log.Printf("benchjson: wrote %s (detect p50 %.0fns p99 %.0fns, %.1f req/s, %.2f jobs/s)",
+		out, detect.NsPerOp, detect.P99NsPerOp, detect.ReqsPerSec, jobs.JobsPerSec)
+}
+
+// servingCSV renders one seeded datagen table as CSV, the benchmark's
+// upload payload.
+func servingCSV(seed int64, rows float64) string {
+	res := datagen.Generate(datagen.Spec{Name: "bench-serving", Profile: datagen.ProfileWeb,
+		NumTables: 1, AvgRows: rows, AvgCols: 5, ErrorRate: 1, Seed: seed})
+	tab := res.Tables[0]
+	var sb strings.Builder
+	for j, col := range tab.Columns {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(col.Name)
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < tab.NumRows(); i++ {
+		for j, col := range tab.Columns {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			v := col.Values[i]
+			if strings.ContainsAny(v, ",\"\n") {
+				v = `"` + strings.ReplaceAll(v, `"`, `""`) + `"`
+			}
+			sb.WriteString(v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }

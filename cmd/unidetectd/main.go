@@ -11,9 +11,18 @@
 //	POST /v1/batch             body: JSON batch -> JSON findings per table
 //	POST /v1/profile           body: CSV        -> JSON column profiles
 //	POST /v1/reload            body: JSON spec  -> swap in a new model without downtime
+//	POST /v1/jobs?name=t       body: CSV/NDJSON/.ucol -> 202 + job id (with -jobs-dir)
+//	GET  /v1/jobs/{id}                          -> NDJSON findings stream / status
 //	GET  /healthz                               -> 200 once the model is ready
 //	GET  /statusz                               -> JSON request accounting
 //	GET  /metrics                               -> Prometheus text exposition
+//
+// With -tenants the daemon is multi-tenant: every /v1/* request needs an
+// API key (Authorization: Bearer or X-API-Key) registered in the tenant
+// file, and per-tenant token-bucket quotas answer 429 + Retry-After.
+// With -jobs-dir huge uploads go through the crash-safe async job tier:
+// POST /v1/jobs returns immediately and a killed daemon resumes the
+// scan from its last per-chunk checkpoint after restart.
 //
 // With -debug-addr a second listener additionally serves /metrics and the
 // net/http/pprof endpoints (DESIGN.md §9), so profiling can stay bound to
@@ -24,6 +33,8 @@
 // the process, load beyond -max-inflight is shed with 429 + Retry-After,
 // and SIGINT/SIGTERM drain in-flight requests before exit. The -chaos-*
 // flags inject deterministic faults into request handling, for drills.
+// The serving implementation lives in internal/serving; this command is
+// the flag-parsing shell around it.
 package main
 
 import (
@@ -41,17 +52,25 @@ import (
 	"github.com/unidetect/unidetect"
 	"github.com/unidetect/unidetect/internal/faultinject"
 	"github.com/unidetect/unidetect/internal/obs"
+	"github.com/unidetect/unidetect/internal/serving"
+	"github.com/unidetect/unidetect/internal/tenants"
 )
 
 func main() {
 	modelPath := flag.String("model", "", "trained model path (empty: train a synthetic model at startup)")
 	tables := flag.Int("tables", 8000, "synthetic corpus size when no -model is given")
 	addr := flag.String("addr", ":8080", "listen address")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for :0 ephemeral ports)")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request handler deadline (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	maxInFlight := flag.Int("max-inflight", 64, "concurrent requests before load shedding with 429")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes (413 beyond)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long /v1/batch holds a batch open to coalesce concurrent requests (0 disables)")
+	tenantsPath := flag.String("tenants", "", "tenant registry file; enables API-key auth and per-tenant quotas")
+	jobsDir := flag.String("jobs-dir", "", "async job spool directory; enables POST /v1/jobs")
+	jobWorkers := flag.Int("job-workers", 2, "async job scan workers")
+	jobChunkRows := flag.Int("job-chunk-rows", 0, "rows per job scan chunk (0: library default)")
+	jobChunkDelay := flag.Duration("job-chunk-delay", 0, "throttle between job scan chunks (chaos drills)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic seed for -chaos-p fault injection")
 	chaosP := flag.Float64("chaos-p", 0, "per-request fault probability (0 disables injection)")
 	debugAddr := flag.String("debug-addr", "", "optional second listener for /metrics and /debug/pprof (e.g. 127.0.0.1:6060)")
@@ -66,7 +85,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := serverConfig{
+	cfg := serving.Config{
 		ReqTimeout:      *reqTimeout,
 		DrainTimeout:    *drain,
 		MaxInFlight:     *maxInFlight,
@@ -79,14 +98,41 @@ func main() {
 		Obs:             reg,
 		Tracer:          tracer,
 		ChaosSeed:       *chaosSeed,
+		JobsDir:         *jobsDir,
+		JobWorkers:      *jobWorkers,
+		JobChunkRows:    *jobChunkRows,
+		JobChunkDelay:   *jobChunkDelay,
 	}
+	if *tenantsPath != "" {
+		regy, err := tenants.Open(*tenantsPath, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tenants = regy
+		log.Printf("unidetectd: %d tenants loaded from %s", len(regy.Tenants()), *tenantsPath)
+	}
+	s, err := serving.New(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
 	srv := &http.Server{
-		Handler:           newHandler(model, cfg),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		// Written via temp+rename so a watcher never reads a torn file.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
@@ -94,7 +140,7 @@ func main() {
 			log.Fatal(err)
 		}
 		dsrv := &http.Server{
-			Handler:           debugHandler(reg),
+			Handler:           serving.DebugHandler(reg),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		debugDone := make(chan error, 1)
@@ -108,7 +154,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("unidetectd listening on %s", ln.Addr())
-	if err := serve(ctx, srv, ln, *drain, log.Printf); err != nil {
+	if err := serving.Serve(ctx, srv, ln, *drain, log.Printf); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("unidetectd: drained cleanly")
@@ -143,72 +189,4 @@ func loadOrTrain(modelPath string, tables int, reg *obs.Registry) (*unidetect.Mo
 	log.Printf("training synthetic model on %d tables...", tables)
 	bg := unidetect.SyntheticCorpus(unidetect.WebProfile, tables, 1)
 	return unidetect.Train(context.Background(), bg, opts)
-}
-
-// detectResponse is the /v1/detect reply.
-type detectResponse struct {
-	Table    string        `json:"table"`
-	Findings []findingJSON `json:"findings"`
-}
-
-type findingJSON struct {
-	Class   string             `json:"class"`
-	Column  string             `json:"column"`
-	Rows    []int              `json:"rows"`
-	Values  []string           `json:"values,omitempty"`
-	Score   float64            `json:"score"`
-	Detail  string             `json:"detail,omitempty"`
-	Repairs []unidetect.Repair `json:"repairs,omitempty"`
-}
-
-// newHandler wires the endpoints. /healthz and /statusz bypass the
-// protection middleware: they must answer even when the service is
-// saturated, or the orchestrator would kill a merely-busy daemon.
-func newHandler(model *unidetect.Model, cfg serverConfig) http.Handler {
-	s := newServer(model, cfg)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if _, err := w.Write([]byte("ok\n")); err != nil {
-			s.logf("unidetectd: write healthz: %v", err)
-		}
-	})
-	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
-		s.writeJSON(w, s.m.snapshot())
-	})
-	mux.Handle("/metrics", s.reg.Handler())
-	mux.HandleFunc("/v1/detect", s.protect(s.handleDetect))
-	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
-	mux.HandleFunc("/v1/profile", s.protect(s.handleProfile))
-	mux.HandleFunc("/v1/reload", s.protect(s.handleReload))
-	return mux
-}
-
-func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	tbl, ok := s.readTable(w, r)
-	if !ok {
-		return
-	}
-	findings := s.currentModel().Detect(r.Context(), tbl)
-	resp := detectResponse{Table: tbl.Name, Findings: []findingJSON{}}
-	withRepairs := r.URL.Query().Get("repair") != ""
-	for _, f := range findings {
-		jf := findingJSON{
-			Class: f.Class.String(), Column: f.Column, Rows: f.Rows,
-			Values: f.Values, Score: f.Score, Detail: f.Detail,
-		}
-		if withRepairs {
-			jf.Repairs = unidetect.SuggestRepairs(tbl, f)
-		}
-		resp.Findings = append(resp.Findings, jf)
-	}
-	s.writeJSON(w, resp)
-}
-
-func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	tbl, ok := s.readTable(w, r)
-	if !ok {
-		return
-	}
-	s.writeJSON(w, unidetect.ProfileTable(tbl))
 }

@@ -63,7 +63,7 @@ const DefaultHotRoots = "internal/core.Predictor.detectFast," +
 	"internal/detectors.*.MeasureColumn," +
 	"internal/core.Predictor.scanChunks," +
 	"internal/colstore.*.Next," +
-	"cmd/unidetectd.coalescer.join"
+	"internal/serving.coalescer.join"
 
 // EdgeKind classifies how a call edge was resolved.
 type EdgeKind uint8

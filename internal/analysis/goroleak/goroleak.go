@@ -22,9 +22,9 @@
 // other packages cannot be inspected and are trusted.
 //
 // Like seededrand, the analyzer scopes itself to the packages where the
-// invariant is policy (-packages, default internal/mapreduce and
-// cmd/unidetectd): tests and one-shot CLI paths may legitimately fire
-// and forget.
+// invariant is policy (-packages, default internal/mapreduce, the
+// serving tier and its async job workers): tests and one-shot CLI
+// paths may legitimately fire and forget.
 package goroleak
 
 import (
@@ -36,7 +36,7 @@ import (
 	"golang.org/x/tools/go/analysis"
 )
 
-var packagesFlag = "internal/mapreduce,cmd/unidetectd"
+var packagesFlag = "internal/mapreduce,cmd/unidetectd,internal/serving,internal/jobstore"
 
 // Analyzer flags goroutines with no WaitGroup/channel/ctx join path.
 var Analyzer = &analysis.Analyzer{

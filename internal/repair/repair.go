@@ -72,7 +72,7 @@ func suggestSpelling(t *table.Table, f core.Finding) []Suggestion {
 		return nil
 	}
 	c := t.Column(f.Column)
-	if c == nil {
+	if c == nil || f.Rows[0] < 0 || f.Rows[0] >= c.Len() || f.Rows[1] < 0 || f.Rows[1] >= c.Len() {
 		return nil
 	}
 	a, b := c.Values[f.Rows[0]], c.Values[f.Rows[1]]
@@ -110,6 +110,9 @@ func suggestOutlier(t *table.Table, f core.Finding) []Suggestion {
 		return nil
 	}
 	row := f.Rows[0]
+	if row < 0 || row >= c.Len() {
+		return nil
+	}
 	v, isInt, ok := table.ParseNumber(c.Values[row])
 	if !ok {
 		return nil

@@ -130,3 +130,81 @@ func TestSuggestUnknownColumn(t *testing.T) {
 		}
 	}
 }
+
+// --- Edge cases: degenerate tables must never panic or propose
+// repairs out of thin air. ---
+
+// everyClass is one representative finding per repairable class, with
+// row indices that are out of range on an empty or truncated column.
+func everyClass(column string, rows ...int) []core.Finding {
+	return []core.Finding{
+		{Class: core.ClassSpelling, Table: "t", Column: column, Rows: rows},
+		{Class: core.ClassOutlier, Table: "t", Column: column, Rows: rows[:1]},
+		{Class: core.ClassFD, Table: "t", Column: column + "→" + column, Rows: rows},
+		{Class: core.ClassFDSynth, Table: "t", Column: column + "→" + column, Rows: rows},
+		{Class: core.ClassUniqueness, Table: "t", Column: column, Rows: rows},
+	}
+}
+
+func TestSuggestEmptyTable(t *testing.T) {
+	for _, tbl := range []*table.Table{
+		table.MustNew("t"),           // no columns at all
+		table.MustNew("t", col("A")), // a column with zero rows
+	} {
+		for _, f := range everyClass("A", 0, 1) {
+			if ss := Suggest(tbl, f); len(ss) != 0 {
+				t.Errorf("empty table, %v: got %v", f.Class, ss)
+			}
+		}
+	}
+}
+
+func TestSuggestSingleRowTable(t *testing.T) {
+	tbl := table.MustNew("t", col("A", "only"))
+	// Row 0 exists; row 1 does not. Neither combination may panic, and
+	// a one-row column supports no repair of any class.
+	for _, f := range everyClass("A", 0, 1) {
+		if ss := Suggest(tbl, f); len(ss) != 0 {
+			t.Errorf("single-row table, %v: got %v", f.Class, ss)
+		}
+	}
+}
+
+func TestSuggestAllCellsFlagged(t *testing.T) {
+	// Every row of the FD group is flagged: the majority repair must
+	// still only rewrite the minority rows, never the majority itself.
+	tbl := table.MustNew("t",
+		col("City", "Paris", "Paris", "Paris", "Paris"),
+		col("Country", "France", "France", "France", "Italy"),
+	)
+	f := core.Finding{Class: core.ClassFD, Table: "t", Column: "City→Country", Rows: []int{0, 1, 2, 3}}
+	ss := Suggest(tbl, f)
+	if len(ss) != 1 || ss[0].Row != 3 || ss[0].New != "France" {
+		t.Fatalf("all-flagged FD group: got %v, want one repair of row 3 to France", ss)
+	}
+
+	// A spelling pair where the flagged rows are the entire column:
+	// the frequencies tie (one each), so no side can be picked.
+	tied := table.MustNew("t", col("N", "Doeling", "Dowling"))
+	fs := core.Finding{Class: core.ClassSpelling, Table: "t", Column: "N", Rows: []int{0, 1}}
+	if ss := Suggest(tied, fs); len(ss) != 0 {
+		t.Errorf("fully flagged tied pair: got %v", ss)
+	}
+}
+
+func TestSuggestNaNNumericColumn(t *testing.T) {
+	// NaN cells are not parseable numbers: a finding pointing at one
+	// yields nothing, and NaN neighbours are excluded from the MAD
+	// baseline rather than poisoning it.
+	tbl := table.MustNew("t", col("Pop",
+		"8011", "8.716", "NaN", "9954", "11895", "11329", "NaN", "11352", "11709", "10233"))
+	atNaN := core.Finding{Class: core.ClassOutlier, Table: "t", Column: "Pop", Rows: []int{2}}
+	if ss := Suggest(tbl, atNaN); len(ss) != 0 {
+		t.Errorf("finding at a NaN cell: got %v", ss)
+	}
+	f := core.Finding{Class: core.ClassOutlier, Table: "t", Column: "Pop", Rows: []int{1}}
+	ss := Suggest(tbl, f)
+	if len(ss) != 1 || ss[0].New != "8716" {
+		t.Fatalf("NaN neighbours must not block the scale repair: got %v", ss)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serving
 
 // batch.go implements POST /v1/batch: many tables per request, and
 // concurrent requests coalesced into a single DetectAll scan. The fast
@@ -132,7 +132,7 @@ func (c *coalescer) nextSeq() int64 {
 // a JSON envelope; the reply carries per-table findings in submission
 // order, each table's list ranked by score (the shared scan ranks
 // globally; the carve-out preserves relative order).
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a JSON batch", http.StatusMethodNotAllowed)
 		return

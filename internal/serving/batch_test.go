@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"encoding/json"
@@ -20,7 +20,7 @@ func postBatch(t *testing.T, h http.Handler, body string) *httptest.ResponseReco
 }
 
 func TestBatchEndpoint(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	body, err := json.Marshal(batchRequest{Tables: []batchTable{
 		{Name: "cast", CSV: typoCSV},
 		{Name: "clean", CSV: "City\nParis\nRome\nOslo\nBern\nRiga\nKyiv\n"},
@@ -51,7 +51,7 @@ func TestBatchEndpoint(t *testing.T) {
 // endpoint's output: the shared scan plus per-request carve-out must not
 // change what one table's findings look like.
 func TestBatchMatchesDetect(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 
 	req := httptest.NewRequest(http.MethodPost, "/v1/detect?name=cast", strings.NewReader(typoCSV))
 	rec := httptest.NewRecorder()
@@ -82,9 +82,9 @@ func TestBatchMatchesDetect(t *testing.T) {
 // and asserts at least one pair actually shared a scan — the metric the
 // whole endpoint exists for.
 func TestBatchCoalesces(t *testing.T) {
-	cfg := defaultServerConfig()
+	cfg := DefaultConfig()
 	cfg.BatchWindow = 50 * time.Millisecond
-	s := newServer(testModel(t), cfg)
+	s := newTestServer(t, testModel(t), cfg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
 
@@ -117,9 +117,9 @@ func TestBatchCoalesces(t *testing.T) {
 // TestBatchSameNameAcrossRequests asserts the per-request namespace
 // keeps identically named tables from different requests apart.
 func TestBatchSameNameAcrossRequests(t *testing.T) {
-	cfg := defaultServerConfig()
+	cfg := DefaultConfig()
 	cfg.BatchWindow = 50 * time.Millisecond
-	s := newServer(testModel(t), cfg)
+	s := newTestServer(t, testModel(t), cfg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
 
@@ -159,7 +159,7 @@ func TestBatchSameNameAcrossRequests(t *testing.T) {
 }
 
 func TestBatchRejectsBadRequests(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	for _, tc := range []struct {
 		name, body string
 		status     int

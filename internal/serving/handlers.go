@@ -1,0 +1,83 @@
+package serving
+
+// handlers.go wires the daemon's route table and the simple handlers
+// (/v1/detect, /v1/profile). /healthz, /statusz and /metrics bypass the
+// protection middleware and the tenant gate: they must answer even when
+// the service is saturated, or the orchestrator would kill a
+// merely-busy daemon.
+
+import (
+	"net/http"
+
+	"github.com/unidetect/unidetect"
+)
+
+// detectResponse is the /v1/detect reply.
+type detectResponse struct {
+	Table    string        `json:"table"`
+	Findings []findingJSON `json:"findings"`
+}
+
+type findingJSON struct {
+	Class   string             `json:"class"`
+	Column  string             `json:"column"`
+	Rows    []int              `json:"rows"`
+	Values  []string           `json:"values,omitempty"`
+	Score   float64            `json:"score"`
+	Detail  string             `json:"detail,omitempty"`
+	Repairs []unidetect.Repair `json:"repairs,omitempty"`
+}
+
+// Handler returns the daemon's route table. The async job routes only
+// exist when the server was built with a JobsDir.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			s.logf("unidetectd: write healthz: %v", err)
+		}
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, s.m.snapshot())
+	})
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/v1/detect", s.protect(s.handleDetect))
+	mux.HandleFunc("/v1/batch", s.protect(s.handleBatch))
+	mux.HandleFunc("/v1/profile", s.protect(s.handleProfile))
+	mux.HandleFunc("/v1/reload", s.protect(s.handleReload))
+	if s.jobs != nil {
+		mux.HandleFunc("/v1/jobs", s.protect(s.handleJobSubmit))
+		mux.HandleFunc("/v1/jobs/", s.protect(s.handleJobGet))
+	}
+	return mux
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.readTable(w, r)
+	if !ok {
+		return
+	}
+	findings := s.currentModel().Detect(r.Context(), tbl)
+	resp := detectResponse{Table: tbl.Name, Findings: []findingJSON{}}
+	withRepairs := r.URL.Query().Get("repair") != ""
+	for _, f := range findings {
+		jf := findingJSON{
+			Class: f.Class.String(), Column: f.Column, Rows: f.Rows,
+			Values: f.Values, Score: f.Score, Detail: f.Detail,
+		}
+		if withRepairs {
+			jf.Repairs = unidetect.SuggestRepairs(tbl, f)
+		}
+		resp.Findings = append(resp.Findings, jf)
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	tbl, ok := s.readTable(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, unidetect.ProfileTable(tbl))
+}

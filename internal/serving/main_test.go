@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"context"
@@ -17,7 +17,7 @@ var (
 	srvModel *unidetect.Model
 )
 
-func testModel(t *testing.T) *unidetect.Model {
+func testModel(t testing.TB) *unidetect.Model {
 	t.Helper()
 	srvOnce.Do(func() {
 		bg := unidetect.SyntheticCorpus(unidetect.WebProfile, 2500, 19)
@@ -32,8 +32,26 @@ func testModel(t *testing.T) *unidetect.Model {
 
 const typoCSV = "Director\nKevin Doeling\nKevin Dowling\nAlan Myerson\nRob Morrow\nLesli Glatter\nPeter Bonerz\n"
 
+// newTestServer builds a Server for tests and ties its shutdown to
+// the test, so async-job workers never outlive their test.
+func newTestServer(tb testing.TB, m *unidetect.Model, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(m, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(s.Close)
+	return s
+}
+
+// newHandler is the one-liner most tests want: a ready route table.
+func newHandler(tb testing.TB, m *unidetect.Model, cfg Config) http.Handler {
+	tb.Helper()
+	return newTestServer(tb, m, cfg).Handler()
+}
+
 func TestDetectEndpoint(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	req := httptest.NewRequest(http.MethodPost, "/v1/detect?name=cast&repair=1", strings.NewReader(typoCSV))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -53,7 +71,7 @@ func TestDetectEndpoint(t *testing.T) {
 }
 
 func TestDetectEndpointRejectsGET(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/detect", nil))
 	if rec.Code != http.StatusMethodNotAllowed {
@@ -62,7 +80,7 @@ func TestDetectEndpointRejectsGET(t *testing.T) {
 }
 
 func TestDetectEndpointBadBody(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader("\"unterminated")))
 	if rec.Code != http.StatusBadRequest {
@@ -76,7 +94,7 @@ func TestDetectEndpointBadBody(t *testing.T) {
 }
 
 func TestProfileEndpoint(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	req := httptest.NewRequest(http.MethodPost, "/v1/profile", strings.NewReader("A,B\nx,1\ny,2\n"))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
@@ -93,7 +111,7 @@ func TestProfileEndpoint(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK {
@@ -104,7 +122,7 @@ func TestHealthz(t *testing.T) {
 // TestConcurrentDetect hammers the handler from many goroutines: the
 // model must be safe for concurrent readers (run with -race).
 func TestConcurrentDetect(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)

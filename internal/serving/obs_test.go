@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"bytes"
@@ -23,25 +23,6 @@ import (
 	"github.com/unidetect/unidetect/internal/obs"
 	"github.com/unidetect/unidetect/internal/testkit"
 )
-
-// scrapeMetrics GETs /metrics off h and returns the parsed exposition,
-// failing the test if the body is not valid Prometheus text format.
-func scrapeMetrics(t *testing.T, h http.Handler) (map[string]*obs.PromFamily, string) {
-	t.Helper()
-	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
-	if rec.Code != http.StatusOK {
-		t.Fatalf("/metrics status = %d", rec.Code)
-	}
-	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
-		t.Errorf("/metrics Content-Type = %q, want text format 0.0.4", ct)
-	}
-	fams, err := obs.ParseProm(rec.Body.String())
-	if err != nil {
-		t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, rec.Body.String())
-	}
-	return fams, rec.Body.String()
-}
 
 // TestMetricsEndToEnd drives one registry through the daemon's whole
 // lifecycle — a checkpointed train that is killed and resumed, model
@@ -138,7 +119,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 		Site: "unidetectd/v1/detect", Hits: []int{2},
 		Fault: faultinject.Fault{Delay: 500 * time.Millisecond},
 	})
-	h := newHandler(model, scfg)
+	h := newHandler(t, model, scfg)
 
 	post := func(path, body string) int {
 		rec := httptest.NewRecorder()
@@ -151,7 +132,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	// Pin the only slot with the delayed second hit, then overload.
 	slowDone := make(chan int, 1)
 	go func() { slowDone <- post("/v1/detect", typoCSV) }()
-	waitInFlight(t, h, 1)
+	testkit.WaitInFlight(t, h, 1)
 	if code := post("/v1/detect", typoCSV); code != http.StatusTooManyRequests {
 		t.Fatalf("overload status = %d, want 429", code)
 	}
@@ -162,9 +143,11 @@ func TestMetricsEndToEnd(t *testing.T) {
 		t.Fatalf("clean request status = %d, want 200", code)
 	}
 
-	// Stage 3: scrape and verify. The raw exposition ships as an artifact
-	// whether or not the test fails, so every CI run has a snapshot.
-	fams, raw := scrapeMetrics(t, h)
+	// Stage 3: scrape and verify — through the shared daemon harness, so
+	// the exposition is fetched and format-validated the same way the e2e
+	// tests do it. The raw exposition ships as an artifact whether or not
+	// the test fails, so every CI run has a snapshot.
+	fams, raw := testkit.StartDaemon(t, h).Metrics()
 	testkit.Artifact(t, "metrics.prom", raw)
 
 	count := func(name string, labels map[string]string) float64 {
@@ -267,7 +250,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 func TestDebugHandlerPprof(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("unidetectd_debug_smoke_total", "Smoke-test counter.").Inc()
-	h := debugHandler(reg)
+	h := DebugHandler(reg)
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))

@@ -1,4 +1,4 @@
-package main
+package serving
 
 // reload.go implements POST /v1/reload: atomic model hot-swap. The new
 // model is built (loaded from disk, merged from several shard files, or
@@ -48,7 +48,7 @@ type reloadResponse struct {
 // handleReload serves POST /v1/reload. Concurrent reloads do not queue:
 // the second one is refused with 409 while the first is still building,
 // so a retry storm cannot stack unbounded model builds.
-func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a JSON reload spec", http.StatusMethodNotAllowed)
 		return
@@ -92,7 +92,7 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 // buildModel constructs the replacement model a reload request asks
 // for. All returned models carry the server's registry, so prediction
 // metrics keep flowing across swaps.
-func (s *server) buildModel(ctx context.Context, req reloadRequest) (*unidetect.Model, error) {
+func (s *Server) buildModel(ctx context.Context, req reloadRequest) (*unidetect.Model, error) {
 	opts := &unidetect.Options{Obs: s.reg}
 	paths := req.Models
 	if req.Model != "" {

@@ -1,4 +1,4 @@
-package main
+package serving
 
 // reload_test.go is the black-box hot-swap acceptance test: a real
 // HTTP server under concurrent detect load while models are swapped
@@ -22,40 +22,15 @@ import (
 	"testing"
 
 	"github.com/unidetect/unidetect"
-	"github.com/unidetect/unidetect/internal/obs"
+	"github.com/unidetect/unidetect/internal/testkit"
 )
 
-// scrapeGauge fetches ts's /metrics exposition and returns one gauge's
-// value, validating the text format on the way.
-func scrapeGauge(t *testing.T, client *http.Client, url, name string) float64 {
-	t.Helper()
-	resp, err := client.Get(url + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fams, err := obs.ParseProm(string(body))
-	if err != nil {
-		t.Fatalf("invalid /metrics exposition: %v", err)
-	}
-	s, ok := obs.Sample(fams, name, nil)
-	if !ok {
-		t.Fatalf("metric %s missing from /metrics", name)
-	}
-	return s.Value
-}
-
 func TestReloadHotSwap(t *testing.T) {
-	cfg := defaultServerConfig()
+	cfg := DefaultConfig()
 	cfg.MaxInFlight = 256
 	cfg.SyntheticTables = 120
-	ts := httptest.NewServer(newHandler(testModel(t), cfg))
-	defer ts.Close()
-	client := ts.Client()
+	d := testkit.StartDaemon(t, newHandler(t, testModel(t), cfg))
+	client := d.Client()
 
 	// Concurrent detect load for the whole swap sequence. Every request
 	// must succeed: a swap may never surface as an error, a dropped
@@ -78,7 +53,7 @@ func TestReloadHotSwap(t *testing.T) {
 					return
 				default:
 				}
-				resp, err := client.Post(ts.URL+"/v1/detect", "text/csv", strings.NewReader(typoCSV))
+				resp, err := client.Post(d.URL()+"/v1/detect", "text/csv", strings.NewReader(typoCSV))
 				if err != nil {
 					select {
 					case loadErrs <- err:
@@ -109,7 +84,7 @@ func TestReloadHotSwap(t *testing.T) {
 	for i := 1; i <= swaps; i++ {
 		lastSeed = int64(100 + i)
 		spec := fmt.Sprintf(`{"tables": 120, "seed": %d}`, lastSeed)
-		resp, err := client.Post(ts.URL+"/v1/reload", "application/json", strings.NewReader(spec))
+		resp, err := client.Post(d.URL()+"/v1/reload", "application/json", strings.NewReader(spec))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +104,7 @@ func TestReloadHotSwap(t *testing.T) {
 		if rr.CorpusTables != 120 {
 			t.Errorf("reload %d: corpus tables %d, want 120", i, rr.CorpusTables)
 		}
-		if v := scrapeGauge(t, client, ts.URL, "unidetectd_model_version"); v != float64(wantVersion) {
+		if v := d.Metric("unidetectd_model_version", nil); v != float64(wantVersion) {
 			t.Fatalf("reload %d: /metrics model version %v, want %d (must be monotone)", i, v, wantVersion)
 		}
 	}
@@ -149,7 +124,7 @@ func TestReloadHotSwap(t *testing.T) {
 	if n := badBody.Load(); n != 0 {
 		t.Fatalf("%d detect responses were torn or unparseable", n)
 	}
-	if v := scrapeGauge(t, client, ts.URL, "unidetectd_reloads_total"); v != swaps {
+	if v := d.Metric("unidetectd_reloads_total", nil); v != swaps {
 		t.Errorf("reloads counter = %v, want %d", v, swaps)
 	}
 
@@ -167,7 +142,7 @@ func TestReloadHotSwap(t *testing.T) {
 	}
 	want := twin.Detect(context.Background(), tbl)
 
-	resp, err := client.Post(ts.URL+"/v1/detect", "text/csv", strings.NewReader(typoCSV))
+	resp, err := client.Post(d.URL()+"/v1/detect", "text/csv", strings.NewReader(typoCSV))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,10 +191,9 @@ func TestReloadFromFiles(t *testing.T) {
 	b := trainOn(bg[80:])
 	pa, pb := saveTo(a, "a.model"), saveTo(b, "b.model")
 
-	ts := httptest.NewServer(newHandler(testModel(t), defaultServerConfig()))
-	defer ts.Close()
+	d := testkit.StartDaemon(t, newHandler(t, testModel(t), DefaultConfig()))
 	spec := fmt.Sprintf(`{"models": [%q, %q]}`, pa, pb)
-	resp, err := ts.Client().Post(ts.URL+"/v1/reload", "application/json", strings.NewReader(spec))
+	resp, err := d.Client().Post(d.URL()+"/v1/reload", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +216,7 @@ func TestReloadFromFiles(t *testing.T) {
 
 // TestReloadRejectsBadRequests pins the endpoint's failure modes.
 func TestReloadRejectsBadRequests(t *testing.T) {
-	h := newHandler(testModel(t), defaultServerConfig())
+	h := newHandler(t, testModel(t), DefaultConfig())
 	get := httptest.NewRequest(http.MethodGet, "/v1/reload", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, get)

@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"bytes"
@@ -17,13 +17,15 @@ import (
 
 	"github.com/unidetect/unidetect"
 	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/jobstore"
 	"github.com/unidetect/unidetect/internal/obs"
+	"github.com/unidetect/unidetect/internal/tenants"
 )
 
-// serverConfig is the daemon's failure-model knobs: how long a request
+// Config is the daemon's failure-model knobs: how long a request
 // may run, how many may run at once, how large a body may be, and — for
 // chaos testing — which faults to inject where.
-type serverConfig struct {
+type Config struct {
 	// ReqTimeout bounds one request's handler time; the request context
 	// is cancelled at the deadline so model scans stop early. 0 = none.
 	ReqTimeout time.Duration
@@ -52,7 +54,7 @@ type serverConfig struct {
 	// Logf receives server diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 	// Obs is the metrics registry behind /metrics and /statusz; nil
-	// makes newServer create a private one, so accounting always works.
+	// makes New create a private one, so accounting always works.
 	Obs *obs.Registry
 	// Tracer, when non-nil, records one span per protected request,
 	// tagged with the chaos seed and final status.
@@ -60,10 +62,32 @@ type serverConfig struct {
 	// ChaosSeed is stamped on request spans so a latency outlier can be
 	// joined to the failure transcript that produced it.
 	ChaosSeed int64
+
+	// Tenants, when non-nil, turns on multi-tenant mode: every protected
+	// endpoint requires an API key (Authorization: Bearer or X-API-Key)
+	// resolving to a registered tenant, and per-tenant token-bucket
+	// quotas answer 429 + Retry-After when exhausted. Nil serves
+	// anonymously, as before.
+	Tenants *tenants.Registry
+	// JobsDir, when non-empty, enables the async job tier (/v1/jobs):
+	// uploads spool under this directory and a worker pool scans them
+	// with per-chunk checkpointing.
+	JobsDir string
+	// JobWorkers bounds the job worker pool (0 = jobstore default).
+	JobWorkers int
+	// JobChunkRows is the job scan chunk geometry (0 = colstore
+	// default). Must stay stable across restarts for resume.
+	JobChunkRows int
+	// JobChunkDelay throttles job scans between chunks; the e2e chaos
+	// harness uses it to widen kill windows. 0 = full speed.
+	JobChunkDelay time.Duration
+	// MaxJobBody caps async upload size; 0 falls back to 4×MaxBody
+	// (async exists precisely for bodies too big to scan in-request).
+	MaxJobBody int64
 }
 
-func defaultServerConfig() serverConfig {
-	return serverConfig{
+func DefaultConfig() Config {
+	return Config{
 		ReqTimeout:   30 * time.Second,
 		DrainTimeout: 10 * time.Second,
 		MaxInFlight:  64,
@@ -95,6 +119,14 @@ type metrics struct {
 	batchGroups    *obs.Counter
 	batchCoalesced *obs.Counter
 	batchTables    *obs.Histogram
+
+	// Multi-tenant accounting: authenticated requests per tenant (quota
+	// rejections included — the request was attributed before being
+	// refused), quota 429s per tenant, and failed authentications
+	// (which have no tenant to attribute to).
+	tenantRequests *obs.CounterVec
+	tenantQuota    *obs.CounterVec
+	authFailures   *obs.Counter
 
 	// Hot-swap accounting: the version of the model currently serving
 	// and how many successful /v1/reload swaps the process has done.
@@ -134,6 +166,12 @@ func newMetrics(r *obs.Registry) metrics {
 			"Version of the model currently serving; increments on each successful /v1/reload."),
 		reloads: r.Counter("unidetectd_reloads_total",
 			"Successful /v1/reload model swaps."),
+		tenantRequests: r.CounterVec("unidetectd_tenant_requests_total",
+			"Authenticated requests by tenant, quota rejections included.", "tenant"),
+		tenantQuota: r.CounterVec("unidetectd_tenant_quota_rejected_total",
+			"Requests refused with 429 because the tenant's token bucket was empty.", "tenant"),
+		authFailures: r.Counter("unidetectd_tenant_auth_failures_total",
+			"Requests refused with 401 for a missing or unknown API key."),
 	}
 }
 
@@ -187,14 +225,15 @@ type modelHandle struct {
 	version int64
 }
 
-// server wires the model's endpoints behind the protection middleware.
-type server struct {
+// Server wires the model's endpoints behind the protection middleware.
+type Server struct {
 	handle atomic.Pointer[modelHandle] // current (model, version); swapped by /v1/reload
-	cfg    serverConfig
+	cfg    Config
 	reg    *obs.Registry
 	m      metrics
-	sem    chan struct{} // concurrency slots; len() is the inflight gauge
-	batch  *coalescer    // /v1/batch group-commit state
+	sem    chan struct{}   // concurrency slots; len() is the inflight gauge
+	batch  *coalescer      // /v1/batch group-commit state
+	jobs   *jobstore.Store // async job tier; nil unless cfg.JobsDir is set
 
 	// reloadMu serializes /v1/reload builds: a second reload arriving
 	// while one is training/loading gets 409 instead of queueing an
@@ -206,24 +245,31 @@ type server struct {
 // currentModel returns the model serving this instant. Callers use the
 // returned model for at most one request, so a swap takes effect on the
 // next request boundary.
-func (s *server) currentModel() *unidetect.Model {
+func (s *Server) currentModel() *unidetect.Model {
 	return s.handle.Load().model
 }
 
-func newServer(model *unidetect.Model, cfg serverConfig) *server {
+// New builds a server for model. The error is the async job tier's:
+// with cfg.JobsDir set, a spool that cannot be opened refuses to serve
+// rather than silently dropping jobs. Callers must Close the server to
+// join the job workers.
+func New(model *unidetect.Model, cfg Config) (*Server, error) {
 	if cfg.MaxInFlight <= 0 {
-		cfg.MaxInFlight = defaultServerConfig().MaxInFlight
+		cfg.MaxInFlight = DefaultConfig().MaxInFlight
 	}
 	if cfg.MaxBody <= 0 {
-		cfg.MaxBody = defaultServerConfig().MaxBody
+		cfg.MaxBody = DefaultConfig().MaxBody
 	}
 	if cfg.RetryAfter <= 0 {
-		cfg.RetryAfter = defaultServerConfig().RetryAfter
+		cfg.RetryAfter = DefaultConfig().RetryAfter
+	}
+	if cfg.MaxJobBody <= 0 {
+		cfg.MaxJobBody = 4 * cfg.MaxBody
 	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
-	s := &server{
+	s := &Server{
 		cfg: cfg,
 		reg: cfg.Obs,
 		m:   newMetrics(cfg.Obs),
@@ -237,10 +283,35 @@ func newServer(model *unidetect.Model, cfg serverConfig) *server {
 	cfg.Inject.Observe(func(ev faultinject.Event) {
 		s.m.injected.With(ev.Site).Inc()
 	})
-	return s
+	if cfg.JobsDir != "" {
+		js, err := jobstore.Open(jobstore.Config{
+			Dir:        cfg.JobsDir,
+			Workers:    cfg.JobWorkers,
+			ChunkRows:  cfg.JobChunkRows,
+			ChunkDelay: cfg.JobChunkDelay,
+			Model:      s.currentModel,
+			Inject:     cfg.Inject,
+			Logf:       cfg.Logf,
+			Obs:        cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = js
+	}
+	return s, nil
 }
 
-func (s *server) logf(format string, args ...any) {
+// Close joins the async job workers; a job mid-scan parks at its last
+// checkpoint for the next process to resume. Idempotent-enough for
+// tests: call once.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
@@ -275,7 +346,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // a dead daemon), and a chaos injection point at "unidetectd<path>".
 // Each protected request is one span, tagged with the chaos seed and the
 // final status.
-func (s *server) protect(h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.m.requests.Inc()
 		sp := s.cfg.Tracer.Start("unidetectd" + r.URL.Path)
@@ -297,6 +368,32 @@ func (s *server) protect(h http.HandlerFunc) http.HandlerFunc {
 		cancel := context.CancelFunc(func() {})
 		if s.cfg.ReqTimeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.ReqTimeout)
+		}
+		// Multi-tenant gate: inside the concurrency slot (auth work is
+		// bounded like any other request work), before the handler and
+		// the chaos injection point. Quota refusals are attributed to
+		// the tenant; auth failures have no tenant to attribute to.
+		if s.cfg.Tenants != nil {
+			grant, ok := s.cfg.Tenants.Authenticate(apiKey(r))
+			if !ok {
+				s.m.authFailures.Inc()
+				http.Error(sw, "missing or unknown API key", http.StatusUnauthorized)
+				s.finish(sw, sp, cancel, ctx)
+				return
+			}
+			s.m.tenantRequests.With(grant.Tenant.ID).Inc()
+			if ok, retry := grant.Allow(); !ok {
+				s.m.tenantQuota.With(grant.Tenant.ID).Inc()
+				secs := int(retry / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				sw.Header().Set("Retry-After", strconv.Itoa(secs))
+				http.Error(sw, "tenant quota exhausted, retry later", http.StatusTooManyRequests)
+				s.finish(sw, sp, cancel, ctx)
+				return
+			}
+			ctx = context.WithValue(ctx, tenantKey{}, grant.Tenant)
 		}
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -324,10 +421,48 @@ func (s *server) protect(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// finish closes out a request the tenant gate refused before the main
+// accounting defer was installed: same bookkeeping, early exit.
+func (s *Server) finish(sw *statusWriter, sp *obs.Span, cancel context.CancelFunc, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.m.timeouts.Inc()
+	}
+	cancel()
+	s.m.count(sw.status)
+	s.m.inflight.Add(-1)
+	<-s.sem
+	sp.Tag("status", sw.status)
+	sp.End()
+}
+
+// tenantKey carries the authenticated tenant through the request
+// context to handlers that scope work per tenant.
+type tenantKey struct{}
+
+// requestTenant returns the authenticated tenant of a request, or the
+// anonymous default when the server runs without a tenant registry.
+func requestTenant(r *http.Request) tenants.Tenant {
+	if t, ok := r.Context().Value(tenantKey{}).(tenants.Tenant); ok {
+		return t
+	}
+	return tenants.Tenant{ID: "default"}
+}
+
+// apiKey extracts the request's API key: Authorization: Bearer wins,
+// X-API-Key is the curl-friendly fallback.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
 // writeJSON marshals v into a buffer first, so an encoding failure can
 // still become a 500 (headers are unsent) instead of a torn 200, and
 // successful replies carry Content-Length.
-func (s *server) writeJSON(w http.ResponseWriter, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		s.logf("unidetectd: encode response: %v", err)
@@ -341,13 +476,23 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// bodyCap is the sync upload limit for one request: the tenant's
+// MaxBody override when one is registered, the server default
+// otherwise.
+func (s *Server) bodyCap(r *http.Request) int64 {
+	if t := requestTenant(r); t.MaxBody > 0 {
+		return t.MaxBody
+	}
+	return s.cfg.MaxBody
+}
+
 // readTable parses the request body as a table; the table name comes
 // from the ?name= query parameter (default "upload"). The body is CSV
 // unless Content-Type says application/x-ndjson (or application/jsonl),
 // in which case it is newline-delimited JSON — both go through the same
 // streaming columnar readers the CLI uses. Oversized bodies (past
 // cfg.MaxBody) get 413, malformed input gets 400.
-func (s *server) readTable(w http.ResponseWriter, r *http.Request) (*unidetect.Table, bool) {
+func (s *Server) readTable(w http.ResponseWriter, r *http.Request) (*unidetect.Table, bool) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a CSV or NDJSON body", http.StatusMethodNotAllowed)
 		return nil, false
@@ -356,7 +501,7 @@ func (s *server) readTable(w http.ResponseWriter, r *http.Request) (*unidetect.T
 	if name == "" {
 		name = "upload"
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	body := http.MaxBytesReader(w, r.Body, s.bodyCap(r))
 	format := "csv"
 	read := unidetect.ReadCSV
 	ct := r.Header.Get("Content-Type")
@@ -381,11 +526,11 @@ func (s *server) readTable(w http.ResponseWriter, r *http.Request) (*unidetect.T
 	return tbl, true
 }
 
-// debugHandler serves the observability endpoints of the -debug-addr
+// DebugHandler serves the observability endpoints of the -debug-addr
 // listener: the metrics exposition plus the standard pprof surface. It
 // is a separate handler (rather than more mux routes) so profiling can
 // bind to localhost while the service port faces the load balancer.
-func debugHandler(reg *obs.Registry) http.Handler {
+func DebugHandler(reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -399,7 +544,7 @@ func debugHandler(reg *obs.Registry) http.Handler {
 // serve runs srv on ln until ctx is cancelled, then drains gracefully:
 // the listener closes immediately (new connections are refused) while
 // in-flight requests get drain to finish.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, logf func(format string, args ...any)) error {
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, logf func(format string, args ...any)) error {
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()

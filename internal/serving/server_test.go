@@ -1,4 +1,4 @@
-package main
+package serving
 
 import (
 	"context"
@@ -16,12 +16,13 @@ import (
 	"time"
 
 	"github.com/unidetect/unidetect/internal/faultinject"
+	"github.com/unidetect/unidetect/internal/testkit"
 )
 
 // chaosConfig is the base test config: no timeouts small enough to
 // interfere, plenty of concurrency, quiet logging.
-func chaosConfig(t *testing.T) serverConfig {
-	cfg := defaultServerConfig()
+func chaosConfig(t *testing.T) Config {
+	cfg := DefaultConfig()
 	cfg.ReqTimeout = 30 * time.Second
 	cfg.Logf = t.Logf
 	return cfg
@@ -30,7 +31,7 @@ func chaosConfig(t *testing.T) serverConfig {
 func TestOversizedBodyGets413(t *testing.T) {
 	cfg := chaosConfig(t)
 	cfg.MaxBody = 1 << 10
-	h := newHandler(testModel(t), cfg)
+	h := newHandler(t, testModel(t), cfg)
 	big := "A\n" + strings.Repeat("xxxxxxxxxxxxxxxx\n", 1<<10)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(big)))
@@ -43,7 +44,7 @@ func TestOversizedBodyGets413(t *testing.T) {
 // NDJSON reader (same streaming columnar path as CSV), and malformed
 // NDJSON reports its own format in the 400.
 func TestNDJSONUpload(t *testing.T) {
-	h := newHandler(testModel(t), chaosConfig(t))
+	h := newHandler(t, testModel(t), chaosConfig(t))
 	body := `{"director":"Kevin Doeling"}` + "\n" + `{"director":"Kevin Dowling"}` + "\n"
 	req := httptest.NewRequest(http.MethodPost, "/v1/detect?name=cast", strings.NewReader(body))
 	req.Header.Set("Content-Type", "application/x-ndjson; charset=utf-8")
@@ -73,7 +74,7 @@ func TestInjectedPanicIsA500NotACrash(t *testing.T) {
 		Site: "unidetectd/v1/detect", Hits: []int{1},
 		Fault: faultinject.Fault{Panic: "chaos: handler down"},
 	})
-	h := newHandler(testModel(t), cfg)
+	h := newHandler(t, testModel(t), cfg)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
@@ -105,7 +106,7 @@ func TestInjectedErrorFailsRequestOnly(t *testing.T) {
 		Site: "unidetectd/*", Hits: []int{1},
 		Fault: faultinject.Fault{Err: errors.New("chaos: request fault")},
 	})
-	h := newHandler(testModel(t), cfg)
+	h := newHandler(t, testModel(t), cfg)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
 	if rec.Code != http.StatusInternalServerError {
@@ -131,7 +132,7 @@ func TestLoadShedding(t *testing.T) {
 		Site: "unidetectd/v1/detect", Hits: []int{1},
 		Fault: faultinject.Fault{Delay: 2 * time.Second},
 	})
-	h := newHandler(testModel(t), cfg)
+	h := newHandler(t, testModel(t), cfg)
 
 	slowDone := make(chan int, 1)
 	go func() {
@@ -141,7 +142,7 @@ func TestLoadShedding(t *testing.T) {
 	}()
 	// Wait (via the unprotected /statusz) until the slow request holds
 	// its slot, then overload.
-	waitInFlight(t, h, 1)
+	testkit.WaitInFlight(t, h, 1)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
 	if rec.Code != http.StatusTooManyRequests {
@@ -155,24 +156,6 @@ func TestLoadShedding(t *testing.T) {
 	}
 }
 
-func waitInFlight(t *testing.T, h http.Handler, want int64) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
-		var got statuszResponse
-		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
-			t.Fatal(err)
-		}
-		if got.InFlight >= want {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatal("timed out waiting for in-flight request")
-}
-
 // TestRequestTimeout: a request delayed past its deadline is cancelled
 // and counted as a timeout.
 func TestRequestTimeout(t *testing.T) {
@@ -182,7 +165,7 @@ func TestRequestTimeout(t *testing.T) {
 		Site: "unidetectd/v1/detect", Hits: []int{1},
 		Fault: faultinject.Fault{Delay: 10 * time.Second},
 	})
-	h := newHandler(testModel(t), cfg)
+	h := newHandler(t, testModel(t), cfg)
 	start := time.Now()
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(typoCSV)))
@@ -212,7 +195,7 @@ func TestGracefulDrain(t *testing.T) {
 		Site: "unidetectd/v1/detect", Hits: []int{1},
 		Fault: faultinject.Fault{Delay: 500 * time.Millisecond},
 	})
-	h := newHandler(testModel(t), cfg)
+	h := newHandler(t, testModel(t), cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +203,7 @@ func TestGracefulDrain(t *testing.T) {
 	srv := &http.Server{Handler: h}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, srv, ln, 5*time.Second, t.Logf) }()
+	go func() { serveDone <- Serve(ctx, srv, ln, 5*time.Second, t.Logf) }()
 
 	base := "http://" + ln.Addr().String()
 	slowDone := make(chan int, 1)
@@ -234,7 +217,7 @@ func TestGracefulDrain(t *testing.T) {
 		_ = resp.Body.Close()
 		slowDone <- resp.StatusCode
 	}()
-	waitInFlight(t, h, 1)
+	testkit.WaitInFlight(t, h, 1)
 
 	cancel()
 	if code := <-slowDone; code != http.StatusOK {
@@ -264,7 +247,7 @@ func TestChaosAccounting1000(t *testing.T) {
 		faultinject.Rule{Site: "unidetectd/*", P: 0.01, Fault: faultinject.Fault{Panic: "chaos: handler panic"}},
 		faultinject.Rule{Site: "unidetectd/*", P: 0.02, Fault: faultinject.Fault{Delay: time.Millisecond}},
 	)
-	h := newHandler(testModel(t), cfg)
+	h := newHandler(t, testModel(t), cfg)
 
 	oversized := "A\n" + strings.Repeat("yyyyyyyyyyyyyyyy\n", 8<<10)
 	var codes [600]atomic.Int64
@@ -340,7 +323,10 @@ func FuzzReadTable(f *testing.F) {
 	f.Add([]byte("\xff\xfe\x00bad utf8,B\n1,2\n"))
 	f.Add([]byte(strings.Repeat("col,", 1000) + "end\n"))
 
-	s := newServer(nil, serverConfig{MaxBody: 1 << 20})
+	s, err := New(nil, Config{MaxBody: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec := httptest.NewRecorder()
 		req := httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(string(data)))
@@ -363,7 +349,10 @@ func FuzzReadTable(f *testing.F) {
 // TestWriteJSONEncodeError: an unencodable value becomes a 500, not a
 // torn 200 (the headers have not been sent yet thanks to buffering).
 func TestWriteJSONEncodeError(t *testing.T) {
-	s := newServer(nil, serverConfig{Logf: t.Logf})
+	s, err := New(nil, Config{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := httptest.NewRecorder()
 	s.writeJSON(rec, map[string]any{"bad": func() {}})
 	if rec.Code != http.StatusInternalServerError {
@@ -374,7 +363,10 @@ func TestWriteJSONEncodeError(t *testing.T) {
 // TestWriteJSONContentLength: successful replies carry an exact
 // Content-Length, so clients can detect truncation.
 func TestWriteJSONContentLength(t *testing.T) {
-	s := newServer(nil, serverConfig{})
+	s, err := New(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := httptest.NewRecorder()
 	s.writeJSON(rec, map[string]int{"a": 1})
 	want := fmt.Sprintf("%d", rec.Body.Len())

@@ -1,0 +1,160 @@
+package serving
+
+// tenants_test.go pins the multi-tenant gate: API-key auth on every
+// protected endpoint, per-tenant token-bucket quotas answering 429
+// with Retry-After, per-tenant body caps, and exact metric
+// accounting for all of it. The registry itself (persistence,
+// reload) is tested in internal/tenants; here only the HTTP layering
+// matters.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/tenants"
+)
+
+// tenantClock is a hand-cranked clock for deterministic quota tests.
+type tenantClock struct{ now time.Duration }
+
+func (c *tenantClock) Now() time.Duration { return c.now }
+
+// tenantConfig builds a server config gated on the given tenants.
+func tenantConfig(t *testing.T, clk *tenants.Registry) Config {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Logf = t.Logf
+	cfg.Tenants = clk
+	return cfg
+}
+
+func mustRegistry(t *testing.T, now func() time.Duration, ts ...tenants.Tenant) *tenants.Registry {
+	t.Helper()
+	reg, err := tenants.New(ts, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func post(h http.Handler, path, body string, hdr ...string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestTenantAuthGate(t *testing.T) {
+	reg := mustRegistry(t, nil, tenants.Tenant{
+		ID: "acme", KeyHash: tenants.HashKey("sekret"),
+	})
+	s := newTestServer(t, testModel(t), tenantConfig(t, reg))
+	h := s.Handler()
+
+	// No key, wrong key: 401 before any model work happens.
+	if rec := post(h, "/v1/detect", typoCSV); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("keyless request status = %d, want 401", rec.Code)
+	}
+	if rec := post(h, "/v1/detect", typoCSV, "X-API-Key", "wrong"); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("bad-key request status = %d, want 401", rec.Code)
+	}
+	// Both header carriers authenticate.
+	if rec := post(h, "/v1/detect", typoCSV, "X-API-Key", "sekret"); rec.Code != http.StatusOK {
+		t.Fatalf("X-API-Key request status = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := post(h, "/v1/detect", typoCSV, "Authorization", "Bearer sekret"); rec.Code != http.StatusOK {
+		t.Fatalf("Bearer request status = %d: %s", rec.Code, rec.Body)
+	}
+	// Health and metrics stay open: an orchestrator has no API key.
+	for _, path := range []string{"/healthz", "/statusz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 without a key", path, rec.Code)
+		}
+	}
+	// Accounting is exact: two rejected, two attributed to acme.
+	if n := s.m.authFailures.Value(); n != 2 {
+		t.Errorf("auth failures = %d, want 2", n)
+	}
+	if n := s.m.tenantRequests.With("acme").Value(); n != 2 {
+		t.Errorf("acme requests = %d, want 2", n)
+	}
+}
+
+func TestTenantQuota429(t *testing.T) {
+	clk := &tenantClock{}
+	reg := mustRegistry(t, clk.Now,
+		tenants.Tenant{ID: "metered", KeyHash: tenants.HashKey("m-key"), RatePerSec: 1, Burst: 2},
+		tenants.Tenant{ID: "open", KeyHash: tenants.HashKey("o-key")},
+	)
+	s := newTestServer(t, testModel(t), tenantConfig(t, reg))
+	h := s.Handler()
+
+	// The burst drains in two requests; the third is shed with a
+	// Retry-After that rounds up to at least one second.
+	for i := 0; i < 2; i++ {
+		if rec := post(h, "/v1/detect", typoCSV, "X-API-Key", "m-key"); rec.Code != http.StatusOK {
+			t.Fatalf("burst request %d status = %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := post(h, "/v1/detect", typoCSV, "X-API-Key", "m-key")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429", rec.Code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", rec.Header().Get("Retry-After"))
+	}
+	// An unthrottled tenant is untouched by its neighbour's quota.
+	if rec := post(h, "/v1/detect", typoCSV, "X-API-Key", "o-key"); rec.Code != http.StatusOK {
+		t.Fatalf("open tenant status = %d during metered tenant's 429s", rec.Code)
+	}
+	// One refill interval later the metered tenant serves again.
+	clk.now += 1100 * time.Millisecond
+	if rec := post(h, "/v1/detect", typoCSV, "X-API-Key", "m-key"); rec.Code != http.StatusOK {
+		t.Fatalf("post-refill status = %d, want 200", rec.Code)
+	}
+	if n := s.m.tenantQuota.With("metered").Value(); n != 1 {
+		t.Errorf("metered quota rejections = %d, want 1", n)
+	}
+	if n := s.m.tenantRequests.With("metered").Value(); n != 4 {
+		t.Errorf("metered requests = %d, want 4 (quota rejections still count)", n)
+	}
+}
+
+// TestTenantBodyCapOverride: a tenant's MaxBody wins over the server
+// default for sync uploads, and scales the async job cap 4x.
+func TestTenantBodyCapOverride(t *testing.T) {
+	reg := mustRegistry(t, nil,
+		tenants.Tenant{ID: "tiny", KeyHash: tenants.HashKey("t-key"), MaxBody: 256},
+		tenants.Tenant{ID: "roomy", KeyHash: tenants.HashKey("r-key")},
+	)
+	cfg := tenantConfig(t, reg)
+	cfg.JobsDir = t.TempDir()
+	s := newTestServer(t, testModel(t), cfg)
+	h := s.Handler()
+
+	body := "A\n" + strings.Repeat("xxxxxxxx\n", 64) // ~600 bytes
+	if rec := post(h, "/v1/detect", body, "X-API-Key", "t-key"); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("tiny tenant oversized sync status = %d, want 413", rec.Code)
+	}
+	if rec := post(h, "/v1/detect", body, "X-API-Key", "r-key"); rec.Code != http.StatusOK {
+		t.Fatalf("roomy tenant same body status = %d: %s", rec.Code, rec.Body)
+	}
+	// Async cap is 4x the tenant override: 600 bytes fits in 1024...
+	if rec := post(h, "/v1/jobs", body, "X-API-Key", "t-key"); rec.Code != http.StatusAccepted {
+		t.Fatalf("tiny tenant job within 4x cap status = %d: %s", rec.Code, rec.Body)
+	}
+	// ...but 4x that does not.
+	big := "A\n" + strings.Repeat("xxxxxxxx\n", 256)
+	if rec := post(h, "/v1/jobs", big, "X-API-Key", "t-key"); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("tiny tenant oversized job status = %d, want 413", rec.Code)
+	}
+}

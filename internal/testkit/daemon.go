@@ -1,0 +1,262 @@
+package testkit
+
+// daemon.go is the shared harness for tests that talk to a running
+// unidetectd: boot an in-process handler on an ephemeral port (or
+// attach to an already-running daemon by URL), wait for readiness,
+// and scrape /metrics with text-format validation. Every daemon test
+// used to carry its own copy of this boilerplate; keeping one copy
+// here means the e2e harness and the unit tests agree on what
+// "healthy" and "this metric's value" mean.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/unidetect/unidetect/internal/obs"
+)
+
+// Daemon is a handle on a serving unidetectd — either an in-process
+// handler behind an httptest listener (StartDaemon) or an external
+// process reached by URL (AttachDaemon). Methods fail the test on
+// transport errors so callers read straight-line.
+type Daemon struct {
+	tb     testing.TB
+	url    string
+	client *http.Client
+}
+
+// StartDaemon serves h on an ephemeral port and waits until /healthz
+// answers 200. The listener is torn down with the test.
+func StartDaemon(tb testing.TB, h http.Handler) *Daemon {
+	tb.Helper()
+	ts := httptest.NewServer(h)
+	tb.Cleanup(ts.Close)
+	d := &Daemon{tb: tb, url: ts.URL, client: ts.Client()}
+	d.WaitHealthy(5 * time.Second)
+	return d
+}
+
+// AttachDaemon points the harness at an already-listening daemon (an
+// e2e subprocess) and waits until /healthz answers 200 — a freshly
+// exec'd daemon may still be training its model.
+func AttachDaemon(tb testing.TB, url string, within time.Duration) *Daemon {
+	tb.Helper()
+	d := &Daemon{tb: tb, url: strings.TrimSuffix(url, "/"), client: &http.Client{Timeout: 30 * time.Second}}
+	d.WaitHealthy(within)
+	return d
+}
+
+// URL returns the daemon's base URL (no trailing slash).
+func (d *Daemon) URL() string { return d.url }
+
+// Client returns the HTTP client bound to this daemon, for requests
+// the convenience wrappers don't cover (custom headers, streaming).
+func (d *Daemon) Client() *http.Client { return d.client }
+
+// WaitHealthy polls /healthz until it answers 200 or the deadline
+// passes. Connection refusals are expected while the daemon boots.
+func (d *Daemon) WaitHealthy(within time.Duration) {
+	d.tb.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := d.client.Get(d.url + "/healthz")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			d.tb.Fatalf("daemon at %s not healthy within %v (last err: %v)", d.url, within, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Get issues a GET with optional headers and returns status and body.
+func (d *Daemon) Get(path string, hdr ...string) (int, []byte) {
+	d.tb.Helper()
+	return d.do(http.MethodGet, path, "", "", hdr)
+}
+
+// Post issues a POST and returns status and body. Trailing hdr pairs
+// are header key/values (e.g. "X-API-Key", key).
+func (d *Daemon) Post(path, contentType, body string, hdr ...string) (int, []byte) {
+	d.tb.Helper()
+	return d.do(http.MethodPost, path, contentType, body, hdr)
+}
+
+func (d *Daemon) do(method, path, contentType, body string, hdr []string) (int, []byte) {
+	d.tb.Helper()
+	if len(hdr)%2 != 0 {
+		d.tb.Fatalf("odd header list: %q", hdr)
+	}
+	req, err := http.NewRequest(method, d.url+path, strings.NewReader(body))
+	if err != nil {
+		d.tb.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for i := 0; i < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.tb.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.tb.Fatalf("%s %s: read body: %v", method, path, err)
+	}
+	return resp.StatusCode, b
+}
+
+// Metrics scrapes /metrics and returns the parsed families plus the
+// raw exposition, failing the test if the body is not valid
+// Prometheus text format.
+func (d *Daemon) Metrics() (map[string]*obs.PromFamily, string) {
+	d.tb.Helper()
+	resp, err := d.client.Get(d.url + "/metrics")
+	if err != nil {
+		d.tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.tb.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		d.tb.Errorf("/metrics Content-Type = %q, want text format 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.tb.Fatal(err)
+	}
+	fams, err := obs.ParseProm(string(body))
+	if err != nil {
+		d.tb.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, body)
+	}
+	return fams, string(body)
+}
+
+// Metric returns one sample's value from a fresh /metrics scrape,
+// failing the test if the metric is absent.
+func (d *Daemon) Metric(name string, labels map[string]string) float64 {
+	d.tb.Helper()
+	fams, _ := d.Metrics()
+	s, ok := obs.Sample(fams, name, labels)
+	if !ok {
+		d.tb.Fatalf("metric %s%v missing from /metrics", name, labels)
+	}
+	return s.Value
+}
+
+// Snapshot captures every sample of a fresh /metrics scrape keyed by
+// "name{k=v,...}" with sorted labels, for diffing with Delta.
+func (d *Daemon) Snapshot() map[string]float64 {
+	d.tb.Helper()
+	fams, _ := d.Metrics()
+	snap := make(map[string]float64)
+	for name, fam := range fams {
+		for _, s := range fam.Samples {
+			snap[sampleKey(name, s.Labels)] = s.Value
+		}
+	}
+	return snap
+}
+
+func sampleKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Delta diffs two Snapshot captures: every key whose value changed
+// (or appeared) maps to after-minus-before. Unchanged keys are
+// omitted, so an assertion can require an exact set of movements.
+func Delta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range before {
+		if _, ok := after[k]; !ok && v != 0 {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// statuszInFlight is the slice of /statusz the wait helpers decode;
+// the serving package owns the full shape.
+type statuszInFlight struct {
+	InFlight int64 `json:"in_flight"`
+}
+
+// WaitInFlight polls /statusz over HTTP until at least want requests
+// are in flight — the standard way to pin a concurrency slot before
+// asserting shed behaviour.
+func (d *Daemon) WaitInFlight(want int64) {
+	d.tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := d.Get("/statusz")
+		var got statuszInFlight
+		if err := json.Unmarshal(body, &got); err != nil {
+			d.tb.Fatal(err)
+		}
+		if got.InFlight >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.tb.Fatal("timed out waiting for in-flight request")
+}
+
+// WaitInFlight is the in-process variant for handler-level tests that
+// never open a listener: poll h's /statusz via a recorder until at
+// least want requests are in flight.
+func WaitInFlight(tb testing.TB, h http.Handler, want int64) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+		var got statuszInFlight
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			tb.Fatal(err)
+		}
+		if got.InFlight >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tb.Fatal("timed out waiting for in-flight request")
+}
